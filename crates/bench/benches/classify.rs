@@ -1,0 +1,41 @@
+//! E-PERF2: recognition cost.
+//!
+//! The paper argues evaluable is "the largest decidable subclass … that can
+//! be efficiently recognized" (Sec. 3). This bench measures the
+//! classifiers (`is_evaluable`, `is_allowed`, `is_ranf`, wide-sense) on
+//! allowed formulas of growing size; cost should grow roughly with formula
+//! size times quantifier depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_bench::allowed_formula_sized;
+use rc_safety::{is_allowed, is_evaluable, is_ranf, is_wide_sense_evaluable};
+
+fn bench_classifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(20);
+    for size in [25usize, 100, 400, 1600] {
+        let f = allowed_formula_sized(size, 0xC1A5 + size as u64);
+        group.bench_with_input(BenchmarkId::new("is_evaluable", size), &f, |b, f| {
+            b.iter(|| is_evaluable(std::hint::black_box(f)))
+        });
+        group.bench_with_input(BenchmarkId::new("is_allowed", size), &f, |b, f| {
+            b.iter(|| is_allowed(std::hint::black_box(f)))
+        });
+        group.bench_with_input(BenchmarkId::new("is_ranf", size), &f, |b, f| {
+            b.iter(|| is_ranf(std::hint::black_box(f)))
+        });
+    }
+    // Wide-sense runs the full equality-reduction; keep inputs smaller.
+    for size in [25usize, 100] {
+        let f = allowed_formula_sized(size, 0xC1A5 + size as u64);
+        group.bench_with_input(
+            BenchmarkId::new("is_wide_sense_evaluable", size),
+            &f,
+            |b, f| b.iter(|| is_wide_sense_evaluable(std::hint::black_box(f))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The classification table over every formula in the paper (experiment
+//! E-EX*): evaluable / allowed / range-restricted / wide-sense /
+//! empirically domain independent, with the paper's expectations asserted.
+//!
+//! ```sh
+//! cargo run --release -p rc-bench --bin classify_table
+//! ```
+
+use rc_bench::Table;
+use rc_formula::normal::MatrixLimit;
+use rc_safety::classes::is_range_restricted;
+use rc_safety::corpus::{corpus, formula_of};
+use rc_safety::domind::{empirically_definite, DefiniteTest};
+use rc_safety::{is_allowed, is_evaluable, is_wide_sense_evaluable};
+
+fn yn(b: bool) -> String {
+    if b { "yes".into() } else { "no".into() }
+}
+
+fn main() {
+    let mut t = Table::new(&[
+        "id", "formula", "evaluable", "allowed", "range-restr", "wide-sense", "dom-indep",
+        "paper-agrees",
+    ]);
+    let mut disagreements = 0;
+    for e in corpus() {
+        let f = formula_of(&e);
+        let ev = is_evaluable(&f);
+        let al = is_allowed(&f);
+        let rr = is_range_restricted(&f, MatrixLimit::default()).unwrap_or(false);
+        let ws = is_wide_sense_evaluable(&f);
+        let di = empirically_definite(&f, &DefiniteTest::default()).is_definite();
+        let agrees = ev == e.evaluable
+            && al == e.allowed
+            && ws == e.wide_sense
+            && di == e.domain_independent
+            && rr == ev; // Thm. 7.2
+        if !agrees {
+            disagreements += 1;
+        }
+        t.row(vec![
+            e.id.to_string(),
+            e.text.chars().take(52).collect(),
+            yn(ev),
+            yn(al),
+            yn(rr),
+            yn(ws),
+            yn(di),
+            yn(agrees),
+        ]);
+    }
+    println!("=== Paper-formula classification (Defs. 5.2/5.3/7.1/A.1, Sec. 10) ===\n");
+    println!("{}", t.render());
+    println!(
+        "class inclusions observed: allowed ⊆ evaluable = range-restricted ⊆ wide-sense ⊆ domain-independent"
+    );
+    println!("disagreements with the paper: {disagreements}");
+    assert_eq!(disagreements, 0, "classification must match the paper");
+}

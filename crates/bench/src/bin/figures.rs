@@ -1,0 +1,142 @@
+//! Regenerate every *figure* of the paper as machine-checked output.
+//!
+//! ```sh
+//! cargo run --release -p rc-bench --bin figures
+//! ```
+
+use rc_bench::Table;
+use rc_formula::transform::{apply_at_root, Dir, Rewrite, Rule};
+use rc_formula::vars::FreshVars;
+use rc_formula::{parse, Var};
+use rc_relalg::Database;
+use rc_safety::eqreduce::equality_reduce;
+use rc_safety::gencon::{con, con_not, gen, gen_not};
+use rc_safety::generator::{con_generator, gen_generator, ConGen};
+use rc_safety::geometry::{decompose, render_grid};
+use rc_safety::{is_evaluable, is_wide_sense_evaluable};
+
+fn fig1() {
+    println!("=== Figure 1: the gen and con relations ===\n");
+    let cases = [
+        ("P(x, y)", "x"),
+        ("x = 3", "x"),
+        ("x = y", "x"),
+        ("!P(x)", "x"),
+        ("!!P(x)", "x"),
+        ("exists y. Q(x, y)", "x"),
+        ("P(x) | Q(x, y)", "x"),
+        ("P(x) | Q(y)", "x"),
+        ("P(x) & Q(y)", "x"),
+        ("P(x, y) | Q(y)", "x"),
+        ("!Q(y)", "x"),
+        ("P(x) | Q(y) | R(x, y)", "x"),
+        ("forall y. (!P(y) | Q(x, y))", "x"),
+    ];
+    let mut t = Table::new(&["A", "x", "gen(x,A)", "con(x,A)", "gen(x,¬A)", "con(x,¬A)"]);
+    for (text, var) in cases {
+        let f = parse(text).unwrap();
+        let v = Var::new(var);
+        t.row(vec![
+            f.to_string(),
+            var.to_string(),
+            gen(v, &f).to_string(),
+            con(v, &f).to_string(),
+            gen_not(v, &f).to_string(),
+            con_not(v, &f).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig2() {
+    println!("=== Figure 2: geometric interpretation of con ===\n");
+    let f = parse("P(x) | Q(y) | R(x, y)").unwrap();
+    let db = Database::from_facts("P(1)\nQ(2)\nR(3, 3)").unwrap();
+    println!("A(x, y) = {f}   with P = {{1}}, Q = {{2}}, R = {{(3,3)}}\n");
+    println!("{}", render_grid(&f, &db, Var::new("x"), Var::new("y")));
+    println!("decomposition into points/lines/planes:");
+    for c in decompose(&f, &db) {
+        println!("  {c}");
+    }
+    println!();
+}
+
+fn fig34() {
+    println!("=== Figures 3–4: equivalences as rewrite rules ===\n");
+    let samples = [
+        (Rule::E2DeMorganAnd, "!(P(x) & Q(x))"),
+        (Rule::E4NotForall, "!forall x. P(x)"),
+        (Rule::E8ExistsAnd, "exists x. (P(x) & Q(y))"),
+        (Rule::E9ExistsOr, "exists x. (P(x) | Q(x))"),
+        (Rule::E11DistributeAnd, "P(x) & (Q(x) | R(x, x))"),
+        (Rule::E12DistributeOr, "P(x) | (Q(x, x) & R(x, x))"),
+        (Rule::E13ExistsEq, "exists x. (x = y & Q(x, y))"),
+        (Rule::E14ForallNeq, "forall x. (x != y | Q(x, y))"),
+    ];
+    let mut t = Table::new(&["rule", "before", "after"]);
+    for (rule, text) in samples {
+        let f = parse(text).unwrap();
+        let mut fresh = FreshVars::for_formula(&f);
+        let g = apply_at_root(Rewrite::new(rule, Dir::Ltr), &f, &mut fresh)
+            .expect("rule applies to its own sample");
+        t.row(vec![format!("{rule:?}"), f.to_string(), g.to_string()]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig5() {
+    println!("=== Figure 5: generator-producing gen/con ===\n");
+    let cases = [
+        ("P(x, y)", "x"),
+        ("P(x) | Q(x, y)", "x"),
+        ("P(x) & (Q(x, y) | R(x, x))", "x"),
+        ("P(x, y) | Q(y)", "x"),
+        ("Q(y)", "x"),
+        ("x = 3 | P(x)", "x"),
+    ];
+    let mut t = Table::new(&["A", "x", "gen G", "con G"]);
+    for (text, var) in cases {
+        let f = parse(text).unwrap();
+        let v = Var::new(var);
+        let show_gen = match gen_generator(v, &f) {
+            None => "—".to_string(),
+            Some(atoms) => atoms
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" ∨ "),
+        };
+        let show_con = match con_generator(v, &f) {
+            None => "—".to_string(),
+            Some(ConGen::Bottom) => "⊥".to_string(),
+            Some(ConGen::Atoms(atoms)) => atoms
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" ∨ "),
+        };
+        t.row(vec![f.to_string(), var.to_string(), show_gen, show_con]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig6() {
+    println!("=== Figure 6: equality reduction of a wide-sense formula ===\n");
+    let f = parse("exists z. (P(x, z) & (x = y | Q(x, y, z)) & !(z = y | R(y, z)))").unwrap();
+    println!("F  = {f}");
+    println!("     strict-sense evaluable: {}", is_evaluable(&f));
+    println!("     wide-sense evaluable:   {}", is_wide_sense_evaluable(&f));
+    let r = equality_reduce(&f);
+    println!("\nAfter Algorithm A.1:");
+    println!("F' = {r}");
+    println!("     evaluable: {}", is_evaluable(&r));
+    println!();
+}
+
+fn main() {
+    fig1();
+    fig2();
+    fig34();
+    fig5();
+    fig6();
+}

@@ -1,0 +1,191 @@
+//! Shared workloads and table formatting for the experiment harness.
+//!
+//! Every figure/table regenerator (`src/bin/*`) and every Criterion bench
+//! (`benches/*`) draws its formulas and databases from here, so the
+//! experiments in EXPERIMENTS.md are reproducible from one place.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rc_formula::generate::{random_allowed_formula, GenConfig};
+use rc_formula::vars::rectified;
+use rc_formula::{Formula, Schema, Value, Var};
+use rc_relalg::Database;
+
+/// Deterministic RNG for a named experiment.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The standard benchmark schema: a supplier/part-flavored mix of arities.
+pub fn bench_schema() -> Schema {
+    Schema::new()
+        .with("P", 1)
+        .with("Q", 2)
+        .with("R", 2)
+        .with("S", 3)
+}
+
+/// A random database over [`bench_schema`] with an integer domain of the
+/// given size and `rows` tuples per relation.
+pub fn bench_db(domain_size: i64, rows: usize, seed: u64) -> Database {
+    let domain: Vec<Value> = (0..domain_size).map(Value::int).collect();
+    Database::random(&bench_schema(), &domain, rows, &mut rng(seed))
+}
+
+/// A random **allowed** formula with roughly `depth`-deep structure and
+/// free variables `x` (and `y` when `two_free`).
+pub fn allowed_formula(depth: usize, two_free: bool, seed: u64) -> Formula {
+    let cfg = GenConfig::default();
+    let need: Vec<Var> = if two_free {
+        vec![Var::new("x"), Var::new("y")]
+    } else {
+        vec![Var::new("x")]
+    };
+    rectified(&random_allowed_formula(&cfg, &need, &mut rng(seed), depth))
+}
+
+/// Grow an allowed formula to roughly `target_nodes` by disjoining /
+/// conjoining fresh allowed pieces (keeps the allowed property: each
+/// disjunct generates the same free variables).
+pub fn allowed_formula_sized(target_nodes: usize, seed: u64) -> Formula {
+    let mut r = rng(seed);
+    let cfg = GenConfig::default();
+    let need = vec![Var::new("x")];
+    let mut f = rectified(&random_allowed_formula(&cfg, &need, &mut r, 3));
+    let mut salt = 1u64;
+    while f.node_count() < target_nodes {
+        let extra = rectified(&random_allowed_formula(
+            &cfg,
+            &need,
+            &mut rng(seed.wrapping_mul(31).wrapping_add(salt)),
+            3,
+        ));
+        let extra = rc_formula::normal::rename_apart(&f, &extra);
+        // Alternate ∨ (needs both sides to generate x — both do) and ∧.
+        f = if salt.is_multiple_of(2) {
+            Formula::or2(f, extra)
+        } else {
+            Formula::and2(f, extra)
+        };
+        salt += 1;
+    }
+    rectified(&f)
+}
+
+/// The "division" query family of Example 9.2 row 2, the paper's hardest
+/// translation shape: `Q(x) ∧ ∀y (¬R(x, y) ∨ ∃z S(x, y, z))`.
+pub fn division_query() -> Formula {
+    rc_formula::parse("Q(x, x) & forall y. (!P(y) | exists z. S(x, y, z))")
+        .expect("static formula")
+}
+
+/// A negation-heavy query: `P(x) ∧ ¬∃y (Q(x, y) ∧ ¬R(y, x))`.
+pub fn negation_query() -> Formula {
+    rc_formula::parse("P(x) & !exists y. (Q(x, y) & !R(y, x))").expect("static formula")
+}
+
+/// A disjunctive query exercising union translation:
+/// `P(x) ∧ (∃y Q(x, y) ∨ ∃z R(z, x))`.
+pub fn disjunction_query() -> Formula {
+    rc_formula::parse("P(x) & (exists y. Q(x, y) | exists z. R(z, x))")
+        .expect("static formula")
+}
+
+/// Simple fixed-width table printer for the experiment binaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self
+            .headers
+            .iter()
+            .map(|h| h.chars().count())
+            .collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_safety::is_allowed;
+
+    #[test]
+    fn sized_generator_hits_targets() {
+        for target in [20, 60, 150] {
+            let f = allowed_formula_sized(target, 42);
+            assert!(f.node_count() >= target);
+            assert!(is_allowed(&f), "sized formula not allowed: {f}");
+        }
+    }
+
+    #[test]
+    fn fixed_queries_are_safe() {
+        for f in [division_query(), negation_query(), disjunction_query()] {
+            assert!(rc_safety::is_evaluable(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "n"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "200".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Definiteness / domain independence, empirically (Sec. 10).
+//!
+//! A formula is *definite* (Def. 10.2) when for **every** interpretation
+//! `I`, it is satisfied at the same points in `I` and in its `*`-extension
+//! `I′` (Def. 10.1). Definite ≡ domain independent \[ND82\], and the class is
+//! not recursive — so no terminating procedure can decide it in general.
+//! What we *can* do, and what this module does, is:
+//!
+//! * [`definite_on`]: check definiteness on one given interpretation — the
+//!   exact construction used in the paper's proofs (Lemmas 10.1/10.4);
+//! * [`empirically_definite`]: sample many random interpretations over the
+//!   formula's own schema and report whether any witnesses
+//!   non-definiteness. A `false` answer is a *proof* of non-definiteness
+//!   (with a concrete witness); a `true` answer is evidence only. On the
+//!   repetition-free class of Thm. 10.5 tiny interpretations suffice (the
+//!   theorem's proof uses a one-element domain plus `*`), which the
+//!   `norepeat` census exploits.
+
+use crate::interp::{star_value, FiniteInterp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rc_formula::ast::Formula;
+use rc_formula::vars::free_vars;
+use rc_formula::{Schema, Value};
+use rc_relalg::Database;
+
+/// Is `f` satisfied at the same points in `interp` and in its
+/// `*`-extension? (One instance of Def. 10.2.)
+pub fn definite_on(f: &Formula, interp: &FiniteInterp<'_>) -> bool {
+    let cols = free_vars(f);
+    let plain = interp.answers(f, &cols);
+    let star = interp.star_extension(star_value()).answers(f, &cols);
+    plain == star
+}
+
+/// Configuration for [`empirically_definite`].
+#[derive(Clone, Copy, Debug)]
+pub struct DefiniteTest {
+    /// Number of random interpretations to sample.
+    pub trials: u64,
+    /// Domain size of each sampled interpretation.
+    pub domain_size: usize,
+    /// Tuples per relation in each sampled database.
+    pub rows_per_relation: usize,
+    /// RNG seed (sampling is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for DefiniteTest {
+    fn default() -> Self {
+        DefiniteTest {
+            trials: 24,
+            domain_size: 3,
+            rows_per_relation: 4,
+            seed: 0xD0_11_AB_1E,
+        }
+    }
+}
+
+/// Outcome of an empirical definiteness test.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DefiniteVerdict {
+    /// No sampled interpretation distinguished `I` from `I′`.
+    NoCounterexample,
+    /// A concrete witness of non-definiteness (hence non-domain-
+    /// independence): the database and domain on which answers differ.
+    Counterexample {
+        /// The witnessing database.
+        db: Database,
+        /// The witnessing domain (before the `*`-extension).
+        domain: Vec<Value>,
+    },
+}
+
+impl DefiniteVerdict {
+    /// Did the test fail to refute definiteness?
+    pub fn is_definite(&self) -> bool {
+        matches!(self, DefiniteVerdict::NoCounterexample)
+    }
+}
+
+/// Sample random interpretations over `f`'s inferred schema and test
+/// Def. 10.2 on each. Small domains are tried first (including the empty
+/// database), since small witnesses are common.
+pub fn empirically_definite(f: &Formula, cfg: &DefiniteTest) -> DefiniteVerdict {
+    let schema = Schema::infer(f).expect("formula uses predicates consistently");
+    // Always try the empty database first: many unsafe formulas (¬P(x),
+    // P(x) ∨ Q(y) under ∃, …) are refuted by it alone.
+    let mut candidates: Vec<(Database, Vec<Value>)> = Vec::new();
+    {
+        let mut db = Database::new();
+        for (p, a) in schema.predicates() {
+            db.declare(p, a);
+        }
+        let mut domain: Vec<Value> = f.constants();
+        if domain.is_empty() {
+            domain.push(Value::int(0));
+        }
+        candidates.push((db, domain));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.trials {
+        let domain: Vec<Value> = (0..cfg.domain_size as i64).map(Value::int).collect();
+        let db = Database::random(&schema, &domain, cfg.rows_per_relation, &mut rng);
+        let mut domain = domain;
+        for c in f.constants() {
+            if !domain.contains(&c) {
+                domain.push(c);
+            }
+        }
+        candidates.push((db, domain));
+    }
+    for (db, domain) in candidates {
+        let interp = FiniteInterp::new(&db, domain.clone());
+        if !definite_on(f, &interp) {
+            return DefiniteVerdict::Counterexample { db, domain };
+        }
+    }
+    DefiniteVerdict::NoCounterexample
+}
+
+/// Exhaustively check definiteness over **every** interpretation with
+/// domain sizes `1..=max_domain_size` (for the formula's inferred schema).
+/// Returns `None` when the space is too large (more than `budget`
+/// databases would be enumerated), otherwise whether every interpretation
+/// is definite.
+///
+/// This is the workhorse of the Thm. 10.5 census: the theorem's proof
+/// refutes definiteness of non-evaluable repetition-free formulas with a
+/// one-element domain plus `*`, so small exhaustive checks are decisive
+/// there.
+pub fn exhaustively_definite(
+    f: &Formula,
+    max_domain_size: usize,
+    budget: u64,
+) -> Option<bool> {
+    let schema = Schema::infer(f).expect("consistent predicate use");
+    let preds = schema.predicates();
+    for n in 1..=max_domain_size {
+        let domain: Vec<Value> = (0..n as i64).map(Value::int).collect();
+        // Count databases: Π 2^(n^arity).
+        let mut total_bits: u32 = 0;
+        for &(_, arity) in &preds {
+            let tuples = (n as u64).checked_pow(arity as u32)?;
+            total_bits = total_bits.checked_add(u32::try_from(tuples).ok()?)?;
+        }
+        if total_bits >= 63 || (1u64 << total_bits) > budget {
+            return None;
+        }
+        // Enumerate all tuple subsets per predicate via one big bit string.
+        let all_tuples: Vec<Vec<Vec<Value>>> = preds
+            .iter()
+            .map(|&(_, arity)| enumerate_tuples(&domain, arity))
+            .collect();
+        for code in 0u64..(1u64 << total_bits) {
+            let mut db = Database::new();
+            let mut bit = 0;
+            for (i, &(p, arity)) in preds.iter().enumerate() {
+                let mut rel = rc_relalg::Relation::new(arity);
+                for t in &all_tuples[i] {
+                    if (code >> bit) & 1 == 1 {
+                        rel.insert(t.clone().into_boxed_slice());
+                    }
+                    bit += 1;
+                }
+                db.insert_relation(p, rel);
+            }
+            let interp = FiniteInterp::new(&db, domain.clone());
+            if !definite_on(f, &interp) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
+}
+
+fn enumerate_tuples(domain: &[Value], arity: usize) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(out.len() * domain.len());
+        for t in &out {
+            for &v in domain {
+                let mut t2 = t.clone();
+                t2.push(v);
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_formula::parse;
+
+    fn definite(s: &str) -> bool {
+        empirically_definite(&parse(s).unwrap(), &DefiniteTest::default()).is_definite()
+    }
+
+    #[test]
+    fn unsafe_intro_examples_are_refuted() {
+        assert!(!definite("!P(x)"));
+        assert!(!definite("P(x) | Q(y)"));
+        assert!(!definite("exists y. (P(x) | Q(y))"));
+    }
+
+    #[test]
+    fn evaluable_examples_have_no_counterexample() {
+        for s in [
+            "P(x, y) & (Q(x) | R(y))",
+            "exists y. (P(x) | Q(x, y))",
+            "exists x. ((P(x, y) | Q(y)) & !R(y))",
+            "exists y. forall x. (!P(x) | S(y, x))",
+        ] {
+            assert!(definite(s), "{s} wrongly refuted");
+        }
+    }
+
+    #[test]
+    fn thm_105_counterexample_is_definite_but_not_evaluable() {
+        // ∀y[(P(x) ∧ Q(y)) ∨ (P(x) ∧ ¬R(y))] — end of Sec. 10.
+        let s = "forall y. ((P(x) & Q(y)) | (P(x) & !R(y)))";
+        assert!(definite(s));
+        assert!(!crate::classes::is_evaluable(&parse(s).unwrap()));
+    }
+
+    #[test]
+    fn counterexample_carries_witness() {
+        match empirically_definite(&parse("!P(x)").unwrap(), &DefiniteTest::default()) {
+            DefiniteVerdict::Counterexample { db, domain } => {
+                // Replaying the witness reproduces the discrepancy.
+                let interp = FiniteInterp::new(&db, domain);
+                assert!(!definite_on(&parse("!P(x)").unwrap(), &interp));
+            }
+            DefiniteVerdict::NoCounterexample => panic!("¬P(x) must be refuted"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_agrees_with_sampling_on_small_formulas() {
+        for (s, expect) in [
+            ("!P(x)", false),
+            ("P(x) | Q(y)", false),
+            ("P(x) & Q(x)", true),
+            ("exists y. (P(x) | Q(x, y))", true),
+            ("exists x. !P(x)", false),
+            ("forall x. !P(x)", true),
+        ] {
+            let f = parse(s).unwrap();
+            assert_eq!(
+                exhaustively_definite(&f, 2, 1 << 20),
+                Some(expect),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_reports_overflow() {
+        // Three binary predicates over a 3-element domain: 2^27 databases
+        // exceeds a small budget.
+        let f = parse("P(x, y) & Q(x, y) & R(x, y)").unwrap();
+        assert_eq!(exhaustively_definite(&f, 3, 1 << 10), None);
+    }
+
+    #[test]
+    fn forall_quantified_negation_is_domain_dependent() {
+        // ∀x ¬P(x): true iff P empty *over the domain*; the * point never
+        // satisfies P, so this is actually definite. Sanity-check the
+        // subtlety.
+        assert!(definite("forall x. !P(x)"));
+        // ∃x ¬P(x) is NOT definite: * always satisfies ¬P.
+        assert!(!definite("exists x. !P(x)"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Equality reduction (Appendix A, Algorithm A.1) and wide-sense
+//! evaluability.
+//!
+//! Strict-sense evaluability (Def. 5.2) never lets `x = y` between two
+//! variables generate anything. Many useful formulas become evaluable once
+//! equalities are *reduced*: for the maximal subformula `A(x)` in which `x`
+//! is free and an atom `x = t` inside it (`t` a constant or another free
+//! variable of `A`), `A` splits into
+//!
+//! ```text
+//! A  ≡  (x = t ∧ A₁(t)) ∨ (x ≠ t ∧ A₂(x))
+//! ```
+//!
+//! where `A₁` substitutes `t` for `x` (Lemma A.1) and `A₂` replaces each
+//! occurrence of the atom `x = t` by `false`. When `x` is bound, the
+//! quantifier absorbs the case split:
+//!
+//! ```text
+//! ∃x A  ≡  A₁(t) ∨ ∃x (x ≠ t ∧ A₂(x))
+//! ∀x A  ≡  A₁(t) ∧ ∀x (x = t ∨ A₂(x))          (dual, for completeness)
+//! ```
+//!
+//! Equalities between distinct constants are `false` and between identical
+//! terms `true` (step 2 — our concrete `Value` domain makes distinct
+//! constants denote distinct values, so no explicit `c ≠ d` guard is
+//! needed). Finally (step 3), top-level cases `x = z ∧ A(z)` with `x` not
+//! free in `A` and `gen(z, A)` are rewritten to `x = z ∧ A(x) ∧ A(z)` so
+//! that both sides of the equality are generated. (An implementation could
+//! instead use the column-duplication primitive `dup` of `rc-relalg`; we
+//! stay at the formula level so the standard pipeline applies unchanged.)
+//!
+//! A formula is **wide-sense evaluable** (Def. A.1) if this algorithm makes
+//! it evaluable. Every rewrite here is an equivalence, so the output is
+//! logically equivalent to the input whether or not it ends up evaluable.
+
+use crate::gencon::gen;
+use rc_formula::ast::Formula;
+use rc_formula::paths::{all_paths, replace_at, subformula_at, Path};
+use rc_formula::simplify::simplify_truth;
+use rc_formula::term::{Term, Var};
+use rc_formula::vars::{
+    free_vars, is_free, rectified, rename_bound_fresh, substitute, FreshVars,
+};
+
+/// Maximum number of split applications before the loop stops (every
+/// intermediate form is equivalent, so stopping early is safe).
+const MAX_SPLITS: usize = 64;
+
+/// Node budget: splits duplicate their scope, so equality-dense formulas
+/// can grow exponentially; once the formula exceeds this size the loop
+/// stops (again safe — all intermediates are equivalent).
+const MAX_NODES: usize = 4_000;
+
+/// Normalize trivial *ground* equalities: `c = c → true`, `c = d → false`
+/// for distinct constants, then truth-value simplify.
+///
+/// `x = x` between variables is deliberately **left alone**: it is
+/// logically `true`, but replacing it would erase a free variable and turn
+/// the domain-dependent query `x = x` into the safe query `true` — exactly
+/// the kind of silent reinterpretation the paper forbids. (Inside `A₁`,
+/// where the split already pins `x` to `t`, the split construction does
+/// replace the `t = t` residue by `true`, as Alg. A.1 step 1a prescribes.)
+pub fn simplify_trivial_eq(f: &Formula) -> Formula {
+    fn go(f: &Formula) -> Formula {
+        match f {
+            Formula::Eq(Term::Const(a), Term::Const(b)) if a == b => Formula::tru(),
+            Formula::Eq(Term::Const(a), Term::Const(b)) if a != b => Formula::fls(),
+            Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+            Formula::Not(g) => Formula::not(go(g)),
+            Formula::And(fs) => Formula::And(fs.iter().map(go).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(go).collect()),
+            Formula::Exists(v, g) => Formula::Exists(*v, Box::new(go(g))),
+            Formula::Forall(v, g) => Formula::Forall(*v, Box::new(go(g))),
+        }
+    }
+    simplify_truth(&go(f))
+}
+
+/// One planned split.
+struct Split {
+    /// Path to the node being replaced: the quantifier node for bound
+    /// variables, the root for free variables.
+    path: Path,
+    /// The variable being reduced.
+    x: Var,
+    /// The equated term.
+    t: Term,
+    /// How the surrounding node absorbs the case split.
+    kind: SplitKind,
+}
+
+enum SplitKind {
+    /// `x` is free in the whole formula; replace the root.
+    Free,
+    /// `x` is bound by `∃x` at `path`.
+    Exists,
+    /// `x` is bound by `∀x` at `path`.
+    Forall,
+}
+
+/// Does `scope` contain the atom `x = t` (in either orientation, under any
+/// polarity)?
+fn contains_eq_atom(scope: &Formula, x: Var, t: Term) -> bool {
+    let mut found = false;
+    scope.for_each_subformula(|g| {
+        if let Formula::Eq(a, b) = g {
+            if (*a == Term::Var(x) && *b == t) || (*b == Term::Var(x) && *a == t) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Replace every occurrence of the atom `x = t` by `false` and simplify.
+fn kill_eq_atom(scope: &Formula, x: Var, t: Term) -> Formula {
+    fn go(f: &Formula, x: Var, t: Term) -> Formula {
+        match f {
+            Formula::Eq(a, b)
+                if (*a == Term::Var(x) && *b == t) || (*b == Term::Var(x) && *a == t) =>
+            {
+                Formula::fls()
+            }
+            Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+            Formula::Not(g) => Formula::not(go(g, x, t)),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| go(g, x, t)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| go(g, x, t)).collect()),
+            Formula::Exists(v, g) => Formula::Exists(*v, Box::new(go(g, x, t))),
+            Formula::Forall(v, g) => Formula::Forall(*v, Box::new(go(g, x, t))),
+        }
+    }
+    simplify_truth(&go(scope, x, t))
+}
+
+/// Candidate `x = t` terms inside `scope` for reducing variable `x`: `t`
+/// must be a constant or a variable free in `scope` (other than `x`).
+fn candidate_terms(scope: &Formula, x: Var) -> Vec<Term> {
+    let fv = free_vars(scope);
+    let mut out: Vec<Term> = Vec::new();
+    scope.for_each_subformula(|g| {
+        if let Formula::Eq(a, b) = g {
+            for (s, t) in [(*a, *b), (*b, *a)] {
+                if s != Term::Var(x) {
+                    continue;
+                }
+                let ok = match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => v != x && fv.contains(&v),
+                };
+                if ok && !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Build `(A₁(t), A₂(x))` for a split of `scope` on `x = t` —
+/// *unrenamed* (used for the productivity check); callers freshen bound
+/// variables before substituting into the formula.
+fn split_parts(scope: &Formula, x: Var, t: Term) -> (Formula, Formula) {
+    // Alg. A.1 step 1a: substitute, replace the resulting `t = t` residues
+    // by true, then truth-value simplify.
+    let substituted = substitute(scope, x, t);
+    let a1 = simplify_trivial_eq(&replace_tt_by_true(&substituted, t));
+    let a2 = kill_eq_atom(scope, x, t);
+    (a1, a2)
+}
+
+/// Replace the specific atom `t = t` by `true` (both orientations are the
+/// same atom). Needed even when `t` is a variable: inside `A₁` the split's
+/// `x = t` conjunct already pins the value.
+fn replace_tt_by_true(f: &Formula, t: Term) -> Formula {
+    match f {
+        Formula::Eq(a, b) if *a == t && *b == t => Formula::tru(),
+        Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+        Formula::Not(g) => Formula::not(replace_tt_by_true(g, t)),
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| replace_tt_by_true(g, t)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| replace_tt_by_true(g, t)).collect()),
+        Formula::Exists(v, g) => Formula::Exists(*v, Box::new(replace_tt_by_true(g, t))),
+        Formula::Forall(v, g) => Formula::Forall(*v, Box::new(replace_tt_by_true(g, t))),
+    }
+}
+
+/// Assemble the replacement node for a split (unrenamed parts).
+fn assemble(kind: &SplitKind, x: Var, t: Term, a1: &Formula, a2: &Formula) -> Formula {
+    let eq = Formula::Eq(Term::Var(x), t);
+    let neq = Formula::not(eq.clone());
+    let out = match kind {
+        SplitKind::Free => Formula::or2(
+            Formula::and2(eq, a1.clone()),
+            Formula::and2(neq, a2.clone()),
+        ),
+        SplitKind::Exists => Formula::or2(
+            a1.clone(),
+            Formula::exists(x, Formula::and2(neq, a2.clone())),
+        ),
+        SplitKind::Forall => Formula::and2(
+            a1.clone(),
+            Formula::forall(x, Formula::or2(eq, a2.clone())),
+        ),
+    };
+    simplify_truth(&out)
+}
+
+/// Find a productive split, preferring *innermost* quantifier scopes (the
+/// smaller the duplicated scope, the smaller the growth); free-variable
+/// splits over the whole formula come last.
+fn find_split(f: &Formula) -> Option<Split> {
+    // Bound variables: scope is the quantifier body. Deepest paths first.
+    let mut paths = all_paths(f);
+    paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+    for path in paths {
+        let node = subformula_at(f, &path).expect("valid path");
+        let (x, body, kind) = match node {
+            Formula::Exists(v, g) => (*v, &**g, SplitKind::Exists),
+            Formula::Forall(v, g) => (*v, &**g, SplitKind::Forall),
+            _ => continue,
+        };
+        for t in candidate_terms(body, x) {
+            let (a1, a2) = split_parts(body, x, t);
+            let replacement = assemble(&kind, x, t, &a1, &a2);
+            if replacement != *node {
+                return Some(Split { path, x, t, kind });
+            }
+        }
+    }
+    // Free variables: scope is the whole formula.
+    for x in free_vars(f) {
+        for t in candidate_terms(f, x) {
+            if !contains_eq_atom(f, x, t) {
+                continue;
+            }
+            let (a1, a2) = split_parts(f, x, t);
+            let replacement = assemble(&SplitKind::Free, x, t, &a1, &a2);
+            if replacement != *f {
+                return Some(Split {
+                    path: Vec::new(),
+                    x,
+                    t,
+                    kind: SplitKind::Free,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Algorithm A.1: equality-reduce `f`. The result is logically equivalent
+/// to `f`; if `f` is wide-sense evaluable, the result is evaluable.
+pub fn equality_reduce(f: &Formula) -> Formula {
+    let mut f = simplify_trivial_eq(&rectified(f));
+    let mut fresh = FreshVars::for_formula(&f);
+    for _ in 0..MAX_SPLITS {
+        if f.node_count() > MAX_NODES {
+            break;
+        }
+        let Some(split) = find_split(&f) else {
+            break;
+        };
+        let node = subformula_at(&f, &split.path).expect("valid path").clone();
+        let scope = match (&split.kind, &node) {
+            (SplitKind::Free, n) => (*n).clone(),
+            (_, Formula::Exists(_, g)) | (_, Formula::Forall(_, g)) => (**g).clone(),
+            _ => unreachable!("split kind matches node shape"),
+        };
+        let (a1, a2) = split_parts(&scope, split.x, split.t);
+        // The two branches duplicate `scope`: refresh their binders.
+        let a1 = rename_bound_fresh(&a1, &mut fresh);
+        let a2 = rename_bound_fresh(&a2, &mut fresh);
+        let replacement = assemble(&split.kind, split.x, split.t, &a1, &a2);
+        f = replace_at(&f, &split.path, replacement).expect("valid path");
+        f = simplify_truth(&f);
+    }
+    step3(&f, &mut fresh)
+}
+
+/// Step 3: in any conjunction containing `x = z` where `x` is not free in
+/// the remaining conjuncts `A` and `gen(z, A)` holds, conjoin `A(x)`
+/// (a copy of `A` with `z ↦ x`) so that `x` is generated too.
+fn step3(f: &Formula, fresh: &mut FreshVars) -> Formula {
+    fn go(f: &Formula, fresh: &mut FreshVars) -> Formula {
+        match f {
+            Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+            Formula::Not(g) => Formula::not(go(g, fresh)),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| go(g, fresh)).collect()),
+            Formula::Exists(v, g) => Formula::Exists(*v, Box::new(go(g, fresh))),
+            Formula::Forall(v, g) => Formula::Forall(*v, Box::new(go(g, fresh))),
+            Formula::And(fs) => {
+                let fs: Vec<Formula> = fs.iter().map(|g| go(g, fresh)).collect();
+                let mut extra: Vec<Formula> = Vec::new();
+                for (i, c) in fs.iter().enumerate() {
+                    let Formula::Eq(Term::Var(a), Term::Var(b)) = c else {
+                        continue;
+                    };
+                    let rest: Vec<Formula> = fs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, g)| g.clone())
+                        .collect();
+                    let rest_f = Formula::and(rest);
+                    for (x, z) in [(*a, *b), (*b, *a)] {
+                        if !is_free(x, &rest_f) && gen(z, &rest_f) {
+                            let copy = substitute(&rest_f, z, Term::Var(x));
+                            extra.push(rename_bound_fresh(&copy, fresh));
+                        }
+                    }
+                }
+                let mut out = fs;
+                out.extend(extra);
+                Formula::And(out)
+            }
+        }
+    }
+    simplify_truth(&go(f, fresh))
+}
+
+/// Is `f` **wide-sense evaluable** (Def. A.1): does Algorithm A.1 turn it
+/// into an evaluable formula?
+pub fn is_wide_sense_evaluable(f: &Formula) -> bool {
+    crate::classes::is_evaluable(&equality_reduce(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::is_evaluable;
+    use crate::interp::FiniteInterp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rc_formula::{parse, Schema, Value};
+    use rc_relalg::Database;
+
+    fn equivalent(a: &Formula, b: &Formula) -> bool {
+        let mut schema = Schema::infer(a).unwrap();
+        for (p, ar) in Schema::infer(b).unwrap().predicates() {
+            schema.declare(p, ar);
+        }
+        let mut cols = free_vars(a);
+        for v in free_vars(b) {
+            if !cols.contains(&v) {
+                cols.push(v);
+            }
+        }
+        let mut domain: Vec<Value> = (1..=3).map(Value::int).collect();
+        for c in a.constants() {
+            if !domain.contains(&c) {
+                domain.push(c);
+            }
+        }
+        for seed in 0..10u64 {
+            let db = Database::random(&schema, &domain, 5, &mut StdRng::seed_from_u64(seed));
+            let i = FiniteInterp::new(&db, domain.clone());
+            if i.answers(a, &cols) != i.answers(b, &cols) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn trivial_equalities_vanish() {
+        // x = x is NOT collapsed: it is domain dependent as a query.
+        assert_eq!(
+            simplify_trivial_eq(&parse("x = x").unwrap()),
+            parse("x = x").unwrap()
+        );
+        assert!(!crate::classes::is_evaluable(&parse("x = x").unwrap()));
+        assert!(simplify_trivial_eq(&parse("1 = 2").unwrap()).is_false());
+        assert!(simplify_trivial_eq(&parse("1 = 1").unwrap()).is_true());
+        assert_eq!(
+            simplify_trivial_eq(&parse("P(x) & 'a' = 'b'").unwrap()),
+            Formula::fls()
+        );
+    }
+
+    #[test]
+    fn bound_equality_to_constant_reduces() {
+        // ∃x (x = 3 ∧ P(x, y)) reduces to P(3, y) (plus a dead branch).
+        let f = parse("exists x. (x = 3 & P(x, y))").unwrap();
+        let r = equality_reduce(&f);
+        assert!(equivalent(&f, &r), "{f} vs {r}");
+        // The reduced form no longer quantifies over x at all.
+        assert_eq!(r, parse("P(3, y)").unwrap());
+    }
+
+    #[test]
+    fn bound_equality_to_variable_reduces() {
+        // ∃x (x = y ∧ Q(x, y)) ≡ Q(y, y) (E13).
+        let f = parse("exists x. (x = y & Q(x, y))").unwrap();
+        let r = equality_reduce(&f);
+        assert_eq!(r, parse("Q(y, y)").unwrap());
+    }
+
+    #[test]
+    fn free_variable_split_becomes_evaluable() {
+        // P(y) ∧ (x = y ∨ Q(x)): not strict-sense evaluable (gen(x) fails),
+        // but wide-sense: splits into x=y case (x generated by the copy
+        // rule) and x≠y case (Q generates x).
+        let f = parse("P(y) & (x = y | Q(x))").unwrap();
+        assert!(!is_evaluable(&f));
+        let r = equality_reduce(&f);
+        assert!(equivalent(&f, &r), "{f} vs {r}");
+        assert!(is_evaluable(&r), "not evaluable after reduction: {r}");
+        assert!(is_wide_sense_evaluable(&f));
+    }
+
+    #[test]
+    fn figure_6_example_reduces_to_evaluable() {
+        // F = ∃z [P(x,z) ∧ (x=y ∨ Q(x,y,z)) ∧ ¬(z=y ∨ R(y,z))].
+        let f =
+            parse("exists z. (P(x, z) & (x = y | Q(x, y, z)) & !(z = y | R(y, z)))").unwrap();
+        assert!(!is_evaluable(&f));
+        let r = equality_reduce(&f);
+        assert!(equivalent(&f, &r), "{f}  vs  {r}");
+        assert!(is_evaluable(&r), "Fig. 6 result not evaluable: {r}");
+        assert!(is_wide_sense_evaluable(&f));
+    }
+
+    #[test]
+    fn default_value_query_stays_equivalent() {
+        // x = c equalities are already strict-sense; reduction must not
+        // break anything.
+        let f = parse("P(x) & (S(y, x) | (forall z. !S(z, x)) & y = 'none')").unwrap();
+        let r = equality_reduce(&f);
+        assert!(equivalent(&f, &r), "{f} vs {r}");
+        assert!(is_evaluable(&r));
+    }
+
+    #[test]
+    fn reduction_terminates_on_equality_heavy_formulas() {
+        let f = parse(
+            "exists x, y. (x = y & (x = 1 | y = 2) & (P(x) | x = y) & Q(x, y))",
+        )
+        .unwrap();
+        let r = equality_reduce(&f);
+        assert!(equivalent(&f, &r), "{f} vs {r}");
+    }
+
+    #[test]
+    fn forall_split_is_equivalence() {
+        // ∀x (x ≠ y ∨ A(x,y)) ≡ A(y,y) territory (E14 analogue).
+        let f = parse("forall x. (x != y | Q(x, y))").unwrap();
+        let r = equality_reduce(&f);
+        assert!(equivalent(&f, &r), "{f} vs {r}");
+    }
+
+    #[test]
+    fn random_formulas_reduce_equivalently() {
+        use rc_formula::generate::{random_formula, GenConfig};
+        let cfg = GenConfig {
+            max_depth: 4,
+            ..GenConfig::default()
+        };
+        let mut checked = 0;
+        for seed in 0..80u64 {
+            let f = random_formula(&cfg, &mut StdRng::seed_from_u64(seed));
+            if !f.has_equality() || f.node_count() > 40 {
+                continue;
+            }
+            let r = equality_reduce(&f);
+            assert!(equivalent(&f, &r), "seed {seed}: {f}  vs  {r}");
+            checked += 1;
+        }
+        assert!(checked >= 10, "too few equality formulas: {checked}");
+    }
+}

@@ -1,0 +1,298 @@
+//! The `gen` and `con` relations (Fig. 1).
+//!
+//! `gen(x, A)` — "*x is generated on A*" — means `A` can generate all the
+//! needed values of `x` as though it were a database relation: `A` holds for
+//! only a finite set of values of `x`. `con(x, A)` — "*x is consistent with
+//! A*" — means for any assignment to the other variables, either `A`
+//! generates `x`, or `A` holds for no `x`, or for all `x` (the geometric
+//! picture of Fig. 2).
+//!
+//! The rules consult the paper's `pushnot` on every negation. Rather than
+//! materializing the pushed formula (which clones subtrees), the production
+//! implementation here threads a *polarity* flag: computing `gen(x, ¬A)`
+//! recurses on `A` with flipped polarity, mirroring exactly what the rules
+//! would do on `pushnot(¬A)`'s result. A direct, rule-literal implementation
+//! is kept in the test module as a differential oracle.
+//!
+//! Equality atoms follow Sec. 5.3 ("strict sense"): `gen(x, x = c)` and
+//! `con(x, x = c)` hold for constant `c` (the atom is treated as the edb
+//! atom `x q̲ c`), while `gen(x, x = y)` and `con(x, x = y)` for two
+//! variables never hold.
+
+use rc_formula::ast::Formula;
+use rc_formula::term::{Term, Var};
+use rc_formula::vars::is_free;
+
+/// Does `gen(x, f)` hold (Fig. 1)?
+pub fn gen(x: Var, f: &Formula) -> bool {
+    gen_polar(x, f, true)
+}
+
+/// Does `gen(x, ¬f)` hold? (Convenience for the `∀` conditions of
+/// Defs. 5.2/5.3, which quantify over `con(x, ¬A)` / `gen(x, ¬A)`.)
+pub fn gen_not(x: Var, f: &Formula) -> bool {
+    gen_polar(x, f, false)
+}
+
+/// Does `con(x, f)` hold (Fig. 1)?
+pub fn con(x: Var, f: &Formula) -> bool {
+    con_polar(x, f, true)
+}
+
+/// Does `con(x, ¬f)` hold?
+pub fn con_not(x: Var, f: &Formula) -> bool {
+    con_polar(x, f, false)
+}
+
+/// `gen(x, f)` when `positive`, else `gen(x, ¬f)`.
+fn gen_polar(x: Var, f: &Formula, positive: bool) -> bool {
+    match f {
+        Formula::Atom(a) => positive && a.terms.iter().any(|t| t.mentions(x)),
+        Formula::Eq(s, t) => {
+            // gen(x, x = c) if constant(c); never through a negation
+            // (pushnot fails on atoms).
+            positive && eq_generates(x, *s, *t)
+        }
+        // gen(x, ¬A): pushnot(¬A, B) & gen(x, B) — flip polarity.
+        Formula::Not(g) => gen_polar(x, g, !positive),
+        Formula::And(fs) => {
+            if positive {
+                // gen(x, A ∧ B) if gen(x, A) or gen(x, B).
+                fs.iter().any(|g| gen_polar(x, g, true))
+            } else {
+                // ¬(A ∧ B) ≡ ¬A ∨ ¬B: gen must hold in every disjunct.
+                // (Zero conjuncts: ¬true ≡ false, and gen(x, ∨()) holds
+                // vacuously — false generates the empty set of values.)
+                fs.iter().all(|g| gen_polar(x, g, false))
+            }
+        }
+        Formula::Or(fs) => {
+            if positive {
+                // gen(x, A ∨ B) if gen(x, A) & gen(x, B).
+                fs.iter().all(|g| gen_polar(x, g, true))
+            } else {
+                // ¬(A ∨ B) ≡ ¬A ∧ ¬B: any.
+                fs.iter().any(|g| gen_polar(x, g, false))
+            }
+        }
+        // Quantifiers pass through when the variables differ; pushnot turns
+        // ¬∃ into ∀¬ and ¬∀ into ∃¬, so polarity simply carries into the
+        // body either way.
+        Formula::Exists(y, g) | Formula::Forall(y, g) => *y != x && gen_polar(x, g, positive),
+    }
+}
+
+/// `con(x, f)` when `positive`, else `con(x, ¬f)`.
+fn con_polar(x: Var, f: &Formula, positive: bool) -> bool {
+    // con(x, A) if not free(x, A) — and free(x, ¬A) = free(x, A).
+    if !is_free(x, f) {
+        return true;
+    }
+    match f {
+        Formula::Atom(a) => positive && a.terms.iter().any(|t| t.mentions(x)),
+        Formula::Eq(s, t) => positive && eq_generates(x, *s, *t),
+        Formula::Not(g) => con_polar(x, g, !positive),
+        Formula::And(fs) => {
+            if positive {
+                // con(x, A ∧ B) if gen(x, A) | gen(x, B) | (con both).
+                fs.iter().any(|g| gen_polar(x, g, true))
+                    || fs.iter().all(|g| con_polar(x, g, true))
+            } else {
+                // ¬(A ∧ B) ≡ ¬A ∨ ¬B: con(x, ∨) needs con in all disjuncts.
+                fs.iter().all(|g| con_polar(x, g, false))
+            }
+        }
+        Formula::Or(fs) => {
+            if positive {
+                // con(x, A ∨ B) if con(x, A) & con(x, B).
+                fs.iter().all(|g| con_polar(x, g, true))
+            } else {
+                // ¬(A ∨ B) ≡ ¬A ∧ ¬B: gen on some negated disjunct, or con
+                // on all of them.
+                fs.iter().any(|g| gen_polar(x, g, false))
+                    || fs.iter().all(|g| con_polar(x, g, false))
+            }
+        }
+        Formula::Exists(y, g) | Formula::Forall(y, g) => *y != x && con_polar(x, g, positive),
+    }
+}
+
+/// The `x = c` base case shared by `gen` and `con`.
+fn eq_generates(x: Var, s: Term, t: Term) -> bool {
+    matches!((s, t), (Term::Var(v), Term::Const(_)) if v == x)
+        || matches!((s, t), (Term::Const(_), Term::Var(v)) if v == x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_formula::parse;
+    use rc_formula::pushnot::pushnot;
+
+    /// Rule-literal implementation of Fig. 1, materializing `pushnot`
+    /// results, used as a differential oracle for the polarity-threading
+    /// production code.
+    fn gen_naive(x: Var, f: &Formula) -> bool {
+        match f {
+            Formula::Atom(a) => a.terms.iter().any(|t| t.mentions(x)),
+            Formula::Eq(s, t) => super::eq_generates(x, *s, *t),
+            Formula::Not(g) => match pushnot(g) {
+                Some(b) => gen_naive(x, &b),
+                None => false,
+            },
+            Formula::And(fs) => fs.iter().any(|g| gen_naive(x, g)),
+            Formula::Or(fs) => fs.iter().all(|g| gen_naive(x, g)),
+            Formula::Exists(y, g) | Formula::Forall(y, g) => *y != x && gen_naive(x, g),
+        }
+    }
+
+    fn con_naive(x: Var, f: &Formula) -> bool {
+        if !is_free(x, f) {
+            return true;
+        }
+        match f {
+            Formula::Atom(a) => a.terms.iter().any(|t| t.mentions(x)),
+            Formula::Eq(s, t) => super::eq_generates(x, *s, *t),
+            Formula::Not(g) => match pushnot(g) {
+                Some(b) => con_naive(x, &b),
+                None => false,
+            },
+            Formula::And(fs) => {
+                fs.iter().any(|g| gen_naive(x, g)) || fs.iter().all(|g| con_naive(x, g))
+            }
+            Formula::Or(fs) => fs.iter().all(|g| con_naive(x, g)),
+            Formula::Exists(y, g) | Formula::Forall(y, g) => *y != x && con_naive(x, g),
+        }
+    }
+
+    fn x() -> Var {
+        Var::new("x")
+    }
+    fn y() -> Var {
+        Var::new("y")
+    }
+
+    #[test]
+    fn gen_on_edb_atom() {
+        let f = parse("P(x, y)").unwrap();
+        assert!(gen(x(), &f));
+        assert!(gen(y(), &f));
+        assert!(!gen(Var::new("z"), &f));
+    }
+
+    #[test]
+    fn gen_on_equalities() {
+        assert!(gen(x(), &parse("x = 3").unwrap()));
+        assert!(gen(x(), &parse("3 = x").unwrap()));
+        assert!(!gen(x(), &parse("x = y").unwrap()));
+        assert!(!gen(y(), &parse("x = y").unwrap()));
+        assert!(!gen(x(), &parse("x != 3").unwrap())); // pushnot fails on atoms
+    }
+
+    #[test]
+    fn gen_through_negations() {
+        // ¬¬P(x): pushnot gives ¬P → wait, pushnot(¬(¬P)) = P. gen holds.
+        let f = parse("!!P(x)").unwrap();
+        assert!(gen(x(), &f));
+        // ¬P(x): fails.
+        assert!(!gen(x(), &parse("!P(x)").unwrap()));
+        // ¬(¬P(x) ∨ ¬Q(x)) ≡ P ∧ Q: gen holds.
+        assert!(gen(x(), &parse("!(!P(x) | !Q(x, x))").unwrap()));
+    }
+
+    #[test]
+    fn gen_on_connectives() {
+        // Disjunction needs both sides.
+        assert!(gen(x(), &parse("P(x) | Q(x, y)").unwrap()));
+        assert!(!gen(x(), &parse("P(x) | Q(y, y)").unwrap()));
+        // Conjunction needs one side.
+        assert!(gen(x(), &parse("P(x) & Q(y, y)").unwrap()));
+    }
+
+    #[test]
+    fn example_51_con_without_gen() {
+        // A = P(x,y) ∨ Q(y): con(x, A) holds but gen(x, A) does not.
+        let a = parse("P(x, y) | Q(y)").unwrap();
+        assert!(con(x(), &a));
+        assert!(!gen(x(), &a));
+        // A = ¬Q(y): same (x not even free).
+        let b = parse("!Q(y)").unwrap();
+        assert!(con(x(), &b));
+        assert!(!gen(x(), &b));
+    }
+
+    #[test]
+    fn con_on_negated_atom_with_free_var_fails() {
+        assert!(!con(x(), &parse("!P(x)").unwrap()));
+        assert!(!con(x(), &parse("x != 3").unwrap()));
+    }
+
+    #[test]
+    fn fig2_geometric_example_has_con_everywhere() {
+        // A(x,y) = P(x) ∨ Q(y) ∨ R(x,y): con holds for x and y, gen for
+        // neither.
+        let a = parse("P(x) | Q(y) | R(x, y)").unwrap();
+        assert!(con(x(), &a));
+        assert!(con(y(), &a));
+        assert!(!gen(x(), &a));
+        assert!(!gen(y(), &a));
+    }
+
+    #[test]
+    fn lemma_51_gen_implies_con() {
+        // On a pile of deterministic random formulas.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rc_formula::generate::{random_formula, GenConfig};
+        let cfg = GenConfig::default();
+        for seed in 0..300 {
+            let f = random_formula(&cfg, &mut StdRng::seed_from_u64(seed));
+            for v in [x(), y()] {
+                if gen(v, &f) {
+                    assert!(con(v, &f), "gen without con on seed {seed}: {f}");
+                }
+                if gen_not(v, &f) {
+                    assert!(con_not(v, &f), "¬-case on seed {seed}: {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polarity_impl_matches_rule_literal_oracle() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rc_formula::generate::{random_formula, GenConfig};
+        let cfg = GenConfig::default();
+        for seed in 0..500 {
+            let f = random_formula(&cfg, &mut StdRng::seed_from_u64(seed));
+            for v in [x(), y()] {
+                assert_eq!(gen(v, &f), gen_naive(v, &f), "gen seed {seed}: {f}");
+                assert_eq!(con(v, &f), con_naive(v, &f), "con seed {seed}: {f}");
+                let neg = Formula::not(f.clone());
+                assert_eq!(gen_not(v, &f), gen_naive(v, &neg), "gen¬ seed {seed}: {f}");
+                assert_eq!(con_not(v, &f), con_naive(v, &neg), "con¬ seed {seed}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_constants() {
+        // gen(x, false) holds vacuously (empty disjunction); gen(x, true)
+        // does not (empty conjunction has no generating conjunct).
+        assert!(gen(x(), &Formula::fls()));
+        assert!(!gen(x(), &Formula::tru()));
+        // con holds for both via the not-free rule.
+        assert!(con(x(), &Formula::tru()));
+        assert!(con(x(), &Formula::fls()));
+    }
+
+    #[test]
+    fn quantifier_passthrough() {
+        let f = parse("exists y. Q(x, y)").unwrap();
+        assert!(gen(x(), &f));
+        // The bound variable is never generated on the quantified formula.
+        assert!(!gen(y(), &f));
+        assert!(con(y(), &f)); // not free
+    }
+}

@@ -1,0 +1,347 @@
+//! The generator-extended `gen`/`con` rules (Fig. 5).
+//!
+//! These add a third argument `G` to `gen` and `con`: a disjunction of atoms
+//! occurring in `A` (edb atoms or `x = c` equalities) such that the values
+//! of `x` satisfying `∃*A(x)` are a subset of those satisfying `∃*G(x)`
+//! (Lemma 8.1). `genify` (Alg. 8.1) uses the generator to split an
+//! existential quantification into a generated part and a *remainder*.
+//!
+//! `⊥` — the placeholder for "x does not occur in A", thought of as a
+//! one-place edb predicate whose relation is always empty — is represented
+//! by [`ConGen::Bottom`].
+//!
+//! The rules for conjunction are nondeterministic (either conjunct's `G` can
+//! be adopted when `gen` holds for both); as the paper notes, this is an
+//! optimization opportunity. We resolve it by choosing the generator with
+//! the fewest atoms.
+//!
+//! As in [`crate::gencon`], negation is handled by polarity threading, which
+//! is observationally identical to materializing `pushnot` (the atoms
+//! reached are the same atom occurrences of the original formula).
+
+use rc_formula::ast::Formula;
+use rc_formula::term::{Term, Var};
+use rc_formula::vars::is_free;
+
+/// A generator: a disjunction of atoms of `A` (deduplicated syntactically).
+pub type Generator = Vec<Formula>;
+
+/// Result of `con(x, A, G)`: either `⊥` (x not free in A) or a disjunction
+/// of atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConGen {
+    /// `x` does not occur free in `A`.
+    Bottom,
+    /// A nonempty disjunction of atoms generating `x`.
+    Atoms(Generator),
+}
+
+impl ConGen {
+    /// The atoms, if any.
+    pub fn atoms(&self) -> &[Formula] {
+        match self {
+            ConGen::Bottom => &[],
+            ConGen::Atoms(a) => a,
+        }
+    }
+}
+
+/// How to resolve the Fig. 5 conjunction nondeterminism ("this choice
+/// represents an opportunity for optimization", Sec. 8).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ConjunctChoice {
+    /// Adopt the conjunct generator with the fewest atoms (default).
+    #[default]
+    Smallest,
+    /// Adopt the first conjunct whose `gen` holds (leftmost), mimicking a
+    /// naive Prolog-style reading of the rules.
+    First,
+}
+
+/// `gen(x, f, G)`: returns the generator when `gen(x, f)` holds.
+pub fn gen_generator(x: Var, f: &Formula) -> Option<Generator> {
+    gen_g(x, f, true, ConjunctChoice::Smallest)
+}
+
+/// `gen(x, ¬f, G)`.
+pub fn gen_generator_not(x: Var, f: &Formula) -> Option<Generator> {
+    gen_g(x, f, false, ConjunctChoice::Smallest)
+}
+
+/// `con(x, f, G)`: returns `⊥` or the generator when `con(x, f)` holds.
+pub fn con_generator(x: Var, f: &Formula) -> Option<ConGen> {
+    con_g(x, f, true, ConjunctChoice::Smallest)
+}
+
+/// `con(x, ¬f, G)`.
+pub fn con_generator_not(x: Var, f: &Formula) -> Option<ConGen> {
+    con_g(x, f, false, ConjunctChoice::Smallest)
+}
+
+/// [`gen_generator`] with an explicit conjunct-choice strategy (for the
+/// ablation experiments).
+pub fn gen_generator_with(x: Var, f: &Formula, choice: ConjunctChoice) -> Option<Generator> {
+    gen_g(x, f, true, choice)
+}
+
+/// [`con_generator`] with an explicit conjunct-choice strategy.
+pub fn con_generator_with(x: Var, f: &Formula, choice: ConjunctChoice) -> Option<ConGen> {
+    con_g(x, f, true, choice)
+}
+
+fn eq_generates(x: Var, s: Term, t: Term) -> bool {
+    matches!((s, t), (Term::Var(v), Term::Const(_)) if v == x)
+        || matches!((s, t), (Term::Const(_), Term::Var(v)) if v == x)
+}
+
+/// Merge two generators, deduplicating syntactically equal atoms.
+fn merge(mut a: Generator, b: Generator) -> Generator {
+    for atom in b {
+        if !a.contains(&atom) {
+            a.push(atom);
+        }
+    }
+    a
+}
+
+/// Among the `Some` generators, pick per the strategy: the smallest, or
+/// the first (leftmost) to succeed.
+fn pick(
+    options: impl Iterator<Item = Option<Generator>>,
+    choice: ConjunctChoice,
+) -> Option<Generator> {
+    let mut best: Option<Generator> = None;
+    for opt in options.flatten() {
+        match choice {
+            ConjunctChoice::First => return Some(opt),
+            ConjunctChoice::Smallest => match &best {
+                Some(b) if b.len() <= opt.len() => {}
+                _ => best = Some(opt),
+            },
+        }
+    }
+    best
+}
+
+fn gen_g(x: Var, f: &Formula, positive: bool, choice: ConjunctChoice) -> Option<Generator> {
+    match f {
+        Formula::Atom(a) => {
+            if positive && a.terms.iter().any(|t| t.mentions(x)) {
+                Some(vec![f.clone()])
+            } else {
+                None
+            }
+        }
+        Formula::Eq(s, t) => {
+            if positive && eq_generates(x, *s, *t) {
+                Some(vec![f.clone()])
+            } else {
+                None
+            }
+        }
+        Formula::Not(g) => gen_g(x, g, !positive, choice),
+        Formula::And(fs) => {
+            if positive {
+                // gen(x, A∧B, G) adopts either conjunct's generator.
+                pick(fs.iter().map(|g| gen_g(x, g, true, choice)), choice)
+            } else {
+                // ¬∧ ≡ ∨ of negations: every disjunct must generate;
+                // G = G₁ ∨ G₂.
+                let mut acc: Generator = Vec::new();
+                for g in fs {
+                    acc = merge(acc, gen_g(x, g, false, choice)?);
+                }
+                Some(acc)
+            }
+        }
+        Formula::Or(fs) => {
+            if positive {
+                let mut acc: Generator = Vec::new();
+                for g in fs {
+                    acc = merge(acc, gen_g(x, g, true, choice)?);
+                }
+                Some(acc)
+            } else {
+                pick(fs.iter().map(|g| gen_g(x, g, false, choice)), choice)
+            }
+        }
+        Formula::Exists(y, g) | Formula::Forall(y, g) => {
+            if *y == x {
+                None
+            } else {
+                gen_g(x, g, positive, choice)
+            }
+        }
+    }
+}
+
+fn con_g(x: Var, f: &Formula, positive: bool, choice: ConjunctChoice) -> Option<ConGen> {
+    if !is_free(x, f) {
+        return Some(ConGen::Bottom);
+    }
+    match f {
+        Formula::Atom(_) | Formula::Eq(..) => {
+            gen_g(x, f, positive, choice).map(ConGen::Atoms)
+        }
+        Formula::Not(g) => con_g(x, g, !positive, choice),
+        Formula::And(fs) => {
+            if positive {
+                // Prefer a conjunct generator; otherwise combine con
+                // generators of all conjuncts.
+                if let Some(g) = pick(fs.iter().map(|g| gen_g(x, g, true, choice)), choice) {
+                    return Some(ConGen::Atoms(g));
+                }
+                combine_all(fs.iter().map(|g| con_g(x, g, true, choice)))
+            } else {
+                // ¬∧ ≡ ∨: all disjuncts' con generators combine.
+                combine_all(fs.iter().map(|g| con_g(x, g, false, choice)))
+            }
+        }
+        Formula::Or(fs) => {
+            if positive {
+                combine_all(fs.iter().map(|g| con_g(x, g, true, choice)))
+            } else {
+                // ¬∨ ≡ ∧: a conjunct generator, else combine.
+                if let Some(g) = pick(fs.iter().map(|g| gen_g(x, g, false, choice)), choice) {
+                    return Some(ConGen::Atoms(g));
+                }
+                combine_all(fs.iter().map(|g| con_g(x, g, false, choice)))
+            }
+        }
+        Formula::Exists(y, g) | Formula::Forall(y, g) => {
+            if *y == x {
+                unreachable!("handled by the not-free rule");
+            }
+            con_g(x, g, positive, choice)
+        }
+    }
+}
+
+/// `G₁ ∨ G₂` over [`ConGen`]s: `⊥` is the empty disjunction.
+fn combine_all(items: impl Iterator<Item = Option<ConGen>>) -> Option<ConGen> {
+    let mut acc: Generator = Vec::new();
+    let mut any_atoms = false;
+    for item in items {
+        match item? {
+            ConGen::Bottom => {}
+            ConGen::Atoms(a) => {
+                any_atoms = true;
+                acc = merge(acc, a);
+            }
+        }
+    }
+    Some(if any_atoms {
+        ConGen::Atoms(acc)
+    } else {
+        ConGen::Bottom
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gencon::{con, gen};
+    use rc_formula::parse;
+
+    fn x() -> Var {
+        Var::new("x")
+    }
+
+    #[test]
+    fn atom_generator_is_itself() {
+        let f = parse("P(x, y)").unwrap();
+        assert_eq!(gen_generator(x(), &f), Some(vec![f.clone()]));
+    }
+
+    #[test]
+    fn disjunction_unions_generators() {
+        let f = parse("P(x) | Q(x, y)").unwrap();
+        let g = gen_generator(x(), &f).unwrap();
+        assert_eq!(
+            g,
+            vec![parse("P(x)").unwrap(), parse("Q(x, y)").unwrap()]
+        );
+    }
+
+    #[test]
+    fn conjunction_picks_smallest_generator() {
+        // Left conjunct offers a one-atom generator, right a two-atom one.
+        let f = parse("P(x) & (Q(x, y) | R(x))").unwrap();
+        let g = gen_generator(x(), &f).unwrap();
+        assert_eq!(g, vec![parse("P(x)").unwrap()]);
+    }
+
+    #[test]
+    fn bottom_for_absent_variable() {
+        let f = parse("Q(y)").unwrap();
+        assert_eq!(con_generator(x(), &f), Some(ConGen::Bottom));
+    }
+
+    #[test]
+    fn con_generator_of_example_51() {
+        // A = P(x,y) ∨ Q(y): con(x, A, G) with G = P(x,y) ∨ ⊥ = P(x,y).
+        let f = parse("P(x, y) | Q(y)").unwrap();
+        let g = con_generator(x(), &f).unwrap();
+        assert_eq!(g, ConGen::Atoms(vec![parse("P(x, y)").unwrap()]));
+        // gen fails here, so genify's step 1d path is taken on ∃x A.
+        assert_eq!(gen_generator(x(), &f), None);
+    }
+
+    #[test]
+    fn generator_presence_matches_plain_relations() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rc_formula::generate::{random_formula, GenConfig};
+        let cfg = GenConfig::default();
+        for seed in 0..400 {
+            let f = random_formula(&cfg, &mut StdRng::seed_from_u64(seed));
+            for v in [x(), Var::new("y")] {
+                assert_eq!(
+                    gen_generator(v, &f).is_some(),
+                    gen(v, &f),
+                    "gen mismatch on seed {seed}: {f}"
+                );
+                assert_eq!(
+                    con_generator(v, &f).is_some(),
+                    con(v, &f),
+                    "con mismatch on seed {seed}: {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generator_atoms_are_atoms_of_the_formula() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rc_formula::generate::{random_formula, GenConfig};
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let f = random_formula(&cfg, &mut StdRng::seed_from_u64(seed));
+            let atoms: Vec<&Formula> = f
+                .subformulas()
+                .into_iter()
+                .filter(|g| g.is_atomic())
+                .collect();
+            for v in [x(), Var::new("y")] {
+                if let Some(ConGen::Atoms(g)) = con_generator(v, &f) {
+                    for a in &g {
+                        assert!(
+                            atoms.contains(&a),
+                            "generator atom {a} not in {f} (seed {seed})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negated_equality_has_no_generator() {
+        assert_eq!(gen_generator(x(), &parse("x != 3").unwrap()), None);
+        assert_eq!(con_generator(x(), &parse("x != 3").unwrap()), None);
+        // Positive constant equality generates itself.
+        let e = parse("x = 3").unwrap();
+        assert_eq!(gen_generator(x(), &e), Some(vec![e.clone()]));
+    }
+}

@@ -1,0 +1,296 @@
+//! The geometric interpretation of `con` (Fig. 2), made executable.
+//!
+//! The paper illustrates `con` with `A(x, y) = P(x) ∨ Q(y) ∨ R(x, y)`: when
+//! `con` holds for all free variables of `A` (over finite edb relations),
+//! the set of points where `A` holds decomposes into a **finite collection
+//! of points, lines, planes and hyperplanes** — sets that are either a
+//! single tuple or unconstrained along some axes.
+//!
+//! We compute the decomposition semantically using the `*`-extension trick
+//! of Sec. 10: for a subset `S` of the free variables, assign a *distinct
+//! fresh value* to each variable in `S` (values that occur nowhere in the
+//! database). If `A` still holds for some anchoring of the remaining
+//! variables, then `A` holds for *arbitrary* values along the `S` axes at
+//! that anchor — an |S|-dimensional component. Components covered by
+//! higher-dimensional ones are pruned, leaving the minimal
+//! point/line/plane description that Fig. 2 draws.
+
+use crate::interp::FiniteInterp;
+use rc_formula::ast::Formula;
+use rc_formula::term::{Value, Var};
+use rc_formula::vars::free_vars;
+use rc_relalg::Database;
+
+/// One component of the decomposition: the set of tuples that agree with
+/// `anchor` on the anchored variables and are arbitrary along `axes`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Variables along which the component is unconstrained ("the line
+    /// runs along these axes"). Empty for an isolated point.
+    pub axes: Vec<Var>,
+    /// Fixed values for the remaining variables.
+    pub anchor: Vec<(Var, Value)>,
+}
+
+impl Component {
+    /// Dimension of the component (0 = point, 1 = line, 2 = plane, …).
+    pub fn dimension(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Does this component cover `other` (same or lower dimension)?
+    pub fn covers(&self, other: &Component) -> bool {
+        // Every axis of `other` must be an axis of self, and the anchors
+        // must agree wherever self anchors.
+        other.axes.iter().all(|a| self.axes.contains(a))
+            && self.anchor.iter().all(|(v, val)| {
+                !other.axes.contains(v)
+                    && other
+                        .anchor
+                        .iter()
+                        .any(|(w, wal)| w == v && wal == val)
+            })
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.dimension() {
+            0 => write!(f, "point")?,
+            1 => write!(f, "line")?,
+            2 => write!(f, "plane")?,
+            _ => write!(f, "{}-hyperplane", self.dimension())?,
+        }
+        write!(f, " {{")?;
+        let mut first = true;
+        for (v, val) in &self.anchor {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} = {val}")?;
+            first = false;
+        }
+        for a in &self.axes {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a} = *")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Fresh values outside any ordinary database.
+fn star(i: usize) -> Value {
+    Value::str(&format!("#star{i}"))
+}
+
+/// Compute the Fig. 2 decomposition of `f`'s satisfaction set over the
+/// active domain of `db` (plus the query constants). The result is pruned:
+/// no component is covered by another.
+///
+/// `con` need not hold for this function to run; but when it does hold for
+/// every free variable, the returned components exactly describe where `f`
+/// holds over *any* superdomain, which is the content of Fig. 2.
+pub fn decompose(f: &Formula, db: &Database) -> Vec<Component> {
+    let vars = free_vars(f);
+    let base = FiniteInterp::active(db, f);
+    let mut components: Vec<Component> = Vec::new();
+
+    // Iterate subsets of the variables as axis sets, by descending size so
+    // pruning can happen on the fly.
+    let n = vars.len();
+    let mut subsets: Vec<Vec<Var>> = (0..(1u32 << n))
+        .map(|mask| {
+            (0..n)
+                .filter(|i| (mask >> i) & 1 == 1)
+                .map(|i| vars[i])
+                .collect()
+        })
+        .collect();
+    subsets.sort_by_key(|s: &Vec<Var>| std::cmp::Reverse(s.len()));
+
+    for axes in subsets {
+        // Domain with one fresh star per axis.
+        let mut domain = base.domain.clone();
+        let stars: Vec<(Var, Value)> = axes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, star(i)))
+            .collect();
+        domain.extend(stars.iter().map(|(_, s)| *s));
+        let interp = FiniteInterp::new(db, domain);
+
+        let anchored: Vec<Var> = vars.iter().filter(|v| !axes.contains(v)).copied().collect();
+        // Enumerate anchor assignments over the base (star-free) domain.
+        let mut anchor_env: Vec<(Var, Value)> = Vec::new();
+        enumerate_anchors(
+            &interp,
+            f,
+            &anchored,
+            &base.domain,
+            &stars,
+            &mut anchor_env,
+            &axes,
+            &mut components,
+        );
+    }
+    components
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_anchors(
+    interp: &FiniteInterp<'_>,
+    f: &Formula,
+    anchored: &[Var],
+    base_domain: &[Value],
+    stars: &[(Var, Value)],
+    anchor_env: &mut Vec<(Var, Value)>,
+    axes: &[Var],
+    components: &mut Vec<Component>,
+) {
+    if anchor_env.len() == anchored.len() {
+        let mut env: Vec<(Var, Value)> = anchor_env.clone();
+        env.extend_from_slice(stars);
+        if interp.satisfies(f, &env) {
+            let candidate = Component {
+                axes: axes.to_vec(),
+                anchor: anchor_env.clone(),
+            };
+            if !components.iter().any(|c| c.covers(&candidate)) {
+                components.push(candidate);
+            }
+        }
+        return;
+    }
+    let v = anchored[anchor_env.len()];
+    for &val in base_domain {
+        anchor_env.push((v, val));
+        enumerate_anchors(
+            interp,
+            f,
+            anchored,
+            base_domain,
+            stars,
+            anchor_env,
+            axes,
+            components,
+        );
+        anchor_env.pop();
+    }
+}
+
+/// Render the Fig. 2 picture for a two-variable formula as an ASCII grid
+/// over the active domain (with one `*` row/column standing for "all other
+/// values").
+pub fn render_grid(f: &Formula, db: &Database, x: Var, y: Var) -> String {
+    use std::fmt::Write as _;
+    let base = FiniteInterp::active(db, f);
+    let mut domain = base.domain.clone();
+    let star_v = Value::str("#g*");
+    domain.push(star_v);
+    let interp = FiniteInterp::new(db, domain.clone());
+    let mut out = String::new();
+    let label = |v: &Value| {
+        if *v == star_v {
+            "*".to_string()
+        } else {
+            v.to_string()
+        }
+    };
+    // Header.
+    let _ = write!(out, "{:>6} |", format!("{y}\\{x}"));
+    for xv in &domain {
+        let _ = write!(out, "{:>4}", label(xv));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{:->7}+{:-<width$}", "", "", width = 4 * domain.len());
+    for yv in domain.iter().rev() {
+        let _ = write!(out, "{:>6} |", label(yv));
+        for xv in &domain {
+            let hit = interp.satisfies(f, &[(x, *xv), (y, *yv)]);
+            let _ = write!(out, "{:>4}", if hit { "#" } else { "." });
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_formula::parse;
+
+    fn fig2_setup() -> (Formula, Database) {
+        // P = {1}, Q = {2}, R = {(3, 3)}.
+        let f = parse("P(x) | Q(y) | R(x, y)").unwrap();
+        let db = Database::from_facts("P(1)\nQ(2)\nR(3, 3)").unwrap();
+        (f, db)
+    }
+
+    #[test]
+    fn fig2_decomposition_has_lines_and_a_point() {
+        let (f, db) = fig2_setup();
+        let comps = decompose(&f, &db);
+        // One vertical line (x = 1, y free), one horizontal line (y = 2,
+        // x free), one point (3, 3).
+        let lines: Vec<&Component> = comps.iter().filter(|c| c.dimension() == 1).collect();
+        let points: Vec<&Component> = comps.iter().filter(|c| c.dimension() == 0).collect();
+        assert_eq!(lines.len(), 2, "{comps:?}");
+        assert_eq!(points.len(), 1, "{comps:?}");
+        assert_eq!(points[0].anchor.len(), 2);
+        assert!(comps.iter().all(|c| c.dimension() < 2));
+    }
+
+    #[test]
+    fn plane_appears_when_formula_is_somewhere_total() {
+        // P(z) ∨ (Q(x) ∨ ¬Q(x)) is always true → a full plane… use a
+        // simpler tautology-free case: with con semantics, true gives the
+        // whole space.
+        let f = Formula::tru();
+        let db = Database::from_facts("P(1)").unwrap();
+        let comps = decompose(&f, &db);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].dimension(), 0); // no free vars: single point ()
+    }
+
+    #[test]
+    fn pruning_eliminates_covered_points() {
+        // P(x) with P = {1}: a single 0-dimensional component at x = 1;
+        // no line.
+        let f = parse("P(x)").unwrap();
+        let db = Database::from_facts("P(1)\nQ(9)").unwrap();
+        let comps = decompose(&f, &db);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].dimension(), 0);
+        assert_eq!(comps[0].anchor[0].1, Value::int(1));
+    }
+
+    #[test]
+    fn negated_atom_yields_full_line_minus_nothing() {
+        // ¬P(x) over P = {1}: holds for the * value → a 1-dimensional
+        // component (whole line), plus… pruning keeps the line and any
+        // uncovered domain points. The line covers everything except x=1.
+        let f = parse("!P(x)").unwrap();
+        let db = Database::from_facts("P(1)\nQ(2)").unwrap();
+        let comps = decompose(&f, &db);
+        // The star component exists (con fails to promise finiteness here —
+        // ¬P holds for arbitrary x).
+        assert!(comps.iter().any(|c| c.dimension() == 1));
+    }
+
+    #[test]
+    fn grid_rendering_marks_satisfying_cells() {
+        let (f, db) = fig2_setup();
+        let grid = render_grid(&f, &db, Var::new("x"), Var::new("y"));
+        assert!(grid.contains('#'));
+        assert!(grid.contains('*'));
+        // The star row (arbitrary y) must be marked at x = 1 (P(1) holds).
+        let star_row: Vec<&str> = grid
+            .lines()
+            .filter(|l| l.trim_start().starts_with("* |") || l.trim_start().starts_with("*  |"))
+            .collect();
+        assert!(!star_row.is_empty(), "grid:\n{grid}");
+    }
+}

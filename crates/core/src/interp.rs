@@ -1,0 +1,278 @@
+//! Direct evaluation of formulas over a finite interpretation.
+//!
+//! An interpretation `I` (Def. 10.1) is a database plus an explicit domain
+//! `D`; quantifiers range over `D`. This module is the semantic ground
+//! truth for the whole workspace:
+//!
+//! * it is the **oracle** against which `genify`, `ranf` and the algebra
+//!   translation are property-tested (logical equivalence = same answers on
+//!   every sampled interpretation);
+//! * with `D` = active domain it *is* the Dom-relation evaluation strategy
+//!   the paper sets out to avoid (see `dom_baseline`);
+//! * with the `*`-extension (`I′`, Def. 10.1) it decides definiteness
+//!   empirically (Def. 10.2) on given interpretations.
+
+use rc_formula::ast::Formula;
+use rc_formula::term::{Term, Value, Var};
+use rc_formula::vars::free_vars;
+use rc_relalg::{Database, Relation};
+
+/// A finite interpretation: a database and a domain for quantifiers.
+#[derive(Clone, Debug)]
+pub struct FiniteInterp<'a> {
+    /// The edb relations.
+    pub db: &'a Database,
+    /// The (finite) domain `D`.
+    pub domain: Vec<Value>,
+}
+
+impl<'a> FiniteInterp<'a> {
+    /// Interpretation with an explicit domain.
+    pub fn new(db: &'a Database, domain: Vec<Value>) -> FiniteInterp<'a> {
+        FiniteInterp { db, domain }
+    }
+
+    /// The *active-domain* interpretation for a query: `D` is every constant
+    /// in the database plus every constant in the query (the paper's `Dom`).
+    /// If both are empty, a single throwaway value is used so the domain is
+    /// nonempty, as first-order semantics requires.
+    pub fn active(db: &'a Database, query: &Formula) -> FiniteInterp<'a> {
+        let mut domain: Vec<Value> = db.active_domain().into_iter().collect();
+        for c in query.constants() {
+            if !domain.contains(&c) {
+                domain.push(c);
+            }
+        }
+        domain.sort();
+        if domain.is_empty() {
+            domain.push(Value::str("#default"));
+        }
+        FiniteInterp { db, domain }
+    }
+
+    /// The `*`-extension `I′` (Def. 10.1): same relations, domain
+    /// `D ∪ {*}`. The caller supplies a `star` value not in `D`.
+    pub fn star_extension(&self, star: Value) -> FiniteInterp<'a> {
+        assert!(
+            !self.domain.contains(&star),
+            "* must be a fresh value outside the domain"
+        );
+        let mut domain = self.domain.clone();
+        domain.push(star);
+        FiniteInterp {
+            db: self.db,
+            domain,
+        }
+    }
+
+    /// Is `f` satisfied under the given assignment of its free variables?
+    /// Variables not bound by `env` must not occur free in `f`.
+    pub fn satisfies(&self, f: &Formula, env: &[(Var, Value)]) -> bool {
+        let mut env = env.to_vec();
+        self.sat(f, &mut env)
+    }
+
+    fn lookup(env: &[(Var, Value)], v: Var) -> Value {
+        env.iter()
+            .rev()
+            .find(|(w, _)| *w == v)
+            .map(|(_, val)| *val)
+            .unwrap_or_else(|| panic!("unbound variable {v} during evaluation"))
+    }
+
+    fn term_value(env: &[(Var, Value)], t: Term) -> Value {
+        match t {
+            Term::Var(v) => Self::lookup(env, v),
+            Term::Const(c) => c,
+        }
+    }
+
+    fn sat(&self, f: &Formula, env: &mut Vec<(Var, Value)>) -> bool {
+        match f {
+            Formula::Atom(a) => {
+                let tup: Vec<Value> = a
+                    .terms
+                    .iter()
+                    .map(|&t| Self::term_value(env, t))
+                    .collect();
+                match self.db.relation(a.pred) {
+                    Some(rel) => rel.contains(&tup),
+                    None => false, // absent relation = empty relation
+                }
+            }
+            Formula::Eq(s, t) => Self::term_value(env, *s) == Self::term_value(env, *t),
+            Formula::Not(g) => !self.sat(g, env),
+            Formula::And(fs) => fs.iter().all(|g| self.sat(g, env)),
+            Formula::Or(fs) => fs.iter().any(|g| self.sat(g, env)),
+            Formula::Exists(v, g) => {
+                for i in 0..self.domain.len() {
+                    let val = self.domain[i];
+                    env.push((*v, val));
+                    let ok = self.sat(g, env);
+                    env.pop();
+                    if ok {
+                        return true;
+                    }
+                }
+                false
+            }
+            Formula::Forall(v, g) => {
+                for i in 0..self.domain.len() {
+                    let val = self.domain[i];
+                    env.push((*v, val));
+                    let ok = self.sat(g, env);
+                    env.pop();
+                    if !ok {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// The answer relation of `f`: all assignments of `columns` (which must
+    /// cover the free variables of `f`) drawn from the domain that satisfy
+    /// `f`. Cost is `|D|^columns.len()` satisfaction checks — this is the
+    /// brute-force semantics, not the translated evaluation.
+    pub fn answers(&self, f: &Formula, columns: &[Var]) -> Relation {
+        debug_assert!(
+            free_vars(f).iter().all(|v| columns.contains(v)),
+            "answer columns must cover the free variables"
+        );
+        let mut out = Relation::new(columns.len());
+        let mut env: Vec<(Var, Value)> = Vec::with_capacity(columns.len());
+        self.enumerate(f, columns, 0, &mut env, &mut out);
+        out
+    }
+
+    fn enumerate(
+        &self,
+        f: &Formula,
+        columns: &[Var],
+        i: usize,
+        env: &mut Vec<(Var, Value)>,
+        out: &mut Relation,
+    ) {
+        if i == columns.len() {
+            if self.sat(f, env) {
+                let tup: Vec<Value> = columns
+                    .iter()
+                    .map(|&v| Self::lookup(env, v))
+                    .collect();
+                out.insert(tup.into_boxed_slice());
+            }
+            return;
+        }
+        for k in 0..self.domain.len() {
+            let val = self.domain[k];
+            env.push((columns[i], val));
+            self.enumerate(f, columns, i + 1, env, out);
+            env.pop();
+        }
+    }
+}
+
+/// A value guaranteed to be outside any interpretation built from ordinary
+/// data: used as the `*` of the `*`-extension.
+pub fn star_value() -> Value {
+    Value::str("#star")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_formula::parse;
+
+    fn db() -> Database {
+        Database::from_facts("P(1)\nP(2)\nQ(2)\nQ(3)\nR(1, 2)\nR(2, 2)").unwrap()
+    }
+
+    fn dom() -> Vec<Value> {
+        (1..=3).map(Value::int).collect()
+    }
+
+    #[test]
+    fn atoms_and_equality() {
+        let d = db();
+        let i = FiniteInterp::new(&d, dom());
+        let f = parse("P(x)").unwrap();
+        assert!(i.satisfies(&f, &[(Var::new("x"), Value::int(1))]));
+        assert!(!i.satisfies(&f, &[(Var::new("x"), Value::int(3))]));
+        let e = parse("x = 2").unwrap();
+        assert!(i.satisfies(&e, &[(Var::new("x"), Value::int(2))]));
+    }
+
+    #[test]
+    fn quantifiers_range_over_domain() {
+        let d = db();
+        let i = FiniteInterp::new(&d, dom());
+        assert!(i.satisfies(&parse("exists x. (P(x) & Q(x))").unwrap(), &[]));
+        assert!(!i.satisfies(&parse("forall x. P(x)").unwrap(), &[]));
+        // ∀x (Q(x) → ∃y R(y, x)): Q holds of 2, 3; R(_, 2) exists, R(_, 3)
+        // doesn't.
+        assert!(!i.satisfies(
+            &parse("forall x. (Q(x) -> exists y. R(y, x))").unwrap(),
+            &[]
+        ));
+    }
+
+    #[test]
+    fn answers_enumerate_the_domain() {
+        let d = db();
+        let i = FiniteInterp::new(&d, dom());
+        // ¬P(x) over domain {1,2,3} = {3}: the classic domain-DEPENDENT
+        // query; its answer changes with the domain.
+        let f = parse("!P(x)").unwrap();
+        let ans = i.answers(&f, &[Var::new("x")]);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&[Value::int(3)]));
+        let bigger = FiniteInterp::new(&d, (1..=5).map(Value::int).collect());
+        assert_eq!(bigger.answers(&f, &[Var::new("x")]).len(), 3);
+    }
+
+    #[test]
+    fn star_extension_flips_negative_queries() {
+        let d = db();
+        let i = FiniteInterp::active(&d, &parse("!P(x)").unwrap());
+        let i_star = i.star_extension(star_value());
+        let f = parse("!P(x)").unwrap();
+        let a = i.answers(&f, &[Var::new("x")]);
+        let b = i_star.answers(&f, &[Var::new("x")]);
+        // ¬P is not definite: the * point satisfies it.
+        assert_ne!(a, b);
+        assert!(b.contains(&[star_value()]));
+        // P(x) ∧ Q(x) IS definite on this interpretation.
+        let g = parse("P(x) & Q(x)").unwrap();
+        assert_eq!(
+            i.answers(&g, &[Var::new("x")]),
+            i_star.answers(&g, &[Var::new("x")])
+        );
+    }
+
+    #[test]
+    fn active_domain_includes_query_constants() {
+        let d = db();
+        let i = FiniteInterp::active(&d, &parse("x = 9").unwrap());
+        assert!(i.domain.contains(&Value::int(9)));
+        assert!(i.domain.contains(&Value::int(1)));
+    }
+
+    #[test]
+    fn missing_relation_is_empty() {
+        let d = db();
+        let i = FiniteInterp::new(&d, dom());
+        assert!(!i.satisfies(&parse("Zzz(x)").unwrap(), &[(Var::new("x"), Value::int(1))]));
+    }
+
+    #[test]
+    fn extra_answer_columns_allowed() {
+        // Asking for columns beyond the free variables pads with the cross
+        // product — used by union alignment tests.
+        let d = db();
+        let i = FiniteInterp::new(&d, vec![Value::int(1), Value::int(2)]);
+        let f = parse("P(x)").unwrap();
+        let ans = i.answers(&f, &[Var::new("x"), Var::new("y")]);
+        assert_eq!(ans.len(), 4); // {1,2} × {1,2}
+    }
+}

@@ -1,0 +1,264 @@
+//! The repetition-free class (Sec. 10.2, Thm. 10.5): for formulas with no
+//! repeated predicate symbols and no equality, **evaluable ⇔ definite**.
+//!
+//! This module enumerates all such formulas up to a node budget and checks
+//! both sides, producing the census table of experiment E-T105: for every
+//! size class, the number of formulas, how many are evaluable, how many are
+//! (exhaustively, over small domains) definite, and the mismatches — which
+//! Thm. 10.5 predicts to be zero.
+
+use crate::classes::is_evaluable;
+use crate::domind::exhaustively_definite;
+use rc_formula::ast::Formula;
+use rc_formula::fxhash::FxHashSet;
+use rc_formula::term::{Term, Var};
+use rc_formula::vars::is_free;
+use rc_formula::Symbol;
+
+/// Configuration for formula enumeration.
+#[derive(Clone, Debug)]
+pub struct CensusConfig {
+    /// Predicate pool; each predicate may be used at most once per formula.
+    pub preds: Vec<(Symbol, usize)>,
+    /// Variable pool for atom arguments and quantifiers.
+    pub vars: Vec<Var>,
+    /// Maximum node count (atoms, connectives and quantifiers all count).
+    pub max_nodes: usize,
+    /// Exhaustive definiteness domain bound.
+    pub max_domain_size: usize,
+    /// Database-enumeration budget per formula.
+    pub db_budget: u64,
+    /// Skip vacuous quantifiers (`%x A` with `x` not free in `A`) during
+    /// enumeration — they only inflate the census.
+    pub skip_vacuous_quantifiers: bool,
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        CensusConfig {
+            preds: vec![
+                (Symbol::intern("P"), 1),
+                (Symbol::intern("Q"), 2),
+            ],
+            vars: vec![Var::new("x"), Var::new("y")],
+            max_nodes: 5,
+            max_domain_size: 2,
+            db_budget: 1 << 16,
+            skip_vacuous_quantifiers: true,
+        }
+    }
+}
+
+/// Enumerate every repetition-free, equality-free formula over the pools,
+/// with exactly the given node count. Results are deduplicated.
+pub fn enumerate_formulas(cfg: &CensusConfig) -> Vec<Vec<Formula>> {
+    // by_size[n] = distinct (formula, used-predicate-mask) of node count
+    // n+1. The mask rides along to enforce repetition-freedom when
+    // combining subformulas.
+    let mut by_size: Vec<Vec<(Formula, u32)>> = Vec::with_capacity(cfg.max_nodes);
+    let mut seen: FxHashSet<Formula> = FxHashSet::default();
+
+    for n in 1..=cfg.max_nodes {
+        let mut level: Vec<(Formula, u32)> = Vec::new();
+        if n == 1 {
+            // Atoms.
+            for (i, &(p, arity)) in cfg.preds.iter().enumerate() {
+                for combo in var_combos(&cfg.vars, arity) {
+                    let f = Formula::atom(p, combo.into_iter().map(Term::Var).collect());
+                    if seen.insert(f.clone()) {
+                        level.push((f, 1 << i));
+                    }
+                }
+            }
+        } else {
+            // Unary connectives over size n-1.
+            for (g, mask) in by_size[n - 2].clone() {
+                let not = Formula::not(g.clone());
+                if seen.insert(not.clone()) {
+                    level.push((not, mask));
+                }
+                for &v in &cfg.vars {
+                    if cfg.skip_vacuous_quantifiers && !is_free(v, &g) {
+                        continue;
+                    }
+                    for q in [
+                        Formula::exists(v, g.clone()),
+                        Formula::forall(v, g.clone()),
+                    ] {
+                        if seen.insert(q.clone()) {
+                            level.push((q, mask));
+                        }
+                    }
+                }
+            }
+            // Binary connectives: size(a) + size(b) = n - 1.
+            for left_size in 1..n.saturating_sub(1) {
+                let right_size = n - 1 - left_size;
+                if right_size < 1 || right_size > by_size.len() {
+                    continue;
+                }
+                let lefts = by_size[left_size - 1].clone();
+                let rights = by_size[right_size - 1].clone();
+                for (a, ma) in &lefts {
+                    for (b, mb) in &rights {
+                        if ma & mb != 0 {
+                            continue; // repeated predicate
+                        }
+                        for f in [
+                            Formula::And(vec![a.clone(), b.clone()]),
+                            Formula::Or(vec![a.clone(), b.clone()]),
+                        ] {
+                            if seen.insert(f.clone()) {
+                                level.push((f, ma | mb));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        by_size.push(level);
+    }
+    by_size
+        .into_iter()
+        .map(|level| level.into_iter().map(|(f, _)| f).collect())
+        .collect()
+}
+
+fn var_combos(vars: &[Var], arity: usize) -> Vec<Vec<Var>> {
+    let mut out: Vec<Vec<Var>> = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(out.len() * vars.len());
+        for c in &out {
+            for &v in vars {
+                let mut c2 = c.clone();
+                c2.push(v);
+                next.push(c2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// One row of the Thm. 10.5 census.
+#[derive(Clone, Debug)]
+pub struct CensusRow {
+    /// Node count of this size class.
+    pub nodes: usize,
+    /// Formulas enumerated.
+    pub total: usize,
+    /// How many are evaluable.
+    pub evaluable: usize,
+    /// How many are exhaustively definite on small domains.
+    pub definite: usize,
+    /// Formulas where the check was inconclusive (budget).
+    pub skipped: usize,
+    /// Violations of evaluable ⇔ definite (Thm. 10.5 predicts none).
+    pub mismatches: Vec<Formula>,
+}
+
+/// Run the census: enumerate and classify every formula.
+pub fn census(cfg: &CensusConfig) -> Vec<CensusRow> {
+    let levels = enumerate_formulas(cfg);
+    let mut rows = Vec::with_capacity(levels.len());
+    for (i, level) in levels.into_iter().enumerate() {
+        let mut row = CensusRow {
+            nodes: i + 1,
+            total: level.len(),
+            evaluable: 0,
+            definite: 0,
+            skipped: 0,
+            mismatches: Vec::new(),
+        };
+        for f in level {
+            // Rectify: enumeration can produce shadowed binders (∃x ∃x …).
+            let f = rc_formula::vars::rectified(&f);
+            let ev = is_evaluable(&f);
+            if ev {
+                row.evaluable += 1;
+            }
+            match exhaustively_definite(&f, cfg.max_domain_size, cfg.db_budget) {
+                None => row.skipped += 1,
+                Some(def) => {
+                    if def {
+                        row.definite += 1;
+                    }
+                    if def != ev {
+                        row.mismatches.push(f);
+                    }
+                }
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_counts_are_sane() {
+        let cfg = CensusConfig {
+            max_nodes: 3,
+            ..CensusConfig::default()
+        };
+        let levels = enumerate_formulas(&cfg);
+        assert_eq!(levels.len(), 3);
+        // Size 1: P with 2 choices, Q with 4 choices.
+        assert_eq!(levels[0].len(), 6);
+        // Everything enumerated is repetition-free and equality-free.
+        for level in &levels {
+            for f in level {
+                assert!(!f.has_repeated_predicate(), "{f}");
+                assert!(!f.has_equality(), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_combinations_respect_repetition_freedom() {
+        let cfg = CensusConfig {
+            max_nodes: 3,
+            ..CensusConfig::default()
+        };
+        let levels = enumerate_formulas(&cfg);
+        // Size 3 includes P(x) ∧ Q(x, y) but never P(x) ∧ P(y).
+        let has_pq = levels[2].iter().any(|f| {
+            matches!(f, Formula::And(fs) if fs.len() == 2)
+                && f.predicates().len() == 2
+        });
+        assert!(has_pq);
+    }
+
+    #[test]
+    fn thm_105_no_mismatches_up_to_size_4() {
+        let cfg = CensusConfig {
+            max_nodes: 4,
+            ..CensusConfig::default()
+        };
+        for row in census(&cfg) {
+            assert!(
+                row.mismatches.is_empty(),
+                "size {}: mismatches {:?}",
+                row.nodes,
+                row.mismatches
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(row.skipped, 0);
+        }
+    }
+
+    #[test]
+    fn repeated_predicate_counterexample_exists_outside_the_class() {
+        // The paper's closing example needs a repeated predicate; verify
+        // that the census restriction is what makes Thm. 10.5 tick.
+        let f = rc_formula::parse("forall y. ((P(x) & Q(y)) | (P(x) & !R(y)))").unwrap();
+        assert!(f.has_repeated_predicate());
+        assert!(!is_evaluable(&f));
+        assert_eq!(exhaustively_definite(&f, 2, 1 << 16), Some(true));
+    }
+}

@@ -1,0 +1,474 @@
+//! The end-to-end query pipeline: classify → (equality-reduce) → `genify`
+//! → `ranf` → translate → simplify → evaluate.
+//!
+//! This is the public face of the reproduction: given any relational
+//! calculus formula, [`compile`] either produces a Dom-free relational
+//! algebra expression computing its answer, or rejects it with the reason
+//! it is unsafe. Unlike the approaches the paper criticizes (Sec. 3), the
+//! pipeline never silently reinterprets a formula: every transformation
+//! preserves logical equivalence, and unsafety is reported, not papered
+//! over.
+
+use crate::classes::{check_evaluable, is_allowed, SafetyViolation};
+use crate::eqreduce::equality_reduce;
+use crate::generator::ConjunctChoice;
+use crate::genify::{genify_with, GenifyError};
+use crate::ranf::{ranf_with_budget, RanfBudget, RanfError};
+use crate::translate::{translate, TranslateError};
+use rc_formula::ast::Formula;
+use rc_formula::parser::ParseError;
+use rc_formula::term::Var;
+use rc_formula::vars::{free_vars, rectified};
+use rc_relalg::{eval_with_stats, Database, EvalError, EvalStats, RaExpr, Relation};
+use std::fmt;
+
+/// The safety classes of the paper, most restrictive first.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SafetyClass {
+    /// Allowed (Def. 5.3) — directly translatable.
+    Allowed,
+    /// Evaluable (Def. 5.2) but not allowed — needs `genify`.
+    Evaluable,
+    /// Wide-sense evaluable (Def. A.1) — needs equality reduction first.
+    WideSenseEvaluable,
+    /// Not recognized as safe (may or may not be domain independent —
+    /// the general question is undecidable, Sec. 2.2).
+    NotRecognized,
+}
+
+impl fmt::Display for SafetyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyClass::Allowed => write!(f, "allowed"),
+            SafetyClass::Evaluable => write!(f, "evaluable"),
+            SafetyClass::WideSenseEvaluable => write!(f, "wide-sense evaluable"),
+            SafetyClass::NotRecognized => write!(f, "not recognized as safe"),
+        }
+    }
+}
+
+/// Classify a formula into the paper's hierarchy.
+pub fn classify(f: &Formula) -> SafetyClass {
+    if is_allowed(f) {
+        SafetyClass::Allowed
+    } else if check_evaluable(f).is_ok() {
+        SafetyClass::Evaluable
+    } else if crate::eqreduce::is_wide_sense_evaluable(f) {
+        SafetyClass::WideSenseEvaluable
+    } else {
+        SafetyClass::NotRecognized
+    }
+}
+
+/// Options for [`compile`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Attempt equality reduction (Alg. A.1) when the formula is not
+    /// strict-sense evaluable.
+    pub equality_reduction: bool,
+    /// Run the algebraic simplifier on the final expression.
+    pub optimize: bool,
+    /// Distribution budget for `ranf`.
+    pub ranf_budget: RanfBudget,
+    /// Resolution of the Fig. 5 conjunction nondeterminism in `genify`.
+    pub generator_choice: ConjunctChoice,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            equality_reduction: true,
+            optimize: true,
+            ranf_budget: RanfBudget::default(),
+            generator_choice: ConjunctChoice::Smallest,
+        }
+    }
+}
+
+/// A compiled query: every intermediate stage is kept for inspection.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The (rectified) input formula.
+    pub original: Formula,
+    /// Its safety class.
+    pub class: SafetyClass,
+    /// The equality-reduced form, when that stage ran.
+    pub reduced: Option<Formula>,
+    /// The allowed form produced by `genify` (Alg. 8.1).
+    pub allowed_form: Formula,
+    /// The RANF form (Alg. 9.1).
+    pub ranf_form: Formula,
+    /// The final relational algebra expression.
+    pub expr: RaExpr,
+    /// Answer columns: the free variables of the input, in first-occurrence
+    /// order.
+    pub columns: Vec<Var>,
+}
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// The formula is not in any recognized safe class.
+    NotSafe(SafetyViolation),
+    /// `ranf` failed (budget or internal).
+    Ranf(RanfError),
+    /// Translation failed (should not happen on `ranf` output).
+    Translate(TranslateError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotSafe(v) => write!(f, "query is not safe: {v}"),
+            CompileError::Ranf(e) => write!(f, "normalization failed: {e}"),
+            CompileError::Translate(e) => write!(f, "translation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<GenifyError> for CompileError {
+    fn from(e: GenifyError) -> Self {
+        match e {
+            GenifyError::NotEvaluable(v) => CompileError::NotSafe(v),
+        }
+    }
+}
+
+impl From<RanfError> for CompileError {
+    fn from(e: RanfError) -> Self {
+        CompileError::Ranf(e)
+    }
+}
+
+impl From<TranslateError> for CompileError {
+    fn from(e: TranslateError) -> Self {
+        CompileError::Translate(e)
+    }
+}
+
+/// Compile a formula with default options.
+pub fn compile(f: &Formula) -> Result<Compiled, CompileError> {
+    compile_with(f, CompileOptions::default())
+}
+
+/// Compile a formula into a Dom-free relational algebra expression.
+pub fn compile_with(f: &Formula, opts: CompileOptions) -> Result<Compiled, CompileError> {
+    let original = rectified(f);
+    let columns = free_vars(&original);
+
+    // Stage 1: find an evaluable form.
+    let (class, evaluable_form, reduced) = match check_evaluable(&original) {
+        Ok(()) => {
+            let class = if is_allowed(&original) {
+                SafetyClass::Allowed
+            } else {
+                SafetyClass::Evaluable
+            };
+            (class, original.clone(), None)
+        }
+        Err(violation) => {
+            if opts.equality_reduction {
+                let r = equality_reduce(&original);
+                if check_evaluable(&r).is_ok() {
+                    (
+                        SafetyClass::WideSenseEvaluable,
+                        r.clone(),
+                        Some(r),
+                    )
+                } else {
+                    return Err(CompileError::NotSafe(violation));
+                }
+            } else {
+                return Err(CompileError::NotSafe(violation));
+            }
+        }
+    };
+
+    // Stage 2: evaluable → allowed (Alg. 8.1).
+    let allowed_form = genify_with(&evaluable_form, opts.generator_choice)?;
+
+    // Stage 3: allowed → RANF (Alg. 9.1).
+    let ranf_form = ranf_with_budget(&allowed_form, opts.ranf_budget)?;
+
+    // Stage 4: RANF → algebra (Sec. 9.3).
+    let raw = translate(&ranf_form)?;
+
+    // Stage 5: impose the answer column order.
+    let expr = impose_columns(raw, &columns, &ranf_form)?;
+    let expr = if opts.optimize {
+        rc_relalg::simplify(&expr)
+    } else {
+        expr
+    };
+
+    Ok(Compiled {
+        original,
+        class,
+        reduced,
+        allowed_form,
+        ranf_form,
+        expr,
+        columns,
+    })
+}
+
+fn impose_columns(
+    raw: RaExpr,
+    columns: &[Var],
+    ranf_form: &Formula,
+) -> Result<RaExpr, CompileError> {
+    let have = raw.cols();
+    if have == columns {
+        return Ok(raw);
+    }
+    if columns.iter().all(|v| have.contains(v)) {
+        return Ok(RaExpr::project(raw, columns.to_vec()));
+    }
+    // A free variable's column can only vanish when simplification proved
+    // the formula unsatisfiable; anything else means a transformation
+    // changed the free variables, which would silently reinterpret the
+    // query — refuse instead.
+    if ranf_form.is_false() {
+        Ok(RaExpr::Empty {
+            cols: columns.to_vec(),
+        })
+    } else {
+        Err(CompileError::Ranf(RanfError::Stuck(format!(
+            "free-variable columns {columns:?} not all present in {have:?}"
+        ))))
+    }
+}
+
+impl Compiled {
+    /// A human-readable report of every compilation stage — what the REPL's
+    /// `explain` command prints.
+    pub fn explain(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "query:    {}", self.original);
+        let _ = writeln!(out, "class:    {}", self.class);
+        if let Some(r) = &self.reduced {
+            let _ = writeln!(out, "reduced:  {r}   (Alg. A.1 equality reduction)");
+        }
+        if self.allowed_form != self.original {
+            let _ = writeln!(out, "allowed:  {}   (Alg. 8.1 genify)", self.allowed_form);
+        } else {
+            let _ = writeln!(out, "allowed:  (input already allowed)");
+        }
+        if self.ranf_form != self.allowed_form {
+            let _ = writeln!(out, "ranf:     {}   (Alg. 9.1)", self.ranf_form);
+        } else {
+            let _ = writeln!(out, "ranf:     (allowed form already in RANF)");
+        }
+        let _ = writeln!(out, "algebra:  {}", self.expr);
+        let cols: Vec<String> = self.columns.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(out, "columns:  ({})", cols.join(", "));
+        out
+    }
+
+    /// Evaluate the compiled query.
+    pub fn run(&self, db: &Database) -> Result<Relation, EvalError> {
+        let mut stats = EvalStats::default();
+        self.run_with_stats(db, &mut stats)
+    }
+
+    /// Evaluate while accumulating operator statistics.
+    pub fn run_with_stats(
+        &self,
+        db: &Database,
+        stats: &mut EvalStats,
+    ) -> Result<Relation, EvalError> {
+        eval_with_stats(&self.expr, &prepare(db, &self.original), stats)
+    }
+}
+
+/// Make missing query predicates evaluate as empty relations rather than
+/// errors (matching the logical semantics of an absent relation).
+fn prepare(db: &Database, f: &Formula) -> Database {
+    let mut out = db.clone();
+    for (p, arity) in f.predicates() {
+        out.declare(p, arity);
+    }
+    out
+}
+
+/// Top-level query failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The formula could not be compiled.
+    Compile(CompileError),
+    /// Evaluation failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Compile(e) => write!(f, "{e}"),
+            QueryError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Parse, compile and evaluate a query in one call.
+pub fn query(text: &str, db: &Database) -> Result<Relation, QueryError> {
+    let f = rc_formula::parse(text).map_err(QueryError::Parse)?;
+    let compiled = compile(&f).map_err(QueryError::Compile)?;
+    compiled.run(db).map_err(QueryError::Eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_formula::{parse, Value};
+    use rc_relalg::Database;
+
+    fn db() -> Database {
+        Database::from_facts(
+            "Part('bolt')\nPart('nut')\nPart('screw')\n\
+             Supplies('acme', 'bolt')\nSupplies('acme', 'nut')\nSupplies('acme', 'screw')\n\
+             Supplies('busy', 'bolt')",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn supplier_supplying_all_parts() {
+        // Example 5.2's G: ∃y ∀x (¬Part(x) ∨ Supplies(y, x)) — boolean.
+        let ans = query(
+            "exists y. forall x. (!Part(x) | Supplies(y, x))",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(ans.as_bool(), Some(true));
+        // Which suppliers? Make y free but generated.
+        let ans2 = query(
+            "exists p. Supplies(y, p) & forall x. (!Part(x) | Supplies(y, x))",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(ans2.len(), 1);
+        assert!(ans2.contains(&[Value::str("acme")]));
+    }
+
+    #[test]
+    fn unsafe_queries_are_rejected_with_reasons() {
+        let err = query("!Part(x)", &db()).unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Compile(CompileError::NotSafe(_))
+        ));
+        assert!(query("Part(x) | Supplies(y, x)", &db()).is_err());
+    }
+
+    #[test]
+    fn classification_hierarchy() {
+        assert_eq!(
+            classify(&parse("P(x, y) & (Q(x) | R(y))").unwrap()),
+            SafetyClass::Allowed
+        );
+        assert_eq!(
+            classify(&parse("exists x. ((P(x, y) | Q(y)) & !R(y))").unwrap()),
+            SafetyClass::Evaluable
+        );
+        assert_eq!(
+            classify(
+                &parse("exists z. (P(x, z) & (x = y | Q(x, y, z)) & !(z = y | R(y, z)))")
+                    .unwrap()
+            ),
+            SafetyClass::WideSenseEvaluable
+        );
+        assert_eq!(
+            classify(&parse("!P(x)").unwrap()),
+            SafetyClass::NotRecognized
+        );
+    }
+
+    #[test]
+    fn compiled_stages_are_exposed() {
+        let f = parse("exists y. (P(x) | Q(x, y))").unwrap();
+        let c = compile(&f).unwrap();
+        assert_eq!(c.class, SafetyClass::Evaluable);
+        assert!(crate::classes::is_allowed(&c.allowed_form));
+        assert!(crate::ranf::is_ranf(&c.ranf_form));
+        assert_eq!(c.columns, vec![Var::new("x")]);
+        assert!(c.reduced.is_none());
+    }
+
+    #[test]
+    fn default_value_query_end_to_end() {
+        // Sec. 5.3: suppliers per part, defaulting to 'none' for parts
+        // nobody supplies.
+        let mut d = Database::from_facts(
+            "Part('bolt')\nPart('widget')\nSupplies('acme', 'bolt')",
+        )
+        .unwrap();
+        d.declare("Nothing", 0);
+        let ans = query(
+            "Part(x) & (Supplies(y, x) | (forall z. !Supplies(z, x)) & y = 'none')",
+            &d,
+        )
+        .unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&[Value::str("bolt"), Value::str("acme")]));
+        assert!(ans.contains(&[Value::str("widget"), Value::str("none")]));
+    }
+
+    #[test]
+    fn wide_sense_query_compiles_via_reduction() {
+        let f = parse("Q(y, y) & (x = y | P(x))").unwrap();
+        let c = compile(&f).unwrap();
+        assert_eq!(c.class, SafetyClass::WideSenseEvaluable);
+        assert!(c.reduced.is_some());
+        let mut d = Database::new();
+        d.load_facts("Q(1, 1)\nQ(2, 2)\nP(7)").unwrap();
+        let ans = c.run(&d).unwrap();
+        // Columns are (y, x) — free variables in first-occurrence order.
+        // x = y cases: (1,1), (2,2); P cases: (1,7), (2,7).
+        assert_eq!(c.columns, vec![Var::new("y"), Var::new("x")]);
+        assert_eq!(ans.len(), 4);
+        assert!(ans.contains(&[Value::int(1), Value::int(1)]));
+        assert!(ans.contains(&[Value::int(2), Value::int(7)]));
+        assert_eq!(ans, crate::dom_baseline::eval_brute_force(&c.original, &d));
+    }
+
+    #[test]
+    fn missing_relations_are_empty() {
+        let ans = query("Part(x) & !Discontinued(x)", &db()).unwrap();
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn answers_match_brute_force_oracle() {
+        use crate::dom_baseline::eval_brute_force;
+        let d = db();
+        for s in [
+            "Part(x) & !Supplies('busy', x)",
+            "Supplies(y, x) & Part(x)",
+            "exists p. (Supplies(y, p) & !Part(p))",
+            "Part(x) & forall y. (!Supplies(y, x) | Supplies(y, 'bolt'))",
+        ] {
+            let f = parse(s).unwrap();
+            let c = compile(&f).unwrap();
+            let ours = c.run(&d).unwrap();
+            let oracle = eval_brute_force(&f, &d);
+            assert_eq!(ours, oracle, "{s}");
+        }
+    }
+
+    #[test]
+    fn column_order_follows_free_variable_order() {
+        let c = compile(&parse("Supplies(y, x) & Part(x)").unwrap()).unwrap();
+        assert_eq!(c.columns, vec![Var::new("y"), Var::new("x")]);
+        let d = db();
+        let ans = c.run(&d).unwrap();
+        assert!(ans.contains(&[Value::str("acme"), Value::str("bolt")]));
+    }
+}

@@ -1,0 +1,451 @@
+//! The relational-calculus formula AST.
+//!
+//! Following Sec. 4 of the paper, `∧` and `∨` are *polyadic* operators taking
+//! zero or more operands, with `∧() ≡ true` and `∨() ≡ false`. There are no
+//! function symbols; atoms are edb predicates applied to terms, plus equality
+//! `s = t` (negated equality `s ≠ t` is `¬(s = t)`).
+
+use crate::symbol::Symbol;
+use crate::term::{Term, Value, Var};
+
+/// An edb atom: a predicate symbol applied to a list of terms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Atom {
+    /// The predicate symbol (`P`, `Q`, … in the paper).
+    pub pred: Symbol,
+    /// Argument terms; `terms.len()` is the atom's arity.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom from a predicate name and terms.
+    pub fn new(pred: impl Into<Symbol>, terms: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            terms,
+        }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Variables occurring in the atom, in order of first occurrence.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = *t {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A first-order relational-calculus formula.
+///
+/// `true` is represented as `And(vec![])` and `false` as `Or(vec![])`,
+/// exactly as in the paper. Use [`Formula::tru`] / [`Formula::fls`] and the
+/// [`Formula::is_true`] / [`Formula::is_false`] queries rather than matching
+/// on empty vectors directly.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// An edb atom `P(t₁, …, tₙ)`.
+    Atom(Atom),
+    /// Equality `s = t` between two terms.
+    Eq(Term, Term),
+    /// Negation `¬A`.
+    Not(Box<Formula>),
+    /// Polyadic conjunction; `And(vec![]) ≡ true`.
+    And(Vec<Formula>),
+    /// Polyadic disjunction; `Or(vec![]) ≡ false`.
+    Or(Vec<Formula>),
+    /// Existential quantification `∃x A`.
+    Exists(Var, Box<Formula>),
+    /// Universal quantification `∀x A`.
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// The formula `true` (`∧()`).
+    pub fn tru() -> Formula {
+        Formula::And(Vec::new())
+    }
+
+    /// The formula `false` (`∨()`).
+    pub fn fls() -> Formula {
+        Formula::Or(Vec::new())
+    }
+
+    /// An edb atom.
+    pub fn atom(pred: impl Into<Symbol>, terms: Vec<Term>) -> Formula {
+        Formula::Atom(Atom::new(pred, terms))
+    }
+
+    /// Equality `s = t`.
+    pub fn eq(s: impl Into<Term>, t: impl Into<Term>) -> Formula {
+        Formula::Eq(s.into(), t.into())
+    }
+
+    /// Disequality `s ≠ t`, i.e. `¬(s = t)`.
+    pub fn neq(s: impl Into<Term>, t: impl Into<Term>) -> Formula {
+        Formula::not(Formula::eq(s, t))
+    }
+
+    /// Negation (no simplification).
+    #[allow(clippy::should_implement_trait)] // matches the paper's ¬ constructor family
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Flattening conjunction constructor: nested `And`s are spliced in and a
+    /// singleton conjunction collapses to its operand. Does **not** perform
+    /// truth-value simplification (see [`crate::simplify`]).
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        let mut out = Vec::with_capacity(fs.len());
+        for f in fs {
+            match f {
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if out.len() == 1 {
+            out.pop().unwrap()
+        } else {
+            Formula::And(out)
+        }
+    }
+
+    /// Flattening disjunction constructor (dual of [`Formula::and`]).
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        let mut out = Vec::with_capacity(fs.len());
+        for f in fs {
+            match f {
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if out.len() == 1 {
+            out.pop().unwrap()
+        } else {
+            Formula::Or(out)
+        }
+    }
+
+    /// Binary conjunction convenience.
+    pub fn and2(a: Formula, b: Formula) -> Formula {
+        Formula::and(vec![a, b])
+    }
+
+    /// Binary disjunction convenience.
+    pub fn or2(a: Formula, b: Formula) -> Formula {
+        Formula::or(vec![a, b])
+    }
+
+    /// Existential quantification.
+    pub fn exists(v: impl Into<Var>, f: Formula) -> Formula {
+        Formula::Exists(v.into(), Box::new(f))
+    }
+
+    /// Universal quantification.
+    pub fn forall(v: impl Into<Var>, f: Formula) -> Formula {
+        Formula::Forall(v.into(), Box::new(f))
+    }
+
+    /// `∃v₁ … ∃vₙ F` (vector notation `∃x⃗` from the paper).
+    pub fn exists_many(vs: impl IntoIterator<Item = Var>, f: Formula) -> Formula {
+        let vs: Vec<Var> = vs.into_iter().collect();
+        vs.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::exists(v, acc))
+    }
+
+    /// `∀v₁ … ∀vₙ F`.
+    pub fn forall_many(vs: impl IntoIterator<Item = Var>, f: Formula) -> Formula {
+        let vs: Vec<Var> = vs.into_iter().collect();
+        vs.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::forall(v, acc))
+    }
+
+    /// Is this syntactically `true` (`∧()`)?
+    pub fn is_true(&self) -> bool {
+        matches!(self, Formula::And(fs) if fs.is_empty())
+    }
+
+    /// Is this syntactically `false` (`∨()`)?
+    pub fn is_false(&self) -> bool {
+        matches!(self, Formula::Or(fs) if fs.is_empty())
+    }
+
+    /// Is this an atom or equality?
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, Formula::Atom(_) | Formula::Eq(..))
+    }
+
+    /// Is this a literal (atom/equality, possibly under one negation)?
+    pub fn is_literal(&self) -> bool {
+        match self {
+            Formula::Not(f) => f.is_atomic(),
+            f => f.is_atomic(),
+        }
+    }
+
+    /// Immediate ("principal", in the paper's words) subformulas.
+    pub fn children(&self) -> Vec<&Formula> {
+        match self {
+            Formula::Atom(_) | Formula::Eq(..) => Vec::new(),
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => vec![f],
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().collect(),
+        }
+    }
+
+    /// All subformulas including `self`, in preorder.
+    pub fn subformulas(&self) -> Vec<&Formula> {
+        let mut out = Vec::new();
+        let mut stack = vec![self];
+        while let Some(f) = stack.pop() {
+            out.push(f);
+            // Push in reverse so preorder visits children left-to-right.
+            let kids = f.children();
+            for k in kids.into_iter().rev() {
+                stack.push(k);
+            }
+        }
+        out
+    }
+
+    /// Visit every subformula (preorder).
+    pub fn for_each_subformula(&self, mut visit: impl FnMut(&Formula)) {
+        let mut stack = vec![self];
+        while let Some(f) = stack.pop() {
+            visit(f);
+            let kids = f.children();
+            for k in kids.into_iter().rev() {
+                stack.push(k);
+            }
+        }
+    }
+
+    /// Number of atoms (edb atoms and equalities) in the formula.
+    pub fn atom_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_subformula(|f| {
+            if f.is_atomic() {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Number of quantifiers in the formula.
+    pub fn quantifier_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_subformula(|f| {
+            if matches!(f, Formula::Exists(..) | Formula::Forall(..)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// The paper's *size* measure: atoms plus quantifiers (negations and
+    /// connectives excluded) — used in the inductions of Lemma 10.1 and
+    /// Thm. 10.5.
+    pub fn size(&self) -> usize {
+        self.atom_count() + self.quantifier_count()
+    }
+
+    /// Total node count (every connective, quantifier and atom).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_subformula(|_| n += 1);
+        n
+    }
+
+    /// Nesting depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            Formula::Atom(_) | Formula::Eq(..) => 1,
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(Formula::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Every distinct predicate symbol with its arity, sorted by name.
+    pub fn predicates(&self) -> Vec<(Symbol, usize)> {
+        let mut out: Vec<(Symbol, usize)> = Vec::new();
+        self.for_each_subformula(|f| {
+            if let Formula::Atom(a) = f {
+                let entry = (a.pred, a.arity());
+                if !out.contains(&entry) {
+                    out.push(entry);
+                }
+            }
+        });
+        out.sort();
+        out
+    }
+
+    /// Does any predicate symbol occur in more than one atom occurrence?
+    /// (The restriction of Sec. 10.2.)
+    pub fn has_repeated_predicate(&self) -> bool {
+        let mut seen: Vec<Symbol> = Vec::new();
+        let mut repeated = false;
+        self.for_each_subformula(|f| {
+            if let Formula::Atom(a) = f {
+                if seen.contains(&a.pred) {
+                    repeated = true;
+                } else {
+                    seen.push(a.pred);
+                }
+            }
+        });
+        repeated
+    }
+
+    /// Does the formula contain any equality atom?
+    pub fn has_equality(&self) -> bool {
+        let mut found = false;
+        self.for_each_subformula(|f| {
+            if matches!(f, Formula::Eq(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Does the formula contain a universal quantifier?
+    pub fn has_forall(&self) -> bool {
+        let mut found = false;
+        self.for_each_subformula(|f| {
+            if matches!(f, Formula::Forall(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Every constant occurring in the formula (in atoms and equalities),
+    /// deduplicated, sorted.
+    pub fn constants(&self) -> Vec<Value> {
+        let mut out: Vec<Value> = Vec::new();
+        self.for_each_subformula(|f| {
+            let mut take = |t: &Term| {
+                if let Term::Const(c) = *t {
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            };
+            match f {
+                Formula::Atom(a) => a.terms.iter().for_each(&mut take),
+                Formula::Eq(s, t) => {
+                    take(s);
+                    take(t);
+                }
+                _ => {}
+            }
+        });
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p_x() -> Formula {
+        Formula::atom("P", vec![Term::var("x")])
+    }
+
+    fn q_xy() -> Formula {
+        Formula::atom("Q", vec![Term::var("x"), Term::var("y")])
+    }
+
+    #[test]
+    fn truth_constants() {
+        assert!(Formula::tru().is_true());
+        assert!(Formula::fls().is_false());
+        assert!(!Formula::tru().is_false());
+        assert!(!p_x().is_true());
+    }
+
+    #[test]
+    fn and_flattens_and_collapses_singletons() {
+        let f = Formula::and(vec![Formula::and(vec![p_x(), q_xy()]), p_x()]);
+        match &f {
+            Formula::And(fs) => assert_eq!(fs.len(), 3),
+            _ => panic!("expected And"),
+        }
+        assert_eq!(Formula::and(vec![p_x()]), p_x());
+        assert_eq!(Formula::or(vec![q_xy()]), q_xy());
+    }
+
+    #[test]
+    fn size_counts_atoms_plus_quantifiers() {
+        // ∃y (P(x) ∧ ¬Q(x,y)): 2 atoms + 1 quantifier = 3.
+        let f = Formula::exists("y", Formula::and2(p_x(), Formula::not(q_xy())));
+        assert_eq!(f.size(), 3);
+        assert_eq!(f.atom_count(), 2);
+        assert_eq!(f.quantifier_count(), 1);
+    }
+
+    #[test]
+    fn predicates_and_repetition() {
+        let f = Formula::or2(p_x(), Formula::and2(q_xy(), p_x()));
+        let preds = f.predicates();
+        assert_eq!(preds.len(), 2);
+        assert!(f.has_repeated_predicate());
+        assert!(!Formula::and2(p_x(), q_xy()).has_repeated_predicate());
+    }
+
+    #[test]
+    fn exists_many_nests_left_to_right() {
+        let f = Formula::exists_many([Var::new("x"), Var::new("y")], p_x());
+        match f {
+            Formula::Exists(v, inner) => {
+                assert_eq!(v, Var::new("x"));
+                assert!(matches!(*inner, Formula::Exists(w, _) if w == Var::new("y")));
+            }
+            _ => panic!("expected Exists"),
+        }
+    }
+
+    #[test]
+    fn constants_collected_sorted() {
+        let f = Formula::and2(
+            Formula::atom("P", vec![Term::val(2), Term::val("b")]),
+            Formula::eq(Term::var("x"), Term::val(1)),
+        );
+        assert_eq!(
+            f.constants(),
+            vec![Value::int(1), Value::int(2), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn subformulas_preorder() {
+        let f = Formula::and2(p_x(), Formula::not(q_xy()));
+        let subs = f.subformulas();
+        assert_eq!(subs.len(), 4); // And, P, Not, Q
+        assert!(matches!(subs[0], Formula::And(_)));
+        assert!(matches!(subs[1], Formula::Atom(_)));
+        assert!(matches!(subs[2], Formula::Not(_)));
+    }
+
+    #[test]
+    fn literal_checks() {
+        assert!(p_x().is_literal());
+        assert!(Formula::not(p_x()).is_literal());
+        assert!(Formula::eq(Term::var("x"), Term::val(1)).is_literal());
+        assert!(!Formula::not(Formula::not(p_x())).is_literal());
+        assert!(!Formula::and2(p_x(), q_xy()).is_literal());
+    }
+}

@@ -1,0 +1,230 @@
+//! Pretty-printing formulas.
+//!
+//! Two dialects are supported and both are accepted back by the parser:
+//!
+//! * **Unicode** (the `Display` impl): `∃x (P(x) ∨ ¬Q(x,y))`
+//! * **ASCII** ([`ascii`]): `exists x. (P(x) | !Q(x,y))`
+//!
+//! Binding strength, loosest to tightest: quantifiers, `∨`, `∧`, `¬`.
+
+use crate::ast::Formula;
+use std::fmt;
+
+/// Printing dialect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dialect {
+    /// `∃ ∀ ¬ ∧ ∨ ≠`
+    Unicode,
+    /// `exists forall ! & | !=`
+    Ascii,
+}
+
+struct Printer<'a> {
+    f: &'a Formula,
+    dialect: Dialect,
+}
+
+/// Precedence levels; larger binds tighter.
+fn prec(f: &Formula) -> u8 {
+    match f {
+        Formula::Exists(..) | Formula::Forall(..) => 1,
+        Formula::Or(fs) if !fs.is_empty() => 2,
+        Formula::And(fs) if !fs.is_empty() => 3,
+        Formula::Not(_) => 4,
+        _ => 5, // atoms, equalities, true, false
+    }
+}
+
+fn write_formula(
+    out: &mut fmt::Formatter<'_>,
+    f: &Formula,
+    dialect: Dialect,
+    parent_prec: u8,
+) -> fmt::Result {
+    let my_prec = prec(f);
+    let needs_parens = my_prec < parent_prec;
+    if needs_parens {
+        write!(out, "(")?;
+    }
+    write_bare(out, f, dialect, my_prec)?;
+    if needs_parens {
+        write!(out, ")")?;
+    }
+    Ok(())
+}
+
+fn write_bare(
+    out: &mut fmt::Formatter<'_>,
+    f: &Formula,
+    dialect: Dialect,
+    my_prec: u8,
+) -> fmt::Result {
+    let uni = dialect == Dialect::Unicode;
+    match f {
+        Formula::And(fs) if fs.is_empty() => write!(out, "true"),
+        Formula::Or(fs) if fs.is_empty() => write!(out, "false"),
+        Formula::Atom(a) => {
+            write!(out, "{}", a.pred)?;
+            if !a.terms.is_empty() {
+                write!(out, "(")?;
+                for (i, t) in a.terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ", ")?;
+                    }
+                    write!(out, "{t}")?;
+                }
+                write!(out, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Eq(s, t) => write!(out, "{s} = {t}"),
+        Formula::Not(g) => {
+            // Special-case `s ≠ t`.
+            if let Formula::Eq(s, t) = &**g {
+                return if uni {
+                    write!(out, "{s} ≠ {t}")
+                } else {
+                    write!(out, "{s} != {t}")
+                };
+            }
+            write!(out, "{}", if uni { "¬" } else { "!" })?;
+            write_formula(out, g, dialect, my_prec)
+        }
+        Formula::And(fs) => {
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, "{}", if uni { " ∧ " } else { " & " })?;
+                }
+                // Use my_prec + 1 so nested raw (unflattened) Ands still
+                // print unambiguously.
+                write_formula(out, g, dialect, my_prec + 1)?;
+            }
+            Ok(())
+        }
+        Formula::Or(fs) => {
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, "{}", if uni { " ∨ " } else { " | " })?;
+                }
+                write_formula(out, g, dialect, my_prec + 1)?;
+            }
+            Ok(())
+        }
+        Formula::Exists(v, g) => {
+            if uni {
+                write!(out, "∃{v} ")?;
+            } else {
+                write!(out, "exists {v}. ")?;
+            }
+            write_formula(out, g, dialect, my_prec)
+        }
+        Formula::Forall(v, g) => {
+            if uni {
+                write!(out, "∀{v} ")?;
+            } else {
+                write!(out, "forall {v}. ")?;
+            }
+            write_formula(out, g, dialect, my_prec)
+        }
+    }
+}
+
+impl fmt::Display for Printer<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(out, self.f, self.dialect, 0)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(out, self, Dialect::Unicode, 0)
+    }
+}
+
+/// Render `f` in the ASCII dialect.
+pub fn ascii(f: &Formula) -> String {
+    Printer {
+        f,
+        dialect: Dialect::Ascii,
+    }
+    .to_string()
+}
+
+/// Render `f` in the Unicode dialect (same as `Display`).
+pub fn unicode(f: &Formula) -> String {
+    f.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn p(v: &str) -> Formula {
+        Formula::atom("P", vec![Term::var(v)])
+    }
+    fn q(v: &str, w: &str) -> Formula {
+        Formula::atom("Q", vec![Term::var(v), Term::var(w)])
+    }
+
+    #[test]
+    fn atoms_and_truth() {
+        assert_eq!(p("x").to_string(), "P(x)");
+        assert_eq!(Formula::atom("R", vec![]).to_string(), "R");
+        assert_eq!(Formula::tru().to_string(), "true");
+        assert_eq!(Formula::fls().to_string(), "false");
+    }
+
+    #[test]
+    fn connective_precedence() {
+        // ∨ binds looser than ∧: no parens needed on the ∧ side.
+        let f = Formula::Or(vec![
+            Formula::And(vec![p("x"), q("x", "y")]),
+            p("z"),
+        ]);
+        assert_eq!(f.to_string(), "P(x) ∧ Q(x, y) ∨ P(z)");
+        // And the other nesting needs parens.
+        let g = Formula::And(vec![
+            Formula::Or(vec![p("x"), q("x", "y")]),
+            p("z"),
+        ]);
+        assert_eq!(g.to_string(), "(P(x) ∨ Q(x, y)) ∧ P(z)");
+    }
+
+    #[test]
+    fn negation_and_disequality() {
+        assert_eq!(Formula::not(p("x")).to_string(), "¬P(x)");
+        assert_eq!(
+            Formula::not(Formula::And(vec![p("x"), p("y")])).to_string(),
+            "¬(P(x) ∧ P(y))"
+        );
+        assert_eq!(
+            Formula::neq(Term::var("x"), Term::val(3)).to_string(),
+            "x ≠ 3"
+        );
+    }
+
+    #[test]
+    fn quantifier_scope() {
+        let f = Formula::exists("y", Formula::Or(vec![p("x"), q("x", "y")]));
+        assert_eq!(f.to_string(), "∃y P(x) ∨ Q(x, y)");
+        // When the quantified formula is an operand, parens appear.
+        let g = Formula::And(vec![f, p("z")]);
+        assert_eq!(g.to_string(), "(∃y P(x) ∨ Q(x, y)) ∧ P(z)");
+    }
+
+    #[test]
+    fn ascii_dialect() {
+        let f = Formula::exists(
+            "y",
+            Formula::And(vec![p("x"), Formula::not(q("x", "y"))]),
+        );
+        assert_eq!(ascii(&f), "exists y. P(x) & !Q(x, y)");
+    }
+
+    #[test]
+    fn constants_print_quoted() {
+        let f = Formula::eq(Term::var("y"), Term::val("none"));
+        assert_eq!(f.to_string(), "y = 'none'");
+    }
+}

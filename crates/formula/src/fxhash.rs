@@ -1,0 +1,110 @@
+//! A minimal FxHash implementation (the rustc hash), used for hot internal
+//! maps keyed by symbols, variables and tuples.
+//!
+//! The standard library's SipHash is DoS-resistant but measurably slower for
+//! the short integer-like keys that dominate this workspace (interned symbol
+//! ids, small tuples of values). Writing the ~40-line algorithm here avoids
+//! pulling an extra dependency; the algorithm is the well-known
+//! multiply-rotate scheme from `rustc-hash`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from `rustc-hash` (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with FxHash.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_ne!(h(b"abc"), h(b"abd"));
+        assert_ne!(h(b"a"), h(b"b"));
+        assert_ne!(h(b"12345678"), h(b"123456789"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&"v"));
+    }
+
+    #[test]
+    fn write_variants_consistent_with_default() {
+        // u64 path and byte path need not agree with each other, but each
+        // must be deterministic.
+        let mut a = FxHasher::default();
+        a.write_u64(42);
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,51 @@
+//! # rc-formula
+//!
+//! First-order relational-calculus formula kernel for the `rcsafe`
+//! workspace, a reproduction of Van Gelder & Topor, *Safety and Correct
+//! Translation of Relational Calculus Formulas* (PODS 1987).
+//!
+//! This crate owns everything about formulas *as syntax*:
+//!
+//! * interned [`symbol::Symbol`]s, [`term::Term`]s and the polyadic
+//!   [`ast::Formula`] tree (Sec. 4 of the paper);
+//! * variable bookkeeping — free variables, substitution, rectification
+//!   ([`vars`]);
+//! * the paper's `pushnot` operation and negation normal form
+//!   ([`pushnot`]);
+//! * truth-value simplification, Def. 8.2 ([`simplify`]);
+//! * the equivalences E1–E14 of Figs. 3–4 as directed rewrite rules
+//!   ([`transform`]);
+//! * subformula polarity, Sec. 4 ([`polarity`]);
+//! * prenex / prenex-literal / DNF / CNF normal forms, Defs. 4.1 and 7.2
+//!   ([`normal`]);
+//! * a parser and pretty-printer for a small surface syntax ([`parser`],
+//!   [`display`]);
+//! * seeded random formula generators ([`generate`]).
+//!
+//! The safety analysis itself (`gen`/`con`, evaluable/allowed, `genify`,
+//! RANF) lives in the `rc-safety` crate; the relational algebra target lives
+//! in `rc-relalg`.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod fxhash;
+pub mod generate;
+pub mod normal;
+pub mod parser;
+pub mod paths;
+pub mod polarity;
+pub mod pushnot;
+pub mod schema;
+pub mod simplify;
+pub mod symbol;
+pub mod term;
+pub mod transform;
+pub mod vars;
+
+pub use ast::{Atom, Formula};
+pub use parser::{parse, ParseError};
+pub use schema::Schema;
+pub use symbol::Symbol;
+pub use term::{Term, Value, Var};

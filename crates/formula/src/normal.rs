@@ -1,0 +1,328 @@
+//! Normal forms: prenex, prenex-literal (Def. 4.1), and the `dnf`/`cnf`
+//! constructions of Def. 7.2.
+//!
+//! Per Def. 7.2, `dnf(F)` is built by conservative transformations plus
+//! distributive law E11 ("pushing ands": `A ∧ (B∨C) → (A∧B) ∨ (A∧C)`), and
+//! `cnf(F)` by conservative transformations plus E12 ("pushing ors"). These
+//! matrices may be exponentially larger than the input; [`MatrixLimit`]
+//! bounds the work.
+
+use crate::ast::Formula;
+use crate::pushnot::to_nnf;
+use crate::term::Var;
+use crate::vars::{rectified, FreshVars};
+
+/// A quantifier kind (`%` in the paper's notation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quant {
+    /// `∃`
+    Exists,
+    /// `∀`
+    Forall,
+}
+
+impl Quant {
+    /// The dual quantifier.
+    pub fn dual(self) -> Quant {
+        match self {
+            Quant::Exists => Quant::Forall,
+            Quant::Forall => Quant::Exists,
+        }
+    }
+}
+
+/// A formula split as `%x⃗ M`: quantifier prefix and matrix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Prenex {
+    /// The quantifier prefix, outermost first.
+    pub prefix: Vec<(Quant, Var)>,
+    /// The quantifier-free part.
+    pub matrix: Formula,
+}
+
+impl Prenex {
+    /// Reassemble the prenex formula.
+    pub fn to_formula(&self) -> Formula {
+        self.prefix
+            .iter()
+            .rev()
+            .fold(self.matrix.clone(), |acc, &(q, v)| match q {
+                Quant::Exists => Formula::exists(v, acc),
+                Quant::Forall => Formula::forall(v, acc),
+            })
+    }
+}
+
+/// Convert `f` (rectified internally first) to prenex-literal normal form:
+/// a quantifier prefix over a quantifier-free matrix with negations only on
+/// atoms (Def. 4.1). Uses only conservative transformations (Cor. 6.3).
+pub fn to_plnf(f: &Formula) -> Prenex {
+    let f = rectified(f);
+    let f = to_nnf(&f);
+    let mut prefix = Vec::new();
+    let matrix = pull_quantifiers(&f, &mut prefix);
+    Prenex { prefix, matrix }
+}
+
+/// Hoist all quantifiers of an NNF, rectified formula into `prefix`
+/// (left-to-right order), returning the quantifier-free matrix.
+/// Rectification guarantees hoisting cannot capture (the E7/E8 side
+/// conditions hold by construction).
+fn pull_quantifiers(f: &Formula, prefix: &mut Vec<(Quant, Var)>) -> Formula {
+    match f {
+        Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+        Formula::Not(g) => {
+            debug_assert!(g.is_atomic(), "input must be in NNF");
+            f.clone()
+        }
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| pull_quantifiers(g, prefix))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| pull_quantifiers(g, prefix))
+                .collect(),
+        ),
+        Formula::Exists(v, g) => {
+            prefix.push((Quant::Exists, *v));
+            pull_quantifiers(g, prefix)
+        }
+        Formula::Forall(v, g) => {
+            prefix.push((Quant::Forall, *v));
+            pull_quantifiers(g, prefix)
+        }
+    }
+}
+
+/// Is `f` in prenex-literal normal form?
+pub fn is_plnf(f: &Formula) -> bool {
+    // Strip the prefix, then demand a quantifier-free NNF matrix.
+    let mut cur = f;
+    while let Formula::Exists(_, g) | Formula::Forall(_, g) = cur {
+        cur = g;
+    }
+    let mut ok = true;
+    cur.for_each_subformula(|g| match g {
+        Formula::Exists(..) | Formula::Forall(..) => ok = false,
+        Formula::Not(inner) if !inner.is_atomic() => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+/// Bound on matrix-conversion size, as a clause count.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixLimit(pub usize);
+
+impl Default for MatrixLimit {
+    fn default() -> Self {
+        MatrixLimit(100_000)
+    }
+}
+
+/// Error raised when DNF/CNF conversion exceeds the clause budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixTooLarge;
+
+impl std::fmt::Display for MatrixTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "normal-form matrix exceeded the clause budget")
+    }
+}
+
+impl std::error::Error for MatrixTooLarge {}
+
+/// A quantifier-free matrix as clauses of literals: for DNF, the outer level
+/// is disjunctive (`D₁ ∨ … ∨ Dm`, each `Dᵢ` a conjunction of literals); for
+/// CNF it is conjunctive.
+pub type Clauses = Vec<Vec<Formula>>;
+
+/// Convert a quantifier-free NNF matrix into DNF clauses (disjuncts of
+/// conjunctions), distributing `∧` over `∨` (E11).
+pub fn dnf_clauses(m: &Formula, limit: MatrixLimit) -> Result<Clauses, MatrixTooLarge> {
+    clauses(m, true, limit)
+}
+
+/// Convert a quantifier-free NNF matrix into CNF clauses (conjuncts of
+/// disjunctions), distributing `∨` over `∧` (E12).
+pub fn cnf_clauses(m: &Formula, limit: MatrixLimit) -> Result<Clauses, MatrixTooLarge> {
+    clauses(m, false, limit)
+}
+
+fn clauses(m: &Formula, dnf: bool, limit: MatrixLimit) -> Result<Clauses, MatrixTooLarge> {
+    // For DNF: "merge" across ∨ is concatenation, across ∧ is product.
+    // For CNF the roles swap.
+    fn go(m: &Formula, dnf: bool, limit: usize) -> Result<Clauses, MatrixTooLarge> {
+        match m {
+            Formula::And(fs) if dnf => product(fs, dnf, limit),
+            Formula::Or(fs) if !dnf => product(fs, dnf, limit),
+            Formula::Or(fs) if dnf => concat(fs, dnf, limit),
+            Formula::And(fs) if !dnf => concat(fs, dnf, limit),
+            lit => {
+                debug_assert!(lit.is_literal(), "matrix must be quantifier-free NNF");
+                Ok(vec![vec![lit.clone()]])
+            }
+        }
+    }
+    fn concat(fs: &[Formula], dnf: bool, limit: usize) -> Result<Clauses, MatrixTooLarge> {
+        let mut out = Vec::new();
+        for f in fs {
+            out.extend(go(f, dnf, limit)?);
+            if out.len() > limit {
+                return Err(MatrixTooLarge);
+            }
+        }
+        Ok(out)
+    }
+    fn product(fs: &[Formula], dnf: bool, limit: usize) -> Result<Clauses, MatrixTooLarge> {
+        let mut acc: Clauses = vec![vec![]];
+        for f in fs {
+            let rhs = go(f, dnf, limit)?;
+            let mut next = Vec::with_capacity(acc.len() * rhs.len());
+            for a in &acc {
+                for b in &rhs {
+                    let mut clause = a.clone();
+                    clause.extend(b.iter().cloned());
+                    next.push(clause);
+                }
+            }
+            if next.len() > limit {
+                return Err(MatrixTooLarge);
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+    go(m, dnf, limit.0)
+}
+
+/// The paper's `dnf(F)` (Def. 7.2): PLNF prefix over a DNF matrix.
+pub fn dnf(f: &Formula, limit: MatrixLimit) -> Result<Prenex, MatrixTooLarge> {
+    let p = to_plnf(f);
+    let clauses = dnf_clauses(&p.matrix, limit)?;
+    Ok(Prenex {
+        prefix: p.prefix,
+        matrix: Formula::Or(clauses.into_iter().map(Formula::And).collect()),
+    })
+}
+
+/// The paper's `cnf(F)` (Def. 7.2): PLNF prefix over a CNF matrix.
+pub fn cnf(f: &Formula, limit: MatrixLimit) -> Result<Prenex, MatrixTooLarge> {
+    let p = to_plnf(f);
+    let clauses = cnf_clauses(&p.matrix, limit)?;
+    Ok(Prenex {
+        prefix: p.prefix,
+        matrix: Formula::And(clauses.into_iter().map(Formula::Or).collect()),
+    })
+}
+
+/// Rectified prenex conversion that keeps quantifier kinds intact but does
+/// not require NNF input (it NNFs internally). Exposed for callers who need
+/// the prefix/matrix split.
+pub fn to_prenex(f: &Formula) -> Prenex {
+    to_plnf(f)
+}
+
+/// Make sure two independently produced formulas share no bound-variable
+/// names (rename the second's apart). Useful before combining formulas.
+pub fn rename_apart(left: &Formula, right: &Formula) -> Formula {
+    let mut fresh = FreshVars::for_formula(left);
+    fresh.reserve_from(right);
+    crate::vars::rectify(right, &mut fresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn p(v: &str) -> Formula {
+        Formula::atom("P", vec![Term::var(v)])
+    }
+    fn q(v: &str) -> Formula {
+        Formula::atom("Q", vec![Term::var(v)])
+    }
+    fn r(v: &str, w: &str) -> Formula {
+        Formula::atom("R", vec![Term::var(v), Term::var(w)])
+    }
+
+    #[test]
+    fn plnf_of_negated_quantified() {
+        // ¬∃x (P(x) ∧ ¬Q(x)) → ∀x (¬P(x) ∨ Q(x))
+        let f = Formula::not(Formula::exists(
+            "x",
+            Formula::And(vec![p("x"), Formula::not(q("x"))]),
+        ));
+        let plnf = to_plnf(&f);
+        assert_eq!(plnf.prefix, vec![(Quant::Forall, Var::new("x"))]);
+        assert_eq!(
+            plnf.matrix,
+            Formula::Or(vec![Formula::not(p("x")), q("x")])
+        );
+        assert!(is_plnf(&plnf.to_formula()));
+    }
+
+    #[test]
+    fn plnf_renames_clashing_binders() {
+        // ∃x P(x) ∧ ∃x Q(x): prenexing needs distinct variables.
+        let f = Formula::And(vec![
+            Formula::exists("x", p("x")),
+            Formula::exists("x", q("x")),
+        ]);
+        let plnf = to_plnf(&f);
+        assert_eq!(plnf.prefix.len(), 2);
+        assert_ne!(plnf.prefix[0].1, plnf.prefix[1].1);
+    }
+
+    #[test]
+    fn dnf_distributes() {
+        // P(x) ∧ (Q(y) ∨ R(x,y)) → (P∧Q) ∨ (P∧R)
+        let f = Formula::And(vec![p("x"), Formula::Or(vec![q("y"), r("x", "y")])]);
+        let d = dnf(&f, MatrixLimit::default()).unwrap();
+        assert!(d.prefix.is_empty());
+        match &d.matrix {
+            Formula::Or(cls) => {
+                assert_eq!(cls.len(), 2);
+                assert_eq!(cls[0], Formula::And(vec![p("x"), q("y")]));
+                assert_eq!(cls[1], Formula::And(vec![p("x"), r("x", "y")]));
+            }
+            _ => panic!("expected Or of clauses"),
+        }
+    }
+
+    #[test]
+    fn cnf_distributes() {
+        // P(x) ∨ (Q(y) ∧ R(x,y)) → (P∨Q) ∧ (P∨R)
+        let f = Formula::Or(vec![p("x"), Formula::And(vec![q("y"), r("x", "y")])]);
+        let c = cnf(&f, MatrixLimit::default()).unwrap();
+        match &c.matrix {
+            Formula::And(cls) => assert_eq!(cls.len(), 2),
+            _ => panic!("expected And of clauses"),
+        }
+    }
+
+    #[test]
+    fn blowup_is_bounded() {
+        // (a1∨b1) ∧ (a2∨b2) ∧ … has 2^n DNF clauses.
+        let mut conj = Vec::new();
+        for i in 0..30 {
+            conj.push(Formula::Or(vec![
+                Formula::atom(format!("A{i}").as_str(), vec![]),
+                Formula::atom(format!("B{i}").as_str(), vec![]),
+            ]));
+        }
+        let f = Formula::And(conj);
+        assert_eq!(dnf(&f, MatrixLimit(1024)), Err(MatrixTooLarge));
+    }
+
+    #[test]
+    fn truth_constant_matrices() {
+        // DNF of `true` is the single empty clause; of `false` no clauses.
+        let d = dnf_clauses(&Formula::tru(), MatrixLimit::default()).unwrap();
+        assert_eq!(d, vec![Vec::<Formula>::new()]);
+        let e = dnf_clauses(&Formula::fls(), MatrixLimit::default()).unwrap();
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! Tokenizer for the formula surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier starting with an uppercase letter: a predicate symbol.
+    Pred(String),
+    /// Identifier starting with a lowercase letter: a variable (unless it is
+    /// a keyword, which the lexer separates out).
+    Var(String),
+    /// Integer constant.
+    Int(i64),
+    /// Quoted string constant.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=` or `≠`
+    Neq,
+    /// `&`, `∧`, or keyword `and`
+    And,
+    /// `|`, `∨`, or keyword `or`
+    Or,
+    /// `!`, `~`, `¬`, or keyword `not`
+    Not,
+    /// `->`
+    Implies,
+    /// `<->`
+    Iff,
+    /// `exists` or `∃`
+    Exists,
+    /// `forall` or `∀`
+    Forall,
+    /// keyword `true`
+    True,
+    /// keyword `false`
+    False,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Pred(s) | Tok::Var(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Eq => write!(f, "="),
+            Tok::Neq => write!(f, "!="),
+            Tok::And => write!(f, "&"),
+            Tok::Or => write!(f, "|"),
+            Tok::Not => write!(f, "!"),
+            Tok::Implies => write!(f, "->"),
+            Tok::Iff => write!(f, "<->"),
+            Tok::Exists => write!(f, "exists"),
+            Tok::Forall => write!(f, "forall"),
+            Tok::True => write!(f, "true"),
+            Tok::False => write!(f, "false"),
+        }
+    }
+}
+
+/// A token with its byte offset in the input (for error messages).
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Lexing / parsing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `input`.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        let push = |out: &mut Vec<Spanned>, tok: Tok| out.push(Spanned { tok, offset: i });
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '%' => {
+                // Comment to end of line.
+                for (_, c) in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                push(&mut out, Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                push(&mut out, Tok::RParen);
+            }
+            '[' => {
+                chars.next();
+                push(&mut out, Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                push(&mut out, Tok::RBracket);
+            }
+            ',' => {
+                chars.next();
+                push(&mut out, Tok::Comma);
+            }
+            '.' => {
+                chars.next();
+                push(&mut out, Tok::Dot);
+            }
+            '=' => {
+                chars.next();
+                push(&mut out, Tok::Eq);
+            }
+            '≠' => {
+                chars.next();
+                push(&mut out, Tok::Neq);
+            }
+            '&' | '∧' => {
+                chars.next();
+                push(&mut out, Tok::And);
+            }
+            '|' | '∨' => {
+                chars.next();
+                push(&mut out, Tok::Or);
+            }
+            '~' | '¬' => {
+                chars.next();
+                push(&mut out, Tok::Not);
+            }
+            '∃' => {
+                chars.next();
+                push(&mut out, Tok::Exists);
+            }
+            '∀' => {
+                chars.next();
+                push(&mut out, Tok::Forall);
+            }
+            '!' => {
+                chars.next();
+                if matches!(chars.peek(), Some(&(_, '='))) {
+                    chars.next();
+                    push(&mut out, Tok::Neq);
+                } else {
+                    push(&mut out, Tok::Not);
+                }
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '>')) => {
+                        chars.next();
+                        push(&mut out, Tok::Implies);
+                    }
+                    Some(&(_, d)) if d.is_ascii_digit() => {
+                        let n = lex_int(&mut chars)?;
+                        push(&mut out, Tok::Int(-n));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            message: "expected '->' or a negative integer after '-'".into(),
+                            offset: i,
+                        })
+                    }
+                }
+            }
+            '<' => {
+                chars.next();
+                if matches!(chars.peek(), Some(&(_, '-'))) {
+                    chars.next();
+                    if matches!(chars.peek(), Some(&(_, '>'))) {
+                        chars.next();
+                        push(&mut out, Tok::Iff);
+                        continue;
+                    }
+                }
+                return Err(ParseError {
+                    message: "expected '<->'".into(),
+                    offset: i,
+                });
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for (_, c) in chars.by_ref() {
+                    if c == quote {
+                        closed = true;
+                        break;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        offset: i,
+                    });
+                }
+                push(&mut out, Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let n = lex_int(&mut chars)?;
+                push(&mut out, Tok::Int(n));
+            }
+            c if is_ident_start(c) => {
+                let mut s = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_continue(c) {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match s.as_str() {
+                    "exists" => Tok::Exists,
+                    "forall" => Tok::Forall,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ if s.chars().next().unwrap().is_uppercase() => Tok::Pred(s),
+                    _ => Tok::Var(s),
+                };
+                push(&mut out, tok);
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_int(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<i64, ParseError> {
+    let mut n: i64 = 0;
+    let mut offset = 0;
+    while let Some(&(i, c)) = chars.peek() {
+        offset = i;
+        if let Some(d) = c.to_digit(10) {
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(d as i64))
+                .ok_or(ParseError {
+                    message: "integer literal overflows i64".into(),
+                    offset: i,
+                })?;
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    let _ = offset;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lex_ascii_formula() {
+        assert_eq!(
+            toks("exists y. P(x) & !Q(x, y)"),
+            vec![
+                Tok::Exists,
+                Tok::Var("y".into()),
+                Tok::Dot,
+                Tok::Pred("P".into()),
+                Tok::LParen,
+                Tok::Var("x".into()),
+                Tok::RParen,
+                Tok::And,
+                Tok::Not,
+                Tok::Pred("Q".into()),
+                Tok::LParen,
+                Tok::Var("x".into()),
+                Tok::Comma,
+                Tok::Var("y".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_unicode_formula() {
+        assert_eq!(
+            toks("∀x ¬P(x) ∨ S(y, x)"),
+            vec![
+                Tok::Forall,
+                Tok::Var("x".into()),
+                Tok::Not,
+                Tok::Pred("P".into()),
+                Tok::LParen,
+                Tok::Var("x".into()),
+                Tok::RParen,
+                Tok::Or,
+                Tok::Pred("S".into()),
+                Tok::LParen,
+                Tok::Var("y".into()),
+                Tok::Comma,
+                Tok::Var("x".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_literals_and_operators() {
+        assert_eq!(
+            toks("x != 42 <-> y = 'none' -> -7"),
+            vec![
+                Tok::Var("x".into()),
+                Tok::Neq,
+                Tok::Int(42),
+                Tok::Iff,
+                Tok::Var("y".into()),
+                Tok::Eq,
+                Tok::Str("none".into()),
+                Tok::Implies,
+                Tok::Int(-7),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("P % trailing comment\n & Q"), toks("P & Q"));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("P(x) @ Q").unwrap_err();
+        assert_eq!(err.offset, 5);
+        assert!(lex("'unterminated").is_err());
+    }
+}

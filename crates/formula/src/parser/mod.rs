@@ -1,0 +1,386 @@
+//! Recursive-descent parser for the formula surface syntax.
+//!
+//! ```text
+//! formula  :=  iff
+//! iff      :=  implies ('<->' implies)*                 (left assoc, sugar)
+//! implies  :=  or ('->' implies)?                       (right assoc, sugar)
+//! or       :=  and (('|' | '∨' | 'or') and)*
+//! and      :=  unary (('&' | '∧' | 'and') unary)*
+//! unary    :=  ('!' | '¬' | '~' | 'not') unary
+//!           |  ('exists' | '∃' | 'forall' | '∀') var (',' var)* '.'? formula
+//!           |  primary
+//! primary  :=  'true' | 'false' | '(' formula ')' | '[' formula ']'
+//!           |  PRED ['(' term (',' term)* ')']
+//!           |  term ('=' | '!=' | '≠') term
+//! term     :=  var | integer | 'string' | "string"
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are predicate symbols;
+//! lowercase identifiers are variables (matching the paper's conventions for
+//! `P, Q` vs `u, …, z`). Quantifier bodies extend as far right as possible.
+//! `A -> B` desugars to `¬A ∨ B`, and `A <-> B` to `(¬A ∨ B) ∧ (¬B ∨ A)`.
+
+mod lexer;
+
+pub use lexer::{lex, ParseError, Spanned, Tok};
+
+use crate::ast::Formula;
+use crate::term::{Term, Value, Var};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!(
+                "expected `{want}`, found {}",
+                match other {
+                    Some(t) => format!("`{t}`"),
+                    None => "end of input".to_string(),
+                }
+            ))),
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            offset: self.offset(),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.implies()?;
+        while matches!(self.peek(), Some(Tok::Iff)) {
+            self.bump();
+            let rhs = self.implies()?;
+            lhs = Formula::and2(
+                Formula::or2(Formula::not(lhs.clone()), rhs.clone()),
+                Formula::or2(Formula::not(rhs), lhs),
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if matches!(self.peek(), Some(Tok::Implies)) {
+            self.bump();
+            let rhs = self.implies()?;
+            Ok(Formula::or2(Formula::not(lhs), rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let first = self.and()?;
+        let mut operands = vec![first];
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.bump();
+            operands.push(self.and()?);
+        }
+        // Structure-preserving: `a | b | c` is one polyadic Or, but a
+        // parenthesized `(a | b) | c` keeps its nesting (round-trips with
+        // the printer, which parenthesizes raw nested same-connectives).
+        Ok(if operands.len() == 1 {
+            operands.pop().expect("nonempty")
+        } else {
+            Formula::Or(operands)
+        })
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let first = self.unary()?;
+        let mut operands = vec![first];
+        while matches!(self.peek(), Some(Tok::And)) {
+            self.bump();
+            operands.push(self.unary()?);
+        }
+        Ok(if operands.len() == 1 {
+            operands.pop().expect("nonempty")
+        } else {
+            Formula::And(operands)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Exists) | Some(Tok::Forall) => {
+                let is_exists = matches!(self.peek(), Some(Tok::Exists));
+                self.bump();
+                let mut vars = vec![self.var()?];
+                while matches!(self.peek(), Some(Tok::Comma)) {
+                    self.bump();
+                    vars.push(self.var()?);
+                }
+                if matches!(self.peek(), Some(Tok::Dot)) {
+                    self.bump();
+                }
+                let body = self.formula()?;
+                Ok(if is_exists {
+                    Formula::exists_many(vars, body)
+                } else {
+                    Formula::forall_many(vars, body)
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn var(&mut self) -> Result<Var, ParseError> {
+        match self.bump() {
+            Some(Tok::Var(name)) => Ok(Var::new(&name)),
+            other => Err(self.error(format!(
+                "expected a variable (lowercase identifier), found {}",
+                match other {
+                    Some(t) => format!("`{t}`"),
+                    None => "end of input".to_string(),
+                }
+            ))),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::True) => {
+                self.bump();
+                Ok(Formula::tru())
+            }
+            Some(Tok::False) => {
+                self.bump();
+                Ok(Formula::fls())
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f)
+            }
+            Some(Tok::LBracket) => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(&Tok::RBracket)?;
+                Ok(f)
+            }
+            Some(Tok::Pred(name)) => {
+                self.bump();
+                let mut terms = Vec::new();
+                if matches!(self.peek(), Some(Tok::LParen)) {
+                    self.bump();
+                    if !matches!(self.peek(), Some(Tok::RParen)) {
+                        terms.push(self.term()?);
+                        while matches!(self.peek(), Some(Tok::Comma)) {
+                            self.bump();
+                            terms.push(self.term()?);
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                }
+                Ok(Formula::atom(name.as_str(), terms))
+            }
+            Some(Tok::Var(_)) | Some(Tok::Int(_)) | Some(Tok::Str(_)) => {
+                let lhs = self.term()?;
+                self.equality_rest(lhs)
+            }
+            other => Err(self.error(format!(
+                "expected a formula, found {}",
+                match other {
+                    Some(t) => format!("`{t}`"),
+                    None => "end of input".to_string(),
+                }
+            ))),
+        }
+    }
+
+    fn equality_rest(&mut self, lhs: Term) -> Result<Formula, ParseError> {
+        match self.bump() {
+            Some(Tok::Eq) => {
+                let rhs = self.term()?;
+                Ok(Formula::Eq(lhs, rhs))
+            }
+            Some(Tok::Neq) => {
+                let rhs = self.term()?;
+                Ok(Formula::not(Formula::Eq(lhs, rhs)))
+            }
+            other => Err(self.error(format!(
+                "expected `=` or `!=` after a term, found {}",
+                match other {
+                    Some(t) => format!("`{t}`"),
+                    None => "end of input".to_string(),
+                }
+            ))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Var(name)) => Ok(Term::Var(Var::new(&name))),
+            Some(Tok::Int(i)) => Ok(Term::Const(Value::Int(i))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::str(&s))),
+            other => Err(self.error(format!(
+                "expected a term, found {}",
+                match other {
+                    Some(t) => format!("`{t}`"),
+                    None => "end of input".to_string(),
+                }
+            ))),
+        }
+    }
+}
+
+/// Parse a formula from `input`.
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let f = p.formula()?;
+    if let Some(t) = p.peek() {
+        return Err(p.error(format!("unexpected trailing `{t}`")));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::ascii;
+
+    #[test]
+    fn parse_simple_atom() {
+        assert_eq!(
+            parse("P(x, y)").unwrap(),
+            Formula::atom("P", vec![Term::var("x"), Term::var("y")])
+        );
+        assert_eq!(parse("R").unwrap(), Formula::atom("R", vec![]));
+        assert_eq!(parse("R()").unwrap(), Formula::atom("R", vec![]));
+    }
+
+    #[test]
+    fn parse_connectives_with_precedence() {
+        let f = parse("P(x) & Q(y) | R(z)").unwrap();
+        // (P ∧ Q) ∨ R
+        match f {
+            Formula::Or(fs) => {
+                assert_eq!(fs.len(), 2);
+                assert!(matches!(fs[0], Formula::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_quantifiers_maximal_scope() {
+        let f = parse("exists y. P(x) | Q(x, y)").unwrap();
+        assert!(matches!(f, Formula::Exists(..)));
+        // Multi-variable binder.
+        let g = parse("forall x, y. P(x) & P(y)").unwrap();
+        match g {
+            Formula::Forall(_, inner) => assert!(matches!(*inner, Formula::Forall(..))),
+            other => panic!("expected Forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_equality_and_disequality() {
+        assert_eq!(
+            parse("x = 3").unwrap(),
+            Formula::eq(Term::var("x"), Term::val(3))
+        );
+        assert_eq!(
+            parse("x ≠ y").unwrap(),
+            Formula::neq(Term::var("x"), Term::var("y"))
+        );
+        assert_eq!(
+            parse("y = 'none'").unwrap(),
+            Formula::eq(Term::var("y"), Term::val("none"))
+        );
+    }
+
+    #[test]
+    fn parse_unicode_paper_example() {
+        // Example 5.2's G: ∃y ∀x (¬P(x) ∨ S(y,x))
+        let f = parse("∃y ∀x (¬P(x) ∨ S(y, x))").unwrap();
+        assert!(matches!(f, Formula::Exists(..)));
+    }
+
+    #[test]
+    fn implication_desugars() {
+        let f = parse("P(x) -> Q(x)").unwrap();
+        assert_eq!(
+            f,
+            Formula::or2(
+                Formula::not(Formula::atom("P", vec![Term::var("x")])),
+                Formula::atom("Q", vec![Term::var("x")])
+            )
+        );
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let cases = [
+            "∃y (P(x, y) ∨ Q(y)) ∧ ¬R(y)",
+            "∀x (P(x) ∧ Q(y) ∨ P(x) ∧ ¬R(y))",
+            "P(x) ∧ (S(y, x) ∨ ∀z ¬S(z, x) ∧ y = 'none')",
+            "true",
+            "false",
+            "x ≠ 3 ∧ ¬(P(x) ∨ Q(x))",
+        ];
+        for src in cases {
+            let f = parse(src).unwrap();
+            let printed = f.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(reparsed, f, "unicode roundtrip of {src}");
+            let a = ascii(&f);
+            let reparsed2 =
+                parse(&a).unwrap_or_else(|e| panic!("reparse of {a:?} failed: {e}"));
+            assert_eq!(reparsed2, f, "ascii roundtrip of {src}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("P(x) Q(y)").is_err());
+        assert!(parse("P(x").is_err());
+        assert!(parse("").is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Addressing subformulas by position.
+//!
+//! A [`Path`] is the sequence of child indices leading from the root to a
+//! subformula. Transformation machinery (the rewrite rules of Figs. 3 and 4)
+//! applies rules *at* a path, mirroring the paper's "replacing a subformula
+//! of F according to one of the equivalences" (Def. 6.1).
+
+use crate::ast::Formula;
+
+/// A position in a formula tree: child indices from the root.
+pub type Path = Vec<usize>;
+
+/// The subformula of `f` at `path`, if the path is valid.
+pub fn subformula_at<'a>(f: &'a Formula, path: &[usize]) -> Option<&'a Formula> {
+    let mut cur = f;
+    for &i in path {
+        cur = match cur {
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) if i == 0 => g,
+            Formula::And(fs) | Formula::Or(fs) => fs.get(i)?,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+/// Rebuild `f` with the subformula at `path` replaced by `new`.
+/// Returns `None` if the path is invalid.
+pub fn replace_at(f: &Formula, path: &[usize], new: Formula) -> Option<Formula> {
+    if path.is_empty() {
+        return Some(new);
+    }
+    let (i, rest) = (path[0], &path[1..]);
+    Some(match f {
+        Formula::Not(g) if i == 0 => Formula::Not(Box::new(replace_at(g, rest, new)?)),
+        Formula::Exists(v, g) if i == 0 => Formula::Exists(*v, Box::new(replace_at(g, rest, new)?)),
+        Formula::Forall(v, g) if i == 0 => Formula::Forall(*v, Box::new(replace_at(g, rest, new)?)),
+        Formula::And(fs) => {
+            let inner = replace_at(fs.get(i)?, rest, new)?;
+            let mut fs = fs.clone();
+            fs[i] = inner;
+            Formula::And(fs)
+        }
+        Formula::Or(fs) => {
+            let inner = replace_at(fs.get(i)?, rest, new)?;
+            let mut fs = fs.clone();
+            fs[i] = inner;
+            Formula::Or(fs)
+        }
+        _ => return None,
+    })
+}
+
+/// Every valid path in `f`, in preorder (the empty path addresses the root).
+pub fn all_paths(f: &Formula) -> Vec<Path> {
+    let mut out = Vec::new();
+    fn go(f: &Formula, prefix: &mut Path, out: &mut Vec<Path>) {
+        out.push(prefix.clone());
+        for (i, child) in f.children().into_iter().enumerate() {
+            prefix.push(i);
+            go(child, prefix, out);
+            prefix.pop();
+        }
+    }
+    go(f, &mut Vec::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn sample() -> Formula {
+        // ∃x (P(x) ∧ ¬Q(x))
+        Formula::exists(
+            "x",
+            Formula::And(vec![
+                Formula::atom("P", vec![Term::var("x")]),
+                Formula::not(Formula::atom("Q", vec![Term::var("x")])),
+            ]),
+        )
+    }
+
+    #[test]
+    fn navigate_paths() {
+        let f = sample();
+        assert!(matches!(
+            subformula_at(&f, &[]).unwrap(),
+            Formula::Exists(..)
+        ));
+        assert!(matches!(
+            subformula_at(&f, &[0]).unwrap(),
+            Formula::And(_)
+        ));
+        assert!(matches!(
+            subformula_at(&f, &[0, 1, 0]).unwrap(),
+            Formula::Atom(_)
+        ));
+        assert_eq!(subformula_at(&f, &[0, 2]), None);
+        assert_eq!(subformula_at(&f, &[1]), None);
+    }
+
+    #[test]
+    fn replace_leaf() {
+        let f = sample();
+        let g = replace_at(&f, &[0, 0], Formula::tru()).unwrap();
+        assert!(subformula_at(&g, &[0, 0]).unwrap().is_true());
+        // Rest of the tree is unchanged.
+        assert!(matches!(
+            subformula_at(&g, &[0, 1]).unwrap(),
+            Formula::Not(_)
+        ));
+    }
+
+    #[test]
+    fn all_paths_count_matches_node_count() {
+        let f = sample();
+        assert_eq!(all_paths(&f).len(), f.node_count());
+        // Every enumerated path must resolve.
+        for p in all_paths(&f) {
+            assert!(subformula_at(&f, &p).is_some());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Polarity of subformulas (Sec. 4 / Sec. 5.1 of the paper).
+//!
+//! "A subformula is considered to be *positive* if it falls under an even
+//! number of negations, and *negative* if it falls under an odd number."
+//! Quantifiers and the binary connectives do not affect polarity; only `¬`
+//! flips it.
+
+use crate::ast::Formula;
+use crate::paths::Path;
+use crate::term::Var;
+
+/// Polarity of an occurrence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Polarity {
+    /// Under an even number of negations.
+    Positive,
+    /// Under an odd number of negations.
+    Negative,
+}
+
+impl Polarity {
+    /// The opposite polarity.
+    pub fn flip(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+        }
+    }
+}
+
+/// Polarity of the subformula at `path` (None when the path is invalid).
+pub fn polarity_at(f: &Formula, path: &Path) -> Option<Polarity> {
+    let mut cur = f;
+    let mut pol = Polarity::Positive;
+    for &i in path {
+        match cur {
+            Formula::Not(g) if i == 0 => {
+                pol = pol.flip();
+                cur = g;
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) if i == 0 => cur = g,
+            Formula::And(fs) | Formula::Or(fs) => cur = fs.get(i)?,
+            _ => return None,
+        }
+    }
+    Some(pol)
+}
+
+/// Every atom occurrence (edb atoms and equalities) with its polarity, in
+/// preorder.
+pub fn atom_polarities(f: &Formula) -> Vec<(Formula, Polarity)> {
+    let mut out = Vec::new();
+    fn go(f: &Formula, pol: Polarity, out: &mut Vec<(Formula, Polarity)>) {
+        match f {
+            Formula::Atom(_) | Formula::Eq(..) => out.push((f.clone(), pol)),
+            Formula::Not(g) => go(g, pol.flip(), out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    go(g, pol, out);
+                }
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, pol, out),
+        }
+    }
+    go(f, Polarity::Positive, &mut out);
+    out
+}
+
+/// Does `x` occur in a **positive** atom of `f`? (The phrasing of Def. 7.1
+/// conditions 1–2; `x = c` counts — it is treated as the edb atom `x q̲ c`,
+/// Sec. 5.3 — but `x = y` between variables does not generate.)
+pub fn occurs_in_positive_atom(x: Var, f: &Formula) -> bool {
+    atom_polarities(f).iter().any(|(a, pol)| {
+        *pol == Polarity::Positive && atom_generates(x, a)
+    })
+}
+
+/// Does `x` occur in a **negative** atom of `f`? (Def. 7.1 condition 3.)
+pub fn occurs_in_negative_atom(x: Var, f: &Formula) -> bool {
+    atom_polarities(f).iter().any(|(a, pol)| {
+        *pol == Polarity::Negative && atom_generates(x, a)
+    })
+}
+
+/// Can this atom generate `x` when positive: an edb atom mentioning `x`, or
+/// `x = c`.
+fn atom_generates(x: Var, a: &Formula) -> bool {
+    use crate::term::Term;
+    match a {
+        Formula::Atom(at) => at.terms.iter().any(|t| t.mentions(x)),
+        Formula::Eq(s, t) => {
+            matches!((s, t), (Term::Var(v), Term::Const(_)) if *v == x)
+                || matches!((s, t), (Term::Const(_), Term::Var(v)) if *v == x)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn polarity_flips_only_under_negation() {
+        // ¬(P(x) ∧ ¬Q(x)): P is negative, Q is positive.
+        let f = parse("!(P(x) & !Q(x))").unwrap();
+        let pols = atom_polarities(&f);
+        assert_eq!(pols.len(), 2);
+        assert_eq!(pols[0].1, Polarity::Negative); // P
+        assert_eq!(pols[1].1, Polarity::Positive); // Q
+    }
+
+    #[test]
+    fn quantifiers_preserve_polarity() {
+        let f = parse("forall x. exists y. !P(x, y)").unwrap();
+        let pols = atom_polarities(&f);
+        assert_eq!(pols[0].1, Polarity::Negative);
+    }
+
+    #[test]
+    fn polarity_at_follows_paths() {
+        let f = parse("!(P(x) | !Q(x))").unwrap();
+        // Root positive; under ¬ negative; under ¬¬ positive.
+        assert_eq!(polarity_at(&f, &vec![]), Some(Polarity::Positive));
+        assert_eq!(polarity_at(&f, &vec![0]), Some(Polarity::Negative));
+        assert_eq!(polarity_at(&f, &vec![0, 0]), Some(Polarity::Negative));
+        assert_eq!(polarity_at(&f, &vec![0, 1, 0]), Some(Polarity::Positive));
+        assert_eq!(polarity_at(&f, &vec![7]), None);
+    }
+
+    #[test]
+    fn positive_atom_occurrence() {
+        use crate::term::Var;
+        let x = Var::new("x");
+        assert!(occurs_in_positive_atom(x, &parse("P(x) & !Q(x)").unwrap()));
+        assert!(!occurs_in_positive_atom(x, &parse("!P(x)").unwrap()));
+        assert!(occurs_in_negative_atom(x, &parse("!P(x)").unwrap()));
+        // x = c counts as a positive atom; x = y does not.
+        assert!(occurs_in_positive_atom(x, &parse("x = 3").unwrap()));
+        assert!(!occurs_in_positive_atom(x, &parse("x = y").unwrap()));
+        // x ≠ c is a negative occurrence.
+        assert!(occurs_in_negative_atom(x, &parse("x != 3").unwrap()));
+    }
+}

@@ -1,0 +1,197 @@
+//! The paper's `pushnot` operation and negation normal form.
+//!
+//! `pushnot(¬A, B)` (Fig. 1) rewrites `¬A` into an equivalent formula `B`
+//! without `¬` at the top, by applying DeMorgan's laws, changing `¬∃` to
+//! `∀¬`, or `¬∀` to `∃¬`; it *fails* when `A` is an atom. The `gen` and
+//! `con` rules of Figs. 1 and 5 consult it on every negation.
+
+use crate::ast::Formula;
+
+/// Apply one step of `pushnot` to `¬inner`: return the equivalent formula
+/// with the negation pushed one level down, or `None` when `inner` is atomic
+/// (an edb atom or an equality), in which case the paper's `pushnot` fails.
+///
+/// With polyadic connectives, DeMorgan acts on the whole operand list; note
+/// that this correctly sends `¬true = ¬∧()` to `∨() = false` and dually.
+pub fn pushnot(inner: &Formula) -> Option<Formula> {
+    match inner {
+        Formula::Atom(_) | Formula::Eq(..) => None,
+        Formula::Not(g) => Some((**g).clone()),
+        Formula::And(fs) => Some(Formula::Or(fs.iter().cloned().map(Formula::not).collect())),
+        Formula::Or(fs) => Some(Formula::And(fs.iter().cloned().map(Formula::not).collect())),
+        Formula::Exists(v, g) => Some(Formula::Forall(*v, Box::new(Formula::not((**g).clone())))),
+        Formula::Forall(v, g) => Some(Formula::Exists(*v, Box::new(Formula::not((**g).clone())))),
+    }
+}
+
+/// Negation normal form: push every negation down to the atoms (and remove
+/// double negations). Quantifiers are left in place, so the result of
+/// prenexing an NNF formula is in the paper's *prenex-literal normal form*
+/// (Def. 4.1). Uses only conservative transformations (E1–E5), so it
+/// preserves the evaluable property (Thm. 6.2).
+pub fn to_nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+        Formula::Not(g) => match pushnot(g) {
+            None => f.clone(), // negated atom: already NNF
+            Some(pushed) => to_nnf(&pushed),
+        },
+        Formula::And(fs) => Formula::And(fs.iter().map(to_nnf).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(to_nnf).collect()),
+        Formula::Exists(v, g) => Formula::Exists(*v, Box::new(to_nnf(g))),
+        Formula::Forall(v, g) => Formula::Forall(*v, Box::new(to_nnf(g))),
+    }
+}
+
+/// Is `f` in negation normal form (negations only immediately above atoms)?
+pub fn is_nnf(f: &Formula) -> bool {
+    let mut ok = true;
+    f.for_each_subformula(|g| {
+        if let Formula::Not(inner) = g {
+            if !inner.is_atomic() {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// The Corollary 6.4 form: no universal quantifiers, negations only
+/// immediately above atoms and existential quantifiers. This is the input
+/// form required by `genify` (Alg. 8.1), reached by conservative
+/// transformations only.
+pub fn eliminate_forall(f: &Formula) -> Formula {
+    match f {
+        Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+        Formula::Not(g) => match &**g {
+            // ¬∃xA is an allowed shape; recurse inside.
+            Formula::Exists(v, body) => Formula::not(Formula::Exists(
+                *v,
+                Box::new(eliminate_forall(body)),
+            )),
+            Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+            other => {
+                let pushed = pushnot(other).expect("non-atomic formula always pushes");
+                eliminate_forall(&pushed)
+            }
+        },
+        Formula::And(fs) => Formula::And(fs.iter().map(eliminate_forall).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(eliminate_forall).collect()),
+        Formula::Exists(v, g) => Formula::Exists(*v, Box::new(eliminate_forall(g))),
+        // ∀xA ≡ ¬∃x¬A (T4 of Alg. 9.1, conservative by E4+E1).
+        Formula::Forall(v, g) => Formula::not(Formula::Exists(
+            *v,
+            Box::new(eliminate_forall(&Formula::not((**g).clone()))),
+        )),
+    }
+}
+
+/// Does `f` satisfy the Corollary 6.4 shape (no `∀`; `¬` only above atoms,
+/// equalities, and `∃`)?
+pub fn is_forall_free_nnf(f: &Formula) -> bool {
+    let mut ok = true;
+    f.for_each_subformula(|g| match g {
+        Formula::Forall(..) => ok = false,
+        Formula::Not(inner)
+            if !matches!(&**inner, Formula::Atom(_) | Formula::Eq(..) | Formula::Exists(..)) =>
+        {
+            ok = false;
+        }
+        _ => {}
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn p() -> Formula {
+        Formula::atom("P", vec![Term::var("x")])
+    }
+    fn q() -> Formula {
+        Formula::atom("Q", vec![Term::var("y")])
+    }
+
+    #[test]
+    fn pushnot_fails_on_atoms() {
+        assert_eq!(pushnot(&p()), None);
+        assert_eq!(pushnot(&Formula::eq(Term::var("x"), Term::val(1))), None);
+    }
+
+    #[test]
+    fn pushnot_demorgan() {
+        let f = Formula::And(vec![p(), q()]);
+        assert_eq!(
+            pushnot(&f),
+            Some(Formula::Or(vec![Formula::not(p()), Formula::not(q())]))
+        );
+    }
+
+    #[test]
+    fn pushnot_on_truth_constants() {
+        // ¬true → false, ¬false → true via empty DeMorgan.
+        assert_eq!(pushnot(&Formula::tru()), Some(Formula::fls()));
+        assert_eq!(pushnot(&Formula::fls()), Some(Formula::tru()));
+    }
+
+    #[test]
+    fn pushnot_quantifiers() {
+        let f = Formula::exists("x", p());
+        assert_eq!(
+            pushnot(&f),
+            Some(Formula::forall("x", Formula::not(p())))
+        );
+        let g = Formula::forall("x", p());
+        assert_eq!(
+            pushnot(&g),
+            Some(Formula::exists("x", Formula::not(p())))
+        );
+    }
+
+    #[test]
+    fn nnf_pushes_to_atoms() {
+        // ¬∀x(P ∧ ¬Q) → ∃x(¬P ∨ Q)
+        let f = Formula::not(Formula::forall(
+            "x",
+            Formula::And(vec![p(), Formula::not(q())]),
+        ));
+        let nnf = to_nnf(&f);
+        assert!(is_nnf(&nnf));
+        assert_eq!(
+            nnf,
+            Formula::exists("x", Formula::Or(vec![Formula::not(p()), q()]))
+        );
+    }
+
+    #[test]
+    fn nnf_removes_double_negation() {
+        let f = Formula::not(Formula::not(p()));
+        assert_eq!(to_nnf(&f), p());
+    }
+
+    #[test]
+    fn eliminate_forall_produces_cor64_shape() {
+        // ∀x(¬P(x) ∨ S(y,x)) — from Example 5.2's G.
+        let s = Formula::atom("S", vec![Term::var("y"), Term::var("x")]);
+        let f = Formula::forall("x", Formula::Or(vec![Formula::not(p()), s.clone()]));
+        let g = eliminate_forall(&f);
+        assert!(is_forall_free_nnf(&g));
+        // ∀x A ≡ ¬∃x¬A with ¬A pushed: ¬∃x(P(x) ∧ ¬S(y,x))
+        assert_eq!(
+            g,
+            Formula::not(Formula::exists(
+                "x",
+                Formula::And(vec![p(), Formula::not(s)])
+            ))
+        );
+    }
+
+    #[test]
+    fn eliminate_forall_keeps_not_exists() {
+        let f = Formula::not(Formula::exists("x", p()));
+        assert_eq!(eliminate_forall(&f), f);
+        assert!(is_forall_free_nnf(&f));
+    }
+}

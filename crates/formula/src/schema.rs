@@ -1,0 +1,195 @@
+//! Predicate signatures.
+//!
+//! A [`Schema`] records the arity of each edb predicate so that formulas and
+//! databases can be validated against each other before evaluation.
+
+use crate::ast::Formula;
+use crate::fxhash::FxHashMap;
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A mapping from predicate symbols to arities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    preds: FxHashMap<Symbol, usize>,
+}
+
+/// Error raised when a formula uses predicates inconsistently with a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Predicate not declared in the schema.
+    UnknownPredicate(Symbol),
+    /// Predicate used with the wrong number of arguments.
+    ArityMismatch {
+        /// The offending predicate.
+        pred: Symbol,
+        /// Arity declared in the schema.
+        expected: usize,
+        /// Arity found in the formula.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
+            SchemaError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate {pred} declared with arity {expected} but used with {found} arguments"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Declare (or re-declare) a predicate.
+    pub fn declare(&mut self, pred: impl Into<Symbol>, arity: usize) -> &mut Self {
+        self.preds.insert(pred.into(), arity);
+        self
+    }
+
+    /// Builder-style declaration.
+    pub fn with(mut self, pred: impl Into<Symbol>, arity: usize) -> Self {
+        self.declare(pred, arity);
+        self
+    }
+
+    /// The arity of `pred`, if declared.
+    pub fn arity_of(&self, pred: Symbol) -> Option<usize> {
+        self.preds.get(&pred).copied()
+    }
+
+    /// Is `pred` declared?
+    pub fn contains(&self, pred: Symbol) -> bool {
+        self.preds.contains_key(&pred)
+    }
+
+    /// All declared predicates with arities, sorted by name.
+    pub fn predicates(&self) -> Vec<(Symbol, usize)> {
+        let mut out: Vec<_> = self.preds.iter().map(|(&p, &a)| (p, a)).collect();
+        out.sort();
+        out
+    }
+
+    /// Number of declared predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Infer a schema from the predicates used in `f`. Fails if `f` itself
+    /// uses one predicate with two arities.
+    pub fn infer(f: &Formula) -> Result<Schema, SchemaError> {
+        let mut schema = Schema::new();
+        let mut err = None;
+        f.for_each_subformula(|g| {
+            if let Formula::Atom(a) = g {
+                match schema.arity_of(a.pred) {
+                    None => {
+                        schema.declare(a.pred, a.arity());
+                    }
+                    Some(expected) if expected != a.arity() && err.is_none() => {
+                        err = Some(SchemaError::ArityMismatch {
+                            pred: a.pred,
+                            expected,
+                            found: a.arity(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(schema),
+        }
+    }
+
+    /// Check that every atom in `f` matches this schema.
+    pub fn check(&self, f: &Formula) -> Result<(), SchemaError> {
+        let mut err = None;
+        f.for_each_subformula(|g| {
+            if let Formula::Atom(a) = g {
+                if err.is_some() {
+                    return;
+                }
+                match self.arity_of(a.pred) {
+                    None => err = Some(SchemaError::UnknownPredicate(a.pred)),
+                    Some(expected) if expected != a.arity() => {
+                        err = Some(SchemaError::ArityMismatch {
+                            pred: a.pred,
+                            expected,
+                            found: a.arity(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn infer_and_check() {
+        let f = parse("P(x) & Q(x, y)").unwrap();
+        let s = Schema::infer(&f).unwrap();
+        assert_eq!(s.arity_of(Symbol::intern("P")), Some(1));
+        assert_eq!(s.arity_of(Symbol::intern("Q")), Some(2));
+        assert!(s.check(&f).is_ok());
+    }
+
+    #[test]
+    fn inconsistent_arity_detected() {
+        let f = parse("P(x) & P(x, y)").unwrap();
+        assert!(matches!(
+            Schema::infer(&f),
+            Err(SchemaError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_predicate_detected() {
+        let f = parse("P(x) & Q(x)").unwrap();
+        let s = Schema::new().with("P", 1);
+        assert!(matches!(
+            s.check(&f),
+            Err(SchemaError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn predicates_sorted() {
+        let s = Schema::new().with("Z", 1).with("A", 2);
+        let names: Vec<String> = s
+            .predicates()
+            .iter()
+            .map(|(p, _)| p.to_string())
+            .collect();
+        assert_eq!(names, vec!["A", "Z"]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Truth-value simplification (Def. 8.2).
+//!
+//! ```text
+//! ¬false → true        ¬true → false
+//! A ∧ false → false    A ∧ true → A
+//! A ∨ false → A        A ∨ true → true
+//! %x false → false     %x true → true
+//! ```
+//!
+//! Applied bottom-up to a fixpoint. Used by `genify` (Alg. 8.1 step 1d) and
+//! by equality reduction (Alg. A.1 steps 1a/1b).
+
+use crate::ast::Formula;
+
+/// Fully truth-value-simplify `f`.
+///
+/// The result either is `true`, is `false`, or contains no `true`/`false`
+/// subformulas at all. Conjunctions and disjunctions are flattened (our
+/// polyadic representation quotients by associativity).
+pub fn simplify_truth(f: &Formula) -> Formula {
+    match f {
+        Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+        Formula::Not(g) => {
+            let g = simplify_truth(g);
+            if g.is_true() {
+                Formula::fls()
+            } else if g.is_false() {
+                Formula::tru()
+            } else {
+                Formula::not(g)
+            }
+        }
+        Formula::And(fs) => {
+            let mut out = Vec::with_capacity(fs.len());
+            for g in fs {
+                let g = simplify_truth(g);
+                if g.is_true() {
+                    continue; // A ∧ true → A
+                }
+                if g.is_false() {
+                    return Formula::fls(); // A ∧ false → false
+                }
+                match g {
+                    Formula::And(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().unwrap()
+            } else {
+                Formula::And(out)
+            }
+        }
+        Formula::Or(fs) => {
+            let mut out = Vec::with_capacity(fs.len());
+            for g in fs {
+                let g = simplify_truth(g);
+                if g.is_false() {
+                    continue; // A ∨ false → A
+                }
+                if g.is_true() {
+                    return Formula::tru(); // A ∨ true → true
+                }
+                match g {
+                    Formula::Or(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().unwrap()
+            } else {
+                Formula::Or(out)
+            }
+        }
+        Formula::Exists(v, g) => {
+            let g = simplify_truth(g);
+            if g.is_true() || g.is_false() {
+                g // %x true → true, %x false → false
+            } else {
+                Formula::Exists(*v, Box::new(g))
+            }
+        }
+        Formula::Forall(v, g) => {
+            let g = simplify_truth(g);
+            if g.is_true() || g.is_false() {
+                g
+            } else {
+                Formula::Forall(*v, Box::new(g))
+            }
+        }
+    }
+}
+
+/// Replace every occurrence of the atoms in `targets` (compared by syntactic
+/// equality — valid on rectified formulas, see the `genify` module docs in
+/// `rc-safety`) by `false`, then truth-value-simplify. This is the `R`
+/// construction of Alg. 8.1 step 1d and Alg. A.1 step 1b.
+pub fn replace_atoms_by_false(f: &Formula, targets: &[Formula]) -> Formula {
+    fn go(f: &Formula, targets: &[Formula]) -> Formula {
+        if f.is_atomic() {
+            if targets.contains(f) {
+                return Formula::fls();
+            }
+            return f.clone();
+        }
+        match f {
+            Formula::Not(g) => Formula::not(go(g, targets)),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| go(g, targets)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| go(g, targets)).collect()),
+            Formula::Exists(v, g) => Formula::Exists(*v, Box::new(go(g, targets))),
+            Formula::Forall(v, g) => Formula::Forall(*v, Box::new(go(g, targets))),
+            Formula::Atom(_) | Formula::Eq(..) => unreachable!("handled above"),
+        }
+    }
+    simplify_truth(&go(f, targets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn p() -> Formula {
+        Formula::atom("P", vec![Term::var("x")])
+    }
+    fn q() -> Formula {
+        Formula::atom("Q", vec![Term::var("y")])
+    }
+
+    #[test]
+    fn and_with_false_collapses() {
+        let f = Formula::And(vec![p(), Formula::fls(), q()]);
+        assert!(simplify_truth(&f).is_false());
+    }
+
+    #[test]
+    fn and_drops_trues() {
+        let f = Formula::And(vec![Formula::tru(), p(), Formula::tru()]);
+        assert_eq!(simplify_truth(&f), p());
+    }
+
+    #[test]
+    fn or_with_true_collapses() {
+        let f = Formula::Or(vec![p(), Formula::tru()]);
+        assert!(simplify_truth(&f).is_true());
+    }
+
+    #[test]
+    fn quantifier_over_constant_collapses() {
+        assert!(simplify_truth(&Formula::exists("x", Formula::fls())).is_false());
+        assert!(simplify_truth(&Formula::forall("x", Formula::tru())).is_true());
+    }
+
+    #[test]
+    fn negation_of_constants() {
+        assert!(simplify_truth(&Formula::not(Formula::tru())).is_false());
+        assert!(simplify_truth(&Formula::not(Formula::fls())).is_true());
+    }
+
+    #[test]
+    fn nested_fixpoint() {
+        // ¬(P ∧ ¬true) ∨ false → ¬(P) ... careful: ¬(P ∧ false)... build:
+        // ¬(P ∧ ¬true) = ¬(P ∧ false) = ¬false = true.
+        let f = Formula::Or(vec![
+            Formula::not(Formula::And(vec![p(), Formula::not(Formula::tru())])),
+            Formula::fls(),
+        ]);
+        assert!(simplify_truth(&f).is_true());
+    }
+
+    #[test]
+    fn replace_atoms_builds_remainder() {
+        // A = P(x) ∨ (Q(y) ∧ P(x)); kill P(x): R = Q(y) ∧ false ∨ false → false... no:
+        // (false) ∨ (Q ∧ false) → false.
+        let a = Formula::Or(vec![p(), Formula::And(vec![q(), p()])]);
+        let r = replace_atoms_by_false(&a, &[p()]);
+        assert!(r.is_false());
+        // Kill only Q: P ∨ (false ∧ P) → P.
+        let r2 = replace_atoms_by_false(&a, &[q()]);
+        assert_eq!(r2, p());
+    }
+
+    #[test]
+    fn untouched_formula_roundtrips() {
+        let f = Formula::exists("z", Formula::Or(vec![p(), Formula::not(q())]));
+        assert_eq!(simplify_truth(&f), f);
+    }
+}

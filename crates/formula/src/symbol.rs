@@ -1,0 +1,135 @@
+//! Globally interned strings.
+//!
+//! Predicates, variables and string constants are all referenced through
+//! [`Symbol`], a 4-byte handle into a process-wide interner. Interning makes
+//! equality and hashing O(1), which matters because the safety analysis
+//! (`gen`/`con`) and the algebra evaluator compare names constantly.
+//!
+//! Interned strings are leaked — the set of distinct names in a session is
+//! tiny compared to the data handled, and leaking lets `as_str` return
+//! `&'static str` without lifetime plumbing.
+
+use crate::fxhash::FxHashMap;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A handle to an interned string.
+///
+/// `Symbol` is `Copy`, 4 bytes, and compares/hashes by id. The `Ord`
+/// implementation compares the *underlying strings* so that sorted output
+/// (relations, variable lists) is deterministic across runs regardless of
+/// interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its stable handle.
+    pub fn intern(s: &str) -> Symbol {
+        let mut guard = interner().lock();
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(guard.strings.len()).expect("interner overflow");
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().strings[self.0 as usize]
+    }
+
+    /// The raw interner id (stable within a process run only).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self == other {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("P"), Symbol::intern("Q"));
+    }
+
+    #[test]
+    fn ord_follows_string_order() {
+        let a = Symbol::intern("zzz_late");
+        let b = Symbol::intern("aaa_early");
+        // b interned after a, yet must sort before it.
+        assert!(b < a);
+    }
+
+    #[test]
+    fn display_matches_source() {
+        assert_eq!(Symbol::intern("Supplies").to_string(), "Supplies");
+    }
+}

@@ -1,0 +1,199 @@
+//! Terms: variables and constants.
+//!
+//! The paper assumes the absence of function symbols other than constants
+//! (Sec. 4), so a term is either a variable or a constant value.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A constant value from the database domain.
+///
+/// Two kinds suffice for the paper's setting: integers and (interned)
+/// strings. Ordering is total: all integers sort before all strings, which
+/// keeps relation output deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant (interned).
+    Str(Symbol),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Symbol::intern(s))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+/// A first-order variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// Make a variable named `name`.
+    pub fn new(name: &str) -> Var {
+        Var(Symbol::intern(name))
+    }
+
+    /// The variable's name.
+    pub fn name(self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.name())
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term: variable or constant (Sec. 4, `s` and `t` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable occurrence.
+    Var(Var),
+    /// A constant occurrence.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand for a constant term.
+    pub fn val(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(self) -> Option<Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// Does this term mention variable `v`?
+    pub fn mentions(self, v: Var) -> bool {
+        self == Term::Var(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => fmt::Display::fmt(v, f),
+            Term::Const(c) => fmt::Display::fmt(c, f),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::var("x");
+        assert_eq!(t.as_var(), Some(Var::new("x")));
+        assert_eq!(t.as_const(), None);
+        let c = Term::val(3);
+        assert_eq!(c.as_const(), Some(Value::Int(3)));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn value_ordering_total() {
+        assert!(Value::int(5) < Value::str("a"));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::int(-1) < Value::int(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::val("none").to_string(), "'none'");
+        assert_eq!(Term::val(42).to_string(), "42");
+    }
+
+    #[test]
+    fn mentions_checks_identity() {
+        let x = Var::new("x");
+        assert!(Term::Var(x).mentions(x));
+        assert!(!Term::var("y").mentions(x));
+        assert!(!Term::val(1).mentions(x));
+    }
+}

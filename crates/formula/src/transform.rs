@@ -1,0 +1,742 @@
+//! The equivalences of Figs. 3 and 4 as directed rewrite rules.
+//!
+//! *Conservative transformations* (Def. 6.1) replace a subformula according
+//! to one of E1–E10; the evaluable property is invariant under them
+//! (Thm. 6.2). The distributive laws E11–E12 preserve the *allowed* property
+//! (Thm. 6.6) but not always evaluability (Example 6.3). E13–E14 eliminate
+//! equalities.
+//!
+//! Our polyadic ∧/∨ representation quotients formulas by associativity (and
+//! the flattening constructors by commutativity of operand order); `gen` and
+//! `con` are defined symmetrically over operand lists, so this quotient is
+//! harmless and lets each rule act on whole operand lists at once.
+
+use crate::ast::Formula;
+use crate::paths::{all_paths, replace_at, subformula_at, Path};
+use crate::term::{Term, Var};
+use crate::vars::{all_vars, is_free, substitute, FreshVars};
+
+/// One of the paper's numbered equivalences, plus the vacuous-quantifier
+/// instance of E7/E8 that the paper folds into "x may be absent from A or B".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Rule {
+    /// E1: `¬¬A ≡ A`.
+    E1DoubleNegation,
+    /// E2: `¬(A ∧ B) ≡ ¬A ∨ ¬B`.
+    E2DeMorganAnd,
+    /// E3: `¬(A ∨ B) ≡ ¬A ∧ ¬B`.
+    E3DeMorganOr,
+    /// E4: `¬∀x A ≡ ∃x ¬A`.
+    E4NotForall,
+    /// E5: `¬∃x A ≡ ∀x ¬A`.
+    E5NotExists,
+    /// E6: `%x A(x, y⃗) ≡ %v A(v, y⃗)` (bound-variable renaming).
+    E6Rename,
+    /// E7: `∀x (A(x) ∨ B) ≡ ∀x A(x) ∨ B` (x not free in B).
+    E7ForallOr,
+    /// E8: `∃x (A(x) ∧ B) ≡ ∃x A(x) ∧ B` (x not free in B).
+    E8ExistsAnd,
+    /// E9: `∃x (A(x) ∨ B(x)) ≡ ∃x₁ A(x₁) ∨ ∃x₂ B(x₂)`.
+    E9ExistsOr,
+    /// E10: `∀x (A(x) ∧ B(x)) ≡ ∀x₁ A(x₁) ∧ ∀x₂ B(x₂)`.
+    E10ForallAnd,
+    /// Vacuous quantification: `%x B ≡ B` (x not free in B) — the "A absent"
+    /// degenerate case of E7/E8 noted in the proof of Lemma 6.1.
+    VacuousQuantifier,
+    /// E11: `A ∧ (B ∨ C) ≡ (A ∧ B) ∨ (A ∧ C)` ("pushing ands").
+    E11DistributeAnd,
+    /// E12: `A ∨ (B ∧ C) ≡ (A ∨ B) ∧ (A ∨ C)` ("pushing ors").
+    E12DistributeOr,
+    /// E13: `∃x (x = y ∧ A(x, y)) ≡ A(y, y)`.
+    E13ExistsEq,
+    /// E14: `∀x (x ≠ y ∨ A(x, y)) ≡ A(y, y)`.
+    E14ForallNeq,
+}
+
+/// Direction in which an equivalence is applied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Dir {
+    /// Left-to-right as printed in the paper.
+    Ltr,
+    /// Right-to-left.
+    Rtl,
+}
+
+/// A directed rule instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Rewrite {
+    /// Which equivalence.
+    pub rule: Rule,
+    /// Which direction.
+    pub dir: Dir,
+}
+
+impl Rewrite {
+    /// Construct a rewrite.
+    pub fn new(rule: Rule, dir: Dir) -> Rewrite {
+        Rewrite { rule, dir }
+    }
+}
+
+/// The conservative rules (Fig. 3, E1–E10 plus vacuous quantification).
+pub const CONSERVATIVE_RULES: &[Rule] = &[
+    Rule::E1DoubleNegation,
+    Rule::E2DeMorganAnd,
+    Rule::E3DeMorganOr,
+    Rule::E4NotForall,
+    Rule::E5NotExists,
+    Rule::E6Rename,
+    Rule::E7ForallOr,
+    Rule::E8ExistsAnd,
+    Rule::E9ExistsOr,
+    Rule::E10ForallAnd,
+    Rule::VacuousQuantifier,
+];
+
+/// The distributive laws (Fig. 4, E11–E12).
+pub const DISTRIBUTIVE_RULES: &[Rule] = &[Rule::E11DistributeAnd, Rule::E12DistributeOr];
+
+/// The equality-elimination laws (Fig. 4, E13–E14).
+pub const EQUALITY_RULES: &[Rule] = &[Rule::E13ExistsEq, Rule::E14ForallNeq];
+
+/// Split `fs` into (children mentioning `v` freely, children not).
+fn partition_by_var(fs: &[Formula], v: Var) -> (Vec<Formula>, Vec<Formula>) {
+    let mut with = Vec::new();
+    let mut without = Vec::new();
+    for f in fs {
+        if is_free(v, f) {
+            with.push(f.clone());
+        } else {
+            without.push(f.clone());
+        }
+    }
+    (with, without)
+}
+
+/// Apply `rw` at the root of `f`. Returns `None` when the rule's pattern
+/// does not match there. `fresh` supplies new bound-variable names for the
+/// rules that need them (E6, E9/E10 splits); callers must seed it from every
+/// formula in play.
+pub fn apply_at_root(rw: Rewrite, f: &Formula, fresh: &mut FreshVars) -> Option<Formula> {
+    use Dir::*;
+    use Rule::*;
+    match (rw.rule, rw.dir) {
+        (E1DoubleNegation, Ltr) => match f {
+            Formula::Not(g) => match &**g {
+                Formula::Not(h) => Some((**h).clone()),
+                _ => None,
+            },
+            _ => None,
+        },
+        (E1DoubleNegation, Rtl) => Some(Formula::not(Formula::not(f.clone()))),
+
+        (E2DeMorganAnd, Ltr) => match f {
+            Formula::Not(g) => match &**g {
+                Formula::And(fs) => {
+                    Some(Formula::Or(fs.iter().cloned().map(Formula::not).collect()))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        (E2DeMorganAnd, Rtl) => match f {
+            Formula::Or(fs) if fs.iter().all(|g| matches!(g, Formula::Not(_))) => {
+                let inners = fs
+                    .iter()
+                    .map(|g| match g {
+                        Formula::Not(h) => (**h).clone(),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                Some(Formula::not(Formula::And(inners)))
+            }
+            _ => None,
+        },
+
+        (E3DeMorganOr, Ltr) => match f {
+            Formula::Not(g) => match &**g {
+                Formula::Or(fs) => {
+                    Some(Formula::And(fs.iter().cloned().map(Formula::not).collect()))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        (E3DeMorganOr, Rtl) => match f {
+            Formula::And(fs) if fs.iter().all(|g| matches!(g, Formula::Not(_))) => {
+                let inners = fs
+                    .iter()
+                    .map(|g| match g {
+                        Formula::Not(h) => (**h).clone(),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                Some(Formula::not(Formula::Or(inners)))
+            }
+            _ => None,
+        },
+
+        (E4NotForall, Ltr) => match f {
+            Formula::Not(g) => match &**g {
+                Formula::Forall(v, h) => {
+                    Some(Formula::exists(*v, Formula::not((**h).clone())))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        (E4NotForall, Rtl) => match f {
+            Formula::Exists(v, g) => match &**g {
+                Formula::Not(h) => Some(Formula::not(Formula::forall(*v, (**h).clone()))),
+                _ => None,
+            },
+            _ => None,
+        },
+
+        (E5NotExists, Ltr) => match f {
+            Formula::Not(g) => match &**g {
+                Formula::Exists(v, h) => {
+                    Some(Formula::forall(*v, Formula::not((**h).clone())))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        (E5NotExists, Rtl) => match f {
+            Formula::Forall(v, g) => match &**g {
+                Formula::Not(h) => Some(Formula::not(Formula::exists(*v, (**h).clone()))),
+                _ => None,
+            },
+            _ => None,
+        },
+
+        (E6Rename, _) => match f {
+            Formula::Exists(v, g) => {
+                let v2 = fresh.fresh(*v);
+                Some(Formula::exists(v2, substitute(g, *v, Term::Var(v2))))
+            }
+            Formula::Forall(v, g) => {
+                let v2 = fresh.fresh(*v);
+                Some(Formula::forall(v2, substitute(g, *v, Term::Var(v2))))
+            }
+            _ => None,
+        },
+
+        (E7ForallOr, Ltr) => match f {
+            Formula::Forall(v, g) => match &**g {
+                Formula::Or(fs) if !fs.is_empty() => {
+                    let (with, mut without) = partition_by_var(fs, *v);
+                    if without.is_empty() {
+                        return None;
+                    }
+                    if with.is_empty() {
+                        // Whole body is B: degenerate to vacuous removal.
+                        return Some(Formula::Or(std::mem::take(&mut without)));
+                    }
+                    let mut out = vec![Formula::forall(*v, Formula::or(with))];
+                    out.append(&mut without);
+                    Some(Formula::Or(out))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        (E7ForallOr, Rtl) => match f {
+            Formula::Or(fs) => {
+                // Find a ∀-disjunct whose variable is absent from the rest.
+                for (i, g) in fs.iter().enumerate() {
+                    if let Formula::Forall(v, body) = g {
+                        let rest: Vec<Formula> = fs
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .map(|(_, h)| h.clone())
+                            .collect();
+                        if rest.iter().all(|h| !all_vars(h).contains(v)) {
+                            let mut inner = vec![(**body).clone()];
+                            inner.extend(rest);
+                            return Some(Formula::forall(*v, Formula::Or(inner)));
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        },
+
+        (E8ExistsAnd, Ltr) => match f {
+            Formula::Exists(v, g) => match &**g {
+                Formula::And(fs) if !fs.is_empty() => {
+                    let (with, mut without) = partition_by_var(fs, *v);
+                    if without.is_empty() {
+                        return None;
+                    }
+                    if with.is_empty() {
+                        return Some(Formula::And(std::mem::take(&mut without)));
+                    }
+                    let mut out = vec![Formula::exists(*v, Formula::and(with))];
+                    out.append(&mut without);
+                    Some(Formula::And(out))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        (E8ExistsAnd, Rtl) => match f {
+            Formula::And(fs) => {
+                for (i, g) in fs.iter().enumerate() {
+                    if let Formula::Exists(v, body) = g {
+                        let rest: Vec<Formula> = fs
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .map(|(_, h)| h.clone())
+                            .collect();
+                        if rest.iter().all(|h| !all_vars(h).contains(v)) {
+                            let mut inner = vec![(**body).clone()];
+                            inner.extend(rest);
+                            return Some(Formula::exists(*v, Formula::And(inner)));
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        },
+
+        (E9ExistsOr, Ltr) => match f {
+            Formula::Exists(v, g) => match &**g {
+                Formula::Or(fs) if fs.len() >= 2 => {
+                    let mut out = Vec::with_capacity(fs.len());
+                    for (i, child) in fs.iter().enumerate() {
+                        if i == 0 {
+                            out.push(Formula::exists(*v, child.clone()));
+                        } else {
+                            let v2 = fresh.fresh(*v);
+                            out.push(Formula::exists(v2, substitute(child, *v, Term::Var(v2))));
+                        }
+                    }
+                    Some(Formula::Or(out))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        (E9ExistsOr, Rtl) => match f {
+            Formula::Or(fs)
+                if fs.len() >= 2 && fs.iter().all(|g| matches!(g, Formula::Exists(..))) =>
+            {
+                let v = fresh.fresh(match &fs[0] {
+                    Formula::Exists(v, _) => *v,
+                    _ => unreachable!(),
+                });
+                let bodies = fs
+                    .iter()
+                    .map(|g| match g {
+                        Formula::Exists(w, body) => substitute(body, *w, Term::Var(v)),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                Some(Formula::exists(v, Formula::Or(bodies)))
+            }
+            _ => None,
+        },
+
+        (E10ForallAnd, Ltr) => match f {
+            Formula::Forall(v, g) => match &**g {
+                Formula::And(fs) if fs.len() >= 2 => {
+                    let mut out = Vec::with_capacity(fs.len());
+                    for (i, child) in fs.iter().enumerate() {
+                        if i == 0 {
+                            out.push(Formula::forall(*v, child.clone()));
+                        } else {
+                            let v2 = fresh.fresh(*v);
+                            out.push(Formula::forall(v2, substitute(child, *v, Term::Var(v2))));
+                        }
+                    }
+                    Some(Formula::And(out))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        (E10ForallAnd, Rtl) => match f {
+            Formula::And(fs)
+                if fs.len() >= 2 && fs.iter().all(|g| matches!(g, Formula::Forall(..))) =>
+            {
+                let v = fresh.fresh(match &fs[0] {
+                    Formula::Forall(v, _) => *v,
+                    _ => unreachable!(),
+                });
+                let bodies = fs
+                    .iter()
+                    .map(|g| match g {
+                        Formula::Forall(w, body) => substitute(body, *w, Term::Var(v)),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                Some(Formula::forall(v, Formula::And(bodies)))
+            }
+            _ => None,
+        },
+
+        (VacuousQuantifier, Ltr) => match f {
+            Formula::Exists(v, g) | Formula::Forall(v, g) if !is_free(*v, g) => {
+                Some((**g).clone())
+            }
+            _ => None,
+        },
+        (VacuousQuantifier, Rtl) => {
+            let v = fresh.fresh(Var::new("v"));
+            Some(Formula::exists(v, f.clone()))
+        }
+
+        (E11DistributeAnd, Ltr) => match f {
+            Formula::And(fs) => {
+                let i = fs.iter().position(|g| matches!(g, Formula::Or(inner) if !inner.is_empty()))?;
+                let disjuncts = match &fs[i] {
+                    Formula::Or(inner) => inner.clone(),
+                    _ => unreachable!(),
+                };
+                let out = disjuncts
+                    .into_iter()
+                    .map(|d| {
+                        let mut conj = fs.clone();
+                        conj[i] = d;
+                        Formula::and(conj)
+                    })
+                    .collect();
+                Some(Formula::Or(out))
+            }
+            _ => None,
+        },
+        (E11DistributeAnd, Rtl) => factor(f, true),
+
+        (E12DistributeOr, Ltr) => match f {
+            Formula::Or(fs) => {
+                let i = fs.iter().position(|g| matches!(g, Formula::And(inner) if !inner.is_empty()))?;
+                let conjuncts = match &fs[i] {
+                    Formula::And(inner) => inner.clone(),
+                    _ => unreachable!(),
+                };
+                let out = conjuncts
+                    .into_iter()
+                    .map(|c| {
+                        let mut disj = fs.clone();
+                        disj[i] = c;
+                        Formula::or(disj)
+                    })
+                    .collect();
+                Some(Formula::And(out))
+            }
+            _ => None,
+        },
+        (E12DistributeOr, Rtl) => factor(f, false),
+
+        (E13ExistsEq, Ltr) => match f {
+            Formula::Exists(v, g) => {
+                let fs = match &**g {
+                    Formula::And(fs) => fs.clone(),
+                    other => vec![other.clone()],
+                };
+                let (i, target) = fs.iter().enumerate().find_map(|(i, c)| {
+                    if let Formula::Eq(s, t) = c {
+                        if *s == Term::Var(*v) && *t != Term::Var(*v) {
+                            return Some((i, *t));
+                        }
+                        if *t == Term::Var(*v) && *s != Term::Var(*v) {
+                            return Some((i, *s));
+                        }
+                    }
+                    None
+                })?;
+                let rest: Vec<Formula> = fs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, c)| substitute(c, *v, target))
+                    .collect();
+                Some(Formula::and(rest))
+            }
+            _ => None,
+        },
+        (E13ExistsEq, Rtl) => None,
+
+        (E14ForallNeq, Ltr) => match f {
+            Formula::Forall(v, g) => {
+                let fs = match &**g {
+                    Formula::Or(fs) => fs.clone(),
+                    other => vec![other.clone()],
+                };
+                let (i, target) = fs.iter().enumerate().find_map(|(i, c)| {
+                    if let Formula::Not(inner) = c {
+                        if let Formula::Eq(s, t) = &**inner {
+                            if *s == Term::Var(*v) && *t != Term::Var(*v) {
+                                return Some((i, *t));
+                            }
+                            if *t == Term::Var(*v) && *s != Term::Var(*v) {
+                                return Some((i, *s));
+                            }
+                        }
+                    }
+                    None
+                })?;
+                let rest: Vec<Formula> = fs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, c)| substitute(c, *v, target))
+                    .collect();
+                Some(Formula::or(rest))
+            }
+            _ => None,
+        },
+        (E14ForallNeq, Rtl) => None,
+    }
+}
+
+/// Factor a common operand out of `Or`-of-`And`s (when `of_and` is true) or
+/// `And`-of-`Or`s (when false): the right-to-left reading of E11/E12.
+fn factor(f: &Formula, of_and: bool) -> Option<Formula> {
+    let branches: &Vec<Formula> = match (f, of_and) {
+        (Formula::Or(fs), true) | (Formula::And(fs), false) => fs,
+        _ => return None,
+    };
+    if branches.len() < 2 {
+        return None;
+    }
+    let operands = |g: &Formula| -> Option<Vec<Formula>> {
+        match (g, of_and) {
+            (Formula::And(fs), true) | (Formula::Or(fs), false) => Some(fs.clone()),
+            _ => None,
+        }
+    };
+    let mut lists: Vec<Vec<Formula>> = Vec::with_capacity(branches.len());
+    for b in branches {
+        lists.push(operands(b)?);
+    }
+    // Common operands present in every branch (syntactically).
+    let common: Vec<Formula> = lists[0]
+        .iter()
+        .filter(|c| lists[1..].iter().all(|l| l.contains(c)))
+        .cloned()
+        .collect();
+    if common.is_empty() {
+        return None;
+    }
+    let remainders: Vec<Formula> = lists
+        .into_iter()
+        .map(|l| {
+            let rest: Vec<Formula> = l.into_iter().filter(|c| !common.contains(c)).collect();
+            if of_and {
+                Formula::and(rest)
+            } else {
+                Formula::or(rest)
+            }
+        })
+        .collect();
+    let inner = if of_and {
+        Formula::or(remainders)
+    } else {
+        Formula::and(remainders)
+    };
+    let mut outer = common;
+    outer.push(inner);
+    Some(if of_and {
+        Formula::and(outer)
+    } else {
+        Formula::or(outer)
+    })
+}
+
+/// Apply `rw` at position `path` inside `f`.
+pub fn apply_at(
+    rw: Rewrite,
+    f: &Formula,
+    path: &[usize],
+    fresh: &mut FreshVars,
+) -> Option<Formula> {
+    let target = subformula_at(f, path)?;
+    let rewritten = apply_at_root(rw, target, fresh)?;
+    replace_at(f, path, rewritten)
+}
+
+/// Every `(path, rewrite)` pair from `rules` that matches somewhere in `f`.
+/// The always-applicable expanding rewrites (double-negation introduction,
+/// vacuous-quantifier introduction) are included, so callers doing random
+/// walks should bound the number of steps.
+pub fn applicable_rewrites(f: &Formula, rules: &[Rule]) -> Vec<(Path, Rewrite)> {
+    let mut fresh = FreshVars::for_formula(f);
+    let mut out = Vec::new();
+    for path in all_paths(f) {
+        let sub = subformula_at(f, &path).expect("enumerated path is valid");
+        for &rule in rules {
+            for dir in [Dir::Ltr, Dir::Rtl] {
+                let rw = Rewrite::new(rule, dir);
+                if apply_at_root(rw, sub, &mut fresh).is_some() {
+                    out.push((path.clone(), rw));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::vars::{free_vars, is_rectified};
+
+    fn p(v: &str) -> Formula {
+        Formula::atom("P", vec![Term::var(v)])
+    }
+    fn q(v: &str, w: &str) -> Formula {
+        Formula::atom("Q", vec![Term::var(v), Term::var(w)])
+    }
+
+    fn fresh_for(f: &Formula) -> FreshVars {
+        FreshVars::for_formula(f)
+    }
+
+    #[test]
+    fn e1_both_directions() {
+        let f = p("x");
+        let mut fresh = fresh_for(&f);
+        let g = apply_at_root(Rewrite::new(Rule::E1DoubleNegation, Dir::Rtl), &f, &mut fresh)
+            .unwrap();
+        assert_eq!(g, Formula::not(Formula::not(p("x"))));
+        let back =
+            apply_at_root(Rewrite::new(Rule::E1DoubleNegation, Dir::Ltr), &g, &mut fresh).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn e8_pulls_independent_conjuncts_out() {
+        // ∃x (P(x) ∧ Q(y,z)) → ∃x P(x) ∧ Q(y,z)
+        let f = Formula::exists("x", Formula::And(vec![p("x"), q("y", "z")]));
+        let mut fresh = fresh_for(&f);
+        let g = apply_at_root(Rewrite::new(Rule::E8ExistsAnd, Dir::Ltr), &f, &mut fresh).unwrap();
+        assert_eq!(
+            g,
+            Formula::And(vec![Formula::exists("x", p("x")), q("y", "z")])
+        );
+        // And back in.
+        let back = apply_at_root(Rewrite::new(Rule::E8ExistsAnd, Dir::Rtl), &g, &mut fresh)
+            .unwrap();
+        assert!(matches!(back, Formula::Exists(..)));
+    }
+
+    #[test]
+    fn e9_split_renames_apart() {
+        let f = Formula::exists("x", Formula::Or(vec![p("x"), p("x")]));
+        let mut fresh = fresh_for(&f);
+        let g = apply_at_root(Rewrite::new(Rule::E9ExistsOr, Dir::Ltr), &f, &mut fresh).unwrap();
+        assert!(is_rectified(&g));
+        match &g {
+            Formula::Or(fs) => {
+                assert_eq!(fs.len(), 2);
+                assert!(fs.iter().all(|h| matches!(h, Formula::Exists(..))));
+            }
+            _ => panic!("expected Or"),
+        }
+    }
+
+    #[test]
+    fn e11_distributes_over_all_conjuncts() {
+        // P(x) ∧ (Q(x,y) ∨ P(z)) → (P(x) ∧ Q(x,y)) ∨ (P(x) ∧ P(z))
+        let f = Formula::And(vec![p("x"), Formula::Or(vec![q("x", "y"), p("z")])]);
+        let mut fresh = fresh_for(&f);
+        let g =
+            apply_at_root(Rewrite::new(Rule::E11DistributeAnd, Dir::Ltr), &f, &mut fresh).unwrap();
+        assert_eq!(
+            g,
+            Formula::Or(vec![
+                Formula::And(vec![p("x"), q("x", "y")]),
+                Formula::And(vec![p("x"), p("z")]),
+            ])
+        );
+        // Factoring recovers a conjunction containing P(x).
+        let h =
+            apply_at_root(Rewrite::new(Rule::E11DistributeAnd, Dir::Rtl), &g, &mut fresh).unwrap();
+        match &h {
+            Formula::And(fs) => assert!(fs.contains(&p("x"))),
+            _ => panic!("expected And, got {h:?}"),
+        }
+    }
+
+    #[test]
+    fn e13_eliminates_equality() {
+        // ∃x (x = y ∧ Q(x, y)) → Q(y, y)
+        let f = Formula::exists(
+            "x",
+            Formula::And(vec![
+                Formula::eq(Term::var("x"), Term::var("y")),
+                q("x", "y"),
+            ]),
+        );
+        let mut fresh = fresh_for(&f);
+        let g = apply_at_root(Rewrite::new(Rule::E13ExistsEq, Dir::Ltr), &f, &mut fresh).unwrap();
+        assert_eq!(g, q("y", "y"));
+    }
+
+    #[test]
+    fn e14_eliminates_disequality() {
+        // ∀x (x ≠ y ∨ Q(x,y)) → Q(y,y)
+        let f = Formula::forall(
+            "x",
+            Formula::Or(vec![
+                Formula::neq(Term::var("x"), Term::var("y")),
+                q("x", "y"),
+            ]),
+        );
+        let mut fresh = fresh_for(&f);
+        let g = apply_at_root(Rewrite::new(Rule::E14ForallNeq, Dir::Ltr), &f, &mut fresh).unwrap();
+        assert_eq!(g, q("y", "y"));
+    }
+
+    #[test]
+    fn vacuous_quantifier_removal() {
+        let f = Formula::forall("v", p("x"));
+        let mut fresh = fresh_for(&f);
+        let g = apply_at_root(
+            Rewrite::new(Rule::VacuousQuantifier, Dir::Ltr),
+            &f,
+            &mut fresh,
+        )
+        .unwrap();
+        assert_eq!(g, p("x"));
+    }
+
+    #[test]
+    fn applicable_rewrites_cover_nested_positions() {
+        // ¬¬P(x) ∧ Q(y,z): E1-Ltr applies at path [0].
+        let f = Formula::And(vec![Formula::not(Formula::not(p("x"))), q("y", "z")]);
+        let apps = applicable_rewrites(&f, CONSERVATIVE_RULES);
+        assert!(apps
+            .iter()
+            .any(|(path, rw)| path == &vec![0]
+                && rw.rule == Rule::E1DoubleNegation
+                && rw.dir == Dir::Ltr));
+    }
+
+    #[test]
+    fn rewrites_preserve_free_variables() {
+        let f = Formula::exists("x", Formula::Or(vec![q("x", "y"), p("z")]));
+        let mut fresh = fresh_for(&f);
+        for (path, rw) in applicable_rewrites(&f, CONSERVATIVE_RULES) {
+            // Skip the expanding Rtl rules that always apply.
+            if rw.dir == Dir::Rtl
+                && matches!(rw.rule, Rule::E1DoubleNegation | Rule::VacuousQuantifier)
+            {
+                continue;
+            }
+            let g = apply_at(rw, &f, &path, &mut fresh).unwrap();
+            let mut fv_g = free_vars(&g);
+            let mut fv_f = free_vars(&f);
+            fv_g.sort();
+            fv_f.sort();
+            assert_eq!(fv_g, fv_f, "{rw:?} at {path:?} -> {g:?}");
+        }
+    }
+}

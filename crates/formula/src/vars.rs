@@ -1,0 +1,415 @@
+//! Variable bookkeeping: free/bound variables, substitution, rectification.
+//!
+//! The paper assumes throughout that "no quantified variable occurs outside
+//! the scope of its quantifier" and uses renaming (`E6`) freely. We call a
+//! formula **rectified** when every quantifier binds a distinct variable and
+//! no bound variable also occurs free. All the algorithms in `rc-safety`
+//! require rectified input and preserve rectification; [`rectify`]
+//! establishes it.
+
+use crate::ast::Formula;
+use crate::fxhash::FxHashSet;
+use crate::symbol::Symbol;
+use crate::term::{Term, Var};
+
+/// Is `v` free in `A`? (The paper's `free(x, A)` predicate, Fig. 1.)
+pub fn is_free(v: Var, f: &Formula) -> bool {
+    match f {
+        Formula::Atom(a) => a.terms.iter().any(|t| t.mentions(v)),
+        Formula::Eq(s, t) => s.mentions(v) || t.mentions(v),
+        Formula::Not(g) => is_free(v, g),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|g| is_free(v, g)),
+        Formula::Exists(w, g) | Formula::Forall(w, g) => *w != v && is_free(v, g),
+    }
+}
+
+/// Free variables of `f`, in order of first (leftmost) free occurrence.
+pub fn free_vars(f: &Formula) -> Vec<Var> {
+    let mut out = Vec::new();
+    let mut bound = Vec::new();
+    collect_free(f, &mut bound, &mut out);
+    out
+}
+
+fn collect_free(f: &Formula, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+    let take = |t: &Term, bound: &[Var], out: &mut Vec<Var>| {
+        if let Term::Var(v) = *t {
+            if !bound.contains(&v) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    };
+    match f {
+        Formula::Atom(a) => {
+            for t in &a.terms {
+                take(t, bound, out);
+            }
+        }
+        Formula::Eq(s, t) => {
+            take(s, bound, out);
+            take(t, bound, out);
+        }
+        Formula::Not(g) => collect_free(g, bound, out),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                collect_free(g, bound, out);
+            }
+        }
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            bound.push(*v);
+            collect_free(g, bound, out);
+            bound.pop();
+        }
+    }
+}
+
+/// Free variables as a set (for membership-heavy callers).
+pub fn free_var_set(f: &Formula) -> FxHashSet<Var> {
+    free_vars(f).into_iter().collect()
+}
+
+/// Every variable bound by some quantifier in `f` (with multiplicity
+/// collapsed).
+pub fn bound_vars(f: &Formula) -> Vec<Var> {
+    let mut out = Vec::new();
+    f.for_each_subformula(|g| {
+        if let Formula::Exists(v, _) | Formula::Forall(v, _) = g {
+            if !out.contains(v) {
+                out.push(*v);
+            }
+        }
+    });
+    out
+}
+
+/// Every variable name appearing anywhere in `f` (free or bound).
+pub fn all_vars(f: &Formula) -> FxHashSet<Var> {
+    let mut out: FxHashSet<Var> = free_vars(f).into_iter().collect();
+    out.extend(bound_vars(f));
+    out
+}
+
+/// Is `f` rectified: each quantifier binds a distinct variable, and no bound
+/// variable also occurs free?
+pub fn is_rectified(f: &Formula) -> bool {
+    let free: FxHashSet<Var> = free_vars(f).into_iter().collect();
+    let mut seen_bound: FxHashSet<Var> = FxHashSet::default();
+    let mut ok = true;
+    f.for_each_subformula(|g| {
+        if let Formula::Exists(v, _) | Formula::Forall(v, _) = g {
+            if free.contains(v) || !seen_bound.insert(*v) {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// A supply of fresh variable names.
+///
+/// Generated names have the shape `base#n`. The `#` character is rejected by
+/// the parser, so fresh names can never collide with user-written variables;
+/// the `used` set additionally guards against collisions with names produced
+/// by *other* `FreshVars` instances that were active on the same formula.
+#[derive(Debug, Clone, Default)]
+pub struct FreshVars {
+    counter: u64,
+    used: FxHashSet<Symbol>,
+}
+
+impl FreshVars {
+    /// A fresh-name supply avoiding every variable already in `f`.
+    pub fn for_formula(f: &Formula) -> FreshVars {
+        let mut fresh = FreshVars::default();
+        fresh.reserve_from(f);
+        fresh
+    }
+
+    /// Additionally avoid every variable in `f` (call when combining
+    /// formulas).
+    pub fn reserve_from(&mut self, f: &Formula) {
+        for v in all_vars(f) {
+            self.used.insert(v.0);
+        }
+    }
+
+    /// Produce a fresh variable whose name is derived from `like`
+    /// (`x ↦ x#1`, `x#1 ↦ x#2`, …).
+    pub fn fresh(&mut self, like: Var) -> Var {
+        let name = like.name();
+        let base = match name.find('#') {
+            Some(i) => &name[..i],
+            None => name,
+        };
+        loop {
+            self.counter += 1;
+            let candidate = Symbol::intern(&format!("{base}#{}", self.counter));
+            if self.used.insert(candidate) {
+                return Var(candidate);
+            }
+        }
+    }
+}
+
+/// Replace every *free* occurrence of variable `from` in `f` by the term
+/// `to`.
+///
+/// Precondition (checked in debug builds): if `to` is a variable, it must not
+/// be captured by any quantifier in whose scope `from` occurs free. All
+/// call-sites in this workspace operate on rectified formulas and substitute
+/// either constants or variables that are free at the relevant positions, so
+/// capture cannot occur.
+pub fn substitute(f: &Formula, from: Var, to: Term) -> Formula {
+    let subst_term = |t: &Term| -> Term {
+        if t.mentions(from) {
+            to
+        } else {
+            *t
+        }
+    };
+    match f {
+        Formula::Atom(a) => Formula::Atom(crate::ast::Atom {
+            pred: a.pred,
+            terms: a.terms.iter().map(subst_term).collect(),
+        }),
+        Formula::Eq(s, t) => Formula::Eq(subst_term(s), subst_term(t)),
+        Formula::Not(g) => Formula::Not(Box::new(substitute(g, from, to))),
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| substitute(g, from, to)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| substitute(g, from, to)).collect()),
+        Formula::Exists(v, g) => {
+            if *v == from {
+                f.clone()
+            } else {
+                debug_assert!(
+                    to != Term::Var(*v) || !is_free(from, g),
+                    "substitution would capture {to} under quantifier on {v}"
+                );
+                Formula::Exists(*v, Box::new(substitute(g, from, to)))
+            }
+        }
+        Formula::Forall(v, g) => {
+            if *v == from {
+                f.clone()
+            } else {
+                debug_assert!(
+                    to != Term::Var(*v) || !is_free(from, g),
+                    "substitution would capture {to} under quantifier on {v}"
+                );
+                Formula::Forall(*v, Box::new(substitute(g, from, to)))
+            }
+        }
+    }
+}
+
+/// Rename **every** bound variable of `f` to a fresh name drawn from
+/// `fresh`. Used when a subformula is *duplicated* (genify's remainder,
+/// ranf's generator insertion, equality reduction's case split): the copy
+/// must not share binders with the original, which plain [`rectify`] — whose
+/// `used` set only sees the copy — would not guarantee.
+pub fn rename_bound_fresh(f: &Formula, fresh: &mut FreshVars) -> Formula {
+    fn go(f: &Formula, env: &mut Vec<(Var, Var)>, fresh: &mut FreshVars) -> Formula {
+        let lookup = |t: &Term, env: &[(Var, Var)]| -> Term {
+            if let Term::Var(v) = *t {
+                for &(from, to) in env.iter().rev() {
+                    if from == v {
+                        return Term::Var(to);
+                    }
+                }
+            }
+            *t
+        };
+        match f {
+            Formula::Atom(a) => Formula::Atom(crate::ast::Atom {
+                pred: a.pred,
+                terms: a.terms.iter().map(|t| lookup(t, env)).collect(),
+            }),
+            Formula::Eq(s, t) => Formula::Eq(lookup(s, env), lookup(t, env)),
+            Formula::Not(g) => Formula::Not(Box::new(go(g, env, fresh))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| go(g, env, fresh)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| go(g, env, fresh)).collect()),
+            Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                let new_v = fresh.fresh(*v);
+                env.push((*v, new_v));
+                let body = go(g, env, fresh);
+                env.pop();
+                match f {
+                    Formula::Exists(..) => Formula::Exists(new_v, Box::new(body)),
+                    _ => Formula::Forall(new_v, Box::new(body)),
+                }
+            }
+        }
+    }
+    go(f, &mut Vec::new(), fresh)
+}
+
+/// Rectify `f`: rename bound variables (using equivalence E6) so that every
+/// quantifier binds a distinct variable not occurring free anywhere in `f`.
+/// Original names are kept where already unique.
+pub fn rectify(f: &Formula, fresh: &mut FreshVars) -> Formula {
+    let mut used: FxHashSet<Var> = free_vars(f).into_iter().collect();
+    rectify_rec(f, &mut Vec::new(), &mut used, fresh)
+}
+
+/// Convenience wrapper allocating its own fresh-name supply.
+pub fn rectified(f: &Formula) -> Formula {
+    let mut fresh = FreshVars::for_formula(f);
+    rectify(f, &mut fresh)
+}
+
+fn rectify_rec(
+    f: &Formula,
+    env: &mut Vec<(Var, Var)>,
+    used: &mut FxHashSet<Var>,
+    fresh: &mut FreshVars,
+) -> Formula {
+    let lookup = |t: &Term, env: &[(Var, Var)]| -> Term {
+        if let Term::Var(v) = *t {
+            // Innermost binding wins.
+            for &(from, to) in env.iter().rev() {
+                if from == v {
+                    return Term::Var(to);
+                }
+            }
+        }
+        *t
+    };
+    match f {
+        Formula::Atom(a) => Formula::Atom(crate::ast::Atom {
+            pred: a.pred,
+            terms: a.terms.iter().map(|t| lookup(t, env)).collect(),
+        }),
+        Formula::Eq(s, t) => Formula::Eq(lookup(s, env), lookup(t, env)),
+        Formula::Not(g) => Formula::Not(Box::new(rectify_rec(g, env, used, fresh))),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| rectify_rec(g, env, used, fresh))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| rectify_rec(g, env, used, fresh))
+                .collect(),
+        ),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            let new_v = if used.insert(*v) { *v } else { fresh.fresh(*v) };
+            used.insert(new_v);
+            env.push((*v, new_v));
+            let body = rectify_rec(g, env, used, fresh);
+            env.pop();
+            match f {
+                Formula::Exists(..) => Formula::Exists(new_v, Box::new(body)),
+                _ => Formula::Forall(new_v, Box::new(body)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn p(t: Term) -> Formula {
+        Formula::atom("P", vec![t])
+    }
+
+    fn x() -> Var {
+        Var::new("x")
+    }
+    fn y() -> Var {
+        Var::new("y")
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        // ∃y (P(x) ∧ Q(x,y)): free = {x}.
+        let f = Formula::exists(
+            "y",
+            Formula::and2(
+                p(Term::var("x")),
+                Formula::atom("Q", vec![Term::var("x"), Term::var("y")]),
+            ),
+        );
+        assert_eq!(free_vars(&f), vec![x()]);
+        assert!(is_free(x(), &f));
+        assert!(!is_free(y(), &f));
+    }
+
+    #[test]
+    fn free_vars_first_occurrence_order() {
+        let f = Formula::and2(
+            Formula::atom("Q", vec![Term::var("b"), Term::var("a")]),
+            p(Term::var("a")),
+        );
+        assert_eq!(free_vars(&f), vec![Var::new("b"), Var::new("a")]);
+    }
+
+    #[test]
+    fn rectify_renames_clashing_binders() {
+        // (∃x P(x)) ∧ (∃x P(x)) — second binder must be renamed.
+        let inner = Formula::exists("x", p(Term::var("x")));
+        let f = Formula::And(vec![inner.clone(), inner]);
+        assert!(!is_rectified(&f));
+        let r = rectified(&f);
+        assert!(is_rectified(&r));
+        // Exactly two distinct bound variables now.
+        assert_eq!(bound_vars(&r).len(), 2);
+    }
+
+    #[test]
+    fn rectify_avoids_free_names() {
+        // P(x) ∧ ∃x Q(x): bound x shadows nothing but clashes with free x.
+        let f = Formula::and2(
+            p(Term::var("x")),
+            Formula::exists("x", Formula::atom("Q", vec![Term::var("x")])),
+        );
+        assert!(!is_rectified(&f));
+        let r = rectified(&f);
+        assert!(is_rectified(&r));
+        assert_eq!(free_vars(&r), vec![x()]);
+    }
+
+    #[test]
+    fn rectify_preserves_already_rectified() {
+        let f = Formula::exists(
+            "y",
+            Formula::and2(
+                p(Term::var("x")),
+                Formula::atom("Q", vec![Term::var("y")]),
+            ),
+        );
+        assert_eq!(rectified(&f), f);
+    }
+
+    #[test]
+    fn substitution_hits_free_occurrences_only() {
+        // ∃y Q(x,y) with x ↦ c.
+        let f = Formula::exists(
+            "y",
+            Formula::atom("Q", vec![Term::var("x"), Term::var("y")]),
+        );
+        let g = substitute(&f, x(), Term::val(7));
+        assert_eq!(
+            g,
+            Formula::exists(
+                "y",
+                Formula::atom("Q", vec![Term::val(7), Term::var("y")]),
+            )
+        );
+        // Substituting the bound variable is a no-op.
+        assert_eq!(substitute(&f, y(), Term::val(7)), f);
+    }
+
+    #[test]
+    fn fresh_names_never_collide() {
+        let f = p(Term::var("x"));
+        let mut fresh = FreshVars::for_formula(&f);
+        let a = fresh.fresh(x());
+        let b = fresh.fresh(x());
+        assert_ne!(a, b);
+        assert!(a.name().starts_with("x#"));
+        // A fresh of a fresh keeps a single suffix.
+        let c = fresh.fresh(a);
+        assert_eq!(c.name().matches('#').count(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Printer/parser round-trip property: for every generated formula, both
+//! the Unicode and the ASCII renderings parse back to the identical tree.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rc_formula::display::ascii;
+use rc_formula::generate::{random_allowed_formula, random_formula, GenConfig};
+use rc_formula::{parse, Var};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn unicode_roundtrip(seed in 0u64..100_000) {
+        let cfg = GenConfig::default();
+        let f = random_formula(&cfg, &mut StdRng::seed_from_u64(seed));
+        let printed = f.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed on {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, f);
+    }
+
+    #[test]
+    fn ascii_roundtrip(seed in 0u64..100_000) {
+        let cfg = GenConfig::default();
+        let f = random_formula(&cfg, &mut StdRng::seed_from_u64(seed));
+        let printed = ascii(&f);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed on {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, f);
+    }
+
+    #[test]
+    fn allowed_generator_roundtrip(seed in 0u64..100_000) {
+        let cfg = GenConfig::default();
+        let f = random_allowed_formula(
+            &cfg,
+            &[Var::new("x"), Var::new("y")],
+            &mut StdRng::seed_from_u64(seed),
+            4,
+        );
+        let printed = f.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed on {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, f);
+    }
+}

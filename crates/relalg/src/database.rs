@@ -1,0 +1,278 @@
+//! Databases: named relations plus loading helpers.
+
+use crate::relation::{Relation, Tuple};
+use rc_formula::fxhash::FxHashMap;
+use rc_formula::{Formula, Schema, Symbol, Term, Value};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An in-memory database: a map from predicate symbols to relations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Database {
+    relations: FxHashMap<Symbol, Relation>,
+}
+
+/// Error raised while loading facts into a database.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadError {
+    /// The fact line did not parse as an atom.
+    NotAnAtom(String),
+    /// The atom contained a variable.
+    NonGroundFact(String),
+    /// An arity clash with previously loaded facts.
+    ArityMismatch {
+        /// The predicate.
+        pred: Symbol,
+        /// Previously seen arity.
+        expected: usize,
+        /// Arity in the offending fact.
+        found: usize,
+    },
+    /// Underlying parse error.
+    Parse(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::NotAnAtom(s) => write!(f, "fact is not an atom: {s}"),
+            LoadError::NonGroundFact(s) => write!(f, "fact contains variables: {s}"),
+            LoadError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(f, "predicate {pred}: arity {found} clashes with {expected}"),
+            LoadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The relation stored for `pred`, if any.
+    pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Declare an empty relation (or leave an existing one untouched).
+    pub fn declare(&mut self, pred: impl Into<Symbol>, arity: usize) -> &mut Self {
+        self.relations
+            .entry(pred.into())
+            .or_insert_with(|| Relation::new(arity));
+        self
+    }
+
+    /// Insert a whole relation, replacing any existing one.
+    pub fn insert_relation(&mut self, pred: impl Into<Symbol>, rel: Relation) -> &mut Self {
+        self.relations.insert(pred.into(), rel);
+        self
+    }
+
+    /// Insert one fact; creates the relation on first use.
+    pub fn insert_fact(
+        &mut self,
+        pred: impl Into<Symbol>,
+        t: Tuple,
+    ) -> Result<(), LoadError> {
+        let pred = pred.into();
+        let rel = self
+            .relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(t.len()));
+        if rel.arity() != t.len() {
+            return Err(LoadError::ArityMismatch {
+                pred,
+                expected: rel.arity(),
+                found: t.len(),
+            });
+        }
+        rel.insert(t);
+        Ok(())
+    }
+
+    /// Load newline-separated ground atoms, e.g.:
+    ///
+    /// ```text
+    /// Part('bolt')
+    /// Supplies('acme', 'bolt')
+    /// Count(1, 2)
+    /// ```
+    ///
+    /// Blank lines and `%` comments are skipped. Trailing `.` is allowed.
+    pub fn load_facts(&mut self, text: &str) -> Result<(), LoadError> {
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches('.');
+            if line.is_empty() || line.starts_with('%') {
+                continue;
+            }
+            let parsed =
+                rc_formula::parse(line).map_err(|e| LoadError::Parse(e.to_string()))?;
+            let atom = match parsed {
+                Formula::Atom(a) => a,
+                _ => return Err(LoadError::NotAnAtom(line.to_string())),
+            };
+            let mut vals = Vec::with_capacity(atom.terms.len());
+            for t in &atom.terms {
+                match t {
+                    Term::Const(v) => vals.push(*v),
+                    Term::Var(_) => return Err(LoadError::NonGroundFact(line.to_string())),
+                }
+            }
+            self.insert_fact(atom.pred, vals.into_boxed_slice())?;
+        }
+        Ok(())
+    }
+
+    /// Parse a database from fact text.
+    pub fn from_facts(text: &str) -> Result<Database, LoadError> {
+        let mut db = Database::new();
+        db.load_facts(text)?;
+        Ok(db)
+    }
+
+    /// The schema induced by the stored relations.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for (&p, r) in &self.relations {
+            s.declare(p, r.arity());
+        }
+        s
+    }
+
+    /// All predicates, sorted by name.
+    pub fn predicates(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self.relations.keys().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// Every constant appearing in any relation — the database part of the
+    /// paper's `Dom` relation (Sec. 3).
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for r in self.relations.values() {
+            out.extend(r.values());
+        }
+        out
+    }
+
+    /// Total number of stored tuples.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Generate a random database over `schema`: each relation receives
+    /// `rows_per_relation` tuples drawn uniformly from `domain`.
+    pub fn random(
+        schema: &Schema,
+        domain: &[Value],
+        rows_per_relation: usize,
+        rng: &mut impl Rng,
+    ) -> Database {
+        assert!(!domain.is_empty(), "random database needs a nonempty domain");
+        let mut db = Database::new();
+        for (pred, arity) in schema.predicates() {
+            let mut rel = Relation::new(arity);
+            // For nullary predicates, flip a coin for {()} vs {}.
+            if arity == 0 {
+                if rng.gen_bool(0.5) {
+                    rel.insert(Vec::new().into_boxed_slice());
+                }
+            } else {
+                for _ in 0..rows_per_relation {
+                    let row: Tuple = (0..arity)
+                        .map(|_| *domain.choose(rng).expect("domain nonempty"))
+                        .collect();
+                    rel.insert(row);
+                }
+            }
+            db.insert_relation(pred, rel);
+        }
+        db
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in self.predicates() {
+            writeln!(f, "{p}/{} = {}", self.relations[&p].arity(), self.relations[&p])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::tuple;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn load_facts_roundtrip() {
+        let db = Database::from_facts(
+            "% suppliers\nSupplies('acme', 'bolt').\nSupplies('acme', 'nut')\nPart('bolt')\n\n",
+        )
+        .unwrap();
+        let s = db.relation(Symbol::intern("Supplies")).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.arity(), 2);
+        assert!(db.relation(Symbol::intern("Part")).unwrap().len() == 1);
+    }
+
+    #[test]
+    fn reject_non_ground_and_non_atom() {
+        assert!(matches!(
+            Database::from_facts("P(x)"),
+            Err(LoadError::NonGroundFact(_))
+        ));
+        assert!(matches!(
+            Database::from_facts("P(1) & Q(2)"),
+            Err(LoadError::NotAnAtom(_))
+        ));
+    }
+
+    #[test]
+    fn arity_clash_rejected() {
+        assert!(matches!(
+            Database::from_facts("P(1)\nP(1, 2)"),
+            Err(LoadError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let mut db = Database::new();
+        db.insert_fact("P", tuple([1i64])).unwrap();
+        db.insert_fact("Q", tuple([2i64, 3])).unwrap();
+        let dom: Vec<Value> = db.active_domain().into_iter().collect();
+        assert_eq!(dom, vec![Value::int(1), Value::int(2), Value::int(3)]);
+    }
+
+    #[test]
+    fn random_db_matches_schema() {
+        let schema = Schema::new().with("P", 1).with("Q", 2);
+        let domain: Vec<Value> = (0..10).map(Value::int).collect();
+        let db = Database::random(&schema, &domain, 20, &mut StdRng::seed_from_u64(1));
+        assert_eq!(db.relation(Symbol::intern("P")).unwrap().arity(), 1);
+        assert_eq!(db.relation(Symbol::intern("Q")).unwrap().arity(), 2);
+        // Set semantics may deduplicate, but some rows must exist.
+        assert!(!db.relation(Symbol::intern("Q")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let db = Database::from_facts("P(1)\nQ(1, 2)").unwrap();
+        let s = db.schema();
+        assert_eq!(s.arity_of(Symbol::intern("P")), Some(1));
+        assert_eq!(s.arity_of(Symbol::intern("Q")), Some(2));
+    }
+}

@@ -1,0 +1,34 @@
+//! # rc-relalg
+//!
+//! In-memory relational algebra engine — the evaluation substrate for the
+//! `rcsafe` reproduction of Van Gelder & Topor (PODS 1987).
+//!
+//! The paper translates *allowed* relational-calculus formulas into algebra
+//! expressions built from scans, natural joins, unions, projections,
+//! selections, the generalized set difference `diff` (anti-join, Def. 9.3),
+//! on-the-fly constant singletons (`x = c`, Sec. 5.3) and a column
+//! duplication primitive (Appendix A). This crate implements exactly that
+//! operator set over set-semantics relations with variable-named columns:
+//!
+//! * [`relation::Relation`], [`database::Database`] — storage;
+//! * [`expr::RaExpr`] — the expression tree, with structural validation;
+//! * [`eval`](mod@eval) — hash-join/anti-join evaluation with [`eval::EvalStats`];
+//! * [`optimize::simplify`] — semantics-preserving cleanup;
+//! * display impls that mimic the paper's `π/σ/⋈/∪/diff` notation;
+//! * [`io`] — fact-text and TSV import/export.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod display;
+pub mod eval;
+pub mod expr;
+pub mod io;
+pub mod optimize;
+pub mod relation;
+
+pub use database::Database;
+pub use eval::{eval, eval_with_stats, EvalError, EvalStats};
+pub use expr::{RaExpr, SelPred};
+pub use optimize::simplify;
+pub use relation::{tuple, Relation, Tuple};

@@ -1,0 +1,354 @@
+//! Algebraic simplification of expressions.
+//!
+//! The paper notes that "many simplifications of the relational algebra
+//! expressions produced by the procedures of this section can be made during
+//! their construction" (Sec. 9.3). The translation in `rc-safety` emits
+//! straightforward expressions; this pass cleans them up:
+//!
+//! * cascade projections; drop identity projections;
+//! * `⊤ ⋈ e → e` and `e ⋈ ⊤ → e`; `e ⋈ e → e` (set semantics);
+//! * propagate empty relations through join/select/project/diff/union;
+//! * `e diff ∅ → e`;
+//! * deduplicate syntactically equal union branches;
+//! * push selections below joins (into the side holding their columns) and
+//!   through unions;
+//! * push projections through unions.
+//!
+//! Simplification is semantics-preserving; a property test in the workspace
+//! integration suite evaluates optimized and raw expressions side by side.
+
+use crate::expr::{RaExpr, SelPred};
+
+/// Simplify to a fixpoint (each rewrite strictly shrinks the tree, so one
+/// bottom-up pass that re-simplifies rebuilt nodes suffices).
+pub fn simplify(e: &RaExpr) -> RaExpr {
+    match e {
+        RaExpr::Scan { .. } | RaExpr::Single { .. } | RaExpr::Unit | RaExpr::Empty { .. } => {
+            e.clone()
+        }
+        RaExpr::Join(l, r) => {
+            let l = simplify(l);
+            let r = simplify(r);
+            if matches!(l, RaExpr::Unit) {
+                return r;
+            }
+            if matches!(r, RaExpr::Unit) {
+                return l;
+            }
+            // Join with an empty side is empty over the merged columns.
+            if is_empty(&l) || is_empty(&r) {
+                let cols = RaExpr::Join(Box::new(l), Box::new(r)).cols();
+                return RaExpr::Empty { cols };
+            }
+            // Set semantics: joining an expression with itself on all
+            // columns is the identity.
+            if l == r {
+                return l;
+            }
+            RaExpr::Join(Box::new(l), Box::new(r))
+        }
+        RaExpr::Union(l, r) => {
+            let l = simplify(l);
+            let r = simplify(r);
+            if is_empty(&l) {
+                return align_union_result(r, &l);
+            }
+            if is_empty(&r) || l == r {
+                return l;
+            }
+            RaExpr::Union(Box::new(l), Box::new(r))
+        }
+        RaExpr::Diff(l, r) => {
+            let l = simplify(l);
+            let r = simplify(r);
+            if is_empty(&r) {
+                return l;
+            }
+            if is_empty(&l) {
+                return RaExpr::Empty { cols: l.cols() };
+            }
+            RaExpr::Diff(Box::new(l), Box::new(r))
+        }
+        RaExpr::Project { input, cols } => {
+            let input = simplify(input);
+            if input.cols() == *cols {
+                return input;
+            }
+            if is_empty(&input) {
+                return RaExpr::Empty { cols: cols.clone() };
+            }
+            // Cascade: π[c](π[d](e)) = π[c](e).
+            if let RaExpr::Project { input: inner, .. } = input {
+                return simplify(&RaExpr::Project {
+                    input: inner,
+                    cols: cols.clone(),
+                });
+            }
+            // Push through union: π(a ∪ b) = π(a) ∪ π(b).
+            if let RaExpr::Union(a, b) = input {
+                return simplify(&RaExpr::Union(
+                    Box::new(RaExpr::Project {
+                        input: a,
+                        cols: cols.clone(),
+                    }),
+                    Box::new(RaExpr::Project {
+                        input: b,
+                        cols: cols.clone(),
+                    }),
+                ));
+            }
+            RaExpr::Project {
+                input: Box::new(input),
+                cols: cols.clone(),
+            }
+        }
+        RaExpr::Select { input, pred } => {
+            let input = simplify(input);
+            if is_empty(&input) {
+                return RaExpr::Empty { cols: input.cols() };
+            }
+            if let Some(pushed) = push_select(&input, *pred) {
+                return pushed;
+            }
+            RaExpr::Select {
+                input: Box::new(input),
+                pred: *pred,
+            }
+        }
+        RaExpr::Duplicate { input, src, dst } => {
+            let input = simplify(input);
+            if is_empty(&input) {
+                let mut cols = input.cols();
+                cols.push(*dst);
+                return RaExpr::Empty { cols };
+            }
+            RaExpr::Duplicate {
+                input: Box::new(input),
+                src: *src,
+                dst: *dst,
+            }
+        }
+    }
+}
+
+fn is_empty(e: &RaExpr) -> bool {
+    matches!(e, RaExpr::Empty { .. })
+}
+
+/// Try to push a selection below its input operator:
+///
+/// * `σ(a ⋈ b) → σ(a) ⋈ b` (or the right side) when one side holds every
+///   selected column — shrinks join inputs;
+/// * `σ(a ∪ b) → σ(a) ∪ σ(b)`;
+/// * `σ(a diff b) → σ(a) diff b` (the filter only concerns kept tuples).
+fn push_select(input: &RaExpr, pred: SelPred) -> Option<RaExpr> {
+    let need = pred.cols();
+    match input {
+        RaExpr::Join(l, r) => {
+            if need.iter().all(|v| l.cols().contains(v)) {
+                Some(simplify(&RaExpr::Join(
+                    Box::new(RaExpr::Select {
+                        input: l.clone(),
+                        pred,
+                    }),
+                    r.clone(),
+                )))
+            } else if need.iter().all(|v| r.cols().contains(v)) {
+                Some(simplify(&RaExpr::Join(
+                    l.clone(),
+                    Box::new(RaExpr::Select {
+                        input: r.clone(),
+                        pred,
+                    }),
+                )))
+            } else {
+                None
+            }
+        }
+        RaExpr::Union(a, b) => Some(simplify(&RaExpr::Union(
+            Box::new(RaExpr::Select {
+                input: a.clone(),
+                pred,
+            }),
+            Box::new(RaExpr::Select {
+                input: b.clone(),
+                pred,
+            }),
+        ))),
+        RaExpr::Diff(a, b) => Some(simplify(&RaExpr::Diff(
+            Box::new(RaExpr::Select {
+                input: a.clone(),
+                pred,
+            }),
+            b.clone(),
+        ))),
+        _ => None,
+    }
+}
+
+/// When the left union branch vanished, the surviving right branch may have
+/// its columns in a different order than the union advertised; project to
+/// restore the original order if needed.
+fn align_union_result(survivor: RaExpr, vanished_left: &RaExpr) -> RaExpr {
+    let want = vanished_left.cols();
+    if survivor.cols() == want {
+        survivor
+    } else {
+        simplify(&RaExpr::Project {
+            input: Box::new(survivor),
+            cols: want,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_formula::{Term, Var};
+
+    fn p() -> RaExpr {
+        RaExpr::scan("P", vec![Term::var("x"), Term::var("y")])
+    }
+
+    #[test]
+    fn unit_join_elided() {
+        assert_eq!(simplify(&RaExpr::join(RaExpr::Unit, p())), p());
+        assert_eq!(simplify(&RaExpr::join(p(), RaExpr::Unit)), p());
+    }
+
+    #[test]
+    fn empty_propagates_through_join() {
+        let e = RaExpr::join(
+            p(),
+            RaExpr::Empty {
+                cols: vec![Var::new("y"), Var::new("z")],
+            },
+        );
+        match simplify(&e) {
+            RaExpr::Empty { cols } => {
+                assert_eq!(cols, vec![Var::new("x"), Var::new("y"), Var::new("z")])
+            }
+            other => panic!("expected Empty, got {other}"),
+        }
+    }
+
+    #[test]
+    fn union_drops_empty_and_duplicates() {
+        let empty = RaExpr::Empty {
+            cols: vec![Var::new("x"), Var::new("y")],
+        };
+        assert_eq!(simplify(&RaExpr::union(p(), empty.clone())), p());
+        assert_eq!(simplify(&RaExpr::union(empty, p())), p());
+        assert_eq!(simplify(&RaExpr::union(p(), p())), p());
+    }
+
+    #[test]
+    fn diff_with_empty_rhs_elided() {
+        let e = RaExpr::diff(
+            p(),
+            RaExpr::Empty {
+                cols: vec![Var::new("y")],
+            },
+        );
+        assert_eq!(simplify(&e), p());
+    }
+
+    #[test]
+    fn projection_cascade_and_identity() {
+        let inner = RaExpr::project(p(), vec![Var::new("x"), Var::new("y")]);
+        // Identity projection vanishes.
+        assert_eq!(simplify(&inner), p());
+        let cascade = RaExpr::project(
+            RaExpr::project(p(), vec![Var::new("y"), Var::new("x")]),
+            vec![Var::new("x")],
+        );
+        assert_eq!(simplify(&cascade), RaExpr::project(p(), vec![Var::new("x")]));
+    }
+
+    #[test]
+    fn self_join_collapses() {
+        assert_eq!(simplify(&RaExpr::join(p(), p())), p());
+    }
+
+    #[test]
+    fn selection_pushes_into_join_side() {
+        use rc_formula::Value;
+        // σ[x=1](P(x,y) ⋈ Q(y,z)): x only lives on the P side.
+        let q = RaExpr::scan("Q", vec![Term::var("y"), Term::var("z")]);
+        let e = RaExpr::select(
+            RaExpr::join(p(), q.clone()),
+            SelPred::EqConst(Var::new("x"), Value::int(1)),
+        );
+        match simplify(&e) {
+            RaExpr::Join(l, r) => {
+                assert!(matches!(*l, RaExpr::Select { .. }), "got {l}");
+                assert_eq!(*r, q);
+            }
+            other => panic!("expected pushed join, got {other}"),
+        }
+    }
+
+    #[test]
+    fn selection_stays_when_columns_span_both_sides() {
+        let q = RaExpr::scan("Q", vec![Term::var("z")]);
+        let e = RaExpr::select(
+            RaExpr::join(p(), q),
+            SelPred::NeqCols(Var::new("x"), Var::new("z")),
+        );
+        assert!(matches!(simplify(&e), RaExpr::Select { .. }));
+    }
+
+    #[test]
+    fn selection_distributes_over_union() {
+        use rc_formula::Value;
+        let e = RaExpr::select(
+            RaExpr::union(p(), RaExpr::scan("R", vec![Term::var("x"), Term::var("y")])),
+            SelPred::EqConst(Var::new("x"), Value::int(1)),
+        );
+        match simplify(&e) {
+            RaExpr::Union(l, r) => {
+                assert!(matches!(*l, RaExpr::Select { .. }));
+                assert!(matches!(*r, RaExpr::Select { .. }));
+            }
+            other => panic!("expected union of selects, got {other}"),
+        }
+    }
+
+    #[test]
+    fn selection_pushes_past_diff() {
+        use rc_formula::Value;
+        let e = RaExpr::select(
+            RaExpr::diff(p(), RaExpr::scan("R", vec![Term::var("y")])),
+            SelPred::EqConst(Var::new("x"), Value::int(1)),
+        );
+        match simplify(&e) {
+            RaExpr::Diff(l, _) => assert!(matches!(*l, RaExpr::Select { .. })),
+            other => panic!("expected diff with pushed select, got {other}"),
+        }
+    }
+
+    #[test]
+    fn projection_distributes_over_union() {
+        let e = RaExpr::project(
+            RaExpr::union(p(), RaExpr::scan("R", vec![Term::var("y"), Term::var("x")])),
+            vec![Var::new("y")],
+        );
+        match simplify(&e) {
+            RaExpr::Union(l, r) => {
+                assert!(matches!(*l, RaExpr::Project { .. }));
+                assert!(matches!(*r, RaExpr::Project { .. }));
+            }
+            other => panic!("expected union of projections, got {other}"),
+        }
+    }
+
+    #[test]
+    fn union_empty_left_preserves_column_order() {
+        // Union advertised [y, x] (left's order); survivor has [x, y].
+        let left = RaExpr::Empty {
+            cols: vec![Var::new("y"), Var::new("x")],
+        };
+        let out = simplify(&RaExpr::union(left, p()));
+        assert_eq!(out.cols(), vec![Var::new("y"), Var::new("x")]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Relations: finite sets of same-arity tuples.
+//!
+//! Rows are stored in a `BTreeSet`, which gives set semantics *and*
+//! deterministic iteration order (important for reproducible experiment
+//! output). Nullary relations are first-class: over zero columns there are
+//! exactly two relations, `{}` ("false") and `{()}` ("true"), which is how
+//! closed formulas come back from the algebra evaluator.
+
+use rc_formula::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A database tuple.
+pub type Tuple = Box<[Value]>;
+
+/// Build a tuple from anything value-like.
+pub fn tuple(vals: impl IntoIterator<Item = impl Into<Value>>) -> Tuple {
+    vals.into_iter().map(Into::into).collect()
+}
+
+/// A finite relation: a set of tuples sharing one arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relation {
+    arity: usize,
+    rows: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// The nullary relation `{()}` — the algebra's "true".
+    pub fn unit() -> Relation {
+        let mut r = Relation::new(0);
+        r.insert(Vec::new().into_boxed_slice());
+        r
+    }
+
+    /// The nullary empty relation — the algebra's "false".
+    pub fn empty_nullary() -> Relation {
+        Relation::new(0)
+    }
+
+    /// A one-tuple relation.
+    pub fn singleton(t: Tuple) -> Relation {
+        let mut r = Relation::new(t.len());
+        r.insert(t);
+        r
+    }
+
+    /// Build from rows; panics if arities disagree.
+    pub fn from_rows(arity: usize, rows: impl IntoIterator<Item = Tuple>) -> Relation {
+        let mut r = Relation::new(arity);
+        for row in rows {
+            r.insert(row);
+        }
+        r
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple. Panics on arity mismatch (a programming error, not a
+    /// data error — loaders validate before inserting).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.len(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            t.len(),
+            self.arity
+        );
+        self.rows.insert(t)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Value]) -> bool {
+        // BTreeSet<Box<[Value]>> lookups can borrow as [Value].
+        self.rows.contains(t)
+    }
+
+    /// Iterate over tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows.iter()
+    }
+
+    /// For a nullary relation: is it "true" (`{()}`)?
+    pub fn as_bool(&self) -> Option<bool> {
+        if self.arity == 0 {
+            Some(!self.rows.is_empty())
+        } else {
+            None
+        }
+    }
+
+    /// Every value appearing in any tuple, deduplicated, sorted.
+    pub fn values(&self) -> BTreeSet<Value> {
+        self.rows.iter().flat_map(|t| t.iter().copied()).collect()
+    }
+
+    /// Set union with another relation of the same arity.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "union arity mismatch");
+        let mut out = self.clone();
+        for t in other.iter() {
+            out.rows.insert(t.clone());
+        }
+        out
+    }
+
+    /// Plain set difference with another relation of the same arity.
+    pub fn minus(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "difference arity mismatch");
+        Relation {
+            arity: self.arity,
+            rows: self.rows.difference(&other.rows).cloned().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, v) in t.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collect tuples into a relation; arity is taken from the first tuple
+    /// (empty iterators produce a nullary relation).
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Relation {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map(|t| t.len()).unwrap_or(0);
+        Relation::from_rows(arity, it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(tuple([1i64, 2])));
+        assert!(!r.insert(tuple([1i64, 2])));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[Value::int(1), Value::int(2)]));
+        assert!(!r.contains(&[Value::int(2), Value::int(1)]));
+    }
+
+    #[test]
+    fn nullary_booleans() {
+        assert_eq!(Relation::unit().as_bool(), Some(true));
+        assert_eq!(Relation::empty_nullary().as_bool(), Some(false));
+        assert_eq!(Relation::new(1).as_bool(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(1);
+        r.insert(tuple([1i64, 2]));
+    }
+
+    #[test]
+    fn union_and_minus() {
+        let a = Relation::from_rows(1, [tuple([1i64]), tuple([2i64])]);
+        let b = Relation::from_rows(1, [tuple([2i64]), tuple([3i64])]);
+        assert_eq!(a.union(&b).len(), 3);
+        let d = a.minus(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&[Value::int(1)]));
+    }
+
+    #[test]
+    fn deterministic_display() {
+        let r = Relation::from_rows(1, [tuple([3i64]), tuple([1i64]), tuple([2i64])]);
+        assert_eq!(r.to_string(), "{(1), (2), (3)}");
+    }
+
+    #[test]
+    fn values_flatten() {
+        let r = Relation::from_rows(2, [tuple([1i64, 2]), tuple([2i64, 3])]);
+        let vals: Vec<Value> = r.values().into_iter().collect();
+        assert_eq!(vals, vec![Value::int(1), Value::int(2), Value::int(3)]);
+    }
+}

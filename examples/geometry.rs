@@ -1,0 +1,48 @@
+//! Figure 2, rendered: the geometric interpretation of `con`.
+//!
+//! For `A(x, y) = P(x) ∨ Q(y) ∨ R(x, y)`, `con` holds for both variables,
+//! so the set of points where `A` holds is a finite collection of points,
+//! lines and (here, no) planes. The `*` row/column of the grid stands for
+//! "any value outside the active domain".
+//!
+//! ```sh
+//! cargo run --example geometry
+//! ```
+
+use rc_safety::gencon::{con, gen};
+use rc_safety::geometry::{decompose, render_grid};
+use rcsafe::{parse, Database, Var};
+
+fn show(title: &str, text: &str, db: &Database) {
+    let f = parse(text).unwrap();
+    let (x, y) = (Var::new("x"), Var::new("y"));
+    println!("== {title}: A(x, y) = {f} ==");
+    println!(
+        "   gen(x,A)={} gen(y,A)={} con(x,A)={} con(y,A)={}",
+        gen(x, &f),
+        gen(y, &f),
+        con(x, &f),
+        con(y, &f),
+    );
+    println!("{}", render_grid(&f, db, x, y));
+    println!("decomposition:");
+    for c in decompose(&f, db) {
+        println!("   {c}");
+    }
+    println!();
+}
+
+fn main() {
+    // The paper's picture: P gives a vertical line, Q a horizontal line,
+    // R isolated points.
+    let db = Database::from_facts("P(1)\nQ(2)\nR(3, 3)\nR(4, 1)").unwrap();
+    show("Fig. 2", "P(x) | Q(y) | R(x, y)", &db);
+
+    // A conjunctive query: only points — gen holds for both variables.
+    show("generated", "R(x, y) & Q(y)", &db);
+
+    // con fails for x here: the x-extent of the answer depends on the
+    // domain (¬P(x) has no finite description along x for satisfying y).
+    let db2 = Database::from_facts("P(1)\nQ(2)").unwrap();
+    show("con fails", "!P(x) & Q(y)", &db2);
+}

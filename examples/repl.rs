@@ -1,0 +1,108 @@
+//! An interactive query console over the safety pipeline.
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! Commands:
+//!
+//! * `fact <Atom>` — insert a ground fact, e.g. `fact P(1, 'a')`
+//! * `db` — show the database
+//! * `explain <formula>` — classify and show every compilation stage
+//! * `<formula>` — compile and evaluate
+//! * `quit`
+
+use rcsafe::safety::pipeline::{compile, CompileError};
+use rcsafe::{classify, parse, Database, SafetyClass};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut db = Database::from_facts(
+        "Part('bolt')\nPart('nut')\nSupplies('acme', 'bolt')\nSupplies('acme', 'nut')\nSupplies('busy', 'bolt')",
+    )
+    .unwrap();
+
+    println!("rcsafe console — relational calculus with safe translation");
+    println!("preloaded: Part/1, Supplies/2. Type `help` for commands.\n");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        print!("rc> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "quit" | "exit" => break,
+            "help" => {
+                println!("  fact <Atom>        insert a ground fact");
+                println!("  db                 show the database");
+                println!("  explain <formula>  show all compilation stages");
+                println!("  <formula>          evaluate a query");
+                println!("  quit               leave");
+                continue;
+            }
+            "db" => {
+                print!("{db}");
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(fact) = line.strip_prefix("fact ") {
+            match db.load_facts(fact) {
+                Ok(()) => println!("  ok"),
+                Err(e) => println!("  error: {e}"),
+            }
+            continue;
+        }
+        let (explain, text) = match line.strip_prefix("explain ") {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        let f = match parse(text) {
+            Ok(f) => f,
+            Err(e) => {
+                println!("  parse error: {e}");
+                continue;
+            }
+        };
+        let class = classify(&f);
+        if class == SafetyClass::NotRecognized {
+            println!("  rejected: not in a recognized safe class (Defs. 5.2/5.3/A.1)");
+            continue;
+        }
+        match compile(&f) {
+            Err(CompileError::NotSafe(v)) => println!("  rejected: {v}"),
+            Err(e) => println!("  error: {e}"),
+            Ok(c) => {
+                if explain {
+                    for line in c.explain().lines().skip(1) {
+                        println!("  {line}");
+                    }
+                }
+                match c.run(&db) {
+                    Ok(rel) => {
+                        let cols = c
+                            .columns
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        if c.columns.is_empty() {
+                            println!("  {}", rel.as_bool().unwrap());
+                        } else {
+                            println!("  ({cols}) ∈ {rel}");
+                        }
+                    }
+                    Err(e) => println!("  eval error: {e}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Property tests for the class theorems:
+//!
+//! * Lemma 5.1 / Thm. 5.2: `gen ⇒ con`, allowed ⇒ evaluable;
+//! * Thm. 7.2: range restriction of the `dnf`/`cnf` pair ⇔ evaluable;
+//! * Lemma 8.1: the generator over-approximates (`∃*A(x) ⇒ ∃*G(x)`);
+//! * Thm. 8.4: `genify` output is allowed and equivalent;
+//! * Thm. 9.4: `ranf` output is RANF and equivalent;
+//! * Thm. 10.3: evaluable ⇒ definite (no sampled counterexample);
+//! * Lemma 9.1: RANF ⇒ allowed.
+
+mod common;
+
+use common::assert_equivalent;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rcsafe::formula::generate::{random_allowed_formula, random_formula, GenConfig};
+use rcsafe::formula::normal::MatrixLimit;
+use rcsafe::formula::vars::{free_vars, rectified};
+use rcsafe::safety::classes::is_range_restricted;
+use rcsafe::safety::domind::{empirically_definite, DefiniteTest};
+use rcsafe::safety::gencon::{con, gen};
+use rcsafe::safety::generator::{con_generator, gen_generator, ConGen};
+use rcsafe::safety::interp::FiniteInterp;
+use rcsafe::{
+    genify, is_allowed, is_evaluable, is_ranf, ranf, Database, Formula, Value, Var,
+};
+
+fn arbitrary_sample(seed: u64) -> Formula {
+    let cfg = GenConfig {
+        max_depth: 4,
+        ..GenConfig::default()
+    };
+    rectified(&random_formula(&cfg, &mut StdRng::seed_from_u64(seed)))
+}
+
+fn allowed_sample(seed: u64) -> Formula {
+    let cfg = GenConfig::default();
+    rectified(&random_allowed_formula(
+        &cfg,
+        &[Var::new("x")],
+        &mut StdRng::seed_from_u64(seed),
+        3,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Lemma 5.1: gen(x, A) ⇒ con(x, A).
+    #[test]
+    fn lemma_51_gen_implies_con(seed in 0u64..10_000) {
+        let f = arbitrary_sample(seed);
+        for v in [Var::new("x"), Var::new("y")] {
+            if gen(v, &f) {
+                prop_assert!(con(v, &f), "gen without con: {}", &f);
+            }
+        }
+    }
+
+    /// Thm. 5.2: every allowed formula is evaluable.
+    #[test]
+    fn thm_52_allowed_subset_of_evaluable(seed in 0u64..10_000) {
+        let f = arbitrary_sample(seed);
+        if is_allowed(&f) {
+            prop_assert!(is_evaluable(&f), "allowed but not evaluable: {}", &f);
+        }
+        // And the by-construction generator really generates allowed
+        // formulas.
+        let g = allowed_sample(seed);
+        prop_assert!(is_allowed(&g), "generator produced non-allowed: {}", &g);
+    }
+
+    /// Thm. 7.2: the dnf/cnf range-restriction test recognizes exactly the
+    /// evaluable formulas.
+    #[test]
+    fn thm_72_range_restricted_iff_evaluable(seed in 0u64..10_000) {
+        let f = arbitrary_sample(seed);
+        prop_assume!(f.node_count() <= 40);
+        match is_range_restricted(&f, MatrixLimit(50_000)) {
+            Err(_) => {} // matrix too large; skip
+            Ok(rr) => prop_assert_eq!(
+                rr,
+                is_evaluable(&f),
+                "Thm 7.2 disagreement on {}", &f
+            ),
+        }
+    }
+
+    /// Lemma 8.1: if gen(x, A, G) holds, then the x-values where ∃*A holds
+    /// are a subset of those where ∃*G holds — checked semantically on
+    /// random databases.
+    #[test]
+    fn lemma_81_generator_overapproximates(seed in 0u64..10_000) {
+        let f = arbitrary_sample(seed);
+        let x = Var::new("x");
+        let Some(g_atoms) = gen_generator(x, &f) else { return Ok(()); };
+        prop_assume!(free_vars(&f).contains(&x));
+        let g_disj = Formula::or(g_atoms);
+        // Evaluate both with all variables except x projected out.
+        let schema = common::joint_schema(&f, &g_disj);
+        let domain: Vec<Value> = (1..=3).map(Value::int).collect();
+        for trial in 0..3u64 {
+            let db = Database::random(
+                &schema, &domain, 5, &mut StdRng::seed_from_u64(seed * 11 + trial),
+            );
+            let interp = FiniteInterp::new(&db, domain.clone());
+            // ∃* means: some assignment of the other variables.
+            let f_cols = free_vars(&f);
+            let g_cols = free_vars(&g_disj);
+            let f_ans = interp.answers(&f, &f_cols);
+            let g_ans = interp.answers(&g_disj, &g_cols);
+            let xi_f = f_cols.iter().position(|v| *v == x).unwrap();
+            let f_xs: Vec<Value> = f_ans.iter().map(|t| t[xi_f]).collect();
+            let xi_g = g_cols.iter().position(|v| *v == x).unwrap();
+            let g_xs: Vec<Value> = g_ans.iter().map(|t| t[xi_g]).collect();
+            for v in f_xs {
+                prop_assert!(
+                    g_xs.contains(&v),
+                    "value {} satisfies ∃*A but not ∃*G for {} / {}", v, &f, &g_disj
+                );
+            }
+        }
+    }
+
+    /// The same subset property for con generators (when not ⊥).
+    #[test]
+    fn lemma_81_con_generator_overapproximates(seed in 0u64..10_000) {
+        let f = arbitrary_sample(seed);
+        let x = Var::new("x");
+        let Some(ConGen::Atoms(g_atoms)) = con_generator(x, &f) else { return Ok(()); };
+        prop_assume!(!gen(x, &f)); // interesting case: con-only
+        // con's guarantee is weaker: at any fixed assignment of the other
+        // variables, A either generates x (within G), holds nowhere, or
+        // holds everywhere. We verify the generated-or-everywhere split:
+        // if A(x0, ȳ0) holds but x0 ∉ G-values(ȳ0), then A(x, ȳ0) holds
+        // for ALL x in the domain.
+        let g_disj = Formula::or(g_atoms);
+        let schema = common::joint_schema(&f, &g_disj);
+        let domain: Vec<Value> = (1..=3).map(Value::int).collect();
+        let db = Database::random(&schema, &domain, 5, &mut StdRng::seed_from_u64(seed * 17));
+        let interp = FiniteInterp::new(&db, domain.clone());
+        let mut others = free_vars(&f);
+        others.retain(|v| *v != x);
+        prop_assume!(others.len() <= 2);
+        // Enumerate assignments of the other variables.
+        let mut assignments: Vec<Vec<(Var, Value)>> = vec![vec![]];
+        for &v in &others {
+            let mut next = Vec::new();
+            for a in &assignments {
+                for &val in &domain {
+                    let mut a2 = a.clone();
+                    a2.push((v, val));
+                    next.push(a2);
+                }
+            }
+            assignments = next;
+        }
+        for assign in assignments {
+            let holds: Vec<bool> = domain
+                .iter()
+                .map(|&xv| {
+                    let mut env = assign.clone();
+                    env.push((x, xv));
+                    interp.satisfies(&f, &env)
+                })
+                .collect();
+            let in_g: Vec<bool> = domain
+                .iter()
+                .map(|&xv| {
+                    let mut env = assign.clone();
+                    env.push((x, xv));
+                    // Free variables of G other than x may be bound in f;
+                    // existentially close them.
+                    let mut g_closed = g_disj.clone();
+                    for v in free_vars(&g_disj) {
+                        if v != x && !assign.iter().any(|(w, _)| *w == v) {
+                            g_closed = Formula::exists(v, g_closed);
+                        }
+                    }
+                    interp.satisfies(&g_closed, &env)
+                })
+                .collect();
+            let any_outside = holds
+                .iter()
+                .zip(&in_g)
+                .any(|(&h, &g)| h && !g);
+            if any_outside {
+                prop_assert!(
+                    holds.iter().all(|&h| h),
+                    "con violated: {} holds at an ungenerated point but not everywhere\n  assign {:?}",
+                    &f, assign
+                );
+            }
+        }
+    }
+
+    /// Thm. 8.4 + Thm. 9.4 composed on random allowed formulas: ranf
+    /// output is RANF, allowed (Lemma 9.1), and equivalent.
+    #[test]
+    fn thm_94_ranf_output_is_ranf_allowed_equivalent(seed in 0u64..10_000) {
+        let f = allowed_sample(seed);
+        prop_assume!(is_allowed(&f) && f.node_count() <= 60);
+        let r = match ranf(&f) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // budget
+        };
+        prop_assert!(is_ranf(&r), "not RANF: {} → {}", &f, &r);
+        prop_assert!(is_allowed(&r) || r.is_true() || r.is_false(),
+            "RANF output not allowed: {}", &r);
+        assert_equivalent(&f, &r, seed);
+    }
+
+    /// Thm. 8.4 on random evaluable formulas: genify output is allowed and
+    /// equivalent.
+    #[test]
+    fn thm_84_genify_allowed_equivalent(seed in 0u64..10_000) {
+        let f = allowed_sample(seed);
+        prop_assume!(f.node_count() <= 60);
+        // Allowed inputs exercise the pass-through path; Example-style
+        // evaluable inputs are covered in rc-safety's unit suite.
+        let g = genify(&f).expect("allowed is evaluable");
+        prop_assert!(is_allowed(&g), "genify output not allowed: {}", &g);
+        assert_equivalent(&f, &g, seed ^ 0x55);
+    }
+
+    /// Appendix A: "Wide sense evaluability is invariant under
+    /// conservative transformations."
+    #[test]
+    fn appendix_a_wide_sense_invariance(seed in 0u64..4_000) {
+        use rand::seq::SliceRandom;
+        use rcsafe::formula::transform::{applicable_rewrites, apply_at, CONSERVATIVE_RULES};
+        use rcsafe::formula::vars::FreshVars;
+        use rcsafe::is_wide_sense_evaluable;
+        let f = arbitrary_sample(seed);
+        prop_assume!(f.node_count() <= 25 && f.has_equality());
+        let ws = is_wide_sense_evaluable(&f);
+        let mut fresh = FreshVars::for_formula(&f);
+        let apps = applicable_rewrites(&f, CONSERVATIVE_RULES);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        for (path, rw) in apps.choose_multiple(&mut rng, 3.min(apps.len())) {
+            if let Some(g) = apply_at(*rw, &f, path, &mut fresh) {
+                prop_assert_eq!(
+                    is_wide_sense_evaluable(&g), ws,
+                    "wide-sense changed by {:?} at {:?}:\n  {}\n  {}", rw, path, &f, &g
+                );
+            }
+        }
+    }
+
+    /// Thm. 10.3: evaluable formulas are definite on every sampled
+    /// interpretation.
+    #[test]
+    fn thm_103_evaluable_implies_definite(seed in 0u64..10_000) {
+        let f = arbitrary_sample(seed);
+        prop_assume!(is_evaluable(&f) && f.node_count() <= 40);
+        let verdict = empirically_definite(&f, &DefiniteTest {
+            trials: 10,
+            ..DefiniteTest::default()
+        });
+        prop_assert!(
+            verdict.is_definite(),
+            "evaluable formula refuted as definite: {}", &f
+        );
+    }
+}
