@@ -16,7 +16,10 @@ use rc_safety::pipeline::compile;
 use rc_safety::tuplewise::eval_tuplewise;
 
 fn bench_eval(c: &mut Criterion) {
-    for (qname, f) in [("negation", negation_query()), ("division", division_query())] {
+    for (qname, f) in [
+        ("negation", negation_query()),
+        ("division", division_query()),
+    ] {
         let compiled = compile(&f).expect("compiles");
         let dom_expr = {
             let e = translate_dom(&f);
@@ -38,21 +41,13 @@ fn bench_eval(c: &mut Criterion) {
                 &db,
                 |b, db| b.iter(|| compiled.run(std::hint::black_box(db)).unwrap()),
             );
-            group.bench_with_input(
-                BenchmarkId::new("tuplewise", domain_size),
-                &db,
-                |b, db| {
-                    b.iter(|| {
-                        eval_tuplewise(&compiled.ranf_form, std::hint::black_box(db)).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("tuplewise", domain_size), &db, |b, db| {
+                b.iter(|| eval_tuplewise(&compiled.ranf_form, std::hint::black_box(db)).unwrap())
+            });
             group.bench_with_input(
                 BenchmarkId::new("dom-translation", domain_size),
                 &augmented,
-                |b, adb| {
-                    b.iter(|| rc_relalg::eval(std::hint::black_box(&dom_expr), adb).unwrap())
-                },
+                |b, adb| b.iter(|| rc_relalg::eval(std::hint::black_box(&dom_expr), adb).unwrap()),
             );
             // Brute force explodes quickly; keep it to the smaller domains.
             if domain_size <= 80 {

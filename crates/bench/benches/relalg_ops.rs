@@ -6,8 +6,8 @@
 //! this bench shows it indeed costs about the same as a join.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rc_bench::rng;
 use rand::Rng;
+use rc_bench::rng;
 use rc_formula::{Term, Value, Var};
 use rc_relalg::{eval, Database, RaExpr, Relation};
 

@@ -51,7 +51,9 @@ fn bench_paper_queries(c: &mut Criterion) {
             parse("exists z. (Q(x, z) & (x = y | S(x, y, z)) & !(z = y | R(y, z)))").unwrap(),
         ),
     ] {
-        group.bench_function(name, |b| b.iter(|| compile(std::hint::black_box(&f)).unwrap()));
+        group.bench_function(name, |b| {
+            b.iter(|| compile(std::hint::black_box(&f)).unwrap())
+        });
     }
     group.finish();
 }

@@ -11,6 +11,7 @@
 //! cargo run --release -p rc-bench --bin ablation_table
 //! ```
 
+use rand::seq::SliceRandom;
 use rc_bench::{bench_db, rng, Table};
 use rc_formula::generate::{random_allowed_formula, GenConfig};
 use rc_formula::transform::{applicable_rewrites, apply_at, CONSERVATIVE_RULES};
@@ -19,7 +20,6 @@ use rc_formula::{Formula, Var};
 use rc_relalg::EvalStats;
 use rc_safety::generator::ConjunctChoice;
 use rc_safety::pipeline::{compile_with, CompileOptions};
-use rand::seq::SliceRandom;
 
 /// Random evaluable formulas: allowed formulas walked through conservative
 /// transformations, so genify has real work to do.
@@ -46,8 +46,16 @@ fn evaluable_sample(seed: u64) -> Formula {
 fn main() {
     println!("=== Ablation 1: generator choice (Fig. 5 nondeterminism) ===\n");
     let mut t = Table::new(&[
-        "seed", "input", "allowed(S)", "allowed(F)", "ranf(S)", "ranf(F)", "plan(S)", "plan(F)",
-        "tuples(S)", "tuples(F)",
+        "seed",
+        "input",
+        "allowed(S)",
+        "allowed(F)",
+        "ranf(S)",
+        "ranf(F)",
+        "plan(S)",
+        "plan(F)",
+        "tuples(S)",
+        "tuples(F)",
     ]);
     let mut wins_smaller = 0;
     let mut total = 0;
@@ -99,7 +107,13 @@ fn main() {
     );
 
     println!("=== Ablation 2: algebraic simplifier ===\n");
-    let mut t2 = Table::new(&["seed", "plan raw", "plan simplified", "tuples raw", "tuples simplified"]);
+    let mut t2 = Table::new(&[
+        "seed",
+        "plan raw",
+        "plan simplified",
+        "tuples raw",
+        "tuples simplified",
+    ]);
     let mut shrunk = 0;
     let mut total2 = 0;
     for seed in 0..200u64 {
@@ -109,8 +123,7 @@ fn main() {
             ..CompileOptions::default()
         };
         let opt_opts = CompileOptions::default();
-        let (Ok(craw), Ok(copt)) = (compile_with(&f, raw_opts), compile_with(&f, opt_opts))
-        else {
+        let (Ok(craw), Ok(copt)) = (compile_with(&f, raw_opts), compile_with(&f, opt_opts)) else {
             continue;
         };
         total2 += 1;
@@ -122,7 +135,10 @@ fn main() {
         let mut sopt = EvalStats::default();
         let rraw = craw.run_with_stats(&db, &mut sraw).unwrap();
         let ropt = copt.run_with_stats(&db, &mut sopt).unwrap();
-        assert_eq!(rraw, ropt, "simplifier must not change answers (seed {seed})");
+        assert_eq!(
+            rraw, ropt,
+            "simplifier must not change answers (seed {seed})"
+        );
         if copt.expr.node_count() < craw.expr.node_count() {
             shrunk += 1;
         }

@@ -1,0 +1,146 @@
+//! Experiment E-ENGINE: flat-row batch kernels vs the tuple-at-a-time
+//! baseline (`rc_relalg::eval_baseline`) on the operators the paper's
+//! translation leans on — hash join, semijoin, anti-join (`diff`),
+//! same-arity difference and union — at several scales.
+//!
+//! Emits `BENCH_eval.json` at the repository root with median
+//! nanoseconds per evaluation and the speedup factor, so the committed
+//! numbers regenerate with one command:
+//!
+//! ```sh
+//! cargo run --release -p rc-bench --bin bench_eval
+//! ```
+//!
+//! The inputs are deterministic (`i mod k` patterns, no RNG), so tuple
+//! counts are exactly reproducible; only wall times vary by machine.
+
+use rc_bench::Table;
+use rc_formula::{Term, Value, Var};
+use rc_relalg::{eval, eval_baseline, Database, RaExpr, Relation, RelationBuilder};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Binary relation {(i, i mod key) : i < n} — join fan-out n/key per key.
+fn keyed(n: usize, key: i64) -> Relation {
+    let mut b = RelationBuilder::with_capacity(2, n);
+    for i in 0..n as i64 {
+        b.push_row(&[Value::int(i), Value::int(i % key)]);
+    }
+    b.finish()
+}
+
+/// Binary relation {(i mod key, i mod other) : i < n}.
+fn keyed_rev(n: usize, key: i64, other: i64) -> Relation {
+    let mut b = RelationBuilder::with_capacity(2, n);
+    for i in 0..n as i64 {
+        b.push_row(&[Value::int(i % key), Value::int(i % other)]);
+    }
+    b.finish()
+}
+
+/// Unary relation {(2i) : i < n} — hits every other join key.
+fn evens(n: usize) -> Relation {
+    let mut b = RelationBuilder::with_capacity(1, n);
+    for i in 0..n as i64 {
+        b.push_row(&[Value::int(2 * i)]);
+    }
+    b.finish()
+}
+
+fn db_for(n: usize) -> Database {
+    // Key modulus ~n/3 gives a small constant fan-out so join outputs stay
+    // O(n) while every probe still does real hash work.
+    let key = (n as i64 / 3).max(1);
+    let mut db = Database::new();
+    db.insert_relation("A", keyed(n, key));
+    db.insert_relation("B", keyed_rev(n, key, 97));
+    db.insert_relation("C", evens(n / 2));
+    db
+}
+
+fn workloads() -> Vec<(&'static str, RaExpr)> {
+    let a = || RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]);
+    let b_yz = || RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]);
+    let b_xy = || RaExpr::scan("B", vec![Term::var("x"), Term::var("y")]);
+    let c_x = || RaExpr::scan("C", vec![Term::var("x")]);
+    vec![
+        ("join", RaExpr::join(a(), b_yz())),
+        ("semijoin", RaExpr::join(a(), c_x())),
+        ("antijoin", RaExpr::diff(a(), c_x())),
+        ("diff_same_arity", RaExpr::diff(a(), b_xy())),
+        ("union_permuted", RaExpr::union(a(), b_xy())),
+        (
+            "join_project",
+            RaExpr::project(
+                RaExpr::join(a(), b_yz()),
+                vec![Var::new("x"), Var::new("z")],
+            ),
+        ),
+    ]
+}
+
+/// Median wall time of `samples` runs of `f`, in nanoseconds.
+fn time_median(samples: usize, mut f: impl FnMut()) -> u128 {
+    f(); // warm-up (first touch of lazily-built structures)
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let sizes = [2_000usize, 10_000, 50_000];
+    let samples = 7;
+    let mut records = Vec::new();
+    let mut table = Table::new(&[
+        "workload",
+        "rows",
+        "out rows",
+        "kernel ms",
+        "baseline ms",
+        "speedup",
+    ]);
+    for &n in &sizes {
+        let db = db_for(n);
+        for (name, expr) in workloads() {
+            let out_rows = eval(&expr, &db).expect("evaluates").len();
+            let kernel_ns = time_median(samples, || {
+                black_box(eval(black_box(&expr), black_box(&db)).unwrap());
+            });
+            let baseline_ns = time_median(samples, || {
+                black_box(eval_baseline(black_box(&expr), black_box(&db)).unwrap());
+            });
+            let speedup = baseline_ns as f64 / kernel_ns as f64;
+            table.row(vec![
+                name.to_string(),
+                n.to_string(),
+                out_rows.to_string(),
+                format!("{:.3}", kernel_ns as f64 / 1e6),
+                format!("{:.3}", baseline_ns as f64 / 1e6),
+                format!("{speedup:.2}x"),
+            ]);
+            records.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"rows\": {}, \"out_rows\": {}, ",
+                    "\"kernel_ns\": {}, \"baseline_ns\": {}, \"speedup\": {:.2}}}"
+                ),
+                name, n, out_rows, kernel_ns, baseline_ns, speedup
+            ));
+        }
+    }
+    println!("=== E-ENGINE: batch kernels vs tuple-at-a-time baseline ===\n");
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    std::fs::write(path, &json).expect("write BENCH_eval.json");
+    println!("wrote {path}");
+}

@@ -16,7 +16,11 @@ use std::time::Instant;
 fn main() {
     println!("=== E-PERF3: transformation size growth (allowed → RANF → algebra) ===\n");
     let mut t = Table::new(&[
-        "input nodes", "genify nodes", "ranf nodes", "algebra ops", "compile µs",
+        "input nodes",
+        "genify nodes",
+        "ranf nodes",
+        "algebra ops",
+        "compile µs",
     ]);
     for target in [10usize, 20, 40, 80, 160, 320] {
         let f = allowed_formula_sized(target, 4242 + target as u64);

@@ -14,12 +14,22 @@ use rc_safety::domind::{empirically_definite, DefiniteTest};
 use rc_safety::{is_allowed, is_evaluable, is_wide_sense_evaluable};
 
 fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 fn main() {
     let mut t = Table::new(&[
-        "id", "formula", "evaluable", "allowed", "range-restr", "wide-sense", "dom-indep",
+        "id",
+        "formula",
+        "evaluable",
+        "allowed",
+        "range-restr",
+        "wide-sense",
+        "dom-indep",
         "paper-agrees",
     ]);
     let mut disagreements = 0;

@@ -125,7 +125,10 @@ fn fig6() {
     let f = parse("exists z. (P(x, z) & (x = y | Q(x, y, z)) & !(z = y | R(y, z)))").unwrap();
     println!("F  = {f}");
     println!("     strict-sense evaluable: {}", is_evaluable(&f));
-    println!("     wide-sense evaluable:   {}", is_wide_sense_evaluable(&f));
+    println!(
+        "     wide-sense evaluable:   {}",
+        is_wide_sense_evaluable(&f)
+    );
     let r = equality_reduce(&f);
     println!("\nAfter Algorithm A.1:");
     println!("F' = {r}");

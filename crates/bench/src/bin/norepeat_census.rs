@@ -41,7 +41,12 @@ fn main() {
 
     let rows = census(&cfg);
     let mut t = Table::new(&[
-        "nodes", "formulas", "evaluable", "definite", "inconclusive", "mismatches",
+        "nodes",
+        "formulas",
+        "evaluable",
+        "definite",
+        "inconclusive",
+        "mismatches",
     ]);
     let mut total_mismatches = 0;
     for row in &rows {

@@ -24,13 +24,23 @@ fn main() {
     println!("=== E-PERF1: Dom-free pipeline vs Dom-relation baseline ===\n");
     for (name, f) in [
         ("negation  P(x) ∧ ¬∃y(Q(x,y) ∧ ¬R(y,x))", negation_query()),
-        ("division  Q(x,x) ∧ ∀y(¬P(y) ∨ ∃z S(x,y,z))", division_query()),
+        (
+            "division  Q(x,x) ∧ ∀y(¬P(y) ∨ ∃z S(x,y,z))",
+            division_query(),
+        ),
     ] {
         println!("[{name}]");
         let compiled = compile(&f).expect("compiles");
         let mut t = Table::new(&[
-            "|Dom|", "rows/rel", "answer", "ranf tuples", "dom tuples", "ranf µs",
-            "tuplewise µs", "dom µs", "brute µs",
+            "|Dom|",
+            "rows/rel",
+            "answer",
+            "ranf tuples",
+            "dom tuples",
+            "ranf µs",
+            "tuplewise µs",
+            "dom µs",
+            "brute µs",
         ]);
         for domain_size in [20i64, 100, 400] {
             let rows = 50;

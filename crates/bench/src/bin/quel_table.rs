@@ -8,8 +8,8 @@
 //! cargo run --release -p rc-bench --bin quel_table
 //! ```
 
-use rc_bench::{rng, Table};
 use rand::Rng;
+use rc_bench::{rng, Table};
 use rc_relalg::{eval_with_stats, Database, EvalStats};
 use rc_safety::naive::{section2_formula, section2_naive};
 use rc_safety::pipeline::compile;
@@ -40,8 +40,13 @@ fn main() {
     let correct = compile(&section2_formula()).unwrap();
 
     let mut t = Table::new(&[
-        "|R1|", "|R3|", "QUEL answer", "correct answer", "agree",
-        "QUEL tuples", "correct tuples",
+        "|R1|",
+        "|R3|",
+        "QUEL answer",
+        "correct answer",
+        "agree",
+        "QUEL tuples",
+        "correct tuples",
     ]);
     for n in [10usize, 100, 300] {
         for r3 in [0usize, 5] {

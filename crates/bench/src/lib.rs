@@ -77,8 +77,7 @@ pub fn allowed_formula_sized(target_nodes: usize, seed: u64) -> Formula {
 /// The "division" query family of Example 9.2 row 2, the paper's hardest
 /// translation shape: `Q(x) ∧ ∀y (¬R(x, y) ∨ ∃z S(x, y, z))`.
 pub fn division_query() -> Formula {
-    rc_formula::parse("Q(x, x) & forall y. (!P(y) | exists z. S(x, y, z))")
-        .expect("static formula")
+    rc_formula::parse("Q(x, x) & forall y. (!P(y) | exists z. S(x, y, z))").expect("static formula")
 }
 
 /// A negation-heavy query: `P(x) ∧ ¬∃y (Q(x, y) ∧ ¬R(y, x))`.
@@ -89,8 +88,7 @@ pub fn negation_query() -> Formula {
 /// A disjunctive query exercising union translation:
 /// `P(x) ∧ (∃y Q(x, y) ∨ ∃z R(z, x))`.
 pub fn disjunction_query() -> Formula {
-    rc_formula::parse("P(x) & (exists y. Q(x, y) | exists z. R(z, x))")
-        .expect("static formula")
+    rc_formula::parse("P(x) & (exists y. Q(x, y) | exists z. R(z, x))").expect("static formula")
 }
 
 /// Simple fixed-width table printer for the experiment binaries.
@@ -118,11 +116,7 @@ impl Table {
     /// Render with aligned columns.
     pub fn render(&self) -> String {
         let ncols = self.headers.len();
-        let mut widths: Vec<usize> = self
-            .headers
-            .iter()
-            .map(|h| h.chars().count())
-            .collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.chars().count());

@@ -43,17 +43,18 @@ pub fn augment_with_dom(db: &Database, query: &Formula) -> Database {
     for (p, arity) in query.predicates() {
         out.declare(p, arity);
     }
-    let mut dom = Relation::new(1);
-    for v in db.active_domain() {
-        dom.insert(vec![v].into_boxed_slice());
+    let mut b = rc_relalg::RelationBuilder::with_capacity(1, db.active_domain().len());
+    for &v in db.active_domain() {
+        b.push_row(&[v]);
     }
     for c in query.constants() {
-        dom.insert(vec![c].into_boxed_slice());
+        b.push_row(&[c]);
     }
-    if dom.is_empty() {
+    if b.is_empty() {
         // First-order semantics needs a nonempty domain.
-        dom.insert(vec![rc_formula::Value::str("#default")].into_boxed_slice());
+        b.push_row(&[rc_formula::Value::str("#default")]);
     }
+    let dom = b.finish();
     out.insert_relation(dom_pred(), dom);
     out
 }
@@ -146,8 +147,7 @@ pub fn translate_dom(f: &Formula) -> RaExpr {
             let mut acc: Option<RaExpr> = None;
             for g in fs {
                 let fv = free_vars(g);
-                let missing: Vec<Var> =
-                    all.iter().filter(|v| !fv.contains(v)).copied().collect();
+                let missing: Vec<Var> = all.iter().filter(|v| !fv.contains(v)).copied().collect();
                 let e = pad_with_dom(translate_dom(g), &missing);
                 acc = Some(match acc {
                     None => e,

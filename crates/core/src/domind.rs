@@ -129,11 +129,7 @@ pub fn empirically_definite(f: &Formula, cfg: &DefiniteTest) -> DefiniteVerdict 
 /// refutes definiteness of non-evaluable repetition-free formulas with a
 /// one-element domain plus `*`, so small exhaustive checks are decisive
 /// there.
-pub fn exhaustively_definite(
-    f: &Formula,
-    max_domain_size: usize,
-    budget: u64,
-) -> Option<bool> {
+pub fn exhaustively_definite(f: &Formula, max_domain_size: usize, budget: u64) -> Option<bool> {
     let schema = Schema::infer(f).expect("consistent predicate use");
     let preds = schema.predicates();
     for n in 1..=max_domain_size {
@@ -249,11 +245,7 @@ mod tests {
             ("forall x. !P(x)", true),
         ] {
             let f = parse(s).unwrap();
-            assert_eq!(
-                exhaustively_definite(&f, 2, 1 << 20),
-                Some(expect),
-                "{s}"
-            );
+            assert_eq!(exhaustively_definite(&f, 2, 1 << 20), Some(expect), "{s}");
         }
     }
 

@@ -38,9 +38,7 @@ use rc_formula::ast::Formula;
 use rc_formula::paths::{all_paths, replace_at, subformula_at, Path};
 use rc_formula::simplify::simplify_truth;
 use rc_formula::term::{Term, Var};
-use rc_formula::vars::{
-    free_vars, is_free, rectified, rename_bound_fresh, substitute, FreshVars,
-};
+use rc_formula::vars::{free_vars, is_free, rectified, rename_bound_fresh, substitute, FreshVars};
 
 /// Maximum number of split applications before the loop stops (every
 /// intermediate form is equivalent, so stopping early is safe).
@@ -196,10 +194,9 @@ fn assemble(kind: &SplitKind, x: Var, t: Term, a1: &Formula, a2: &Formula) -> Fo
             a1.clone(),
             Formula::exists(x, Formula::and2(neq, a2.clone())),
         ),
-        SplitKind::Forall => Formula::and2(
-            a1.clone(),
-            Formula::forall(x, Formula::or2(eq, a2.clone())),
-        ),
+        SplitKind::Forall => {
+            Formula::and2(a1.clone(), Formula::forall(x, Formula::or2(eq, a2.clone())))
+        }
     };
     simplify_truth(&out)
 }
@@ -410,8 +407,7 @@ mod tests {
     #[test]
     fn figure_6_example_reduces_to_evaluable() {
         // F = ∃z [P(x,z) ∧ (x=y ∨ Q(x,y,z)) ∧ ¬(z=y ∨ R(y,z))].
-        let f =
-            parse("exists z. (P(x, z) & (x = y | Q(x, y, z)) & !(z = y | R(y, z)))").unwrap();
+        let f = parse("exists z. (P(x, z) & (x = y | Q(x, y, z)) & !(z = y | R(y, z)))").unwrap();
         assert!(!is_evaluable(&f));
         let r = equality_reduce(&f);
         assert!(equivalent(&f, &r), "{f}  vs  {r}");
@@ -431,10 +427,7 @@ mod tests {
 
     #[test]
     fn reduction_terminates_on_equality_heavy_formulas() {
-        let f = parse(
-            "exists x, y. (x = y & (x = 1 | y = 2) & (P(x) | x = y) & Q(x, y))",
-        )
-        .unwrap();
+        let f = parse("exists x, y. (x = y & (x = 1 | y = 2) & (P(x) | x = y) & Q(x, y))").unwrap();
         let r = equality_reduce(&f);
         assert!(equivalent(&f, &r), "{f} vs {r}");
     }

@@ -95,8 +95,7 @@ fn con_polar(x: Var, f: &Formula, positive: bool) -> bool {
         Formula::And(fs) => {
             if positive {
                 // con(x, A ∧ B) if gen(x, A) | gen(x, B) | (con both).
-                fs.iter().any(|g| gen_polar(x, g, true))
-                    || fs.iter().all(|g| con_polar(x, g, true))
+                fs.iter().any(|g| gen_polar(x, g, true)) || fs.iter().all(|g| con_polar(x, g, true))
             } else {
                 // ¬(A ∧ B) ≡ ¬A ∨ ¬B: con(x, ∨) needs con in all disjuncts.
                 fs.iter().all(|g| con_polar(x, g, false))

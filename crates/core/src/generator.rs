@@ -180,9 +180,7 @@ fn con_g(x: Var, f: &Formula, positive: bool, choice: ConjunctChoice) -> Option<
         return Some(ConGen::Bottom);
     }
     match f {
-        Formula::Atom(_) | Formula::Eq(..) => {
-            gen_g(x, f, positive, choice).map(ConGen::Atoms)
-        }
+        Formula::Atom(_) | Formula::Eq(..) => gen_g(x, f, positive, choice).map(ConGen::Atoms),
         Formula::Not(g) => con_g(x, g, !positive, choice),
         Formula::And(fs) => {
             if positive {
@@ -257,10 +255,7 @@ mod tests {
     fn disjunction_unions_generators() {
         let f = parse("P(x) | Q(x, y)").unwrap();
         let g = gen_generator(x(), &f).unwrap();
-        assert_eq!(
-            g,
-            vec![parse("P(x)").unwrap(), parse("Q(x, y)").unwrap()]
-        );
+        assert_eq!(g, vec![parse("P(x)").unwrap(), parse("Q(x, y)").unwrap()]);
     }
 
     #[test]

@@ -31,9 +31,7 @@ use rc_formula::ast::Formula;
 use rc_formula::pushnot::eliminate_forall;
 use rc_formula::simplify::replace_atoms_by_false;
 use rc_formula::term::{Term, Var};
-use rc_formula::vars::{
-    free_vars, is_free, rectified, rename_bound_fresh, substitute, FreshVars,
-};
+use rc_formula::vars::{free_vars, is_free, rectified, rename_bound_fresh, substitute, FreshVars};
 use std::fmt;
 
 /// Failure of `genify`.
@@ -110,9 +108,9 @@ fn go(f: &Formula, fresh: &mut FreshVars, choice: ConjunctChoice) -> Result<Form
             }
             match con_generator_with(*x, a, choice) {
                 // Step 1b: not evaluable.
-                None => Err(GenifyError::NotEvaluable(
-                    SafetyViolation::ExistsViolation(*x),
-                )),
+                None => Err(GenifyError::NotEvaluable(SafetyViolation::ExistsViolation(
+                    *x,
+                ))),
                 // Step 1c: vacuous quantifier.
                 Some(ConGen::Bottom) => go(a, fresh, choice),
                 // Step 1d: split into generated part and remainder.
@@ -121,9 +119,9 @@ fn go(f: &Formula, fresh: &mut FreshVars, choice: ConjunctChoice) -> Result<Form
                     if is_free(*x, &r) {
                         // Lemma 8.2(2) fails ⇒ the input was not evaluable
                         // after all (a deeper subformula is at fault).
-                        return Err(GenifyError::NotEvaluable(
-                            SafetyViolation::ExistsViolation(*x),
-                        ));
+                        return Err(GenifyError::NotEvaluable(SafetyViolation::ExistsViolation(
+                            *x,
+                        )));
                     }
                     // The remainder duplicates pieces of A: its quantified
                     // variables get new names (footnote to Alg. 8.1).

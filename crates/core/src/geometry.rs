@@ -44,11 +44,7 @@ impl Component {
         // must agree wherever self anchors.
         other.axes.iter().all(|a| self.axes.contains(a))
             && self.anchor.iter().all(|(v, val)| {
-                !other.axes.contains(v)
-                    && other
-                        .anchor
-                        .iter()
-                        .any(|(w, wal)| w == v && wal == val)
+                !other.axes.contains(v) && other.anchor.iter().any(|(w, wal)| w == v && wal == val)
             })
     }
 }

@@ -37,7 +37,7 @@ impl<'a> FiniteInterp<'a> {
     /// If both are empty, a single throwaway value is used so the domain is
     /// nonempty, as first-order semantics requires.
     pub fn active(db: &'a Database, query: &Formula) -> FiniteInterp<'a> {
-        let mut domain: Vec<Value> = db.active_domain().into_iter().collect();
+        let mut domain: Vec<Value> = db.active_domain().iter().copied().collect();
         for c in query.constants() {
             if !domain.contains(&c) {
                 domain.push(c);
@@ -90,11 +90,7 @@ impl<'a> FiniteInterp<'a> {
     fn sat(&self, f: &Formula, env: &mut Vec<(Var, Value)>) -> bool {
         match f {
             Formula::Atom(a) => {
-                let tup: Vec<Value> = a
-                    .terms
-                    .iter()
-                    .map(|&t| Self::term_value(env, t))
-                    .collect();
+                let tup: Vec<Value> = a.terms.iter().map(|&t| Self::term_value(env, t)).collect();
                 match self.db.relation(a.pred) {
                     Some(rel) => rel.contains(&tup),
                     None => false, // absent relation = empty relation
@@ -156,10 +152,7 @@ impl<'a> FiniteInterp<'a> {
     ) {
         if i == columns.len() {
             if self.sat(f, env) {
-                let tup: Vec<Value> = columns
-                    .iter()
-                    .map(|&v| Self::lookup(env, v))
-                    .collect();
+                let tup: Vec<Value> = columns.iter().map(|&v| Self::lookup(env, v)).collect();
                 out.insert(tup.into_boxed_slice());
             }
             return;

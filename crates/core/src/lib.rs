@@ -61,8 +61,8 @@ pub mod domind;
 pub mod eqreduce;
 pub mod gencon;
 pub mod generator;
-pub mod geometry;
 pub mod genify;
+pub mod geometry;
 pub mod interp;
 pub mod naive;
 pub mod norepeat;

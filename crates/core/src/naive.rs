@@ -115,10 +115,8 @@ pub fn section2_naive() -> QuelQuery {
 /// `∃a (R1(x, a)) ∧ (∃b R2(x, b) ∨ ∃c R3(x, c))` — names from R1 that
 /// match R2 or match R3.
 pub fn section2_formula() -> rc_formula::Formula {
-    rc_formula::parse(
-        "exists a. R1(x, a) & (exists b. R2(x, b) | exists c. R3(x, c))",
-    )
-    .expect("static formula parses")
+    rc_formula::parse("exists a. R1(x, a) & (exists b. R2(x, b) | exists c. R3(x, c))")
+        .expect("static formula parses")
 }
 
 #[cfg(test)]
@@ -131,9 +129,8 @@ mod tests {
     use rc_relalg::{eval, Database};
 
     fn db(with_r3: bool) -> Database {
-        let mut facts = String::from(
-            "R1('alice', 1)\nR1('bob', 2)\nR2('alice', 10)\nR2('carol', 11)\n",
-        );
+        let mut facts =
+            String::from("R1('alice', 1)\nR1('bob', 2)\nR2('alice', 10)\nR2('carol', 11)\n");
         if with_r3 {
             facts.push_str("R3('bob', 20)\n");
         }

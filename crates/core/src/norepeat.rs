@@ -36,10 +36,7 @@ pub struct CensusConfig {
 impl Default for CensusConfig {
     fn default() -> Self {
         CensusConfig {
-            preds: vec![
-                (Symbol::intern("P"), 1),
-                (Symbol::intern("Q"), 2),
-            ],
+            preds: vec![(Symbol::intern("P"), 1), (Symbol::intern("Q"), 2)],
             vars: vec![Var::new("x"), Var::new("y")],
             max_nodes: 5,
             max_domain_size: 2,
@@ -81,10 +78,7 @@ pub fn enumerate_formulas(cfg: &CensusConfig) -> Vec<Vec<Formula>> {
                     if cfg.skip_vacuous_quantifiers && !is_free(v, &g) {
                         continue;
                     }
-                    for q in [
-                        Formula::exists(v, g.clone()),
-                        Formula::forall(v, g.clone()),
-                    ] {
+                    for q in [Formula::exists(v, g.clone()), Formula::forall(v, g.clone())] {
                         if seen.insert(q.clone()) {
                             level.push((q, mask));
                         }
@@ -225,10 +219,9 @@ mod tests {
         };
         let levels = enumerate_formulas(&cfg);
         // Size 3 includes P(x) ∧ Q(x, y) but never P(x) ∧ P(y).
-        let has_pq = levels[2].iter().any(|f| {
-            matches!(f, Formula::And(fs) if fs.len() == 2)
-                && f.predicates().len() == 2
-        });
+        let has_pq = levels[2]
+            .iter()
+            .any(|f| matches!(f, Formula::And(fs) if fs.len() == 2) && f.predicates().len() == 2);
         assert!(has_pq);
     }
 

@@ -172,11 +172,7 @@ pub fn compile_with(f: &Formula, opts: CompileOptions) -> Result<Compiled, Compi
             if opts.equality_reduction {
                 let r = equality_reduce(&original);
                 if check_evaluable(&r).is_ok() {
-                    (
-                        SafetyClass::WideSenseEvaluable,
-                        r.clone(),
-                        Some(r),
-                    )
+                    (SafetyClass::WideSenseEvaluable, r.clone(), Some(r))
                 } else {
                     return Err(CompileError::NotSafe(violation));
                 }
@@ -342,11 +338,7 @@ mod tests {
     #[test]
     fn supplier_supplying_all_parts() {
         // Example 5.2's G: ∃y ∀x (¬Part(x) ∨ Supplies(y, x)) — boolean.
-        let ans = query(
-            "exists y. forall x. (!Part(x) | Supplies(y, x))",
-            &db(),
-        )
-        .unwrap();
+        let ans = query("exists y. forall x. (!Part(x) | Supplies(y, x))", &db()).unwrap();
         assert_eq!(ans.as_bool(), Some(true));
         // Which suppliers? Make y free but generated.
         let ans2 = query(
@@ -361,10 +353,7 @@ mod tests {
     #[test]
     fn unsafe_queries_are_rejected_with_reasons() {
         let err = query("!Part(x)", &db()).unwrap_err();
-        assert!(matches!(
-            err,
-            QueryError::Compile(CompileError::NotSafe(_))
-        ));
+        assert!(matches!(err, QueryError::Compile(CompileError::NotSafe(_))));
         assert!(query("Part(x) | Supplies(y, x)", &db()).is_err());
     }
 
@@ -380,8 +369,7 @@ mod tests {
         );
         assert_eq!(
             classify(
-                &parse("exists z. (P(x, z) & (x = y | Q(x, y, z)) & !(z = y | R(y, z)))")
-                    .unwrap()
+                &parse("exists z. (P(x, z) & (x = y | Q(x, y, z)) & !(z = y | R(y, z)))").unwrap()
             ),
             SafetyClass::WideSenseEvaluable
         );
@@ -406,10 +394,8 @@ mod tests {
     fn default_value_query_end_to_end() {
         // Sec. 5.3: suppliers per part, defaulting to 'none' for parts
         // nobody supplies.
-        let mut d = Database::from_facts(
-            "Part('bolt')\nPart('widget')\nSupplies('acme', 'bolt')",
-        )
-        .unwrap();
+        let mut d =
+            Database::from_facts("Part('bolt')\nPart('widget')\nSupplies('acme', 'bolt')").unwrap();
         d.declare("Nothing", 0);
         let ans = query(
             "Part(x) & (Supplies(y, x) | (forall z. !Supplies(z, x)) & y = 'none')",

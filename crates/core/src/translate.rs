@@ -187,8 +187,8 @@ mod tests {
     use super::*;
     use crate::ranf::ranf;
     use rc_formula::parse;
-    use rc_relalg::{eval, Database};
     use rc_formula::Value;
+    use rc_relalg::{eval, Database};
 
     fn db() -> Database {
         Database::from_facts(

@@ -211,11 +211,7 @@ fn solve(
             let depth = env.len();
             solve(d, db, env, &mut |env2| {
                 // Strip any binding of y before emitting.
-                let filtered: Env = env2
-                    .iter()
-                    .filter(|(v, _)| *v != *y)
-                    .copied()
-                    .collect();
+                let filtered: Env = env2.iter().filter(|(v, _)| *v != *y).copied().collect();
                 emit(&filtered)
             })?;
             env.truncate(depth);
@@ -235,10 +231,8 @@ mod tests {
     use rc_relalg::eval;
 
     fn db() -> Database {
-        Database::from_facts(
-            "P(1)\nP(2)\nQ(1, 2)\nQ(2, 3)\nQ(3, 3)\nR(2, 1)\nR(3, 2)\nS(1, 2, 3)",
-        )
-        .unwrap()
+        Database::from_facts("P(1)\nP(2)\nQ(1, 2)\nQ(2, 3)\nQ(3, 3)\nR(2, 1)\nR(3, 2)\nS(1, 2, 3)")
+            .unwrap()
     }
 
     fn check(s: &str) {
@@ -333,7 +327,11 @@ mod tests {
             for t in tw.iter() {
                 reordered.insert(perm.iter().map(|&i| t[i]).collect());
             }
-            assert_eq!(reordered, algebra, "seed {seed}: {f}\nranf: {}", c.ranf_form);
+            assert_eq!(
+                reordered, algebra,
+                "seed {seed}: {f}\nranf: {}",
+                c.ranf_form
+            );
             checked += 1;
         }
         assert!(checked >= 40, "too few cases: {checked}");

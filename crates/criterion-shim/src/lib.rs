@@ -1,0 +1,317 @@
+//! A small wall-clock benchmarking harness exposing the subset of
+//! `criterion`'s API the workspace benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`, `bench_function` /
+//! `bench_with_input` with `Bencher::iter`, plus the `criterion_group!` /
+//! `criterion_main!` entry-point macros.
+//!
+//! Methodology: each benchmark first calibrates the per-iteration cost to
+//! pick a batch size targeting ~`TARGET_BATCH_TIME` per sample, then takes
+//! `sample_size` batched samples and reports the median, minimum, and mean
+//! per-iteration time (median is robust to scheduler noise; min is the
+//! best-case floor). No statistics beyond that — this is a tracking
+//! harness, not a rigorous estimator. The crate is aliased as `criterion`
+//! in `workspace.dependencies`; the real crate cannot be resolved in the
+//! offline build environment.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_BATCH_TIME: Duration = Duration::from_millis(25);
+const CALIBRATION_TIME: Duration = Duration::from_millis(5);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<SampleRecord>,
+}
+
+/// One finished benchmark: its id and per-iteration timings.
+#[derive(Clone, Debug)]
+pub struct SampleRecord {
+    /// Full benchmark id, e.g. `relalg/join/10000`.
+    pub id: String,
+    /// Per-element throughput divisor, if declared via [`Throughput`].
+    pub elements: Option<u64>,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample batch.
+    pub iters_per_sample: u64,
+}
+
+impl Criterion {
+    /// A driver with default settings.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let rec = run_benchmark(id.to_string(), 20, None, f);
+        report(&rec);
+        self.results.push(rec);
+        self
+    }
+
+    /// All results recorded so far (used by JSON emitters).
+    pub fn results(&self) -> &[SampleRecord] {
+        &self.results
+    }
+}
+
+/// Declared throughput of a benchmark, used to print per-element rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark id with an optional parameter, e.g. `join/10000`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+    /// A bare id with no parameter part.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.full.fmt(f)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Declare throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark identified by `id` within this group.
+    pub fn bench_function<I: Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let elements = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n),
+            None => None,
+        };
+        let rec = run_benchmark(full, self.sample_size, elements, f);
+        report(&rec);
+        self.parent.results.push(rec);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (kept for API compatibility; drop also suffices).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` runs of `routine`, keeping each result alive via
+    /// `black_box` so the optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(id: String, sample_size: usize, elements: Option<u64>, mut f: F) -> SampleRecord
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the batch until one batch takes ≥ CALIBRATION_TIME,
+    // then scale to the target batch time.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= CALIBRATION_TIME || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+    let batch = ((TARGET_BATCH_TIME.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 32);
+
+    let mut samples_ns = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_secs_f64() * 1e9 / batch as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = samples_ns[samples_ns.len() / 2];
+    let min_ns = samples_ns[0];
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    SampleRecord {
+        id,
+        elements,
+        median_ns,
+        min_ns,
+        mean_ns,
+        samples: sample_size,
+        iters_per_sample: batch,
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(rec: &SampleRecord) {
+    let rate = rec
+        .elements
+        .filter(|&n| n > 0 && rec.median_ns > 0.0)
+        .map(|n| {
+            let per_sec = n as f64 / (rec.median_ns / 1e9);
+            format!("  ({per_sec:.3e} elem/s)")
+        })
+        .unwrap_or_default();
+    println!(
+        "{:<48} median {:>12}  min {:>12}{}",
+        rec.id,
+        human_time(rec.median_ns),
+        human_time(rec.min_ns),
+        rate
+    );
+}
+
+/// Bundle benchmark functions into a runner, mirroring `criterion`'s macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring `criterion`'s macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_and_grouping() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        let res = c.results();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, "g/sum/10");
+        assert_eq!(res[0].elements, Some(10));
+        assert!(res[0].median_ns > 0.0);
+        assert_eq!(res[1].id, "standalone");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("join", 100).to_string(), "join/100");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

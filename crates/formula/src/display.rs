@@ -178,16 +178,10 @@ mod tests {
     #[test]
     fn connective_precedence() {
         // ∨ binds looser than ∧: no parens needed on the ∧ side.
-        let f = Formula::Or(vec![
-            Formula::And(vec![p("x"), q("x", "y")]),
-            p("z"),
-        ]);
+        let f = Formula::Or(vec![Formula::And(vec![p("x"), q("x", "y")]), p("z")]);
         assert_eq!(f.to_string(), "P(x) ∧ Q(x, y) ∨ P(z)");
         // And the other nesting needs parens.
-        let g = Formula::And(vec![
-            Formula::Or(vec![p("x"), q("x", "y")]),
-            p("z"),
-        ]);
+        let g = Formula::And(vec![Formula::Or(vec![p("x"), q("x", "y")]), p("z")]);
         assert_eq!(g.to_string(), "(P(x) ∨ Q(x, y)) ∧ P(z)");
     }
 
@@ -215,10 +209,7 @@ mod tests {
 
     #[test]
     fn ascii_dialect() {
-        let f = Formula::exists(
-            "y",
-            Formula::And(vec![p("x"), Formula::not(q("x", "y"))]),
-        );
+        let f = Formula::exists("y", Formula::And(vec![p("x"), Formula::not(q("x", "y"))]));
         assert_eq!(ascii(&f), "exists y. P(x) & !Q(x, y)");
     }
 

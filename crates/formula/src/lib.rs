@@ -47,5 +47,5 @@ pub mod vars;
 pub use ast::{Atom, Formula};
 pub use parser::{parse, ParseError};
 pub use schema::Schema;
-pub use symbol::Symbol;
+pub use symbol::{symbol_order, Symbol, SymbolOrder};
 pub use term::{Term, Value, Var};

@@ -75,16 +75,8 @@ fn pull_quantifiers(f: &Formula, prefix: &mut Vec<(Quant, Var)>) -> Formula {
             debug_assert!(g.is_atomic(), "input must be in NNF");
             f.clone()
         }
-        Formula::And(fs) => Formula::And(
-            fs.iter()
-                .map(|g| pull_quantifiers(g, prefix))
-                .collect(),
-        ),
-        Formula::Or(fs) => Formula::Or(
-            fs.iter()
-                .map(|g| pull_quantifiers(g, prefix))
-                .collect(),
-        ),
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| pull_quantifiers(g, prefix)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| pull_quantifiers(g, prefix)).collect()),
         Formula::Exists(v, g) => {
             prefix.push((Quant::Exists, *v));
             pull_quantifiers(g, prefix)
@@ -257,10 +249,7 @@ mod tests {
         ));
         let plnf = to_plnf(&f);
         assert_eq!(plnf.prefix, vec![(Quant::Forall, Var::new("x"))]);
-        assert_eq!(
-            plnf.matrix,
-            Formula::Or(vec![Formula::not(p("x")), q("x")])
-        );
+        assert_eq!(plnf.matrix, Formula::Or(vec![Formula::not(p("x")), q("x")]));
         assert!(is_plnf(&plnf.to_formula()));
     }
 

@@ -282,9 +282,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
     Ok(out)
 }
 
-fn lex_int(
-    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
-) -> Result<i64, ParseError> {
+fn lex_int(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> Result<i64, ParseError> {
     let mut n: i64 = 0;
     let mut offset = 0;
     while let Some(&(i, c)) = chars.peek() {

@@ -367,12 +367,11 @@ mod tests {
         for src in cases {
             let f = parse(src).unwrap();
             let printed = f.to_string();
-            let reparsed = parse(&printed)
-                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            let reparsed =
+                parse(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
             assert_eq!(reparsed, f, "unicode roundtrip of {src}");
             let a = ascii(&f);
-            let reparsed2 =
-                parse(&a).unwrap_or_else(|e| panic!("reparse of {a:?} failed: {e}"));
+            let reparsed2 = parse(&a).unwrap_or_else(|e| panic!("reparse of {a:?} failed: {e}"));
             assert_eq!(reparsed2, f, "ascii roundtrip of {src}");
         }
     }

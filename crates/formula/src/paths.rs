@@ -88,10 +88,7 @@ mod tests {
             subformula_at(&f, &[]).unwrap(),
             Formula::Exists(..)
         ));
-        assert!(matches!(
-            subformula_at(&f, &[0]).unwrap(),
-            Formula::And(_)
-        ));
+        assert!(matches!(subformula_at(&f, &[0]).unwrap(), Formula::And(_)));
         assert!(matches!(
             subformula_at(&f, &[0, 1, 0]).unwrap(),
             Formula::Atom(_)

@@ -70,16 +70,16 @@ pub fn atom_polarities(f: &Formula) -> Vec<(Formula, Polarity)> {
 /// conditions 1–2; `x = c` counts — it is treated as the edb atom `x q̲ c`,
 /// Sec. 5.3 — but `x = y` between variables does not generate.)
 pub fn occurs_in_positive_atom(x: Var, f: &Formula) -> bool {
-    atom_polarities(f).iter().any(|(a, pol)| {
-        *pol == Polarity::Positive && atom_generates(x, a)
-    })
+    atom_polarities(f)
+        .iter()
+        .any(|(a, pol)| *pol == Polarity::Positive && atom_generates(x, a))
 }
 
 /// Does `x` occur in a **negative** atom of `f`? (Def. 7.1 condition 3.)
 pub fn occurs_in_negative_atom(x: Var, f: &Formula) -> bool {
-    atom_polarities(f).iter().any(|(a, pol)| {
-        *pol == Polarity::Negative && atom_generates(x, a)
-    })
+    atom_polarities(f)
+        .iter()
+        .any(|(a, pol)| *pol == Polarity::Negative && atom_generates(x, a))
 }
 
 /// Can this atom generate `x` when positive: an edb atom mentioning `x`, or

@@ -65,10 +65,9 @@ pub fn eliminate_forall(f: &Formula) -> Formula {
         Formula::Atom(_) | Formula::Eq(..) => f.clone(),
         Formula::Not(g) => match &**g {
             // ¬∃xA is an allowed shape; recurse inside.
-            Formula::Exists(v, body) => Formula::not(Formula::Exists(
-                *v,
-                Box::new(eliminate_forall(body)),
-            )),
+            Formula::Exists(v, body) => {
+                Formula::not(Formula::Exists(*v, Box::new(eliminate_forall(body))))
+            }
             Formula::Atom(_) | Formula::Eq(..) => f.clone(),
             other => {
                 let pushed = pushnot(other).expect("non-atomic formula always pushes");
@@ -93,7 +92,10 @@ pub fn is_forall_free_nnf(f: &Formula) -> bool {
     f.for_each_subformula(|g| match g {
         Formula::Forall(..) => ok = false,
         Formula::Not(inner)
-            if !matches!(&**inner, Formula::Atom(_) | Formula::Eq(..) | Formula::Exists(..)) =>
+            if !matches!(
+                &**inner,
+                Formula::Atom(_) | Formula::Eq(..) | Formula::Exists(..)
+            ) =>
         {
             ok = false;
         }
@@ -139,15 +141,9 @@ mod tests {
     #[test]
     fn pushnot_quantifiers() {
         let f = Formula::exists("x", p());
-        assert_eq!(
-            pushnot(&f),
-            Some(Formula::forall("x", Formula::not(p())))
-        );
+        assert_eq!(pushnot(&f), Some(Formula::forall("x", Formula::not(p()))));
         let g = Formula::forall("x", p());
-        assert_eq!(
-            pushnot(&g),
-            Some(Formula::exists("x", Formula::not(p())))
-        );
+        assert_eq!(pushnot(&g), Some(Formula::exists("x", Formula::not(p()))));
     }
 
     #[test]

@@ -176,20 +176,13 @@ mod tests {
     fn unknown_predicate_detected() {
         let f = parse("P(x) & Q(x)").unwrap();
         let s = Schema::new().with("P", 1);
-        assert!(matches!(
-            s.check(&f),
-            Err(SchemaError::UnknownPredicate(_))
-        ));
+        assert!(matches!(s.check(&f), Err(SchemaError::UnknownPredicate(_))));
     }
 
     #[test]
     fn predicates_sorted() {
         let s = Schema::new().with("Z", 1).with("A", 2);
-        let names: Vec<String> = s
-            .predicates()
-            .iter()
-            .map(|(p, _)| p.to_string())
-            .collect();
+        let names: Vec<String> = s.predicates().iter().map(|(p, _)| p.to_string()).collect();
         assert_eq!(names, vec!["A", "Z"]);
     }
 }

@@ -1,25 +1,38 @@
-//! Globally interned strings.
+//! Globally interned strings, plus cheap total-order snapshots.
 //!
 //! Predicates, variables and string constants are all referenced through
 //! [`Symbol`], a 4-byte handle into a process-wide interner. Interning makes
 //! equality and hashing O(1), which matters because the safety analysis
 //! (`gen`/`con`) and the algebra evaluator compare names constantly.
 //!
+//! Ordering is the subtle part. Sorted output (relations, variable lists)
+//! must follow *string* order so results are deterministic regardless of
+//! interning order, but comparing through the interner mutex on every
+//! element of a million-row sort would serialize the whole engine on a
+//! lock. [`SymbolOrder`] solves this: a versioned, immutable snapshot
+//! mapping each interned id to its rank in string-sorted order. Interning
+//! never changes the relative order of existing symbols, so ranks taken
+//! from any single snapshot always agree with string order; snapshots are
+//! rebuilt (per thread, on demand) only when a genuinely new string is
+//! interned. `Symbol::cmp` routes through the calling thread's cached
+//! snapshot, making comparison two array loads and an integer compare.
+//!
 //! Interned strings are leaked — the set of distinct names in a session is
 //! tiny compared to the data handled, and leaking lets `as_str` return
 //! `&'static str` without lifetime plumbing.
 
 use crate::fxhash::FxHashMap;
-use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A handle to an interned string.
 ///
 /// `Symbol` is `Copy`, 4 bytes, and compares/hashes by id. The `Ord`
-/// implementation compares the *underlying strings* so that sorted output
-/// (relations, variable lists) is deterministic across runs regardless of
-/// interning order.
+/// implementation compares the *underlying strings* (via the rank
+/// snapshot) so that sorted output is deterministic across runs regardless
+/// of interning order.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Symbol(u32);
 
@@ -27,6 +40,10 @@ struct Interner {
     map: FxHashMap<&'static str, u32>,
     strings: Vec<&'static str>,
 }
+
+/// Bumped every time a *new* string is interned; lets threads notice that
+/// their cached [`SymbolOrder`] snapshot is stale without taking the lock.
+static INTERNER_VERSION: AtomicU64 = AtomicU64::new(0);
 
 fn interner() -> &'static Mutex<Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
@@ -41,7 +58,7 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Intern `s`, returning its stable handle.
     pub fn intern(s: &str) -> Symbol {
-        let mut guard = interner().lock();
+        let mut guard = interner().lock().expect("symbol interner poisoned");
         if let Some(&id) = guard.map.get(s) {
             return Symbol(id);
         }
@@ -49,18 +66,89 @@ impl Symbol {
         let id = u32::try_from(guard.strings.len()).expect("interner overflow");
         guard.strings.push(leaked);
         guard.map.insert(leaked, id);
+        INTERNER_VERSION.fetch_add(1, AtomicOrdering::Release);
         Symbol(id)
     }
 
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        interner().lock().strings[self.0 as usize]
+        interner().lock().expect("symbol interner poisoned").strings[self.0 as usize]
     }
 
     /// The raw interner id (stable within a process run only).
     pub fn id(self) -> u32 {
         self.0
     }
+}
+
+/// An immutable snapshot of the string-sort ranks of all symbols interned
+/// at the time it was taken.
+///
+/// `ranks[id]` is the position of symbol `id` in string-sorted order among
+/// the snapshot's symbols. Because interning only ever *appends* strings,
+/// the relative order of two symbols is identical in every snapshot that
+/// contains both; comparing ranks from one snapshot is therefore always
+/// consistent with comparing the strings themselves.
+pub struct SymbolOrder {
+    version: u64,
+    ranks: Vec<u32>,
+}
+
+impl SymbolOrder {
+    fn capture() -> SymbolOrder {
+        // Read the version *before* the lock: if an intern races in after,
+        // we store the older version and simply rebuild next time.
+        let version = INTERNER_VERSION.load(AtomicOrdering::Acquire);
+        let guard = interner().lock().expect("symbol interner poisoned");
+        let mut by_string: Vec<u32> = (0..guard.strings.len() as u32).collect();
+        by_string.sort_unstable_by_key(|&id| guard.strings[id as usize]);
+        let mut ranks = vec![0u32; by_string.len()];
+        for (rank, &id) in by_string.iter().enumerate() {
+            ranks[id as usize] = rank as u32;
+        }
+        SymbolOrder { version, ranks }
+    }
+
+    /// The string-sort rank of `s`, if it exists in this snapshot.
+    #[inline]
+    pub fn rank(&self, s: Symbol) -> Option<u32> {
+        self.ranks.get(s.0 as usize).copied()
+    }
+
+    /// Compare two symbols in string order using this snapshot, falling
+    /// back to a real string comparison for symbols interned after the
+    /// snapshot was taken.
+    #[inline]
+    pub fn cmp_symbols(&self, a: Symbol, b: Symbol) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        match (self.rank(a), self.rank(b)) {
+            (Some(ra), Some(rb)) => ra.cmp(&rb),
+            _ => a.as_str().cmp(b.as_str()),
+        }
+    }
+}
+
+thread_local! {
+    static CACHED_ORDER: RefCell<Option<Arc<SymbolOrder>>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's current [`SymbolOrder`] snapshot, rebuilt only if
+/// a new symbol has been interned since the thread last asked.
+pub fn symbol_order() -> Arc<SymbolOrder> {
+    CACHED_ORDER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let current = INTERNER_VERSION.load(AtomicOrdering::Acquire);
+        match slot.as_ref() {
+            Some(order) if order.version == current => Arc::clone(order),
+            _ => {
+                let fresh = Arc::new(SymbolOrder::capture());
+                *slot = Some(Arc::clone(&fresh));
+                fresh
+            }
+        }
+    })
 }
 
 impl PartialOrd for Symbol {
@@ -74,7 +162,7 @@ impl Ord for Symbol {
         if self == other {
             std::cmp::Ordering::Equal
         } else {
-            self.as_str().cmp(other.as_str())
+            symbol_order().cmp_symbols(*self, *other)
         }
     }
 }
@@ -126,6 +214,33 @@ mod tests {
         let b = Symbol::intern("aaa_early");
         // b interned after a, yet must sort before it.
         assert!(b < a);
+    }
+
+    #[test]
+    fn order_snapshot_refreshes_after_intern() {
+        let a = Symbol::intern("snap_m");
+        let before = symbol_order();
+        assert!(before.rank(a).is_some());
+        let b = Symbol::intern("snap_a_fresh_string_for_this_test");
+        // The old snapshot predates b but must still compare correctly via
+        // the string fallback; a fresh snapshot has a real rank for b.
+        assert_eq!(before.cmp_symbols(b, a), std::cmp::Ordering::Less);
+        let after = symbol_order();
+        assert!(after.rank(b).is_some());
+        assert_eq!(after.cmp_symbols(b, a), std::cmp::Ordering::Less);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn ranks_agree_with_string_sort() {
+        let names = ["delta_r", "alpha_r", "echo_r", "bravo_r", "charlie_r"];
+        let syms: Vec<Symbol> = names.iter().map(|n| Symbol::intern(n)).collect();
+        let order = symbol_order();
+        let mut by_rank = syms.clone();
+        by_rank.sort_by(|x, y| order.cmp_symbols(*x, *y));
+        let mut by_string = syms.clone();
+        by_string.sort_by_key(|s| s.as_str());
+        assert_eq!(by_rank, by_string);
     }
 
     #[test]

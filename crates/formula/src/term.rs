@@ -3,7 +3,7 @@
 //! The paper assumes the absence of function symbols other than constants
 //! (Sec. 4), so a term is either a variable or a constant value.
 
-use crate::symbol::Symbol;
+use crate::symbol::{Symbol, SymbolOrder};
 use std::fmt;
 
 /// A constant value from the database domain.
@@ -28,6 +28,20 @@ impl Value {
     /// Build an integer value.
     pub fn int(i: i64) -> Value {
         Value::Int(i)
+    }
+
+    /// Compare like `Ord`, but resolving string order through a caller-held
+    /// [`SymbolOrder`] snapshot. Sort loops fetch the snapshot once and use
+    /// this per element, avoiding the thread-local lookup inside
+    /// `Symbol::cmp` on every comparison.
+    #[inline]
+    pub fn cmp_with(self, other: Value, order: &SymbolOrder) -> std::cmp::Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(&b),
+            (Value::Int(_), Value::Str(_)) => std::cmp::Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => std::cmp::Ordering::Greater,
+            (Value::Str(a), Value::Str(b)) => order.cmp_symbols(a, b),
+        }
     }
 }
 
@@ -180,6 +194,24 @@ mod tests {
         assert!(Value::int(5) < Value::str("a"));
         assert!(Value::str("a") < Value::str("b"));
         assert!(Value::int(-1) < Value::int(0));
+    }
+
+    #[test]
+    fn cmp_with_agrees_with_ord() {
+        let order = crate::symbol::symbol_order();
+        let vals = [
+            Value::int(-3),
+            Value::int(0),
+            Value::int(7),
+            Value::str("alpha"),
+            Value::str("beta"),
+            Value::str("alpha"),
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(a.cmp_with(b, &order), a.cmp(&b), "{a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]

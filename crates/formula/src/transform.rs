@@ -178,9 +178,7 @@ pub fn apply_at_root(rw: Rewrite, f: &Formula, fresh: &mut FreshVars) -> Option<
 
         (E4NotForall, Ltr) => match f {
             Formula::Not(g) => match &**g {
-                Formula::Forall(v, h) => {
-                    Some(Formula::exists(*v, Formula::not((**h).clone())))
-                }
+                Formula::Forall(v, h) => Some(Formula::exists(*v, Formula::not((**h).clone()))),
                 _ => None,
             },
             _ => None,
@@ -195,9 +193,7 @@ pub fn apply_at_root(rw: Rewrite, f: &Formula, fresh: &mut FreshVars) -> Option<
 
         (E5NotExists, Ltr) => match f {
             Formula::Not(g) => match &**g {
-                Formula::Exists(v, h) => {
-                    Some(Formula::forall(*v, Formula::not((**h).clone())))
-                }
+                Formula::Exists(v, h) => Some(Formula::forall(*v, Formula::not((**h).clone()))),
                 _ => None,
             },
             _ => None,
@@ -381,9 +377,7 @@ pub fn apply_at_root(rw: Rewrite, f: &Formula, fresh: &mut FreshVars) -> Option<
         },
 
         (VacuousQuantifier, Ltr) => match f {
-            Formula::Exists(v, g) | Formula::Forall(v, g) if !is_free(*v, g) => {
-                Some((**g).clone())
-            }
+            Formula::Exists(v, g) | Formula::Forall(v, g) if !is_free(*v, g) => Some((**g).clone()),
             _ => None,
         },
         (VacuousQuantifier, Rtl) => {
@@ -393,7 +387,9 @@ pub fn apply_at_root(rw: Rewrite, f: &Formula, fresh: &mut FreshVars) -> Option<
 
         (E11DistributeAnd, Ltr) => match f {
             Formula::And(fs) => {
-                let i = fs.iter().position(|g| matches!(g, Formula::Or(inner) if !inner.is_empty()))?;
+                let i = fs
+                    .iter()
+                    .position(|g| matches!(g, Formula::Or(inner) if !inner.is_empty()))?;
                 let disjuncts = match &fs[i] {
                     Formula::Or(inner) => inner.clone(),
                     _ => unreachable!(),
@@ -414,7 +410,9 @@ pub fn apply_at_root(rw: Rewrite, f: &Formula, fresh: &mut FreshVars) -> Option<
 
         (E12DistributeOr, Ltr) => match f {
             Formula::Or(fs) => {
-                let i = fs.iter().position(|g| matches!(g, Formula::And(inner) if !inner.is_empty()))?;
+                let i = fs
+                    .iter()
+                    .position(|g| matches!(g, Formula::And(inner) if !inner.is_empty()))?;
                 let conjuncts = match &fs[i] {
                     Formula::And(inner) => inner.clone(),
                     _ => unreachable!(),
@@ -603,11 +601,19 @@ mod tests {
     fn e1_both_directions() {
         let f = p("x");
         let mut fresh = fresh_for(&f);
-        let g = apply_at_root(Rewrite::new(Rule::E1DoubleNegation, Dir::Rtl), &f, &mut fresh)
-            .unwrap();
+        let g = apply_at_root(
+            Rewrite::new(Rule::E1DoubleNegation, Dir::Rtl),
+            &f,
+            &mut fresh,
+        )
+        .unwrap();
         assert_eq!(g, Formula::not(Formula::not(p("x"))));
-        let back =
-            apply_at_root(Rewrite::new(Rule::E1DoubleNegation, Dir::Ltr), &g, &mut fresh).unwrap();
+        let back = apply_at_root(
+            Rewrite::new(Rule::E1DoubleNegation, Dir::Ltr),
+            &g,
+            &mut fresh,
+        )
+        .unwrap();
         assert_eq!(back, f);
     }
 
@@ -622,8 +628,8 @@ mod tests {
             Formula::And(vec![Formula::exists("x", p("x")), q("y", "z")])
         );
         // And back in.
-        let back = apply_at_root(Rewrite::new(Rule::E8ExistsAnd, Dir::Rtl), &g, &mut fresh)
-            .unwrap();
+        let back =
+            apply_at_root(Rewrite::new(Rule::E8ExistsAnd, Dir::Rtl), &g, &mut fresh).unwrap();
         assert!(matches!(back, Formula::Exists(..)));
     }
 
@@ -647,8 +653,12 @@ mod tests {
         // P(x) ∧ (Q(x,y) ∨ P(z)) → (P(x) ∧ Q(x,y)) ∨ (P(x) ∧ P(z))
         let f = Formula::And(vec![p("x"), Formula::Or(vec![q("x", "y"), p("z")])]);
         let mut fresh = fresh_for(&f);
-        let g =
-            apply_at_root(Rewrite::new(Rule::E11DistributeAnd, Dir::Ltr), &f, &mut fresh).unwrap();
+        let g = apply_at_root(
+            Rewrite::new(Rule::E11DistributeAnd, Dir::Ltr),
+            &f,
+            &mut fresh,
+        )
+        .unwrap();
         assert_eq!(
             g,
             Formula::Or(vec![
@@ -657,8 +667,12 @@ mod tests {
             ])
         );
         // Factoring recovers a conjunction containing P(x).
-        let h =
-            apply_at_root(Rewrite::new(Rule::E11DistributeAnd, Dir::Rtl), &g, &mut fresh).unwrap();
+        let h = apply_at_root(
+            Rewrite::new(Rule::E11DistributeAnd, Dir::Rtl),
+            &g,
+            &mut fresh,
+        )
+        .unwrap();
         match &h {
             Formula::And(fs) => assert!(fs.contains(&p("x"))),
             _ => panic!("expected And, got {h:?}"),
@@ -713,11 +727,9 @@ mod tests {
         // ¬¬P(x) ∧ Q(y,z): E1-Ltr applies at path [0].
         let f = Formula::And(vec![Formula::not(Formula::not(p("x"))), q("y", "z")]);
         let apps = applicable_rewrites(&f, CONSERVATIVE_RULES);
-        assert!(apps
-            .iter()
-            .any(|(path, rw)| path == &vec![0]
-                && rw.rule == Rule::E1DoubleNegation
-                && rw.dir == Dir::Ltr));
+        assert!(apps.iter().any(|(path, rw)| path == &vec![0]
+            && rw.rule == Rule::E1DoubleNegation
+            && rw.dir == Dir::Ltr));
     }
 
     #[test]

@@ -373,10 +373,7 @@ mod tests {
     fn rectify_preserves_already_rectified() {
         let f = Formula::exists(
             "y",
-            Formula::and2(
-                p(Term::var("x")),
-                Formula::atom("Q", vec![Term::var("y")]),
-            ),
+            Formula::and2(p(Term::var("x")), Formula::atom("Q", vec![Term::var("y")])),
         );
         assert_eq!(rectified(&f), f);
     }
@@ -391,10 +388,7 @@ mod tests {
         let g = substitute(&f, x(), Term::val(7));
         assert_eq!(
             g,
-            Formula::exists(
-                "y",
-                Formula::atom("Q", vec![Term::val(7), Term::var("y")]),
-            )
+            Formula::exists("y", Formula::atom("Q", vec![Term::val(7), Term::var("y")]),)
         );
         // Substituting the bound variable is a no-op.
         assert_eq!(substitute(&f, y(), Term::val(7)), f);

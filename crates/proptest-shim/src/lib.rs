@@ -1,0 +1,269 @@
+//! A miniature property-test harness exposing the subset of `proptest`'s
+//! macro surface this workspace uses.
+//!
+//! Every property test in the workspace has the shape
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(40))]
+//!     #[test]
+//!     fn my_property(seed in 0u64..10_000) { ... prop_assert!(cond); ... }
+//! }
+//! ```
+//!
+//! i.e. the only "strategy" is a `u64` seed range feeding a seeded RNG
+//! inside the body. This crate runs each body over a deterministic,
+//! well-spread sample of the seed range (`cases` values). Determinism is a
+//! feature: failures reproduce without a persistence file, and CI runs are
+//! stable. The crate is aliased as `proptest` in `workspace.dependencies`;
+//! the real crate cannot be resolved in the offline build environment.
+
+#![warn(missing_docs)]
+
+/// Run configuration (mirrors the `proptest` name used at call sites).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministically sample `cases` values from `[start, end)`, spreading
+/// them across the range: the low end is always covered (small seeds are
+/// the historically interesting ones) and the rest of the range is visited
+/// on a multiplicative low-discrepancy walk.
+pub fn sample_range(start: u64, end: u64, cases: u32) -> Vec<u64> {
+    assert!(start < end, "empty seed range");
+    let span = end - start;
+    let cases = cases as u64;
+    let mut out = Vec::with_capacity(cases as usize);
+    if span <= cases {
+        out.extend(start..end);
+        return out;
+    }
+    // First half: the low end, densely.
+    let dense = (cases / 2).max(1);
+    out.extend(start..start + dense);
+    // Second half: golden-ratio stride over the whole span, deduplicated
+    // against the dense prefix by construction (values ≥ start + dense).
+    let mut x = 0u64;
+    while out.len() < cases as usize {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let v = start + (((x as u128 * span as u128) >> 64) as u64);
+        if v >= start + dense {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// The error carried by a failing property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given explanation (mirrors proptest's name).
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(message: String) -> TestCaseError {
+        TestCaseError(message)
+    }
+}
+
+/// Everything call sites import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Declare property tests. See the crate docs for the accepted grammar.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_cfg ($cfg); $($rest)*);
+    };
+    (
+        @with_cfg ($cfg:expr);
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident($var:ident in $lo:literal .. $hi:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let seeds = $crate::sample_range($lo, $hi, config.cases);
+                for &case in &seeds {
+                    let $var: u64 = case;
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(message) = outcome {
+                        panic!(
+                            "property {} failed at {} = {}:\n{}",
+                            stringify!($name),
+                            stringify!($var),
+                            case,
+                            message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Skip the current case when its precondition does not hold.
+///
+/// Unlike real proptest there is no global rejection budget: skipped cases
+/// simply pass. The seed samplers spread cases widely enough that
+/// assumption-heavy properties still see plenty of live inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// `assert!` that fails the current property case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!("assertion failed: {}", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}\n{}",
+                stringify!($cond),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current property case with context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert_eq`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(, $($fmt:tt)*)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_covers_low_end_and_spreads() {
+        let s = sample_range(0, 10_000, 40);
+        assert_eq!(s.len(), 40);
+        assert!(s.contains(&0));
+        assert!(s.contains(&19));
+        assert!(
+            s.iter().any(|&v| v > 5_000),
+            "no high-range coverage: {s:?}"
+        );
+        assert!(s.iter().all(|&v| v < 10_000));
+        // Deterministic.
+        assert_eq!(s, sample_range(0, 10_000, 40));
+    }
+
+    #[test]
+    fn small_ranges_enumerate_exhaustively() {
+        assert_eq!(sample_range(3, 8, 64), vec![3, 4, 5, 6, 7]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The harness itself: bodies run, assertions pass, early Ok works.
+        #[test]
+        fn harness_smoke(seed in 0u64..100) {
+            prop_assert!(seed < 100);
+            prop_assert_eq!(seed, seed);
+            prop_assert_ne!(seed, seed + 1);
+            if seed > 50 {
+                return Ok(());
+            }
+            prop_assert!(seed <= 50);
+        }
+    }
+}

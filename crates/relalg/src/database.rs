@@ -1,17 +1,31 @@
 //! Databases: named relations plus loading helpers.
 
-use crate::relation::{Relation, Tuple};
-use rc_formula::fxhash::FxHashMap;
-use rc_formula::{Formula, Schema, Symbol, Term, Value};
+use crate::relation::{Relation, RelationBuilder, Tuple};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rc_formula::fxhash::FxHashMap;
+use rc_formula::{Formula, Schema, Symbol, Term, Value};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// An in-memory database: a map from predicate symbols to relations.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// The active domain (Sec. 3's `Dom`, restricted to the database part) is
+/// computed lazily and cached; every mutating method invalidates the
+/// cache, so repeated `active_domain()` calls — the Dom-translation
+/// baseline asks for it per query — cost one scan total, not one per call.
+#[derive(Clone, Debug, Default)]
 pub struct Database {
     relations: FxHashMap<Symbol, Relation>,
+    domain_cache: OnceLock<BTreeSet<Value>>,
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Database) -> bool {
+        // The cache is derived state; equality is over the relations only.
+        self.relations == other.relations
+    }
 }
 
 /// Error raised while loading facts into a database.
@@ -67,21 +81,19 @@ impl Database {
         self.relations
             .entry(pred.into())
             .or_insert_with(|| Relation::new(arity));
+        self.domain_cache.take();
         self
     }
 
     /// Insert a whole relation, replacing any existing one.
     pub fn insert_relation(&mut self, pred: impl Into<Symbol>, rel: Relation) -> &mut Self {
         self.relations.insert(pred.into(), rel);
+        self.domain_cache.take();
         self
     }
 
     /// Insert one fact; creates the relation on first use.
-    pub fn insert_fact(
-        &mut self,
-        pred: impl Into<Symbol>,
-        t: Tuple,
-    ) -> Result<(), LoadError> {
+    pub fn insert_fact(&mut self, pred: impl Into<Symbol>, t: Tuple) -> Result<(), LoadError> {
         let pred = pred.into();
         let rel = self
             .relations
@@ -95,6 +107,7 @@ impl Database {
             });
         }
         rel.insert(t);
+        self.domain_cache.take();
         Ok(())
     }
 
@@ -107,14 +120,16 @@ impl Database {
     /// ```
     ///
     /// Blank lines and `%` comments are skipped. Trailing `.` is allowed.
+    /// Rows are batched per predicate and canonicalized once, so loading is
+    /// O(n log n) rather than insert-at-a-time.
     pub fn load_facts(&mut self, text: &str) -> Result<(), LoadError> {
+        let mut pending: FxHashMap<Symbol, RelationBuilder> = FxHashMap::default();
         for line in text.lines() {
             let line = line.trim().trim_end_matches('.');
             if line.is_empty() || line.starts_with('%') {
                 continue;
             }
-            let parsed =
-                rc_formula::parse(line).map_err(|e| LoadError::Parse(e.to_string()))?;
+            let parsed = rc_formula::parse(line).map_err(|e| LoadError::Parse(e.to_string()))?;
             let atom = match parsed {
                 Formula::Atom(a) => a,
                 _ => return Err(LoadError::NotAnAtom(line.to_string())),
@@ -126,8 +141,28 @@ impl Database {
                     Term::Var(_) => return Err(LoadError::NonGroundFact(line.to_string())),
                 }
             }
-            self.insert_fact(atom.pred, vals.into_boxed_slice())?;
+            let known_arity = self.relations.get(&atom.pred).map(|r| r.arity());
+            let b = pending
+                .entry(atom.pred)
+                .or_insert_with(|| RelationBuilder::new(known_arity.unwrap_or(vals.len())));
+            if b.arity() != vals.len() {
+                return Err(LoadError::ArityMismatch {
+                    pred: atom.pred,
+                    expected: b.arity(),
+                    found: vals.len(),
+                });
+            }
+            b.push_row(&vals);
         }
+        for (pred, b) in pending {
+            let built = b.finish();
+            let merged = match self.relations.get(&pred) {
+                Some(existing) => existing.union(&built),
+                None => built,
+            };
+            self.relations.insert(pred, merged);
+        }
+        self.domain_cache.take();
         Ok(())
     }
 
@@ -155,13 +190,15 @@ impl Database {
     }
 
     /// Every constant appearing in any relation — the database part of the
-    /// paper's `Dom` relation (Sec. 3).
-    pub fn active_domain(&self) -> BTreeSet<Value> {
-        let mut out = BTreeSet::new();
-        for r in self.relations.values() {
-            out.extend(r.values());
-        }
-        out
+    /// paper's `Dom` relation (Sec. 3). Cached until the next mutation.
+    pub fn active_domain(&self) -> &BTreeSet<Value> {
+        self.domain_cache.get_or_init(|| {
+            let mut out = BTreeSet::new();
+            for r in self.relations.values() {
+                out.extend(r.flat().iter().copied());
+            }
+            out
+        })
     }
 
     /// Total number of stored tuples.
@@ -177,23 +214,28 @@ impl Database {
         rows_per_relation: usize,
         rng: &mut impl Rng,
     ) -> Database {
-        assert!(!domain.is_empty(), "random database needs a nonempty domain");
+        assert!(
+            !domain.is_empty(),
+            "random database needs a nonempty domain"
+        );
         let mut db = Database::new();
         for (pred, arity) in schema.predicates() {
-            let mut rel = Relation::new(arity);
             // For nullary predicates, flip a coin for {()} vs {}.
-            if arity == 0 {
+            let rel = if arity == 0 {
                 if rng.gen_bool(0.5) {
-                    rel.insert(Vec::new().into_boxed_slice());
+                    Relation::unit()
+                } else {
+                    Relation::empty_nullary()
                 }
             } else {
+                let mut b = RelationBuilder::with_capacity(arity, rows_per_relation);
                 for _ in 0..rows_per_relation {
-                    let row: Tuple = (0..arity)
-                        .map(|_| *domain.choose(rng).expect("domain nonempty"))
-                        .collect();
-                    rel.insert(row);
+                    b.push_row_from(
+                        (0..arity).map(|_| *domain.choose(rng).expect("domain nonempty")),
+                    );
                 }
-            }
+                b.finish()
+            };
             db.insert_relation(pred, rel);
         }
         db
@@ -203,7 +245,12 @@ impl Database {
 impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for p in self.predicates() {
-            writeln!(f, "{p}/{} = {}", self.relations[&p].arity(), self.relations[&p])?;
+            writeln!(
+                f,
+                "{p}/{} = {}",
+                self.relations[&p].arity(),
+                self.relations[&p]
+            )?;
         }
         Ok(())
     }
@@ -253,8 +300,33 @@ mod tests {
         let mut db = Database::new();
         db.insert_fact("P", tuple([1i64])).unwrap();
         db.insert_fact("Q", tuple([2i64, 3])).unwrap();
-        let dom: Vec<Value> = db.active_domain().into_iter().collect();
+        let dom: Vec<Value> = db.active_domain().iter().copied().collect();
         assert_eq!(dom, vec![Value::int(1), Value::int(2), Value::int(3)]);
+    }
+
+    #[test]
+    fn active_domain_cache_invalidates_on_mutation() {
+        let mut db = Database::new();
+        db.insert_fact("P", tuple([1i64])).unwrap();
+        assert_eq!(db.active_domain().len(), 1);
+        // A second call must hit the cache (same answer, observable only as
+        // correctness here); a mutation must invalidate it.
+        assert_eq!(db.active_domain().len(), 1);
+        db.insert_fact("P", tuple([7i64])).unwrap();
+        assert_eq!(db.active_domain().len(), 2);
+        db.insert_relation("Q", Relation::from_rows(1, [tuple([9i64])]));
+        assert_eq!(db.active_domain().len(), 3);
+        db.load_facts("R(11, 12)").unwrap();
+        assert_eq!(db.active_domain().len(), 5);
+    }
+
+    #[test]
+    fn load_facts_merges_into_existing_relations() {
+        let mut db = Database::from_facts("P(1)\nP(2)").unwrap();
+        db.load_facts("P(2)\nP(3)").unwrap();
+        let p = db.relation(Symbol::intern("P")).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.to_string(), "{(1), (2), (3)}");
     }
 
     #[test]

@@ -1,9 +1,26 @@
 //! Evaluation of algebra expressions over a database.
 //!
-//! Joins and `diff` are hash-based: `diff` is implemented as a hash
-//! anti-join, following the paper's remark that the generalized set
+//! Joins and `diff` are hash-based batch kernels: `diff` is implemented as
+//! a hash anti-join, following the paper's remark that the generalized set
 //! difference "should be implemented as a primitive in its own right, using
 //! techniques similar to those used for efficient joins" (Sec. 9.3).
+//!
+//! The kernels work directly over [`Relation`]'s flat row buffer:
+//!
+//! * column permutations are computed once per operator, never per row;
+//! * hash build/probe uses a chained-array table (`heads` + `next` index
+//!   vectors) keyed by hashing the key columns in place — no per-probe key
+//!   allocation and no per-row heap objects;
+//! * pure filters (select, semijoin, anti-join, same-arity difference)
+//!   preserve the input's canonical row order, so their outputs skip the
+//!   canonicalization sort entirely;
+//! * everything else goes through [`RelationBuilder`], which sorts only
+//!   when a single linear scan shows the produced rows are out of order.
+//!
+//! Independent children of `Join`/`Union`/`Diff` are evaluated in parallel
+//! with `std::thread::scope` when both subtrees scan enough base tuples to
+//! amortize a thread spawn; each branch accumulates its own [`EvalStats`],
+//! merged deterministically afterwards.
 //!
 //! [`EvalStats`] records operator counts and intermediate cardinalities so
 //! the benchmark harness can compare the Dom-free pipeline against the
@@ -11,10 +28,11 @@
 
 use crate::database::Database;
 use crate::expr::{ExprError, RaExpr, SelPred};
-use crate::relation::{Relation, Tuple};
-use rc_formula::fxhash::FxHashMap;
+use crate::relation::{Relation, RelationBuilder};
+use rc_formula::fxhash::FxHasher;
 use rc_formula::{Symbol, Term, Value, Var};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Counters accumulated during evaluation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,6 +50,14 @@ impl EvalStats {
         self.operators += 1;
         self.tuples_produced += rel.len() as u64;
         self.max_intermediate = self.max_intermediate.max(rel.len());
+    }
+
+    /// Fold another branch's counters into this one (used when subtrees
+    /// are evaluated in parallel).
+    pub fn merge(&mut self, other: EvalStats) {
+        self.operators += other.operators;
+        self.tuples_produced += other.tuples_produced;
+        self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
     }
 }
 
@@ -107,6 +133,209 @@ fn positions(haystack: &[Var], needles: &[Var]) -> Vec<usize> {
         .collect()
 }
 
+/// Hash the listed columns of a row (order-sensitive).
+#[inline]
+fn hash_cols(row: &[Value], cols: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for &c in cols {
+        row[c].hash(&mut h);
+    }
+    h.finish()
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A compiled row predicate for `Select`.
+type RowPred = Box<dyn Fn(&[Value]) -> bool>;
+
+/// A chained-array hash table over the rows of a relation: `heads[bucket]`
+/// is the first row index in the bucket, `next[row]` the following one.
+/// Two flat `u32` vectors — no per-row allocation, cache-friendly build.
+struct RowTable {
+    heads: Vec<u32>,
+    next: Vec<u32>,
+    mask: usize,
+}
+
+impl RowTable {
+    fn build(rel: &Relation, key_cols: &[usize]) -> RowTable {
+        let n = rel.len();
+        let cap = (n.max(1) * 2).next_power_of_two();
+        let mask = cap - 1;
+        let mut heads = vec![NIL; cap];
+        let mut next = vec![NIL; n];
+        for (i, slot) in next.iter_mut().enumerate() {
+            let b = (hash_cols(rel.row(i), key_cols) as usize) & mask;
+            *slot = heads[b];
+            heads[b] = i as u32;
+        }
+        RowTable { heads, next, mask }
+    }
+
+    /// First candidate row index for a probe hash.
+    #[inline]
+    fn first(&self, hash: u64) -> u32 {
+        self.heads[(hash as usize) & self.mask]
+    }
+}
+
+#[inline]
+fn keys_match(a: &[Value], a_cols: &[usize], b: &[Value], b_cols: &[usize]) -> bool {
+    a_cols
+        .iter()
+        .zip(b_cols.iter())
+        .all(|(&i, &j)| a[i] == b[j])
+}
+
+/// Join kernel: `lcols ++ r_extra` output. Builds the hash table on the
+/// smaller side, probes with the larger, assembles rows straight into a
+/// flat builder.
+fn join_kernel(
+    lrel: &Relation,
+    rrel: &Relation,
+    l_shared: &[usize],
+    r_shared: &[usize],
+    r_extra: &[usize],
+) -> Relation {
+    let out_arity = lrel.arity() + r_extra.len();
+    if lrel.is_empty() || rrel.is_empty() {
+        return Relation::new(out_arity);
+    }
+    if r_extra.is_empty() {
+        // Semijoin: keep each left row with at least one partner. Order-
+        // preserving, so the output is canonical by construction.
+        let table = RowTable::build(rrel, r_shared);
+        let mut kept: Vec<Value> = Vec::new();
+        let mut n = 0usize;
+        for lrow in lrel.iter() {
+            let mut cur = table.first(hash_cols(lrow, l_shared));
+            while cur != NIL {
+                if keys_match(lrow, l_shared, rrel.row(cur as usize), r_shared) {
+                    kept.extend_from_slice(lrow);
+                    n += 1;
+                    break;
+                }
+                cur = table.next[cur as usize];
+            }
+        }
+        return Relation::from_canonical(out_arity, n, kept);
+    }
+    let mut out = RelationBuilder::with_capacity(out_arity, lrel.len().max(rrel.len()));
+    if l_shared.is_empty() {
+        // Cross product: both inputs canonical, so l-major enumeration is
+        // already sorted — the builder's linear scan will notice.
+        for lrow in lrel.iter() {
+            for rrow in rrel.iter() {
+                out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
+            }
+        }
+        return out.finish();
+    }
+    // Build on the smaller input, probe with the larger.
+    if rrel.len() <= lrel.len() {
+        let table = RowTable::build(rrel, r_shared);
+        for lrow in lrel.iter() {
+            let mut cur = table.first(hash_cols(lrow, l_shared));
+            while cur != NIL {
+                let rrow = rrel.row(cur as usize);
+                if keys_match(lrow, l_shared, rrow, r_shared) {
+                    out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
+                }
+                cur = table.next[cur as usize];
+            }
+        }
+    } else {
+        let table = RowTable::build(lrel, l_shared);
+        for rrow in rrel.iter() {
+            let mut cur = table.first(hash_cols(rrow, r_shared));
+            while cur != NIL {
+                let lrow = lrel.row(cur as usize);
+                if keys_match(lrow, l_shared, rrow, r_shared) {
+                    out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
+                }
+                cur = table.next[cur as usize];
+            }
+        }
+    }
+    out.finish()
+}
+
+/// Anti-join kernel for the generalized difference (Def. 9.3): keep the
+/// left rows whose projection onto the right's columns has no partner.
+/// Order-preserving over the left input.
+fn antijoin_kernel(lrel: &Relation, rrel: &Relation, proj: &[usize]) -> Relation {
+    if rrel.is_empty() {
+        return lrel.clone();
+    }
+    if lrel.is_empty() {
+        return Relation::new(lrel.arity());
+    }
+    let r_all: Vec<usize> = (0..rrel.arity()).collect();
+    let table = RowTable::build(rrel, &r_all);
+    let mut kept: Vec<Value> = Vec::new();
+    let mut n = 0usize;
+    for lrow in lrel.iter() {
+        let mut cur = table.first(hash_cols(lrow, proj));
+        let mut hit = false;
+        while cur != NIL {
+            if keys_match(lrow, proj, rrel.row(cur as usize), &r_all) {
+                hit = true;
+                break;
+            }
+            cur = table.next[cur as usize];
+        }
+        if !hit {
+            kept.extend_from_slice(lrow);
+            n += 1;
+        }
+    }
+    Relation::from_canonical(lrel.arity(), n, kept)
+}
+
+/// Total base tuples scanned by a subtree — the cost signal deciding
+/// whether a subtree is worth a thread of its own.
+fn scan_cost(expr: &RaExpr, db: &Database) -> u64 {
+    match expr {
+        RaExpr::Scan { pred, .. } => db.relation(*pred).map(|r| r.len() as u64).unwrap_or(0),
+        _ => expr.children().iter().map(|c| scan_cost(c, db)).sum(),
+    }
+}
+
+/// Below this many scanned base tuples per side, a thread spawn costs more
+/// than it saves.
+const PARALLEL_THRESHOLD: u64 = 8192;
+
+/// Evaluate the two children of a binary operator, in parallel when both
+/// sides are heavy enough. Stats are merged left-then-right so the totals
+/// are identical to sequential evaluation.
+fn eval_pair(
+    l: &RaExpr,
+    r: &RaExpr,
+    db: &Database,
+    stats: &mut EvalStats,
+) -> Result<(Relation, Relation), EvalError> {
+    if scan_cost(l, db) >= PARALLEL_THRESHOLD && scan_cost(r, db) >= PARALLEL_THRESHOLD {
+        let ((lres, lstats), (rres, rstats)) = std::thread::scope(|s| {
+            let lhandle = s.spawn(|| {
+                let mut st = EvalStats::default();
+                let rel = eval_rec(l, db, &mut st);
+                (rel, st)
+            });
+            let mut rst = EvalStats::default();
+            let rrel = eval_rec(r, db, &mut rst);
+            let left = lhandle.join().expect("eval worker panicked");
+            (left, (rrel, rst))
+        });
+        stats.merge(lstats);
+        stats.merge(rstats);
+        Ok((lres?, rres?))
+    } else {
+        let lrel = eval_rec(l, db, stats)?;
+        let rrel = eval_rec(r, db, stats)?;
+        Ok((lrel, rrel))
+    }
+}
+
 fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relation, EvalError> {
     let out = match expr {
         RaExpr::Scan { pred, pattern } => {
@@ -121,46 +350,72 @@ fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relat
                 });
             }
             let cols = expr.cols();
-            let mut out = Relation::new(cols.len());
-            // Precompute: for each output column, the first pattern position
-            // holding that variable; plus the match checks.
-            let first_pos: Vec<usize> = cols
-                .iter()
-                .map(|v| {
-                    pattern
-                        .iter()
-                        .position(|t| *t == Term::Var(*v))
-                        .expect("column came from pattern")
-                })
-                .collect();
-            'rows: for row in base.iter() {
-                // Constants must match; repeated variables must agree.
-                for (i, t) in pattern.iter().enumerate() {
-                    match t {
-                        Term::Const(c) => {
-                            if row[i] != *c {
-                                continue 'rows;
+            // Plain scan — all-distinct variable pattern: the stored
+            // relation IS the answer, and cloning it is O(1).
+            if cols.len() == pattern.len() {
+                base.clone()
+            } else {
+                // Constants select, repeated variables select a diagonal,
+                // and the output keeps the first occurrence of each
+                // variable.
+                let first_pos: Vec<usize> = cols
+                    .iter()
+                    .map(|v| {
+                        pattern
+                            .iter()
+                            .position(|t| *t == Term::Var(*v))
+                            .expect("column came from pattern")
+                    })
+                    .collect();
+                // For each pattern position: the check it must pass.
+                enum Check {
+                    Const(Value),
+                    SameAs(usize),
+                    Free,
+                }
+                let checks: Vec<Check> = pattern
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| match t {
+                        Term::Const(c) => Check::Const(*c),
+                        Term::Var(v) => {
+                            let fp =
+                                first_pos[cols.iter().position(|w| w == v).expect("var in cols")];
+                            if fp == i {
+                                Check::Free
+                            } else {
+                                Check::SameAs(fp)
                             }
                         }
-                        Term::Var(v) => {
-                            let fp = first_pos[cols.iter().position(|w| w == v).unwrap()];
-                            if row[i] != row[fp] {
-                                continue 'rows;
+                    })
+                    .collect();
+                let mut out = RelationBuilder::with_capacity(cols.len(), base.len());
+                'rows: for row in base.iter() {
+                    for (i, chk) in checks.iter().enumerate() {
+                        match chk {
+                            Check::Const(c) => {
+                                if row[i] != *c {
+                                    continue 'rows;
+                                }
                             }
+                            Check::SameAs(fp) => {
+                                if row[i] != row[*fp] {
+                                    continue 'rows;
+                                }
+                            }
+                            Check::Free => {}
                         }
                     }
+                    out.push_row_from(first_pos.iter().map(|&i| row[i]));
                 }
-                let tup: Tuple = first_pos.iter().map(|&i| row[i]).collect();
-                out.insert(tup);
+                out.finish()
             }
-            out
         }
         RaExpr::Single { value, .. } => Relation::singleton(vec![*value].into_boxed_slice()),
         RaExpr::Unit => Relation::unit(),
         RaExpr::Empty { cols } => Relation::new(cols.len()),
         RaExpr::Join(l, r) => {
-            let lrel = eval_rec(l, db, stats)?;
-            let rrel = eval_rec(r, db, stats)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats)?;
             let lcols = l.cols();
             let rcols = r.cols();
             let shared: Vec<Var> = rcols
@@ -176,110 +431,90 @@ fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relat
                 .filter(|(_, v)| !lcols.contains(v))
                 .map(|(i, _)| i)
                 .collect();
-            // Build on the right side.
-            let mut index: FxHashMap<Vec<Value>, Vec<&Tuple>> = FxHashMap::default();
-            for row in rrel.iter() {
-                let key: Vec<Value> = r_shared.iter().map(|&i| row[i]).collect();
-                index.entry(key).or_default().push(row);
-            }
-            let mut out = Relation::new(lcols.len() + r_extra.len());
-            for lrow in lrel.iter() {
-                let key: Vec<Value> = l_shared.iter().map(|&i| lrow[i]).collect();
-                if let Some(matches) = index.get(&key) {
-                    for rrow in matches {
-                        let mut tup: Vec<Value> = lrow.to_vec();
-                        tup.extend(r_extra.iter().map(|&i| rrow[i]));
-                        out.insert(tup.into_boxed_slice());
-                    }
-                }
-            }
-            out
+            join_kernel(&lrel, &rrel, &l_shared, &r_shared, &r_extra)
         }
         RaExpr::Union(l, r) => {
-            let lrel = eval_rec(l, db, stats)?;
-            let rrel = eval_rec(r, db, stats)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats)?;
             let lcols = l.cols();
             let rcols = r.cols();
             let perm = positions(&rcols, &lcols);
-            let mut out = lrel;
-            for row in rrel.iter() {
-                let tup: Tuple = perm.iter().map(|&i| row[i]).collect();
-                out.insert(tup);
+            if perm.iter().enumerate().all(|(i, &p)| i == p) {
+                // Same column order: one linear merge of two sorted inputs.
+                lrel.union(&rrel)
+            } else {
+                let mut permuted = RelationBuilder::with_capacity(lcols.len(), rrel.len());
+                for row in rrel.iter() {
+                    permuted.push_row_from(perm.iter().map(|&i| row[i]));
+                }
+                lrel.union(&permuted.finish())
             }
-            out
         }
         RaExpr::Diff(l, r) => {
-            let lrel = eval_rec(l, db, stats)?;
-            let rrel = eval_rec(r, db, stats)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats)?;
             let lcols = l.cols();
             let rcols = r.cols();
             let proj = positions(&lcols, &rcols);
-            let mut out = Relation::new(lcols.len());
-            for row in lrel.iter() {
-                let key: Vec<Value> = proj.iter().map(|&i| row[i]).collect();
-                if !rrel.contains(&key) {
-                    out.insert(row.clone());
-                }
+            if proj.len() == lcols.len() && proj.iter().enumerate().all(|(i, &p)| i == p) {
+                // Same columns, same order: plain sorted-merge difference.
+                lrel.minus(&rrel)
+            } else {
+                antijoin_kernel(&lrel, &rrel, &proj)
             }
-            out
         }
         RaExpr::Project { input, cols } => {
             let rel = eval_rec(input, db, stats)?;
             let icols = input.cols();
             let proj = positions(&icols, cols);
-            let mut out = Relation::new(cols.len());
+            let mut out = RelationBuilder::with_capacity(cols.len(), rel.len());
             for row in rel.iter() {
-                let tup: Tuple = proj.iter().map(|&i| row[i]).collect();
-                out.insert(tup);
+                out.push_row_from(proj.iter().map(|&i| row[i]));
             }
-            out
+            out.finish()
         }
         RaExpr::Select { input, pred } => {
             let rel = eval_rec(input, db, stats)?;
             let icols = input.cols();
-            let keep: Box<dyn Fn(&Tuple) -> bool> = match *pred {
+            let keep: RowPred = match *pred {
                 SelPred::EqCols(a, b) => {
-                    let (i, j) = (
-                        positions(&icols, &[a])[0],
-                        positions(&icols, &[b])[0],
-                    );
-                    Box::new(move |t: &Tuple| t[i] == t[j])
+                    let (i, j) = (positions(&icols, &[a])[0], positions(&icols, &[b])[0]);
+                    Box::new(move |t: &[Value]| t[i] == t[j])
                 }
                 SelPred::NeqCols(a, b) => {
-                    let (i, j) = (
-                        positions(&icols, &[a])[0],
-                        positions(&icols, &[b])[0],
-                    );
-                    Box::new(move |t: &Tuple| t[i] != t[j])
+                    let (i, j) = (positions(&icols, &[a])[0], positions(&icols, &[b])[0]);
+                    Box::new(move |t: &[Value]| t[i] != t[j])
                 }
                 SelPred::EqConst(a, c) => {
                     let i = positions(&icols, &[a])[0];
-                    Box::new(move |t: &Tuple| t[i] == c)
+                    Box::new(move |t: &[Value]| t[i] == c)
                 }
                 SelPred::NeqConst(a, c) => {
                     let i = positions(&icols, &[a])[0];
-                    Box::new(move |t: &Tuple| t[i] != c)
+                    Box::new(move |t: &[Value]| t[i] != c)
                 }
             };
-            let mut out = Relation::new(icols.len());
+            // Pure filter: canonical order is preserved, no re-sort needed.
+            let mut kept: Vec<Value> = Vec::new();
+            let mut n = 0usize;
             for row in rel.iter() {
                 if keep(row) {
-                    out.insert(row.clone());
+                    kept.extend_from_slice(row);
+                    n += 1;
                 }
             }
-            out
+            Relation::from_canonical(icols.len(), n, kept)
         }
         RaExpr::Duplicate { input, src, .. } => {
             let rel = eval_rec(input, db, stats)?;
             let icols = input.cols();
             let i = positions(&icols, &[*src])[0];
-            let mut out = Relation::new(icols.len() + 1);
+            // Appending a copy of an existing column cannot reorder rows:
+            // distinct rows already differ within the original prefix.
+            let mut data: Vec<Value> = Vec::with_capacity(rel.len() * (icols.len() + 1));
             for row in rel.iter() {
-                let mut tup: Vec<Value> = row.to_vec();
-                tup.push(row[i]);
-                out.insert(tup.into_boxed_slice());
+                data.extend_from_slice(row);
+                data.push(row[i]);
             }
-            out
+            Relation::from_canonical(icols.len() + 1, rel.len(), data)
         }
     };
     stats.record(&out);
@@ -292,10 +527,8 @@ mod tests {
     use crate::relation::tuple;
 
     fn db() -> Database {
-        Database::from_facts(
-            "P(1, 2)\nP(2, 3)\nP(3, 3)\nQ(2)\nQ(3)\nR(1)\nS(1, 2)\nS(9, 9)",
-        )
-        .unwrap()
+        Database::from_facts("P(1, 2)\nP(2, 3)\nP(3, 3)\nQ(2)\nQ(3)\nR(1)\nS(1, 2)\nS(9, 9)")
+            .unwrap()
     }
 
     #[test]
@@ -344,6 +577,24 @@ mod tests {
         );
         let r = eval(&e, &db()).unwrap();
         assert_eq!(r.len(), 2); // {2,3} × {1}
+    }
+
+    #[test]
+    fn join_with_extra_columns_on_both_sides() {
+        // P(x, y) ⋈ S(y, z): shared y, extra z from the right.
+        let mut d = db();
+        d.insert_fact("T", tuple([2i64, 7])).unwrap();
+        d.insert_fact("T", tuple([3i64, 8])).unwrap();
+        let e = RaExpr::join(
+            RaExpr::scan("P", vec![Term::var("x"), Term::var("y")]),
+            RaExpr::scan("T", vec![Term::var("y"), Term::var("z")]),
+        );
+        let r = eval(&e, &d).unwrap();
+        assert_eq!(e.cols(), vec![Var::new("x"), Var::new("y"), Var::new("z")]);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&[Value::int(1), Value::int(2), Value::int(7)]));
+        assert!(r.contains(&[Value::int(2), Value::int(3), Value::int(8)]));
+        assert!(r.contains(&[Value::int(3), Value::int(3), Value::int(8)]));
     }
 
     #[test]
@@ -461,11 +712,30 @@ mod tests {
         let mut stats = EvalStats::default();
         let r = eval_with_stats(&e, &db(), &mut stats).unwrap();
         assert_eq!(stats.operators, 3);
-        assert_eq!(
-            stats.tuples_produced,
-            (3 + 2 + r.len()) as u64
-        );
+        assert_eq!(stats.tuples_produced, (3 + 2 + r.len()) as u64);
         assert!(stats.max_intermediate >= r.len());
+    }
+
+    #[test]
+    fn stats_merge_is_componentwise() {
+        let mut a = EvalStats {
+            operators: 2,
+            tuples_produced: 10,
+            max_intermediate: 7,
+        };
+        a.merge(EvalStats {
+            operators: 3,
+            tuples_produced: 4,
+            max_intermediate: 9,
+        });
+        assert_eq!(
+            a,
+            EvalStats {
+                operators: 5,
+                tuples_produced: 14,
+                max_intermediate: 9,
+            }
+        );
     }
 
     #[test]
@@ -475,5 +745,34 @@ mod tests {
         let e = RaExpr::scan("B", vec![]);
         assert_eq!(eval(&e, &d).unwrap().as_bool(), Some(true));
         let _ = tuple([1i64]); // silence unused import when tests shrink
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_above_threshold() {
+        // Two scans big enough to trip PARALLEL_THRESHOLD on both sides.
+        let mut d = Database::new();
+        let mut a = RelationBuilder::new(2);
+        let mut b = RelationBuilder::new(2);
+        let rows = (PARALLEL_THRESHOLD + 500) as i64;
+        for i in 0..rows {
+            a.push_row(&[Value::int(i), Value::int(i % 97)]);
+            b.push_row(&[Value::int(i % 97), Value::int(i % 13)]);
+        }
+        d.insert_relation("A", a.finish());
+        d.insert_relation("B", b.finish());
+        let e = RaExpr::join(
+            RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]),
+            RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]),
+        );
+        let mut stats = EvalStats::default();
+        let r = eval_with_stats(&e, &d, &mut stats).unwrap();
+        assert_eq!(stats.operators, 3);
+        // B dedups to the (i % 97, i % 13) pairs — 13 partners per key by
+        // CRT — so every A row contributes exactly 13 output rows.
+        assert_eq!(r.len(), rows as usize * 13);
+        // Deterministic: a second (parallel) evaluation renders identically.
+        let r2 = eval(&e, &d).unwrap();
+        assert_eq!(r, r2);
+        assert_eq!(r.to_string(), r2.to_string());
     }
 }

@@ -248,7 +248,11 @@ impl RaExpr {
 
     /// Number of operator nodes.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Validate structure (column disciplines) and, when a schema is given,

@@ -6,7 +6,7 @@
 //! integer is written with single quotes so the round trip is faithful.
 
 use crate::database::{Database, LoadError};
-use crate::relation::{Relation, Tuple};
+use crate::relation::{Relation, RelationBuilder, Tuple};
 use rc_formula::{Symbol, Value};
 use std::io::{self, BufRead, BufReader, Read, Write};
 
@@ -51,10 +51,7 @@ fn tsv_cell(v: &Value) -> String {
             let s = s.as_str();
             // Quote strings that would read back as integers or that carry
             // significant whitespace.
-            if s.parse::<i64>().is_ok()
-                || s.starts_with('\'')
-                || s.contains('\t')
-                || s != s.trim()
+            if s.parse::<i64>().is_ok() || s.starts_with('\'') || s.contains('\t') || s != s.trim()
             {
                 format!("'{s}'")
             } else {
@@ -79,10 +76,11 @@ fn parse_cell(cell: &str) -> Value {
 }
 
 /// Read a TSV relation. Arity is taken from the first row; blank lines and
-/// `#` comments are skipped.
+/// `#` comments are skipped. Rows are buffered flat and canonicalized once
+/// at the end, so loading is O(n log n) rather than insert-at-a-time.
 pub fn read_tsv(r: impl Read) -> Result<Relation, LoadError> {
     let reader = BufReader::new(r);
-    let mut rel: Option<Relation> = None;
+    let mut builder: Option<RelationBuilder> = None;
     for line in reader.lines() {
         let line = line.map_err(|e| LoadError::Parse(e.to_string()))?;
         let line = line.trim_end_matches(['\r', '\n']);
@@ -90,25 +88,17 @@ pub fn read_tsv(r: impl Read) -> Result<Relation, LoadError> {
             continue;
         }
         let tuple: Tuple = line.split('\t').map(parse_cell).collect();
-        match &mut rel {
-            None => {
-                let mut new = Relation::new(tuple.len());
-                new.insert(tuple);
-                rel = Some(new);
-            }
-            Some(rel) => {
-                if rel.arity() != tuple.len() {
-                    return Err(LoadError::Parse(format!(
-                        "row arity {} differs from first row's {}",
-                        tuple.len(),
-                        rel.arity()
-                    )));
-                }
-                rel.insert(tuple);
-            }
+        let b = builder.get_or_insert_with(|| RelationBuilder::new(tuple.len()));
+        if b.arity() != tuple.len() {
+            return Err(LoadError::Parse(format!(
+                "row arity {} differs from first row's {}",
+                tuple.len(),
+                b.arity()
+            )));
         }
+        b.push_row(&tuple);
     }
-    Ok(rel.unwrap_or_else(|| Relation::new(0)))
+    Ok(builder.map_or_else(|| Relation::new(0), RelationBuilder::finish))
 }
 
 /// Load a TSV file into the database as relation `pred`.
@@ -160,10 +150,7 @@ mod tests {
     #[test]
     fn tsv_rejects_ragged_rows() {
         let data = b"1\t2\n3\n";
-        assert!(matches!(
-            read_tsv(&data[..]),
-            Err(LoadError::Parse(_))
-        ));
+        assert!(matches!(read_tsv(&data[..]), Err(LoadError::Parse(_))));
     }
 
     #[test]

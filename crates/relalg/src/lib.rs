@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod database;
 pub mod display;
 pub mod eval;
@@ -27,8 +28,9 @@ pub mod io;
 pub mod optimize;
 pub mod relation;
 
+pub use baseline::eval_baseline;
 pub use database::Database;
 pub use eval::{eval, eval_with_stats, EvalError, EvalStats};
 pub use expr::{RaExpr, SelPred};
 pub use optimize::simplify;
-pub use relation::{tuple, Relation, Tuple};
+pub use relation::{tuple, Relation, RelationBuilder, Tuple};

@@ -262,7 +262,10 @@ mod tests {
             RaExpr::project(p(), vec![Var::new("y"), Var::new("x")]),
             vec![Var::new("x")],
         );
-        assert_eq!(simplify(&cascade), RaExpr::project(p(), vec![Var::new("x")]));
+        assert_eq!(
+            simplify(&cascade),
+            RaExpr::project(p(), vec![Var::new("x")])
+        );
     }
 
     #[test]

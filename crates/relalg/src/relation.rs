@@ -1,14 +1,32 @@
-//! Relations: finite sets of same-arity tuples.
+//! Relations: finite sets of same-arity tuples, stored flat.
 //!
-//! Rows are stored in a `BTreeSet`, which gives set semantics *and*
+//! A relation is a single arity-strided `Vec<Value>` held behind an `Arc`,
+//! kept **canonical** at every public boundary: rows sorted ascending in
+//! value order and deduplicated. Canonical storage gives set semantics,
 //! deterministic iteration order (important for reproducible experiment
-//! output). Nullary relations are first-class: over zero columns there are
-//! exactly two relations, `{}` ("false") and `{()}` ("true"), which is how
-//! closed formulas come back from the algebra evaluator.
+//! output), O(log n) membership, O(n) merge-based union/difference, and
+//! O(1) clone — while eliminating the per-row `Box` allocation and
+//! pointer-chasing comparisons of the previous `BTreeSet<Box<[Value]>>`
+//! representation. `Value` is 16 bytes and `Copy`, so a million-row binary
+//! relation is one 32 MB buffer instead of a million small heap objects.
+//!
+//! Row order is lexicographic in [`Value`]'s order (integers before
+//! strings, strings in string order). String comparisons go through a
+//! [`rc_formula::SymbolOrder`] rank snapshot fetched once per bulk
+//! operation, so sorting never touches the symbol interner lock per
+//! element.
+//!
+//! Nullary relations are first-class: over zero columns there are exactly
+//! two relations, `{}` ("false") and `{()}` ("true"), which is how closed
+//! formulas come back from the algebra evaluator. The flat buffer cannot
+//! distinguish them (both are zero values), so the row count is stored
+//! explicitly.
 
-use rc_formula::Value;
+use rc_formula::{symbol_order, SymbolOrder, Value};
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// A database tuple.
 pub type Tuple = Box<[Value]>;
@@ -18,11 +36,27 @@ pub fn tuple(vals: impl IntoIterator<Item = impl Into<Value>>) -> Tuple {
     vals.into_iter().map(Into::into).collect()
 }
 
+/// Compare two rows lexicographically under one order snapshot.
+#[inline]
+pub(crate) fn cmp_rows(a: &[Value], b: &[Value], order: &SymbolOrder) -> Ordering {
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        match x.cmp_with(y, order) {
+            Ordering::Equal => continue,
+            non_eq => return non_eq,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
 /// A finite relation: a set of tuples sharing one arity.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Always canonical: rows sorted ascending, no duplicates. Cloning is O(1)
+/// (the row buffer is shared copy-on-write via `Arc`).
+#[derive(Clone)]
 pub struct Relation {
     arity: usize,
-    rows: BTreeSet<Tuple>,
+    n_rows: usize,
+    data: Arc<Vec<Value>>,
 }
 
 impl Relation {
@@ -30,15 +64,18 @@ impl Relation {
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            rows: BTreeSet::new(),
+            n_rows: 0,
+            data: Arc::new(Vec::new()),
         }
     }
 
     /// The nullary relation `{()}` — the algebra's "true".
     pub fn unit() -> Relation {
-        let mut r = Relation::new(0);
-        r.insert(Vec::new().into_boxed_slice());
-        r
+        Relation {
+            arity: 0,
+            n_rows: 1,
+            data: Arc::new(Vec::new()),
+        }
     }
 
     /// The nullary empty relation — the algebra's "false".
@@ -48,18 +85,44 @@ impl Relation {
 
     /// A one-tuple relation.
     pub fn singleton(t: Tuple) -> Relation {
-        let mut r = Relation::new(t.len());
-        r.insert(t);
-        r
+        Relation {
+            arity: t.len(),
+            n_rows: 1,
+            data: Arc::new(t.into_vec()),
+        }
     }
 
     /// Build from rows; panics if arities disagree.
     pub fn from_rows(arity: usize, rows: impl IntoIterator<Item = Tuple>) -> Relation {
-        let mut r = Relation::new(arity);
+        let mut b = RelationBuilder::new(arity);
         for row in rows {
-            r.insert(row);
+            b.push_row(&row);
         }
-        r
+        b.finish()
+    }
+
+    /// Wrap a buffer that is already canonical (sorted, deduplicated).
+    /// Kernel internal: callers must guarantee the invariant.
+    pub(crate) fn from_canonical(arity: usize, n_rows: usize, data: Vec<Value>) -> Relation {
+        debug_assert_eq!(data.len(), arity * n_rows);
+        debug_assert!(
+            {
+                let order = symbol_order();
+                (1..n_rows).all(|i| {
+                    cmp_rows(
+                        &data[(i - 1) * arity..i * arity],
+                        &data[i * arity..(i + 1) * arity],
+                        &order,
+                    ) == Ordering::Less
+                })
+            },
+            "from_canonical called with non-canonical rows"
+        );
+        Relation {
+            arity,
+            n_rows,
+            data: Arc::new(data),
+        }
     }
 
     /// The relation's arity.
@@ -69,16 +132,43 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.n_rows
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.n_rows == 0
     }
 
-    /// Insert a tuple. Panics on arity mismatch (a programming error, not a
-    /// data error — loaders validate before inserting).
+    /// The `i`-th row in sorted order.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The whole row buffer, arity-strided, canonical order.
+    #[inline]
+    pub fn flat(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Binary-search for a row, returning its index or the insertion point.
+    fn search(&self, t: &[Value], order: &SymbolOrder) -> Result<usize, usize> {
+        let (mut lo, mut hi) = (0usize, self.n_rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp_rows(self.row(mid), t, order) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Insert a tuple; returns whether it was new. Panics on arity mismatch
+    /// (a programming error, not a data error — loaders validate before
+    /// inserting).
     pub fn insert(&mut self, t: Tuple) -> bool {
         assert_eq!(
             t.len(),
@@ -87,24 +177,39 @@ impl Relation {
             t.len(),
             self.arity
         );
-        self.rows.insert(t)
+        let order = symbol_order();
+        match self.search(&t, &order) {
+            Ok(_) => false,
+            Err(pos) => {
+                let data = Arc::make_mut(&mut self.data);
+                let at = pos * self.arity;
+                data.splice(at..at, t.iter().copied());
+                self.n_rows += 1;
+                true
+            }
+        }
     }
 
     /// Membership test.
     pub fn contains(&self, t: &[Value]) -> bool {
-        // BTreeSet<Box<[Value]>> lookups can borrow as [Value].
-        self.rows.contains(t)
+        if t.len() != self.arity {
+            return false;
+        }
+        let order = symbol_order();
+        self.search(t, &order).is_ok()
     }
 
-    /// Iterate over tuples in sorted order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.rows.iter()
+    /// Iterate over rows in sorted order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Value]> + Clone + '_ {
+        let arity = self.arity;
+        let data: &[Value] = &self.data;
+        (0..self.n_rows).map(move |i| &data[i * arity..(i + 1) * arity])
     }
 
     /// For a nullary relation: is it "true" (`{()}`)?
     pub fn as_bool(&self) -> Option<bool> {
         if self.arity == 0 {
-            Some(!self.rows.is_empty())
+            Some(self.n_rows > 0)
         } else {
             None
         }
@@ -112,33 +217,124 @@ impl Relation {
 
     /// Every value appearing in any tuple, deduplicated, sorted.
     pub fn values(&self) -> BTreeSet<Value> {
-        self.rows.iter().flat_map(|t| t.iter().copied()).collect()
+        self.data.iter().copied().collect()
     }
 
-    /// Set union with another relation of the same arity.
+    /// Set union with another relation of the same arity (linear merge).
     pub fn union(&self, other: &Relation) -> Relation {
         assert_eq!(self.arity, other.arity, "union arity mismatch");
-        let mut out = self.clone();
-        for t in other.iter() {
-            out.rows.insert(t.clone());
+        if self.is_empty() || Arc::ptr_eq(&self.data, &other.data) {
+            return other.clone();
         }
-        out
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.arity == 0 {
+            return Relation::unit();
+        }
+        let order = symbol_order();
+        let arity = self.arity;
+        let mut out = Vec::with_capacity(self.data.len() + other.data.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut n = 0usize;
+        while i < self.n_rows && j < other.n_rows {
+            match cmp_rows(self.row(i), other.row(j), &order) {
+                Ordering::Less => {
+                    out.extend_from_slice(self.row(i));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.extend_from_slice(other.row(j));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.extend_from_slice(self.row(i));
+                    i += 1;
+                    j += 1;
+                }
+            }
+            n += 1;
+        }
+        if i < self.n_rows {
+            out.extend_from_slice(&self.data[i * arity..]);
+            n += self.n_rows - i;
+        }
+        if j < other.n_rows {
+            out.extend_from_slice(&other.data[j * arity..]);
+            n += other.n_rows - j;
+        }
+        Relation {
+            arity,
+            n_rows: n,
+            data: Arc::new(out),
+        }
     }
 
-    /// Plain set difference with another relation of the same arity.
+    /// Plain set difference with another relation of the same arity
+    /// (linear merge).
     pub fn minus(&self, other: &Relation) -> Relation {
         assert_eq!(self.arity, other.arity, "difference arity mismatch");
-        Relation {
-            arity: self.arity,
-            rows: self.rows.difference(&other.rows).cloned().collect(),
+        if self.is_empty() || Arc::ptr_eq(&self.data, &other.data) && self.n_rows == other.n_rows {
+            return Relation::new(self.arity);
         }
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.arity == 0 {
+            // other is non-empty {()}, so the difference is empty.
+            return Relation::empty_nullary();
+        }
+        let order = symbol_order();
+        let arity = self.arity;
+        let mut out = Vec::new();
+        let mut n = 0usize;
+        let mut j = 0usize;
+        for i in 0..self.n_rows {
+            let row = self.row(i);
+            let mut keep = true;
+            while j < other.n_rows {
+                match cmp_rows(other.row(j), row, &order) {
+                    Ordering::Less => j += 1,
+                    Ordering::Equal => {
+                        keep = false;
+                        break;
+                    }
+                    Ordering::Greater => break,
+                }
+            }
+            if keep {
+                out.extend_from_slice(row);
+                n += 1;
+            }
+        }
+        Relation {
+            arity,
+            n_rows: n,
+            data: Arc::new(out),
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity
+            && self.n_rows == other.n_rows
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(arity={}, {})", self.arity, self)
     }
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, t) in self.rows.iter().enumerate() {
+        for (i, t) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -165,6 +361,154 @@ impl FromIterator<Tuple> for Relation {
     }
 }
 
+/// Accumulates rows into a flat buffer, canonicalizing once at the end.
+///
+/// This is the bulk-construction path: `push_row` is an `extend` into one
+/// growing `Vec`, and `finish` sorts + dedups only if the rows are not
+/// already in order (one linear scan detects that, so merge-shaped
+/// producers pay nothing).
+pub struct RelationBuilder {
+    arity: usize,
+    n_rows: usize,
+    data: Vec<Value>,
+}
+
+impl RelationBuilder {
+    /// A builder for rows of the given arity.
+    pub fn new(arity: usize) -> RelationBuilder {
+        RelationBuilder {
+            arity,
+            n_rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// A builder pre-sized for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> RelationBuilder {
+        RelationBuilder {
+            arity,
+            n_rows: 0,
+            data: Vec::with_capacity(arity * rows),
+        }
+    }
+
+    /// Append one row. Panics on arity mismatch.
+    #[inline]
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(
+            row.len(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            row.len(),
+            self.arity
+        );
+        self.data.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
+    /// Append one row given as exactly `arity` values.
+    #[inline]
+    pub fn push_row_from(&mut self, row: impl IntoIterator<Item = Value>) {
+        let before = self.data.len();
+        self.data.extend(row);
+        assert_eq!(
+            self.data.len() - before,
+            self.arity,
+            "pushed row does not match relation arity {}",
+            self.arity
+        );
+        self.n_rows += 1;
+    }
+
+    /// The arity rows must have.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Any rows yet?
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Sort, deduplicate, and seal the relation.
+    pub fn finish(self) -> Relation {
+        let RelationBuilder {
+            arity,
+            mut n_rows,
+            mut data,
+        } = self;
+        if arity == 0 {
+            return if n_rows == 0 {
+                Relation::empty_nullary()
+            } else {
+                Relation::unit()
+            };
+        }
+        if n_rows > 1 {
+            let order = symbol_order();
+            let row = |i: usize| &data[i * arity..(i + 1) * arity];
+            // One linear scan classifies the buffer: already canonical
+            // (sorted, strictly increasing), sorted-but-with-dups, or
+            // unsorted.
+            let mut sorted = true;
+            let mut has_dups = false;
+            for i in 1..n_rows {
+                match cmp_rows(row(i - 1), row(i), &order) {
+                    Ordering::Less => {}
+                    Ordering::Equal => has_dups = true,
+                    Ordering::Greater => {
+                        sorted = false;
+                        break;
+                    }
+                }
+            }
+            if !sorted {
+                let mut idx: Vec<u32> = (0..n_rows as u32).collect();
+                idx.sort_unstable_by(|&a, &b| cmp_rows(row(a as usize), row(b as usize), &order));
+                let mut rebuilt = Vec::with_capacity(data.len());
+                let mut kept = 0usize;
+                for &i in &idx {
+                    let r = row(i as usize);
+                    if kept > 0 {
+                        let last = &rebuilt[(kept - 1) * arity..kept * arity];
+                        if cmp_rows(last, r, &order) == Ordering::Equal {
+                            continue;
+                        }
+                    }
+                    rebuilt.extend_from_slice(r);
+                    kept += 1;
+                }
+                data = rebuilt;
+                n_rows = kept;
+            } else if has_dups {
+                let mut kept = 1usize;
+                for i in 1..n_rows {
+                    let prev = &data[(kept - 1) * arity..kept * arity];
+                    let cur = &data[i * arity..(i + 1) * arity];
+                    if cmp_rows(prev, cur, &order) == Ordering::Equal {
+                        continue;
+                    }
+                    data.copy_within(i * arity..(i + 1) * arity, kept * arity);
+                    kept += 1;
+                }
+                data.truncate(kept * arity);
+                n_rows = kept;
+            }
+        }
+        data.shrink_to_fit();
+        Relation {
+            arity,
+            n_rows,
+            data: Arc::new(data),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +528,17 @@ mod tests {
         assert_eq!(Relation::unit().as_bool(), Some(true));
         assert_eq!(Relation::empty_nullary().as_bool(), Some(false));
         assert_eq!(Relation::new(1).as_bool(), None);
+    }
+
+    #[test]
+    fn nullary_insert_roundtrip() {
+        let mut r = Relation::empty_nullary();
+        assert!(!r.contains(&[]));
+        assert!(r.insert(Vec::new().into_boxed_slice()));
+        assert!(!r.insert(Vec::new().into_boxed_slice()));
+        assert_eq!(r.as_bool(), Some(true));
+        assert!(r.contains(&[]));
+        assert_eq!(r.len(), 1);
     }
 
     #[test]
@@ -214,5 +569,70 @@ mod tests {
         let r = Relation::from_rows(2, [tuple([1i64, 2]), tuple([2i64, 3])]);
         let vals: Vec<Value> = r.values().into_iter().collect();
         assert_eq!(vals, vec![Value::int(1), Value::int(2), Value::int(3)]);
+    }
+
+    #[test]
+    fn builder_matches_insert_loop() {
+        // Random-ish interleavings, duplicates included.
+        let rows = [[5i64, 1], [2, 2], [5, 1], [0, 9], [2, 2], [2, 1], [9, 0]];
+        let mut by_insert = Relation::new(2);
+        let mut b = RelationBuilder::new(2);
+        for r in rows {
+            by_insert.insert(tuple(r));
+            b.push_row(&[Value::int(r[0]), Value::int(r[1])]);
+        }
+        let built = b.finish();
+        assert_eq!(built, by_insert);
+        assert_eq!(built.to_string(), by_insert.to_string());
+        assert_eq!(built.len(), 5);
+    }
+
+    #[test]
+    fn builder_sorted_input_is_preserved() {
+        let mut b = RelationBuilder::new(1);
+        for i in 0..10i64 {
+            b.push_row(&[Value::int(i)]);
+        }
+        let r = b.finish();
+        assert_eq!(r.len(), 10);
+        let got: Vec<i64> = r
+            .iter()
+            .map(|t| match t[0] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clone_is_shared_and_copy_on_write() {
+        let a = Relation::from_rows(1, [tuple([1i64]), tuple([2i64])]);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.insert(tuple([3i64]));
+        assert_eq!(a.len(), 2, "insert into clone must not affect original");
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn string_rows_sort_by_string_order() {
+        let r = Relation::from_rows(
+            1,
+            [
+                tuple(["zeta"]),
+                tuple(["alpha"]),
+                tuple([Value::int(10)]),
+                tuple(["miguel"]),
+            ],
+        );
+        assert_eq!(r.to_string(), "{(10), ('alpha'), ('miguel'), ('zeta')}");
+    }
+
+    #[test]
+    fn mixed_arity_contains_is_false() {
+        let r = Relation::from_rows(2, [tuple([1i64, 2])]);
+        assert!(!r.contains(&[Value::int(1)]));
+        assert!(!r.contains(&[]));
     }
 }

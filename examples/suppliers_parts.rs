@@ -31,7 +31,10 @@ fn main() {
     println!("G  = {g}");
     println!("     class: {}", classify(&g));
     let ans = compile(&g).unwrap().run(&db).unwrap();
-    println!("     some supplier supplies all parts? {:?}", ans.as_bool().unwrap());
+    println!(
+        "     some supplier supplies all parts? {:?}",
+        ans.as_bool().unwrap()
+    );
 
     // The "apparently harmless variant" — *which* suppliers supply all
     // parts — is unsafe as ∀x(¬P(x) ∨ S(y,x)): if Part were empty, every y
@@ -44,10 +47,8 @@ fn main() {
     }
 
     // …until the user grounds y in the database:
-    let grounded = parse(
-        "exists p. Supplies(y, p) & forall x. (!Part(x) | Supplies(y, x))",
-    )
-    .unwrap();
+    let grounded =
+        parse("exists p. Supplies(y, p) & forall x. (!Part(x) | Supplies(y, x))").unwrap();
     println!("\ngrounded = {grounded}");
     let c = compile(&grounded).unwrap();
     println!("     class:   {}", c.class);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, and the whole test suite.
+# CI runs exactly this script; keep the two in sync by construction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "All checks passed."

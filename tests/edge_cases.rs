@@ -60,10 +60,9 @@ fn empty_database_behaviour() {
 
 #[test]
 fn deep_quantifier_alternation() {
-    let db = Database::from_facts(
-        "E(1, 2)\nE(2, 3)\nE(3, 1)\nE(3, 4)\nE(4, 4)\nV(1)\nV(2)\nV(3)\nV(4)",
-    )
-    .unwrap();
+    let db =
+        Database::from_facts("E(1, 2)\nE(2, 3)\nE(3, 1)\nE(3, 4)\nE(4, 4)\nV(1)\nV(2)\nV(3)\nV(4)")
+            .unwrap();
     // "Vertices x from which every out-neighbour has an out-edge back into
     // a neighbour of x": ∀y(E(x,y) → ∃z(E(y,z) ∧ E(x,z)))-ish shape with
     // three levels.
@@ -113,9 +112,10 @@ fn implication_and_iff_sugar_compile() {
     let via_arrow = query("forall x. (P(x) -> Q(x))", &db).unwrap();
     assert_eq!(via_arrow.as_bool(), Some(false));
     // An iff query over generated variables.
-    check_against_oracle("P(x) & (Q(x) <-> R(x))", &Database::from_facts(
-        "P(1)\nP(2)\nQ(2)\nR(2)\nR(1)",
-    ).unwrap());
+    check_against_oracle(
+        "P(x) & (Q(x) <-> R(x))",
+        &Database::from_facts("P(1)\nP(2)\nQ(2)\nR(2)\nR(1)").unwrap(),
+    );
 }
 
 #[test]
@@ -140,9 +140,7 @@ fn long_conjunction_chain() {
     }
     let db = Database::from_facts(&facts).unwrap();
     // A 20-way chain join: E0(x0, x1) ∧ E1(x1, x2) ∧ …
-    let conj: Vec<String> = (0..20)
-        .map(|i| format!("E{i}(x{i}, x{})", i + 1))
-        .collect();
+    let conj: Vec<String> = (0..20).map(|i| format!("E{i}(x{i}, x{})", i + 1)).collect();
     let q = conj.join(" & ");
     let f = parse(&q).unwrap();
     let c = compile(&f).unwrap();

@@ -166,7 +166,10 @@ fn thm_105_census_integration() {
             row.mismatches.is_empty(),
             "Thm 10.5 violated at size {}: {:?}",
             row.nodes,
-            row.mismatches.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+            row.mismatches
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -22,9 +22,7 @@ use rcsafe::safety::domind::{empirically_definite, DefiniteTest};
 use rcsafe::safety::gencon::{con, gen};
 use rcsafe::safety::generator::{con_generator, gen_generator, ConGen};
 use rcsafe::safety::interp::FiniteInterp;
-use rcsafe::{
-    genify, is_allowed, is_evaluable, is_ranf, ranf, Database, Formula, Value, Var,
-};
+use rcsafe::{genify, is_allowed, is_evaluable, is_ranf, ranf, Database, Formula, Value, Var};
 
 fn arbitrary_sample(seed: u64) -> Formula {
     let cfg = GenConfig {

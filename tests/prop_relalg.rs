@@ -22,12 +22,18 @@ fn random_db(seed: u64, rows: usize) -> Database {
     let mut c = Relation::new(1);
     for _ in 0..rows {
         a.insert(
-            vec![Value::int(rng.gen_range(0..6)), Value::int(rng.gen_range(0..6))]
-                .into_boxed_slice(),
+            vec![
+                Value::int(rng.gen_range(0..6)),
+                Value::int(rng.gen_range(0..6)),
+            ]
+            .into_boxed_slice(),
         );
         b.insert(
-            vec![Value::int(rng.gen_range(0..6)), Value::int(rng.gen_range(0..6))]
-                .into_boxed_slice(),
+            vec![
+                Value::int(rng.gen_range(0..6)),
+                Value::int(rng.gen_range(0..6)),
+            ]
+            .into_boxed_slice(),
         );
         c.insert(vec![Value::int(rng.gen_range(0..6))].into_boxed_slice());
     }
@@ -184,12 +190,38 @@ fn nullary_boolean_algebra() {
     let t = RaExpr::scan("T", vec![]);
     let f = RaExpr::scan("F", vec![]);
     // Join = conjunction.
-    assert_eq!(eval(&RaExpr::join(t.clone(), t.clone()), &db).unwrap().as_bool(), Some(true));
-    assert_eq!(eval(&RaExpr::join(t.clone(), f.clone()), &db).unwrap().as_bool(), Some(false));
+    assert_eq!(
+        eval(&RaExpr::join(t.clone(), t.clone()), &db)
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        eval(&RaExpr::join(t.clone(), f.clone()), &db)
+            .unwrap()
+            .as_bool(),
+        Some(false)
+    );
     // Union = disjunction.
-    assert_eq!(eval(&RaExpr::union(f.clone(), t.clone()), &db).unwrap().as_bool(), Some(true));
+    assert_eq!(
+        eval(&RaExpr::union(f.clone(), t.clone()), &db)
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
     // Diff = and-not.
-    assert_eq!(eval(&RaExpr::diff(t.clone(), f.clone()), &db).unwrap().as_bool(), Some(true));
-    assert_eq!(eval(&RaExpr::diff(t.clone(), t), &db).unwrap().as_bool(), Some(false));
-    assert_eq!(eval(&RaExpr::diff(f.clone(), f), &db).unwrap().as_bool(), Some(false));
+    assert_eq!(
+        eval(&RaExpr::diff(t.clone(), f.clone()), &db)
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        eval(&RaExpr::diff(t.clone(), t), &db).unwrap().as_bool(),
+        Some(false)
+    );
+    assert_eq!(
+        eval(&RaExpr::diff(f.clone(), f), &db).unwrap().as_bool(),
+        Some(false)
+    );
 }
