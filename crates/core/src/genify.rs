@@ -32,6 +32,7 @@ use rc_formula::pushnot::eliminate_forall;
 use rc_formula::simplify::replace_atoms_by_false;
 use rc_formula::term::{Term, Var};
 use rc_formula::vars::{free_vars, is_free, rectified, rename_bound_fresh, substitute, FreshVars};
+use rc_relalg::govern::{Budget, BudgetExceeded, Stage};
 use std::fmt;
 
 /// Failure of `genify`.
@@ -39,17 +40,26 @@ use std::fmt;
 pub enum GenifyError {
     /// The input formula is not evaluable; carries the point of failure.
     NotEvaluable(SafetyViolation),
+    /// A resource bound tripped (node blowup, deadline, or cancellation).
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for GenifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GenifyError::NotEvaluable(v) => write!(f, "formula is not evaluable: {v}"),
+            GenifyError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
 
 impl std::error::Error for GenifyError {}
+
+impl From<BudgetExceeded> for GenifyError {
+    fn from(b: BudgetExceeded) -> Self {
+        GenifyError::Budget(b)
+    }
+}
 
 /// Transform `f` (any evaluable formula) into an equivalent allowed formula
 /// with no universal quantifiers.
@@ -61,6 +71,19 @@ pub fn genify(f: &Formula) -> Result<Formula, GenifyError> {
 /// nondeterminism (the paper's noted optimization opportunity; see the
 /// `ablation_table` experiment).
 pub fn genify_with(f: &Formula, choice: ConjunctChoice) -> Result<Formula, GenifyError> {
+    genify_governed(f, choice, Budget::unlimited())
+}
+
+/// [`genify_with`] under a shared resource [`Budget`]: the step-1d rewrite
+/// duplicates subformulas, so the rebuilt formula is checked against the
+/// node cap, and every `∃`-repair honors the deadline and cancellation.
+/// Trips are attributed to [`Stage::Genify`].
+pub fn genify_governed(
+    f: &Formula,
+    choice: ConjunctChoice,
+    budget: &Budget,
+) -> Result<Formula, GenifyError> {
+    budget.checkpoint(Stage::Genify)?;
     let f = rectified(f);
     for x in free_vars(&f) {
         if !gen(x, &f) {
@@ -71,7 +94,9 @@ pub fn genify_with(f: &Formula, choice: ConjunctChoice) -> Result<Formula, Genif
     }
     let f = eliminate_forall(&f);
     let mut fresh = FreshVars::for_formula(&f);
-    go(&f, &mut fresh, choice)
+    let out = go(&f, &mut fresh, choice, budget)?;
+    budget.checkpoint(Stage::Genify)?;
+    Ok(out)
 }
 
 /// `∃*G(x)` (Def. 8.1): the disjunction of the generator atoms with every
@@ -87,24 +112,30 @@ fn exists_star(g_atoms: &[Formula], x: Var, fresh: &mut FreshVars) -> Formula {
     g
 }
 
-fn go(f: &Formula, fresh: &mut FreshVars, choice: ConjunctChoice) -> Result<Formula, GenifyError> {
+fn go(
+    f: &Formula,
+    fresh: &mut FreshVars,
+    choice: ConjunctChoice,
+    budget: &Budget,
+) -> Result<Formula, GenifyError> {
     match f {
         Formula::Atom(_) | Formula::Eq(..) => Ok(f.clone()),
-        Formula::Not(g) => Ok(Formula::not(go(g, fresh, choice)?)),
+        Formula::Not(g) => Ok(Formula::not(go(g, fresh, choice, budget)?)),
         Formula::And(fs) => Ok(Formula::And(
             fs.iter()
-                .map(|g| go(g, fresh, choice))
+                .map(|g| go(g, fresh, choice, budget))
                 .collect::<Result<_, _>>()?,
         )),
         Formula::Or(fs) => Ok(Formula::Or(
             fs.iter()
-                .map(|g| go(g, fresh, choice))
+                .map(|g| go(g, fresh, choice, budget))
                 .collect::<Result<_, _>>()?,
         )),
         Formula::Exists(x, a) => {
+            budget.checkpoint(Stage::Genify)?;
             // Step 1a: already generated — keep, recurse into the body.
             if gen(*x, a) {
-                return Ok(Formula::Exists(*x, Box::new(go(a, fresh, choice)?)));
+                return Ok(Formula::Exists(*x, Box::new(go(a, fresh, choice, budget)?)));
             }
             match con_generator_with(*x, a, choice) {
                 // Step 1b: not evaluable.
@@ -112,7 +143,7 @@ fn go(f: &Formula, fresh: &mut FreshVars, choice: ConjunctChoice) -> Result<Form
                     *x,
                 ))),
                 // Step 1c: vacuous quantifier.
-                Some(ConGen::Bottom) => go(a, fresh, choice),
+                Some(ConGen::Bottom) => go(a, fresh, choice, budget),
                 // Step 1d: split into generated part and remainder.
                 Some(ConGen::Atoms(g_atoms)) => {
                     let r = replace_atoms_by_false(a, &g_atoms);
@@ -135,10 +166,13 @@ fn go(f: &Formula, fresh: &mut FreshVars, choice: ConjunctChoice) -> Result<Form
                     } else {
                         Formula::or2(generated, r)
                     };
+                    // The rewrite duplicated pieces of A — the point where
+                    // genify can blow up; enforce the node cap here.
+                    budget.check_nodes(Stage::Genify, f1.node_count() as u64)?;
                     // "Continue at (3)": process the rebuilt formula. The
                     // new ∃x node now satisfies gen (Lemma 8.2(1)), so this
                     // terminates.
-                    go(&f1, fresh, choice)
+                    go(&f1, fresh, choice, budget)
                 }
             }
         }

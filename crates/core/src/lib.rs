@@ -74,7 +74,9 @@ pub use classes::{check_allowed, check_evaluable, is_allowed, is_evaluable};
 pub use eqreduce::{equality_reduce, is_wide_sense_evaluable};
 pub use gencon::{con, con_not, gen, gen_not};
 pub use genify::genify;
-pub use pipeline::{classify, compile, query, Compiled, SafetyClass};
+pub use pipeline::{
+    classify, compile, compile_and_eval, query, Compiled, PipelineError, QueryOutput, SafetyClass,
+};
 pub use ranf::{is_ranf, ranf};
 pub use translate::translate;
 pub mod tuplewise;

@@ -12,14 +12,15 @@
 use crate::classes::{check_evaluable, is_allowed, SafetyViolation};
 use crate::eqreduce::equality_reduce;
 use crate::generator::ConjunctChoice;
-use crate::genify::{genify_with, GenifyError};
-use crate::ranf::{ranf_with_budget, RanfBudget, RanfError};
-use crate::translate::{translate, TranslateError};
+use crate::genify::{genify_governed, GenifyError};
+use crate::ranf::{ranf_governed, RanfError};
+use crate::translate::{translate_governed, TranslateError};
 use rc_formula::ast::Formula;
 use rc_formula::parser::ParseError;
 use rc_formula::term::Var;
 use rc_formula::vars::{free_vars, rectified};
-use rc_relalg::{eval_with_stats, Database, EvalError, EvalStats, RaExpr, Relation};
+use rc_relalg::govern::{Budget, BudgetExceeded, Stage};
+use rc_relalg::{eval_governed, Database, EvalError, EvalStats, RaExpr, Relation};
 use std::fmt;
 
 /// The safety classes of the paper, most restrictive first.
@@ -61,15 +62,18 @@ pub fn classify(f: &Formula) -> SafetyClass {
 }
 
 /// Options for [`compile`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CompileOptions {
     /// Attempt equality reduction (Alg. A.1) when the formula is not
     /// strict-sense evaluable.
     pub equality_reduction: bool,
     /// Run the algebraic simplifier on the final expression.
     pub optimize: bool,
-    /// Distribution budget for `ranf`.
-    pub ranf_budget: RanfBudget,
+    /// Resource budget governing every stage (subsumes the old
+    /// `RanfBudget`: set [`Budget::with_max_nodes`] to bound formula
+    /// blowup). The default is unlimited apart from `ranf`'s built-in
+    /// distribution backstop.
+    pub budget: Budget,
     /// Resolution of the Fig. 5 conjunction nondeterminism in `genify`.
     pub generator_choice: ConjunctChoice,
 }
@@ -79,7 +83,7 @@ impl Default for CompileOptions {
         CompileOptions {
             equality_reduction: true,
             optimize: true,
-            ranf_budget: RanfBudget::default(),
+            budget: Budget::new(),
             generator_choice: ConjunctChoice::Smallest,
         }
     }
@@ -110,7 +114,9 @@ pub struct Compiled {
 pub enum CompileError {
     /// The formula is not in any recognized safe class.
     NotSafe(SafetyViolation),
-    /// `ranf` failed (budget or internal).
+    /// A resource bound tripped; carries the stage, bound, and consumption.
+    Budget(BudgetExceeded),
+    /// `ranf` failed internally.
     Ranf(RanfError),
     /// Translation failed (should not happen on `ranf` output).
     Translate(TranslateError),
@@ -120,6 +126,7 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::NotSafe(v) => write!(f, "query is not safe: {v}"),
+            CompileError::Budget(b) => write!(f, "budget exceeded: {b}"),
             CompileError::Ranf(e) => write!(f, "normalization failed: {e}"),
             CompileError::Translate(e) => write!(f, "translation failed: {e}"),
         }
@@ -132,19 +139,26 @@ impl From<GenifyError> for CompileError {
     fn from(e: GenifyError) -> Self {
         match e {
             GenifyError::NotEvaluable(v) => CompileError::NotSafe(v),
+            GenifyError::Budget(b) => CompileError::Budget(b),
         }
     }
 }
 
 impl From<RanfError> for CompileError {
     fn from(e: RanfError) -> Self {
-        CompileError::Ranf(e)
+        match e {
+            RanfError::Budget(b) => CompileError::Budget(b),
+            other => CompileError::Ranf(other),
+        }
     }
 }
 
 impl From<TranslateError> for CompileError {
     fn from(e: TranslateError) -> Self {
-        CompileError::Translate(e)
+        match e {
+            TranslateError::Budget(b) => CompileError::Budget(b),
+            other => CompileError::Translate(other),
+        }
     }
 }
 
@@ -183,13 +197,13 @@ pub fn compile_with(f: &Formula, opts: CompileOptions) -> Result<Compiled, Compi
     };
 
     // Stage 2: evaluable → allowed (Alg. 8.1).
-    let allowed_form = genify_with(&evaluable_form, opts.generator_choice)?;
+    let allowed_form = genify_governed(&evaluable_form, opts.generator_choice, &opts.budget)?;
 
     // Stage 3: allowed → RANF (Alg. 9.1).
-    let ranf_form = ranf_with_budget(&allowed_form, opts.ranf_budget)?;
+    let ranf_form = ranf_governed(&allowed_form, &opts.budget)?;
 
     // Stage 4: RANF → algebra (Sec. 9.3).
-    let raw = translate(&ranf_form)?;
+    let raw = translate_governed(&ranf_form, &opts.budget)?;
 
     // Stage 5: impose the answer column order.
     let expr = impose_columns(raw, &columns, &ranf_form)?;
@@ -276,7 +290,18 @@ impl Compiled {
         db: &Database,
         stats: &mut EvalStats,
     ) -> Result<Relation, EvalError> {
-        eval_with_stats(&self.expr, &prepare(db, &self.original), stats)
+        self.run_governed(db, stats, Budget::unlimited())
+    }
+
+    /// Evaluate under a resource [`Budget`]: either exactly the ungoverned
+    /// answer or an [`EvalError::Budget`] — never a truncated relation.
+    pub fn run_governed(
+        &self,
+        db: &Database,
+        stats: &mut EvalStats,
+        budget: &Budget,
+    ) -> Result<Relation, EvalError> {
+        eval_governed(&self.expr, &prepare(db, &self.original), stats, budget)
     }
 }
 
@@ -318,6 +343,126 @@ pub fn query(text: &str, db: &Database) -> Result<Relation, QueryError> {
     let f = rc_formula::parse(text).map_err(QueryError::Parse)?;
     let compiled = compile(&f).map_err(QueryError::Compile)?;
     compiled.run(db).map_err(QueryError::Eval)
+}
+
+/// Unified failure taxonomy for the whole pipeline
+/// (parse → classify → genify → ranf → translate → eval), with resource
+/// trips carried as structured [`BudgetExceeded`] reports.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The formula is not in any recognized safe class.
+    NotSafe(SafetyViolation),
+    /// A resource bound tripped; carries the stage, bound, and consumption.
+    Budget(BudgetExceeded),
+    /// `ranf` failed internally.
+    Ranf(RanfError),
+    /// Translation failed (should not happen on `ranf` output).
+    Translate(TranslateError),
+    /// Evaluation failed for a non-budget reason.
+    Eval(EvalError),
+}
+
+impl PipelineError {
+    /// The pipeline stage this error is attributed to.
+    pub fn stage(&self) -> Stage {
+        match self {
+            PipelineError::Parse(_) => Stage::Parse,
+            PipelineError::NotSafe(_) => Stage::Classify,
+            PipelineError::Budget(b) => b.stage,
+            PipelineError::Ranf(_) => Stage::Ranf,
+            PipelineError::Translate(_) => Stage::Translate,
+            PipelineError::Eval(_) => Stage::Eval,
+        }
+    }
+
+    /// The structured budget report, when a resource bound tripped.
+    pub fn budget(&self) -> Option<&BudgetExceeded> {
+        match self {
+            PipelineError::Budget(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::NotSafe(v) => write!(f, "query is not safe: {v}"),
+            PipelineError::Budget(b) => write!(f, "budget exceeded: {b}"),
+            PipelineError::Ranf(e) => write!(f, "normalization failed: {e}"),
+            PipelineError::Translate(e) => write!(f, "translation failed: {e}"),
+            PipelineError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        match e {
+            CompileError::NotSafe(v) => PipelineError::NotSafe(v),
+            CompileError::Budget(b) => PipelineError::Budget(b),
+            CompileError::Ranf(e) => PipelineError::Ranf(e),
+            CompileError::Translate(e) => PipelineError::Translate(e),
+        }
+    }
+}
+
+impl From<EvalError> for PipelineError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Budget(b) => PipelineError::Budget(b),
+            other => PipelineError::Eval(other),
+        }
+    }
+}
+
+impl From<QueryError> for PipelineError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::Parse(e) => PipelineError::Parse(e),
+            QueryError::Compile(e) => e.into(),
+            QueryError::Eval(e) => e.into(),
+        }
+    }
+}
+
+/// Everything [`compile_and_eval`] produces: the compiled stages, the
+/// answer relation, and the evaluation counters (including governance
+/// consumption).
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// The compiled query with every intermediate stage.
+    pub compiled: Compiled,
+    /// The answer relation.
+    pub relation: Relation,
+    /// Evaluation statistics, including [`EvalStats::budget_checks`].
+    pub stats: EvalStats,
+}
+
+/// Parse, compile, and evaluate under one shared [`Budget`]
+/// (`opts.budget` governs every stage). On a trip the result is a
+/// [`PipelineError::Budget`] naming the stage, the bound, and the
+/// consumption — never a truncated relation.
+pub fn compile_and_eval(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+) -> Result<QueryOutput, PipelineError> {
+    let f = rc_formula::parse(text).map_err(PipelineError::Parse)?;
+    let budget = opts.budget.clone();
+    let compiled = compile_with(&f, opts).map_err(PipelineError::from)?;
+    let mut stats = EvalStats::default();
+    let relation = compiled.run_governed(db, &mut stats, &budget)?;
+    Ok(QueryOutput {
+        compiled,
+        relation,
+        stats,
+    })
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 use rc_formula::ast::Formula;
 use rc_formula::term::{Term, Var};
 use rc_formula::vars::free_vars;
+use rc_relalg::govern::{Budget, BudgetExceeded, Stage};
 use rc_relalg::{RaExpr, SelPred};
 use std::fmt;
 
@@ -28,17 +29,45 @@ use std::fmt;
 pub enum TranslateError {
     /// The input is not in RANF.
     NotRanf(String),
+    /// A resource bound tripped (expression blowup, deadline, or
+    /// cancellation).
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::NotRanf(s) => write!(f, "not in RANF: {s}"),
+            TranslateError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
 
 impl std::error::Error for TranslateError {}
+
+impl From<BudgetExceeded> for TranslateError {
+    fn from(b: BudgetExceeded) -> Self {
+        TranslateError::Budget(b)
+    }
+}
+
+/// Per-call governance: counts emitted algebra operators and checks them
+/// against the budget's node cap, attributing trips to
+/// [`Stage::Translate`].
+struct TransGov<'a> {
+    budget: &'a Budget,
+    ops: u64,
+}
+
+impl TransGov<'_> {
+    /// One more operator emitted: honor cancellation/deadline and the cap.
+    fn emit(&mut self) -> Result<(), TranslateError> {
+        self.ops += 1;
+        self.budget.checkpoint(Stage::Translate)?;
+        self.budget.check_nodes(Stage::Translate, self.ops)?;
+        Ok(())
+    }
+}
 
 fn not_ranf<T>(f: &Formula, why: &str) -> Result<T, TranslateError> {
     Err(TranslateError::NotRanf(format!("{f}: {why}")))
@@ -49,26 +78,38 @@ fn not_ranf<T>(f: &Formula, why: &str) -> Result<T, TranslateError> {
 /// (in the order produced by the operators; use a final projection to
 /// impose a specific order).
 pub fn translate(f: &Formula) -> Result<RaExpr, TranslateError> {
+    translate_governed(f, Budget::unlimited())
+}
+
+/// [`translate`] under a shared resource [`Budget`]: every emitted algebra
+/// operator counts against the node cap, and emission honors the deadline
+/// and cancellation. Trips are attributed to [`Stage::Translate`].
+pub fn translate_governed(f: &Formula, budget: &Budget) -> Result<RaExpr, TranslateError> {
+    let mut gov = TransGov { budget, ops: 0 };
     match f {
         Formula::Or(fs) if fs.is_empty() => Ok(RaExpr::Empty { cols: Vec::new() }),
-        Formula::Or(fs) => union_all(fs),
-        other => translate_d(other),
+        Formula::Or(fs) => union_all(fs, &mut gov),
+        other => translate_d(other, &mut gov),
     }
 }
 
-fn union_all(fs: &[Formula]) -> Result<RaExpr, TranslateError> {
+fn union_all(fs: &[Formula], gov: &mut TransGov<'_>) -> Result<RaExpr, TranslateError> {
     let mut acc: Option<RaExpr> = None;
     for g in fs {
-        let e = translate_d(g)?;
+        let e = translate_d(g, gov)?;
         acc = Some(match acc {
             None => e,
-            Some(a) => RaExpr::union(a, e),
+            Some(a) => {
+                gov.emit()?;
+                RaExpr::union(a, e)
+            }
         });
     }
     Ok(acc.expect("nonempty disjunction"))
 }
 
-fn translate_d(f: &Formula) -> Result<RaExpr, TranslateError> {
+fn translate_d(f: &Formula, gov: &mut TransGov<'_>) -> Result<RaExpr, TranslateError> {
+    gov.emit()?;
     match f {
         Formula::Atom(a) => Ok(RaExpr::Scan {
             pred: a.pred,
@@ -76,11 +117,11 @@ fn translate_d(f: &Formula) -> Result<RaExpr, TranslateError> {
         }),
         Formula::Eq(s, t) => translate_eq(f, *s, *t),
         Formula::And(fs) if fs.is_empty() => Ok(RaExpr::Unit),
-        Formula::And(fs) => translate_conjunction(fs),
+        Formula::And(fs) => translate_conjunction(fs, gov),
         Formula::Or(fs) if fs.is_empty() => Ok(RaExpr::Empty { cols: Vec::new() }),
-        Formula::Or(fs) => union_all(fs),
+        Formula::Or(fs) => union_all(fs, gov),
         Formula::Exists(y, d) => {
-            let inner = translate_d(d)?;
+            let inner = translate_d(d, gov)?;
             let cols: Vec<Var> = inner.cols().into_iter().filter(|v| v != y).collect();
             if inner.cols().len() == cols.len() {
                 return not_ranf(f, "quantified variable has no column");
@@ -93,7 +134,7 @@ fn translate_d(f: &Formula) -> Result<RaExpr, TranslateError> {
             if !free_vars(f).is_empty() {
                 return not_ranf(f, "open negation outside a conjunction");
             }
-            Ok(RaExpr::diff(RaExpr::Unit, translate_d(g)?))
+            Ok(RaExpr::diff(RaExpr::Unit, translate_d(g, gov)?))
         }
         Formula::Forall(..) => not_ranf(f, "universal quantifier survives in RANF input"),
     }
@@ -113,9 +154,10 @@ fn translate_eq(f: &Formula, s: Term, t: Term) -> Result<RaExpr, TranslateError>
     }
 }
 
-fn translate_conjunction(fs: &[Formula]) -> Result<RaExpr, TranslateError> {
+fn translate_conjunction(fs: &[Formula], gov: &mut TransGov<'_>) -> Result<RaExpr, TranslateError> {
     let mut acc: Option<RaExpr> = None;
     for c in fs {
+        gov.emit()?;
         let prev = acc.take();
         let next = match c {
             Formula::Not(inner) => {
@@ -144,7 +186,7 @@ fn translate_conjunction(fs: &[Formula]) -> Result<RaExpr, TranslateError> {
                     }
                     // D ∧ ¬G: generalized set difference.
                     g => {
-                        let rhs = translate_d(g)?;
+                        let rhs = translate_d(g, gov)?;
                         require_cols(&a, &rhs.cols(), c)?;
                         RaExpr::diff(a, rhs)
                     }
@@ -161,7 +203,7 @@ fn translate_conjunction(fs: &[Formula]) -> Result<RaExpr, TranslateError> {
             // Positive conjuncts (atoms, x = c, ∃-formulas, G-disjunctions,
             // true) natural-join onto the accumulator.
             positive => {
-                let e = translate_d(positive)?;
+                let e = translate_d(positive, gov)?;
                 match prev {
                     None => e,
                     Some(a) => RaExpr::join(a, e),

@@ -28,6 +28,7 @@
 
 use crate::database::Database;
 use crate::expr::{ExprError, RaExpr, SelPred};
+use crate::govern::{Budget, BudgetExceeded, Governor, Stage};
 use crate::relation::{Relation, RelationBuilder};
 use rc_formula::fxhash::FxHasher;
 use rc_formula::{Symbol, Term, Value, Var};
@@ -43,6 +44,10 @@ pub struct EvalStats {
     pub tuples_produced: u64,
     /// Largest intermediate relation observed.
     pub max_intermediate: usize,
+    /// Cooperative budget checkpoints passed (operator boundaries plus
+    /// one per [`crate::govern::CHECK_INTERVAL`] kernel rows) — the governance consumption
+    /// counter; deterministic for a given expression and database.
+    pub budget_checks: u64,
 }
 
 impl EvalStats {
@@ -58,6 +63,7 @@ impl EvalStats {
         self.operators += other.operators;
         self.tuples_produced += other.tuples_produced;
         self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
+        self.budget_checks += other.budget_checks;
     }
 }
 
@@ -77,6 +83,8 @@ pub enum EvalError {
     },
     /// The expression is structurally invalid.
     Invalid(ExprError),
+    /// A resource budget tripped; the partial result was discarded.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for EvalError {
@@ -92,6 +100,7 @@ impl fmt::Display for EvalError {
                 "scan of {pred}: pattern arity {pattern}, stored arity {stored}"
             ),
             EvalError::Invalid(e) => write!(f, "invalid expression: {e}"),
+            EvalError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
@@ -101,6 +110,12 @@ impl std::error::Error for EvalError {}
 impl From<ExprError> for EvalError {
     fn from(e: ExprError) -> Self {
         EvalError::Invalid(e)
+    }
+}
+
+impl From<BudgetExceeded> for EvalError {
+    fn from(b: BudgetExceeded) -> Self {
+        EvalError::Budget(b)
     }
 }
 
@@ -117,8 +132,23 @@ pub fn eval_with_stats(
     db: &Database,
     stats: &mut EvalStats,
 ) -> Result<Relation, EvalError> {
+    eval_governed(expr, db, stats, Budget::unlimited())
+}
+
+/// Evaluate under a resource [`Budget`]: the result is either exactly the
+/// ungoverned answer or an [`EvalError::Budget`] — never a truncated
+/// relation. Checks run at every operator boundary and every
+/// [`crate::govern::CHECK_INTERVAL`] rows inside the kernels.
+pub fn eval_governed(
+    expr: &RaExpr,
+    db: &Database,
+    stats: &mut EvalStats,
+    budget: &Budget,
+) -> Result<Relation, EvalError> {
     expr.validate(None)?;
-    eval_rec(expr, db, stats)
+    stats.budget_checks += 1;
+    budget.checkpoint(Stage::Eval)?;
+    eval_rec(expr, db, stats, budget)
 }
 
 fn positions(haystack: &[Var], needles: &[Var]) -> Vec<usize> {
@@ -196,10 +226,11 @@ fn join_kernel(
     l_shared: &[usize],
     r_shared: &[usize],
     r_extra: &[usize],
-) -> Relation {
+    gov: &mut Governor<'_>,
+) -> Result<Relation, BudgetExceeded> {
     let out_arity = lrel.arity() + r_extra.len();
     if lrel.is_empty() || rrel.is_empty() {
-        return Relation::new(out_arity);
+        return Ok(Relation::new(out_arity));
     }
     if r_extra.is_empty() {
         // Semijoin: keep each left row with at least one partner. Order-
@@ -208,6 +239,7 @@ fn join_kernel(
         let mut kept: Vec<Value> = Vec::new();
         let mut n = 0usize;
         for lrow in lrel.iter() {
+            gov.tick(n)?;
             let mut cur = table.first(hash_cols(lrow, l_shared));
             while cur != NIL {
                 if keys_match(lrow, l_shared, rrel.row(cur as usize), r_shared) {
@@ -218,7 +250,7 @@ fn join_kernel(
                 cur = table.next[cur as usize];
             }
         }
-        return Relation::from_canonical(out_arity, n, kept);
+        return Ok(Relation::from_canonical(out_arity, n, kept));
     }
     let mut out = RelationBuilder::with_capacity(out_arity, lrel.len().max(rrel.len()));
     if l_shared.is_empty() {
@@ -226,19 +258,22 @@ fn join_kernel(
         // already sorted — the builder's linear scan will notice.
         for lrow in lrel.iter() {
             for rrow in rrel.iter() {
+                gov.tick(out.len())?;
                 out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
             }
         }
-        return out.finish();
+        return Ok(out.finish());
     }
     // Build on the smaller input, probe with the larger.
     if rrel.len() <= lrel.len() {
         let table = RowTable::build(rrel, r_shared);
         for lrow in lrel.iter() {
+            gov.tick(out.len())?;
             let mut cur = table.first(hash_cols(lrow, l_shared));
             while cur != NIL {
                 let rrow = rrel.row(cur as usize);
                 if keys_match(lrow, l_shared, rrow, r_shared) {
+                    gov.tick(out.len())?;
                     out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
                 }
                 cur = table.next[cur as usize];
@@ -247,34 +282,42 @@ fn join_kernel(
     } else {
         let table = RowTable::build(lrel, l_shared);
         for rrow in rrel.iter() {
+            gov.tick(out.len())?;
             let mut cur = table.first(hash_cols(rrow, r_shared));
             while cur != NIL {
                 let lrow = lrel.row(cur as usize);
                 if keys_match(lrow, l_shared, rrow, r_shared) {
+                    gov.tick(out.len())?;
                     out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
                 }
                 cur = table.next[cur as usize];
             }
         }
     }
-    out.finish()
+    Ok(out.finish())
 }
 
 /// Anti-join kernel for the generalized difference (Def. 9.3): keep the
 /// left rows whose projection onto the right's columns has no partner.
 /// Order-preserving over the left input.
-fn antijoin_kernel(lrel: &Relation, rrel: &Relation, proj: &[usize]) -> Relation {
+fn antijoin_kernel(
+    lrel: &Relation,
+    rrel: &Relation,
+    proj: &[usize],
+    gov: &mut Governor<'_>,
+) -> Result<Relation, BudgetExceeded> {
     if rrel.is_empty() {
-        return lrel.clone();
+        return Ok(lrel.clone());
     }
     if lrel.is_empty() {
-        return Relation::new(lrel.arity());
+        return Ok(Relation::new(lrel.arity()));
     }
     let r_all: Vec<usize> = (0..rrel.arity()).collect();
     let table = RowTable::build(rrel, &r_all);
     let mut kept: Vec<Value> = Vec::new();
     let mut n = 0usize;
     for lrow in lrel.iter() {
+        gov.tick(n)?;
         let mut cur = table.first(hash_cols(lrow, proj));
         let mut hit = false;
         while cur != NIL {
@@ -289,7 +332,7 @@ fn antijoin_kernel(lrel: &Relation, rrel: &Relation, proj: &[usize]) -> Relation
             n += 1;
         }
     }
-    Relation::from_canonical(lrel.arity(), n, kept)
+    Ok(Relation::from_canonical(lrel.arity(), n, kept))
 }
 
 /// Total base tuples scanned by a subtree — the cost signal deciding
@@ -306,23 +349,30 @@ fn scan_cost(expr: &RaExpr, db: &Database) -> u64 {
 const PARALLEL_THRESHOLD: u64 = 8192;
 
 /// Evaluate the two children of a binary operator, in parallel when both
-/// sides are heavy enough. Stats are merged left-then-right so the totals
-/// are identical to sequential evaluation.
+/// sides are heavy enough and the budget's fault injector does not deny
+/// thread spawns (the sequential fallback path). Stats are merged
+/// left-then-right so the totals are identical to sequential evaluation;
+/// on a budget trip in either branch the scope still joins both workers,
+/// so cancelled threads drain cleanly before the error propagates.
 fn eval_pair(
     l: &RaExpr,
     r: &RaExpr,
     db: &Database,
     stats: &mut EvalStats,
+    budget: &Budget,
 ) -> Result<(Relation, Relation), EvalError> {
-    if scan_cost(l, db) >= PARALLEL_THRESHOLD && scan_cost(r, db) >= PARALLEL_THRESHOLD {
+    if scan_cost(l, db) >= PARALLEL_THRESHOLD
+        && scan_cost(r, db) >= PARALLEL_THRESHOLD
+        && budget.spawn_allowed()
+    {
         let ((lres, lstats), (rres, rstats)) = std::thread::scope(|s| {
             let lhandle = s.spawn(|| {
                 let mut st = EvalStats::default();
-                let rel = eval_rec(l, db, &mut st);
+                let rel = eval_rec(l, db, &mut st, budget);
                 (rel, st)
             });
             let mut rst = EvalStats::default();
-            let rrel = eval_rec(r, db, &mut rst);
+            let rrel = eval_rec(r, db, &mut rst, budget);
             let left = lhandle.join().expect("eval worker panicked");
             (left, (rrel, rst))
         });
@@ -330,13 +380,19 @@ fn eval_pair(
         stats.merge(rstats);
         Ok((lres?, rres?))
     } else {
-        let lrel = eval_rec(l, db, stats)?;
-        let rrel = eval_rec(r, db, stats)?;
+        let lrel = eval_rec(l, db, stats, budget)?;
+        let rrel = eval_rec(r, db, stats, budget)?;
         Ok((lrel, rrel))
     }
 }
 
-fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relation, EvalError> {
+fn eval_rec(
+    expr: &RaExpr,
+    db: &Database,
+    stats: &mut EvalStats,
+    budget: &Budget,
+) -> Result<Relation, EvalError> {
+    let mut gov = Governor::new(budget, Stage::Eval);
     let out = match expr {
         RaExpr::Scan { pred, pattern } => {
             let base = db
@@ -391,6 +447,7 @@ fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relat
                     .collect();
                 let mut out = RelationBuilder::with_capacity(cols.len(), base.len());
                 'rows: for row in base.iter() {
+                    gov.tick(out.len())?;
                     for (i, chk) in checks.iter().enumerate() {
                         match chk {
                             Check::Const(c) => {
@@ -415,7 +472,7 @@ fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relat
         RaExpr::Unit => Relation::unit(),
         RaExpr::Empty { cols } => Relation::new(cols.len()),
         RaExpr::Join(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget)?;
             let lcols = l.cols();
             let rcols = r.cols();
             let shared: Vec<Var> = rcols
@@ -431,48 +488,50 @@ fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relat
                 .filter(|(_, v)| !lcols.contains(v))
                 .map(|(i, _)| i)
                 .collect();
-            join_kernel(&lrel, &rrel, &l_shared, &r_shared, &r_extra)
+            join_kernel(&lrel, &rrel, &l_shared, &r_shared, &r_extra, &mut gov)?
         }
         RaExpr::Union(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget)?;
             let lcols = l.cols();
             let rcols = r.cols();
             let perm = positions(&rcols, &lcols);
             if perm.iter().enumerate().all(|(i, &p)| i == p) {
                 // Same column order: one linear merge of two sorted inputs.
-                lrel.union(&rrel)
+                lrel.union_governed(&rrel, &mut gov)?
             } else {
                 let mut permuted = RelationBuilder::with_capacity(lcols.len(), rrel.len());
                 for row in rrel.iter() {
+                    gov.tick(permuted.len())?;
                     permuted.push_row_from(perm.iter().map(|&i| row[i]));
                 }
-                lrel.union(&permuted.finish())
+                lrel.union_governed(&permuted.finish(), &mut gov)?
             }
         }
         RaExpr::Diff(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget)?;
             let lcols = l.cols();
             let rcols = r.cols();
             let proj = positions(&lcols, &rcols);
             if proj.len() == lcols.len() && proj.iter().enumerate().all(|(i, &p)| i == p) {
                 // Same columns, same order: plain sorted-merge difference.
-                lrel.minus(&rrel)
+                lrel.minus_governed(&rrel, &mut gov)?
             } else {
-                antijoin_kernel(&lrel, &rrel, &proj)
+                antijoin_kernel(&lrel, &rrel, &proj, &mut gov)?
             }
         }
         RaExpr::Project { input, cols } => {
-            let rel = eval_rec(input, db, stats)?;
+            let rel = eval_rec(input, db, stats, budget)?;
             let icols = input.cols();
             let proj = positions(&icols, cols);
             let mut out = RelationBuilder::with_capacity(cols.len(), rel.len());
             for row in rel.iter() {
+                gov.tick(out.len())?;
                 out.push_row_from(proj.iter().map(|&i| row[i]));
             }
             out.finish()
         }
         RaExpr::Select { input, pred } => {
-            let rel = eval_rec(input, db, stats)?;
+            let rel = eval_rec(input, db, stats, budget)?;
             let icols = input.cols();
             let keep: RowPred = match *pred {
                 SelPred::EqCols(a, b) => {
@@ -496,6 +555,7 @@ fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relat
             let mut kept: Vec<Value> = Vec::new();
             let mut n = 0usize;
             for row in rel.iter() {
+                gov.tick(n)?;
                 if keep(row) {
                     kept.extend_from_slice(row);
                     n += 1;
@@ -504,13 +564,14 @@ fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relat
             Relation::from_canonical(icols.len(), n, kept)
         }
         RaExpr::Duplicate { input, src, .. } => {
-            let rel = eval_rec(input, db, stats)?;
+            let rel = eval_rec(input, db, stats, budget)?;
             let icols = input.cols();
             let i = positions(&icols, &[*src])[0];
             // Appending a copy of an existing column cannot reorder rows:
             // distinct rows already differ within the original prefix.
             let mut data: Vec<Value> = Vec::with_capacity(rel.len() * (icols.len() + 1));
-            for row in rel.iter() {
+            for (k, row) in rel.iter().enumerate() {
+                gov.tick(k)?;
                 data.extend_from_slice(row);
                 data.push(row[i]);
             }
@@ -518,6 +579,9 @@ fn eval_rec(expr: &RaExpr, db: &Database, stats: &mut EvalStats) -> Result<Relat
         }
     };
     stats.record(&out);
+    stats.budget_checks += gov.checks() + 1;
+    budget.checkpoint(Stage::Eval)?;
+    budget.charge_tuples(Stage::Eval, out.len() as u64)?;
     Ok(out)
 }
 
@@ -722,11 +786,13 @@ mod tests {
             operators: 2,
             tuples_produced: 10,
             max_intermediate: 7,
+            budget_checks: 1,
         };
         a.merge(EvalStats {
             operators: 3,
             tuples_produced: 4,
             max_intermediate: 9,
+            budget_checks: 2,
         });
         assert_eq!(
             a,
@@ -734,6 +800,7 @@ mod tests {
                 operators: 5,
                 tuples_produced: 14,
                 max_intermediate: 9,
+                budget_checks: 3,
             }
         );
     }

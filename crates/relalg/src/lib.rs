@@ -13,6 +13,8 @@
 //! * [`relation::Relation`], [`database::Database`] — storage;
 //! * [`expr::RaExpr`] — the expression tree, with structural validation;
 //! * [`eval`](mod@eval) — hash-join/anti-join evaluation with [`eval::EvalStats`];
+//! * [`govern`] — resource budgets, cooperative cancellation, fault
+//!   injection for the whole pipeline (shared with `rc-core`'s stages);
 //! * [`optimize::simplify`] — semantics-preserving cleanup;
 //! * display impls that mimic the paper's `π/σ/⋈/∪/diff` notation;
 //! * [`io`] — fact-text and TSV import/export.
@@ -24,13 +26,15 @@ pub mod database;
 pub mod display;
 pub mod eval;
 pub mod expr;
+pub mod govern;
 pub mod io;
 pub mod optimize;
 pub mod relation;
 
 pub use baseline::eval_baseline;
 pub use database::Database;
-pub use eval::{eval, eval_with_stats, EvalError, EvalStats};
+pub use eval::{eval, eval_governed, eval_with_stats, EvalError, EvalStats};
 pub use expr::{RaExpr, SelPred};
+pub use govern::{Budget, BudgetExceeded, CancelHandle, FaultInjector, Governor, Resource, Stage};
 pub use optimize::simplify;
 pub use relation::{tuple, Relation, RelationBuilder, Tuple};

@@ -22,6 +22,7 @@
 //! distinguish them (both are zero values), so the row count is stored
 //! explicitly.
 
+use crate::govern::{Budget, BudgetExceeded, Governor, Stage};
 use rc_formula::{symbol_order, SymbolOrder, Value};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
@@ -222,15 +223,29 @@ impl Relation {
 
     /// Set union with another relation of the same arity (linear merge).
     pub fn union(&self, other: &Relation) -> Relation {
+        let mut gov = Governor::new(Budget::unlimited(), Stage::Eval);
+        self.union_governed(other, &mut gov)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`Relation::union`] under a [`Governor`]: checkpoints every
+    /// [`crate::govern::CHECK_INTERVAL`] merged rows so huge merges stay
+    /// cancellable. Either the exact union or a budget error — never a
+    /// partial relation.
+    pub fn union_governed(
+        &self,
+        other: &Relation,
+        gov: &mut Governor<'_>,
+    ) -> Result<Relation, BudgetExceeded> {
         assert_eq!(self.arity, other.arity, "union arity mismatch");
         if self.is_empty() || Arc::ptr_eq(&self.data, &other.data) {
-            return other.clone();
+            return Ok(other.clone());
         }
         if other.is_empty() {
-            return self.clone();
+            return Ok(self.clone());
         }
         if self.arity == 0 {
-            return Relation::unit();
+            return Ok(Relation::unit());
         }
         let order = symbol_order();
         let arity = self.arity;
@@ -238,6 +253,7 @@ impl Relation {
         let (mut i, mut j) = (0usize, 0usize);
         let mut n = 0usize;
         while i < self.n_rows && j < other.n_rows {
+            gov.tick(n)?;
             match cmp_rows(self.row(i), other.row(j), &order) {
                 Ordering::Less => {
                     out.extend_from_slice(self.row(i));
@@ -263,26 +279,39 @@ impl Relation {
             out.extend_from_slice(&other.data[j * arity..]);
             n += other.n_rows - j;
         }
-        Relation {
+        Ok(Relation {
             arity,
             n_rows: n,
             data: Arc::new(out),
-        }
+        })
     }
 
     /// Plain set difference with another relation of the same arity
     /// (linear merge).
     pub fn minus(&self, other: &Relation) -> Relation {
+        let mut gov = Governor::new(Budget::unlimited(), Stage::Eval);
+        self.minus_governed(other, &mut gov)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`Relation::minus`] under a [`Governor`]: checkpoints every
+    /// [`crate::govern::CHECK_INTERVAL`] scanned rows. Either the exact
+    /// difference or a budget error — never a partial relation.
+    pub fn minus_governed(
+        &self,
+        other: &Relation,
+        gov: &mut Governor<'_>,
+    ) -> Result<Relation, BudgetExceeded> {
         assert_eq!(self.arity, other.arity, "difference arity mismatch");
         if self.is_empty() || Arc::ptr_eq(&self.data, &other.data) && self.n_rows == other.n_rows {
-            return Relation::new(self.arity);
+            return Ok(Relation::new(self.arity));
         }
         if other.is_empty() {
-            return self.clone();
+            return Ok(self.clone());
         }
         if self.arity == 0 {
             // other is non-empty {()}, so the difference is empty.
-            return Relation::empty_nullary();
+            return Ok(Relation::empty_nullary());
         }
         let order = symbol_order();
         let arity = self.arity;
@@ -290,6 +319,7 @@ impl Relation {
         let mut n = 0usize;
         let mut j = 0usize;
         for i in 0..self.n_rows {
+            gov.tick(i)?;
             let row = self.row(i);
             let mut keep = true;
             while j < other.n_rows {
@@ -307,11 +337,11 @@ impl Relation {
                 n += 1;
             }
         }
-        Relation {
+        Ok(Relation {
             arity,
             n_rows: n,
             data: Arc::new(out),
-        }
+        })
     }
 }
 

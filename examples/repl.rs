@@ -9,18 +9,92 @@
 //! * `fact <Atom>` — insert a ground fact, e.g. `fact P(1, 'a')`
 //! * `db` — show the database
 //! * `explain <formula>` — classify and show every compilation stage
+//! * `budget tuples <n>` / `budget nodes <n>` / `budget ms <n>` — cap the
+//!   intermediate tuples, formula/plan nodes, or wall-clock per query
+//! * `budget off` / `budget` — clear / show the current limits
 //! * `<formula>` — compile and evaluate
 //! * `quit`
 
-use rcsafe::safety::pipeline::{compile, CompileError};
-use rcsafe::{classify, parse, Database, SafetyClass};
+use rcsafe::safety::pipeline::{compile_and_eval, CompileOptions, PipelineError};
+use rcsafe::{classify, parse, Budget, Database, SafetyClass};
 use std::io::{self, BufRead, Write};
+use std::time::Duration;
+
+/// The limits the user has configured; a fresh [`Budget`] is armed from
+/// these for every query (a deadline starts counting when armed, and
+/// tuple consumption is cumulative, so budgets must not be reused).
+#[derive(Clone, Copy, Default)]
+struct Limits {
+    tuples: Option<u64>,
+    nodes: Option<u64>,
+    ms: Option<u64>,
+}
+
+impl Limits {
+    fn arm(&self) -> Budget {
+        let mut b = Budget::new();
+        if let Some(t) = self.tuples {
+            b = b.with_max_tuples(t);
+        }
+        if let Some(n) = self.nodes {
+            b = b.with_max_nodes(n);
+        }
+        if let Some(ms) = self.ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        b
+    }
+
+    fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(t) = self.tuples {
+            parts.push(format!("tuples ≤ {t}"));
+        }
+        if let Some(n) = self.nodes {
+            parts.push(format!("nodes ≤ {n}"));
+        }
+        if let Some(ms) = self.ms {
+            parts.push(format!("deadline {ms} ms"));
+        }
+        if parts.is_empty() {
+            "unlimited".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+/// Handle a `budget …` command line; returns the updated limits.
+fn budget_command(args: &str, mut limits: Limits) -> Limits {
+    let mut words = args.split_whitespace();
+    match (words.next(), words.next()) {
+        (None, _) => println!("  budget: {}", limits.describe()),
+        (Some("off"), _) => {
+            limits = Limits::default();
+            println!("  budget cleared");
+        }
+        (Some(kind @ ("tuples" | "nodes" | "ms")), Some(n)) => match n.parse::<u64>() {
+            Ok(v) => {
+                match kind {
+                    "tuples" => limits.tuples = Some(v),
+                    "nodes" => limits.nodes = Some(v),
+                    _ => limits.ms = Some(v),
+                }
+                println!("  budget: {}", limits.describe());
+            }
+            Err(_) => println!("  error: `{n}` is not a number"),
+        },
+        _ => println!("  usage: budget [tuples <n> | nodes <n> | ms <n> | off]"),
+    }
+    limits
+}
 
 fn main() {
     let mut db = Database::from_facts(
         "Part('bolt')\nPart('nut')\nSupplies('acme', 'bolt')\nSupplies('acme', 'nut')\nSupplies('busy', 'bolt')",
     )
     .unwrap();
+    let mut limits = Limits::default();
 
     println!("rcsafe console — relational calculus with safe translation");
     println!("preloaded: Part/1, Supplies/2. Type `help` for commands.\n");
@@ -44,6 +118,10 @@ fn main() {
                 println!("  fact <Atom>        insert a ground fact");
                 println!("  db                 show the database");
                 println!("  explain <formula>  show all compilation stages");
+                println!("  budget tuples <n>  cap intermediate tuples per query");
+                println!("  budget nodes <n>   cap formula/plan size per query");
+                println!("  budget ms <n>      wall-clock deadline per query");
+                println!("  budget off         remove all limits (budget: show them)");
                 println!("  <formula>          evaluate a query");
                 println!("  quit               leave");
                 continue;
@@ -61,46 +139,58 @@ fn main() {
             }
             continue;
         }
+        if line == "budget" {
+            limits = budget_command("", limits);
+            continue;
+        }
+        if let Some(args) = line.strip_prefix("budget ") {
+            limits = budget_command(args, limits);
+            continue;
+        }
         let (explain, text) = match line.strip_prefix("explain ") {
             Some(rest) => (true, rest),
             None => (false, line),
         };
-        let f = match parse(text) {
-            Ok(f) => f,
-            Err(e) => {
-                println!("  parse error: {e}");
+        // Pre-classify for a friendlier rejection than the raw error.
+        if let Ok(f) = parse(text) {
+            if classify(&f) == SafetyClass::NotRecognized {
+                println!("  rejected: not in a recognized safe class (Defs. 5.2/5.3/A.1)");
                 continue;
             }
-        };
-        let class = classify(&f);
-        if class == SafetyClass::NotRecognized {
-            println!("  rejected: not in a recognized safe class (Defs. 5.2/5.3/A.1)");
-            continue;
         }
-        match compile(&f) {
-            Err(CompileError::NotSafe(v)) => println!("  rejected: {v}"),
+        let opts = CompileOptions {
+            budget: limits.arm(),
+            ..CompileOptions::default()
+        };
+        match compile_and_eval(text, &db, opts) {
+            Err(PipelineError::Parse(e)) => println!("  parse error: {e}"),
+            Err(PipelineError::NotSafe(v)) => println!("  rejected: {v}"),
+            Err(PipelineError::Budget(b)) => println!("  budget exceeded: {b}"),
             Err(e) => println!("  error: {e}"),
-            Ok(c) => {
+            Ok(outcome) => {
                 if explain {
-                    for line in c.explain().lines().skip(1) {
+                    for line in outcome.compiled.explain().lines().skip(1) {
                         println!("  {line}");
                     }
+                    println!(
+                        "  stats:    {} operators, {} tuples, {} budget checks",
+                        outcome.stats.operators,
+                        outcome.stats.tuples_produced,
+                        outcome.stats.budget_checks
+                    );
                 }
-                match c.run(&db) {
-                    Ok(rel) => {
-                        let cols = c
-                            .columns
-                            .iter()
-                            .map(|v| v.to_string())
-                            .collect::<Vec<_>>()
-                            .join(", ");
-                        if c.columns.is_empty() {
-                            println!("  {}", rel.as_bool().unwrap());
-                        } else {
-                            println!("  ({cols}) ∈ {rel}");
-                        }
-                    }
-                    Err(e) => println!("  eval error: {e}"),
+                let c = &outcome.compiled;
+                let rel = &outcome.relation;
+                let cols = c
+                    .columns
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                if c.columns.is_empty() {
+                    println!("  {}", rel.as_bool().unwrap());
+                } else {
+                    println!("  ({cols}) ∈ {rel}");
                 }
             }
         }

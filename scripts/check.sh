@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# The full local gate: formatting, lints, and the whole test suite.
-# CI runs exactly this script; keep the two in sync by construction.
+# The full local gate: formatting, lints, docs, the whole test suite, and
+# the example smoke tests. CI runs exactly this script; keep the two in
+# sync by construction.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +11,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (workspace, rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
+
+echo "==> example smoke tests"
+cargo run -q --example quickstart > /dev/null
+cargo run -q --example suppliers_parts > /dev/null
 
 echo "All checks passed."

@@ -1,0 +1,119 @@
+//! Fault-injected degradation of the parallel evaluator: thread-spawn
+//! denial must fall back to the sequential path with *identical* output
+//! and deterministic stats, and forced mid-kernel cancellation must unwind
+//! cleanly, leaving the engine usable.
+
+mod common;
+
+use rcsafe::relalg::govern::{Resource, Stage};
+use rcsafe::relalg::{EvalStats, RelationBuilder};
+use rcsafe::safety::pipeline::{compile, Compiled};
+use rcsafe::{parse, Budget, Database, FaultInjector, Value};
+
+/// A join big enough on both sides to cross the evaluator's parallel
+/// threshold (8192 scanned base tuples per side).
+fn big_join() -> (Compiled, Database) {
+    let mut db = Database::new();
+    let mut a = RelationBuilder::new(2);
+    let mut b = RelationBuilder::new(2);
+    for i in 0..9_000i64 {
+        a.push_row(&[Value::int(i), Value::int(i % 97)]);
+        b.push_row(&[Value::int(i % 97), Value::int(i % 13)]);
+    }
+    db.insert_relation("A", a.finish());
+    db.insert_relation("B", b.finish());
+    let c = compile(&parse("A(x, y) & B(y, z)").unwrap()).unwrap();
+    (c, db)
+}
+
+#[test]
+fn spawn_denial_degrades_to_identical_sequential_results() {
+    let (c, db) = big_join();
+
+    let mut par_stats = EvalStats::default();
+    let parallel = c.run_with_stats(&db, &mut par_stats).unwrap();
+    assert!(!parallel.is_empty());
+
+    let fault = FaultInjector::new();
+    fault.deny_thread_spawn(true);
+    let budget = Budget::new().with_fault_injector(fault);
+    let mut seq_stats = EvalStats::default();
+    let sequential = c.run_governed(&db, &mut seq_stats, &budget).unwrap();
+
+    assert_eq!(
+        parallel, sequential,
+        "sequential fallback changed the answer"
+    );
+    assert_eq!(
+        parallel.to_string(),
+        sequential.to_string(),
+        "even the rendering must be identical"
+    );
+    assert_eq!(
+        par_stats, seq_stats,
+        "stats merge must be deterministic: parallel left-then-right \
+         merging equals straight sequential accumulation"
+    );
+}
+
+#[test]
+fn stats_are_reproducible_across_repeated_parallel_runs() {
+    let (c, db) = big_join();
+    let mut first = EvalStats::default();
+    let mut second = EvalStats::default();
+    let a = c.run_with_stats(&db, &mut first).unwrap();
+    let b = c.run_with_stats(&db, &mut second).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(first, second, "repeated runs must count identically");
+    assert!(first.budget_checks > 0, "governance checks are surfaced");
+}
+
+#[test]
+fn mid_kernel_cancellation_unwinds_and_engine_stays_usable() {
+    let (c, db) = big_join();
+    let reference = c.run(&db).unwrap();
+
+    // Let a few checkpoints pass so the cancellation lands *inside* the
+    // evaluation (operator boundaries plus in-kernel ticks), not at entry.
+    let fault = FaultInjector::new();
+    fault.cancel_after_checkpoints(2);
+    let budget = Budget::new().with_fault_injector(fault);
+    let mut stats = EvalStats::default();
+    let err = c
+        .run_governed(&db, &mut stats, &budget)
+        .expect_err("forced mid-evaluation cancellation must surface");
+    match err {
+        rcsafe::relalg::EvalError::Budget(b) => {
+            assert_eq!(b.stage, Stage::Eval);
+            assert_eq!(b.resource, Resource::Cancelled);
+        }
+        other => panic!("expected a cancellation report, got {other:?}"),
+    }
+
+    // The trip poisoned nothing: the same compiled query over the same
+    // database still produces the full answer.
+    let after = c.run(&db).expect("engine must stay usable");
+    assert_eq!(after, reference);
+}
+
+#[test]
+fn cancellation_under_denied_spawns_also_unwinds_cleanly() {
+    let (c, db) = big_join();
+    let reference = c.run(&db).unwrap();
+
+    let fault = FaultInjector::new();
+    fault.deny_thread_spawn(true);
+    fault.cancel_after_checkpoints(3);
+    let budget = Budget::new().with_fault_injector(fault);
+    let mut stats = EvalStats::default();
+    let err = c
+        .run_governed(&db, &mut stats, &budget)
+        .expect_err("cancellation must fire on the sequential path too");
+    match err {
+        rcsafe::relalg::EvalError::Budget(b) => {
+            assert_eq!(b.resource, Resource::Cancelled)
+        }
+        other => panic!("expected a cancellation report, got {other:?}"),
+    }
+    assert_eq!(c.run(&db).unwrap(), reference);
+}

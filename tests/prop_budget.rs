@@ -1,0 +1,264 @@
+//! Budget-governance properties: a governed run returns **exactly** the
+//! ungoverned answer or a structured budget error — never a differing or
+//! truncated relation — and every pipeline stage attributes its own trips.
+
+mod common;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rcsafe::formula::generate::{random_allowed_formula, GenConfig};
+use rcsafe::formula::vars::rectified;
+use rcsafe::relalg::govern::{Resource, Stage};
+use rcsafe::relalg::EvalStats;
+use rcsafe::safety::genify::{genify_governed, GenifyError};
+use rcsafe::safety::pipeline::{compile, compile_and_eval, CompileOptions, PipelineError};
+use rcsafe::safety::ranf::{ranf, ranf_governed, RanfError};
+use rcsafe::safety::translate::{translate_governed, TranslateError};
+use rcsafe::{parse, Budget, Database, FaultInjector, Formula, Schema, Value, Var};
+use std::time::{Duration, Instant};
+
+fn allowed_sample(seed: u64) -> Formula {
+    let cfg = GenConfig::default();
+    rectified(&random_allowed_formula(
+        &cfg,
+        &[Var::new("x"), Var::new("y")],
+        &mut StdRng::seed_from_u64(seed),
+        3,
+    ))
+}
+
+fn random_db_for(f: &Formula, seed: u64) -> Database {
+    let schema = Schema::infer(f).expect("consistent");
+    let mut domain: Vec<Value> = (1..=4).map(Value::int).collect();
+    for c in f.constants() {
+        if !domain.contains(&c) {
+            domain.push(c);
+        }
+    }
+    Database::random(&schema, &domain, 6, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For random formulas, databases, and tuple budgets: the governed
+    /// evaluation either equals the ungoverned result exactly or fails
+    /// with a budget error — never a differing relation.
+    #[test]
+    fn governed_eval_is_exact_or_error(seed in 0u64..4_000) {
+        let cap = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 40;
+        let f = allowed_sample(seed);
+        prop_assume!(f.node_count() <= 60);
+        let c = compile(&f).expect("allowed formulas compile");
+        let db = random_db_for(&f, seed + 17);
+        let full = c.run(&db).expect("ungoverned evaluation succeeds");
+        let budget = Budget::new().with_max_tuples(cap);
+        let mut stats = EvalStats::default();
+        match c.run_governed(&db, &mut stats, &budget) {
+            Ok(rel) => prop_assert_eq!(rel, full, "governed result differs: {}", &f),
+            Err(e) => {
+                let b = match e {
+                    rcsafe::relalg::EvalError::Budget(b) => b,
+                    other => return Err(TestCaseError::fail(format!("non-budget error: {other}"))),
+                };
+                prop_assert_eq!(b.stage, Stage::Eval);
+                prop_assert_eq!(b.resource, Resource::Tuples);
+                prop_assert!(b.used > b.limit, "trip without overconsumption");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same property through the full `compile_and_eval` pipeline with
+    /// a random node cap: exact agreement or a stage-attributed trip.
+    #[test]
+    fn governed_pipeline_is_exact_or_error(seed in 0u64..4_000) {
+        let nodes = 1 + seed.wrapping_mul(0x2545_F491_4F6C_DD1D) % 199;
+        let f = allowed_sample(seed);
+        prop_assume!(f.node_count() <= 60);
+        let text = f.to_string();
+        let db = random_db_for(&f, seed + 29);
+        let full = match compile_and_eval(&text, &db, CompileOptions::default()) {
+            Ok(out) => out.relation,
+            Err(e) => return Err(TestCaseError::fail(format!("ungoverned failed: {e}"))),
+        };
+        let opts = CompileOptions {
+            budget: Budget::new().with_max_nodes(nodes),
+            ..CompileOptions::default()
+        };
+        match compile_and_eval(&text, &db, opts) {
+            Ok(out) => prop_assert_eq!(out.relation, full, "budgeted result differs: {}", &f),
+            Err(PipelineError::Budget(b)) => {
+                prop_assert_eq!(b.resource, Resource::Nodes);
+                prop_assert!(
+                    matches!(b.stage, Stage::Genify | Stage::Ranf | Stage::Translate),
+                    "node trips come from the rewriting stages, got {}", b.stage
+                );
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("non-budget error: {other}"))),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A cancelled evaluation returns promptly (the checkpoint interval
+    /// bounds the drain) and reports the cancellation.
+    #[test]
+    fn cancelled_eval_returns_promptly(seed in 0u64..2_000) {
+        let f = allowed_sample(seed);
+        prop_assume!(f.node_count() <= 60);
+        let c = compile(&f).expect("compiles");
+        let db = random_db_for(&f, seed + 41);
+        let budget = Budget::new();
+        budget.cancel_handle().cancel();
+        let started = Instant::now();
+        let mut stats = EvalStats::default();
+        let err = c
+            .run_governed(&db, &mut stats, &budget)
+            .expect_err("pre-cancelled run must not produce a relation");
+        prop_assert!(started.elapsed() < Duration::from_secs(5));
+        match err {
+            rcsafe::relalg::EvalError::Budget(b) => {
+                prop_assert_eq!(b.resource, Resource::Cancelled);
+                prop_assert_eq!(b.stage, Stage::Eval);
+            }
+            other => return Err(TestCaseError::fail(format!("non-budget error: {other}"))),
+        }
+    }
+}
+
+// ------------------------------------------------- per-stage trip tests --
+
+/// genify: the step-1d rewrite duplicates subformulas; a tiny node cap
+/// trips with the genify stage attributed, and no formula is returned.
+#[test]
+fn genify_budget_trips_with_stage_attribution() {
+    let f = parse("exists x. ((P(x, y) | Q(y)) & !R(y))").unwrap();
+    let budget = Budget::new().with_max_nodes(5);
+    let err = genify_governed(
+        &f,
+        rcsafe::safety::generator::ConjunctChoice::Smallest,
+        &budget,
+    )
+    .expect_err("cap of 5 nodes must trip");
+    match err {
+        GenifyError::Budget(b) => {
+            assert_eq!(b.stage, Stage::Genify);
+            assert_eq!(b.resource, Resource::Nodes);
+            assert_eq!(b.limit, 5);
+            assert!(b.used > 5);
+        }
+        other => panic!("expected a genify budget trip, got {other:?}"),
+    }
+}
+
+/// ranf: distributing ∧ over 20 binary disjunctions is exponential; the
+/// node cap trips with the ranf stage attributed.
+#[test]
+fn ranf_budget_trips_with_stage_attribution() {
+    let parts: Vec<String> = (0..20).map(|i| format!("(A{i}(x) | B{i}(x))")).collect();
+    let f = parse(&parts.join(" & ")).unwrap();
+    let budget = Budget::new().with_max_nodes(1_000);
+    let err = ranf_governed(&f, &budget).expect_err("exponential distribution must trip");
+    match err {
+        RanfError::Budget(b) => {
+            assert_eq!(b.stage, Stage::Ranf);
+            assert_eq!(b.resource, Resource::Nodes);
+            assert_eq!(b.limit, 1_000);
+        }
+        other => panic!("expected a ranf budget trip, got {other:?}"),
+    }
+}
+
+/// translate: every emitted operator counts against the node cap; a RANF
+/// formula with more operators than the cap trips with translate
+/// attributed (ranf itself fits comfortably).
+#[test]
+fn translate_budget_trips_with_stage_attribution() {
+    let f = parse("P(x, y) & Q(x) & R(y) & S(x, y)").unwrap();
+    let r = ranf(&f).expect("allowed and cheap to normalize");
+    let budget = Budget::new().with_max_nodes(2);
+    let err = translate_governed(&r, &budget).expect_err("cap of 2 operators must trip");
+    match err {
+        TranslateError::Budget(b) => {
+            assert_eq!(b.stage, Stage::Translate);
+            assert_eq!(b.resource, Resource::Nodes);
+            assert_eq!(b.limit, 2);
+            assert_eq!(b.used, 3);
+        }
+        other => panic!("expected a translate budget trip, got {other:?}"),
+    }
+}
+
+/// eval: the tuple cap trips with the eval stage attributed, the error
+/// reports consumption, and no truncated relation escapes.
+#[test]
+fn eval_budget_trips_with_stage_attribution() {
+    let db = Database::from_facts("P(1, 2)\nP(2, 3)\nP(3, 3)\nQ(2)\nQ(3)").unwrap();
+    let c = compile(&parse("P(x, y) & Q(y)").unwrap()).unwrap();
+    let full = c.run(&db).unwrap();
+    assert!(!full.is_empty());
+    let budget = Budget::new().with_max_tuples(1);
+    let mut stats = EvalStats::default();
+    let err = c
+        .run_governed(&db, &mut stats, &budget)
+        .expect_err("a single-tuple budget must trip");
+    match err {
+        rcsafe::relalg::EvalError::Budget(b) => {
+            assert_eq!(b.stage, Stage::Eval);
+            assert_eq!(b.resource, Resource::Tuples);
+            assert_eq!(b.limit, 1);
+            assert!(b.used > 1);
+        }
+        other => panic!("expected an eval budget trip, got {other:?}"),
+    }
+    assert_eq!(budget.tuples_used(), budget.tuples_used());
+}
+
+/// The wall-clock deadline is honored across the whole pipeline: an
+/// already-expired deadline trips at the first checkpoint of the earliest
+/// stage that runs.
+#[test]
+fn expired_deadline_trips_before_any_work() {
+    let db = Database::from_facts("P(1, 2)").unwrap();
+    let budget = Budget::new().with_deadline(Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(2));
+    let opts = CompileOptions {
+        budget,
+        ..CompileOptions::default()
+    };
+    let err =
+        compile_and_eval("P(x, y) & x != y", &db, opts).expect_err("expired deadline must trip");
+    let b = *err.budget().expect("a budget report");
+    assert_eq!(b.resource, Resource::WallClock);
+    assert_eq!(err.stage(), Stage::Genify, "first governed stage trips");
+}
+
+/// Mid-eval cancellation via the fault injector: the run fails with a
+/// cancellation report and a later fresh-budget run still succeeds
+/// (the engine stays usable).
+#[test]
+fn mid_eval_cancellation_leaves_engine_usable() {
+    let db = Database::from_facts("P(1, 2)\nP(2, 3)\nP(3, 3)\nQ(2)\nQ(3)").unwrap();
+    let c = compile(&parse("P(x, y) & Q(y)").unwrap()).unwrap();
+    let fault = FaultInjector::new();
+    fault.cancel_after_checkpoints(0);
+    let budget = Budget::new().with_fault_injector(fault);
+    let mut stats = EvalStats::default();
+    let err = c
+        .run_governed(&db, &mut stats, &budget)
+        .expect_err("forced cancellation must trip");
+    match err {
+        rcsafe::relalg::EvalError::Budget(b) => assert_eq!(b.resource, Resource::Cancelled),
+        other => panic!("expected a cancellation, got {other:?}"),
+    }
+    // Fresh budget: the same compiled query runs to completion.
+    let again = c.run(&db).expect("engine usable after cancellation");
+    assert!(!again.is_empty());
+}

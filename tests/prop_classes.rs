@@ -246,6 +246,23 @@ proptest! {
         }
     }
 
+    /// The concrete syntax round-trips: parsing a formula's display form
+    /// reproduces it exactly, so every formula the classifiers and
+    /// rewriters exchange can be written down and read back unchanged.
+    #[test]
+    fn display_parse_round_trip(seed in 0u64..100_000) {
+        let f = arbitrary_sample(seed);
+        let text = f.to_string();
+        match rcsafe::parse(&text) {
+            Ok(back) => prop_assert_eq!(
+                back, f, "round-trip changed the formula\n  text: {}", text
+            ),
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "display form failed to parse: {text}\n  {e}"
+            ))),
+        }
+    }
+
     /// Thm. 10.3: evaluable formulas are definite on every sampled
     /// interpretation.
     #[test]
