@@ -4,15 +4,23 @@
 //! same-arity difference and union — at several scales. A third timing
 //! column runs the same kernels under a fully-armed (but never-tripping)
 //! [`Budget`] and reports the governance overhead, which is expected to
-//! stay under 2%.
+//! stay under 2%; a fourth runs with a disabled [`Tracer`] and reports the
+//! tracing-off overhead, which must stay under 1% (the hooks are a branch
+//! on one bool). One traced run per workload supplies a per-operator
+//! self-time breakdown.
 //!
 //! Emits `BENCH_eval.json` at the repository root with median
-//! nanoseconds per evaluation, the governance overhead, and the speedup
-//! factor, so the committed numbers regenerate with one command:
+//! nanoseconds per evaluation, both overheads, the per-operator breakdown,
+//! and the speedup factor, so the committed numbers regenerate with one
+//! command:
 //!
 //! ```sh
 //! cargo run --release -p rc-bench --bin bench_eval
 //! ```
+//!
+//! With `TRACE_GATE=1` the binary instead runs a fast CI gate: paired
+//! tracing-off overhead only, exiting nonzero when the median reaches 1%
+//! (and leaving `BENCH_eval.json` untouched).
 //!
 //! The inputs are deterministic (`i mod k` patterns, no RNG), so tuple
 //! counts are exactly reproducible; only wall times vary by machine.
@@ -20,8 +28,8 @@
 use rc_bench::Table;
 use rc_formula::{Term, Value, Var};
 use rc_relalg::{
-    eval, eval_baseline, eval_governed, Budget, Database, EvalStats, RaExpr, Relation,
-    RelationBuilder,
+    eval, eval_baseline, eval_governed, eval_traced, Budget, Database, EvalStats, OpSpan, RaExpr,
+    Relation, RelationBuilder, Tracer,
 };
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -135,13 +143,82 @@ fn time_paired(
     )
 }
 
+/// Paired tracing-off overhead for one workload: plain `eval` against the
+/// same evaluation through [`eval_traced`] with a disabled tracer.
+fn trace_off_overhead(samples: usize, expr: &RaExpr, db: &Database) -> f64 {
+    let (_, _, ratio) = time_paired(
+        samples,
+        || {
+            black_box(eval(black_box(expr), black_box(db)).unwrap());
+        },
+        || {
+            let mut stats = EvalStats::default();
+            let mut tracer = Tracer::off();
+            black_box(
+                eval_traced(
+                    black_box(expr),
+                    black_box(db),
+                    &mut stats,
+                    Budget::unlimited(),
+                    &mut tracer,
+                )
+                .unwrap(),
+            );
+        },
+    );
+    (ratio - 1.0) * 100.0
+}
+
+/// Per-operator *self* time from a span tree: each span's elapsed minus
+/// its children's (parallel children overlap in wall time, so self time
+/// can clamp to zero), flattened in evaluation order.
+fn op_self_times(span: &OpSpan, out: &mut Vec<(String, u64, usize)>) {
+    let child_ns: u64 = span.children.iter().map(|c| c.elapsed_ns).sum();
+    out.push((
+        span.op.clone(),
+        span.elapsed_ns.saturating_sub(child_ns),
+        span.rows_out,
+    ));
+    for c in &span.children {
+        op_self_times(c, out);
+    }
+}
+
+/// `TRACE_GATE=1` mode: fast paired check that disabled tracing costs less
+/// than 1% median, across the workload matrix at reduced sizes. Exits
+/// nonzero on failure; never touches `BENCH_eval.json`.
+fn run_trace_gate() {
+    let samples = 25;
+    let mut overheads: Vec<f64> = Vec::new();
+    for &n in &[2_000usize, 10_000] {
+        let db = db_for(n);
+        for (name, expr) in workloads() {
+            let pct = trace_off_overhead(samples, &expr, &db);
+            println!("trace-off overhead {name}/{n}: {pct:+.2}%");
+            overheads.push(pct);
+        }
+    }
+    overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = overheads[overheads.len() / 2];
+    println!("median tracing-off overhead: {median:+.2}% (gate < 1%)");
+    if median >= 1.0 {
+        eprintln!("TRACE GATE FAILED: disabled tracing costs {median:.2}% >= 1%");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if std::env::var("TRACE_GATE").as_deref() == Ok("1") {
+        run_trace_gate();
+        return;
+    }
     let sizes = [2_000usize, 10_000, 50_000];
     // Overheads in the low percent range need more repetitions than the
     // headline speedups do for the median to settle.
     let samples = 25;
     let mut records = Vec::new();
     let mut overheads: Vec<f64> = Vec::new();
+    let mut trace_overheads: Vec<f64> = Vec::new();
     let mut table = Table::new(&[
         "workload",
         "rows",
@@ -149,6 +226,7 @@ fn main() {
         "kernel ms",
         "governed ms",
         "overhead",
+        "trace-off",
         "baseline ms",
         "speedup",
     ]);
@@ -182,6 +260,23 @@ fn main() {
             let speedup = baseline_ns as f64 / kernel_ns as f64;
             let overhead_pct = (ratio - 1.0) * 100.0;
             overheads.push(overhead_pct);
+            // Tracing-off overhead: identical evaluation, disabled tracer.
+            let trace_off_pct = trace_off_overhead(samples, &expr, &db);
+            trace_overheads.push(trace_off_pct);
+            // One traced run: per-operator self-time breakdown.
+            let mut tstats = EvalStats::default();
+            let mut tracer = Tracer::on();
+            eval_traced(&expr, &db, &mut tstats, Budget::unlimited(), &mut tracer).unwrap();
+            let root = tracer.finish().expect("traced run leaves a root span");
+            let mut ops: Vec<(String, u64, usize)> = Vec::new();
+            op_self_times(&root, &mut ops);
+            let breakdown = ops
+                .iter()
+                .map(|(op, ns, rows)| {
+                    format!("{{\"op\": \"{op}\", \"self_ns\": {ns}, \"rows_out\": {rows}}}")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
             table.row(vec![
                 name.to_string(),
                 n.to_string(),
@@ -189,6 +284,7 @@ fn main() {
                 format!("{:.3}", kernel_ns as f64 / 1e6),
                 format!("{:.3}", governed_ns as f64 / 1e6),
                 format!("{overhead_pct:+.2}%"),
+                format!("{trace_off_pct:+.2}%"),
                 format!("{:.3}", baseline_ns as f64 / 1e6),
                 format!("{speedup:.2}x"),
             ]);
@@ -196,9 +292,20 @@ fn main() {
                 concat!(
                     "    {{\"workload\": \"{}\", \"rows\": {}, \"out_rows\": {}, ",
                     "\"kernel_ns\": {}, \"governed_ns\": {}, \"overhead_pct\": {:.2}, ",
-                    "\"baseline_ns\": {}, \"speedup\": {:.2}}}"
+                    "\"trace_off_overhead_pct\": {:.2}, ",
+                    "\"baseline_ns\": {}, \"speedup\": {:.2}, ",
+                    "\"operator_breakdown\": [{}]}}"
                 ),
-                name, n, out_rows, kernel_ns, governed_ns, overhead_pct, baseline_ns, speedup
+                name,
+                n,
+                out_rows,
+                kernel_ns,
+                governed_ns,
+                overhead_pct,
+                trace_off_pct,
+                baseline_ns,
+                speedup,
+                breakdown
             ));
         }
     }
@@ -207,9 +314,12 @@ fn main() {
     overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_overhead = overheads[overheads.len() / 2];
     println!("median governance overhead across workloads: {median_overhead:+.2}% (target < 2%)");
+    trace_overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_trace_off = trace_overheads[trace_overheads.len() / 2];
+    println!("median tracing-off overhead across workloads: {median_trace_off:+.2}% (target < 1%)");
 
     let json = format!(
-        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"results\": [\n{}\n  ]\n}}\n",
         records.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");

@@ -83,6 +83,25 @@ pub fn genify_governed(
     choice: ConjunctChoice,
     budget: &Budget,
 ) -> Result<Formula, GenifyError> {
+    Ok(genify_reported(f, choice, budget)?.0)
+}
+
+/// What [`genify_reported`] observed about its own work — the stage detail
+/// the tracing layer records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GenifyReport {
+    /// Number of step-1d `∃`-repairs performed (0 means the input was
+    /// already allowed up to `∀`-elimination).
+    pub repairs: u64,
+}
+
+/// [`genify_governed`] that also reports how many step-1d repairs ran —
+/// deterministic for a given formula and conjunct choice.
+pub fn genify_reported(
+    f: &Formula,
+    choice: ConjunctChoice,
+    budget: &Budget,
+) -> Result<(Formula, GenifyReport), GenifyError> {
     budget.checkpoint(Stage::Genify)?;
     let f = rectified(f);
     for x in free_vars(&f) {
@@ -94,9 +113,10 @@ pub fn genify_governed(
     }
     let f = eliminate_forall(&f);
     let mut fresh = FreshVars::for_formula(&f);
-    let out = go(&f, &mut fresh, choice, budget)?;
+    let mut report = GenifyReport::default();
+    let out = go(&f, &mut fresh, choice, budget, &mut report)?;
     budget.checkpoint(Stage::Genify)?;
-    Ok(out)
+    Ok((out, report))
 }
 
 /// `∃*G(x)` (Def. 8.1): the disjunction of the generator atoms with every
@@ -117,25 +137,29 @@ fn go(
     fresh: &mut FreshVars,
     choice: ConjunctChoice,
     budget: &Budget,
+    report: &mut GenifyReport,
 ) -> Result<Formula, GenifyError> {
     match f {
         Formula::Atom(_) | Formula::Eq(..) => Ok(f.clone()),
-        Formula::Not(g) => Ok(Formula::not(go(g, fresh, choice, budget)?)),
+        Formula::Not(g) => Ok(Formula::not(go(g, fresh, choice, budget, report)?)),
         Formula::And(fs) => Ok(Formula::And(
             fs.iter()
-                .map(|g| go(g, fresh, choice, budget))
+                .map(|g| go(g, fresh, choice, budget, report))
                 .collect::<Result<_, _>>()?,
         )),
         Formula::Or(fs) => Ok(Formula::Or(
             fs.iter()
-                .map(|g| go(g, fresh, choice, budget))
+                .map(|g| go(g, fresh, choice, budget, report))
                 .collect::<Result<_, _>>()?,
         )),
         Formula::Exists(x, a) => {
             budget.checkpoint(Stage::Genify)?;
             // Step 1a: already generated — keep, recurse into the body.
             if gen(*x, a) {
-                return Ok(Formula::Exists(*x, Box::new(go(a, fresh, choice, budget)?)));
+                return Ok(Formula::Exists(
+                    *x,
+                    Box::new(go(a, fresh, choice, budget, report)?),
+                ));
             }
             match con_generator_with(*x, a, choice) {
                 // Step 1b: not evaluable.
@@ -143,9 +167,10 @@ fn go(
                     *x,
                 ))),
                 // Step 1c: vacuous quantifier.
-                Some(ConGen::Bottom) => go(a, fresh, choice, budget),
+                Some(ConGen::Bottom) => go(a, fresh, choice, budget, report),
                 // Step 1d: split into generated part and remainder.
                 Some(ConGen::Atoms(g_atoms)) => {
+                    report.repairs += 1;
                     let r = replace_atoms_by_false(a, &g_atoms);
                     if is_free(*x, &r) {
                         // Lemma 8.2(2) fails ⇒ the input was not evaluable
@@ -172,7 +197,7 @@ fn go(
                     // "Continue at (3)": process the rebuilt formula. The
                     // new ∃x node now satisfies gen (Lemma 8.2(1)), so this
                     // terminates.
-                    go(&f1, fresh, choice, budget)
+                    go(&f1, fresh, choice, budget, report)
                 }
             }
         }

@@ -12,15 +12,18 @@
 use crate::classes::{check_evaluable, is_allowed, SafetyViolation};
 use crate::eqreduce::equality_reduce;
 use crate::generator::ConjunctChoice;
-use crate::genify::{genify_governed, GenifyError};
-use crate::ranf::{ranf_governed, RanfError};
-use crate::translate::{translate_governed, TranslateError};
+use crate::genify::{genify_reported, GenifyError};
+use crate::ranf::{ranf_reported, RanfError};
+use crate::translate::{translate_reported, TranslateError};
 use rc_formula::ast::Formula;
 use rc_formula::parser::ParseError;
 use rc_formula::term::Var;
 use rc_formula::vars::{free_vars, rectified};
 use rc_relalg::govern::{Budget, BudgetExceeded, Stage};
-use rc_relalg::{eval_governed, Database, EvalError, EvalStats, RaExpr, Relation};
+use rc_relalg::{
+    eval_traced, Database, EvalError, EvalStats, PipelineTrace, RaExpr, Relation, StageTracer,
+    Tracer,
+};
 use std::fmt;
 
 /// The safety classes of the paper, most restrictive first.
@@ -169,10 +172,24 @@ pub fn compile(f: &Formula) -> Result<Compiled, CompileError> {
 
 /// Compile a formula into a Dom-free relational algebra expression.
 pub fn compile_with(f: &Formula, opts: CompileOptions) -> Result<Compiled, CompileError> {
+    compile_traced(f, opts, &mut StageTracer::off())
+}
+
+/// [`compile_with`] recording one [`rc_relalg::StageSpan`] per pipeline
+/// stage into `st` (node counts, wall time, and a deterministic stage
+/// detail such as `class=` or `repairs=`). On an error the open span is
+/// left for [`StageTracer::into_trace`] to seal as failed, so a partial
+/// trace names the stage that tripped.
+pub fn compile_traced(
+    f: &Formula,
+    opts: CompileOptions,
+    st: &mut StageTracer,
+) -> Result<Compiled, CompileError> {
     let original = rectified(f);
     let columns = free_vars(&original);
 
     // Stage 1: find an evaluable form.
+    st.begin(Stage::Classify, original.node_count() as u64);
     let (class, evaluable_form, reduced) = match check_evaluable(&original) {
         Ok(()) => {
             let class = if is_allowed(&original) {
@@ -195,23 +212,45 @@ pub fn compile_with(f: &Formula, opts: CompileOptions) -> Result<Compiled, Compi
             }
         }
     };
+    st.end(evaluable_form.node_count() as u64, format!("class={class}"));
 
     // Stage 2: evaluable → allowed (Alg. 8.1).
-    let allowed_form = genify_governed(&evaluable_form, opts.generator_choice, &opts.budget)?;
+    st.begin(Stage::Genify, evaluable_form.node_count() as u64);
+    let (allowed_form, genify_report) =
+        genify_reported(&evaluable_form, opts.generator_choice, &opts.budget)?;
+    st.end(
+        allowed_form.node_count() as u64,
+        format!("repairs={}", genify_report.repairs),
+    );
 
     // Stage 3: allowed → RANF (Alg. 9.1).
-    let ranf_form = ranf_governed(&allowed_form, &opts.budget)?;
+    st.begin(Stage::Ranf, allowed_form.node_count() as u64);
+    let (ranf_form, ranf_report) = ranf_reported(&allowed_form, &opts.budget)?;
+    st.end(
+        ranf_form.node_count() as u64,
+        format!("step1_nodes={}", ranf_report.nodes_step1),
+    );
 
     // Stage 4: RANF → algebra (Sec. 9.3).
-    let raw = translate_governed(&ranf_form, &opts.budget)?;
+    st.begin(Stage::Translate, ranf_form.node_count() as u64);
+    let (raw, ops_emitted) = translate_reported(&ranf_form, &opts.budget)?;
+    st.end(
+        raw.node_count() as u64,
+        format!("ops_emitted={ops_emitted}"),
+    );
 
-    // Stage 5: impose the answer column order.
+    // Stage 5: impose the answer column order, then simplify.
+    st.begin(Stage::Optimize, raw.node_count() as u64);
     let expr = impose_columns(raw, &columns, &ranf_form)?;
     let expr = if opts.optimize {
         rc_relalg::simplify(&expr)
     } else {
         expr
     };
+    st.end(
+        expr.node_count() as u64,
+        format!("simplify={}", if opts.optimize { "on" } else { "off" }),
+    );
 
     Ok(Compiled {
         original,
@@ -301,7 +340,27 @@ impl Compiled {
         stats: &mut EvalStats,
         budget: &Budget,
     ) -> Result<Relation, EvalError> {
-        eval_governed(&self.expr, &prepare(db, &self.original), stats, budget)
+        self.run_traced(db, stats, budget, &mut Tracer::off())
+    }
+
+    /// [`Compiled::run_governed`] recording an operator span tree into
+    /// `tracer` (input/output cardinalities, kernel row counts, dedup
+    /// ratios, parallel-vs-sequential path) — including a partial tree
+    /// when the evaluation errors.
+    pub fn run_traced(
+        &self,
+        db: &Database,
+        stats: &mut EvalStats,
+        budget: &Budget,
+        tracer: &mut Tracer,
+    ) -> Result<Relation, EvalError> {
+        eval_traced(
+            &self.expr,
+            &prepare(db, &self.original),
+            stats,
+            budget,
+            tracer,
+        )
     }
 }
 
@@ -463,6 +522,48 @@ pub fn compile_and_eval(
         relation,
         stats,
     })
+}
+
+/// [`compile_and_eval`] with full observability: returns the
+/// [`PipelineTrace`] alongside the result. The trace is populated on
+/// **both** success and failure — a `BudgetExceeded` comes back with the
+/// partial trace whose failed stage span and deepest incomplete operator
+/// span name exactly where the trip happened.
+pub fn compile_and_eval_traced(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+) -> (Result<QueryOutput, PipelineError>, PipelineTrace) {
+    let mut st = StageTracer::on();
+    st.begin(Stage::Parse, text.len() as u64);
+    let f = match rc_formula::parse(text) {
+        Ok(f) => f,
+        Err(e) => return (Err(PipelineError::Parse(e)), st.into_trace(None)),
+    };
+    st.end(f.node_count() as u64, String::new());
+    let budget = opts.budget.clone();
+    let compiled = match compile_traced(&f, opts, &mut st) {
+        Ok(c) => c,
+        Err(e) => return (Err(e.into()), st.into_trace(None)),
+    };
+    st.begin(Stage::Eval, compiled.expr.node_count() as u64);
+    let mut stats = EvalStats::default();
+    let mut tracer = Tracer::on();
+    match compiled.run_traced(db, &mut stats, &budget, &mut tracer) {
+        Ok(relation) => {
+            st.end(
+                relation.len() as u64,
+                format!("tuples_produced={}", stats.tuples_produced),
+            );
+            let out = QueryOutput {
+                compiled,
+                relation,
+                stats,
+            };
+            (Ok(out), st.into_trace(tracer.finish()))
+        }
+        Err(e) => (Err(e.into()), st.into_trace(tracer.finish())),
+    }
 }
 
 #[cfg(test)]

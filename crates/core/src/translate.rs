@@ -85,12 +85,20 @@ pub fn translate(f: &Formula) -> Result<RaExpr, TranslateError> {
 /// operator counts against the node cap, and emission honors the deadline
 /// and cancellation. Trips are attributed to [`Stage::Translate`].
 pub fn translate_governed(f: &Formula, budget: &Budget) -> Result<RaExpr, TranslateError> {
+    Ok(translate_reported(f, budget)?.0)
+}
+
+/// [`translate_governed`] that also returns the number of operators
+/// emitted (the consumption counted against the node cap) — the stage
+/// detail the tracing layer records. Deterministic for a given formula.
+pub fn translate_reported(f: &Formula, budget: &Budget) -> Result<(RaExpr, u64), TranslateError> {
     let mut gov = TransGov { budget, ops: 0 };
-    match f {
-        Formula::Or(fs) if fs.is_empty() => Ok(RaExpr::Empty { cols: Vec::new() }),
-        Formula::Or(fs) => union_all(fs, &mut gov),
-        other => translate_d(other, &mut gov),
-    }
+    let expr = match f {
+        Formula::Or(fs) if fs.is_empty() => RaExpr::Empty { cols: Vec::new() },
+        Formula::Or(fs) => union_all(fs, &mut gov)?,
+        other => translate_d(other, &mut gov)?,
+    };
+    Ok((expr, gov.ops))
 }
 
 fn union_all(fs: &[Formula], gov: &mut TransGov<'_>) -> Result<RaExpr, TranslateError> {

@@ -30,6 +30,7 @@ use crate::database::Database;
 use crate::expr::{ExprError, RaExpr, SelPred};
 use crate::govern::{Budget, BudgetExceeded, Governor, Stage};
 use crate::relation::{Relation, RelationBuilder};
+use crate::trace::Tracer;
 use rc_formula::fxhash::FxHasher;
 use rc_formula::{Symbol, Term, Value, Var};
 use std::fmt;
@@ -145,10 +146,26 @@ pub fn eval_governed(
     stats: &mut EvalStats,
     budget: &Budget,
 ) -> Result<Relation, EvalError> {
+    eval_traced(expr, db, stats, budget, &mut Tracer::off())
+}
+
+/// Evaluate under a [`Budget`] while recording an operator span tree into
+/// `tracer` (see [`crate::trace`]). With a disabled tracer this is exactly
+/// [`eval_governed`]; with a collecting one, every operator leaves a span
+/// carrying input/output cardinalities, pre-dedup row counts, and kernel
+/// loop counts — including partial spans when the evaluation errors, so a
+/// budget trip can be attributed to the operator that was running.
+pub fn eval_traced(
+    expr: &RaExpr,
+    db: &Database,
+    stats: &mut EvalStats,
+    budget: &Budget,
+    tracer: &mut Tracer,
+) -> Result<Relation, EvalError> {
     expr.validate(None)?;
     stats.budget_checks += 1;
     budget.checkpoint(Stage::Eval)?;
-    eval_rec(expr, db, stats, budget)
+    eval_rec(expr, db, stats, budget, tracer)
 }
 
 fn positions(haystack: &[Var], needles: &[Var]) -> Vec<usize> {
@@ -227,6 +244,7 @@ fn join_kernel(
     r_shared: &[usize],
     r_extra: &[usize],
     gov: &mut Governor<'_>,
+    tr: &mut Tracer,
 ) -> Result<Relation, BudgetExceeded> {
     let out_arity = lrel.arity() + r_extra.len();
     if lrel.is_empty() || rrel.is_empty() {
@@ -262,6 +280,7 @@ fn join_kernel(
                 out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
             }
         }
+        tr.note_raw(out.len() as u64);
         return Ok(out.finish());
     }
     // Build on the smaller input, probe with the larger.
@@ -294,6 +313,7 @@ fn join_kernel(
             }
         }
     }
+    tr.note_raw(out.len() as u64);
     Ok(out.finish())
 }
 
@@ -350,47 +370,72 @@ const PARALLEL_THRESHOLD: u64 = 8192;
 
 /// Evaluate the two children of a binary operator, in parallel when both
 /// sides are heavy enough and the budget's fault injector does not deny
-/// thread spawns (the sequential fallback path). Stats are merged
-/// left-then-right so the totals are identical to sequential evaluation;
-/// on a budget trip in either branch the scope still joins both workers,
-/// so cancelled threads drain cleanly before the error propagates.
+/// thread spawns (the sequential fallback path). Stats are merged and
+/// trace branches adopted left-then-right so the totals *and* the span
+/// tree are identical to sequential evaluation; on a budget trip in either
+/// branch the scope still joins both workers, so cancelled threads drain
+/// cleanly (and leave their partial spans) before the error propagates.
 fn eval_pair(
     l: &RaExpr,
     r: &RaExpr,
     db: &Database,
     stats: &mut EvalStats,
     budget: &Budget,
+    tr: &mut Tracer,
 ) -> Result<(Relation, Relation), EvalError> {
     if scan_cost(l, db) >= PARALLEL_THRESHOLD
         && scan_cost(r, db) >= PARALLEL_THRESHOLD
         && budget.spawn_allowed()
     {
-        let ((lres, lstats), (rres, rstats)) = std::thread::scope(|s| {
-            let lhandle = s.spawn(|| {
+        tr.note_parallel();
+        let mut ltr = tr.fork();
+        let mut rtr = tr.fork();
+        let ((lres, lstats, ltr), (rres, rstats, rtr)) = std::thread::scope(|s| {
+            let lhandle = s.spawn(move || {
                 let mut st = EvalStats::default();
-                let rel = eval_rec(l, db, &mut st, budget);
-                (rel, st)
+                let rel = eval_rec(l, db, &mut st, budget, &mut ltr);
+                (rel, st, ltr)
             });
             let mut rst = EvalStats::default();
-            let rrel = eval_rec(r, db, &mut rst, budget);
+            let rrel = eval_rec(r, db, &mut rst, budget, &mut rtr);
             let left = lhandle.join().expect("eval worker panicked");
-            (left, (rrel, rst))
+            (left, (rrel, rst, rtr))
         });
         stats.merge(lstats);
         stats.merge(rstats);
+        tr.adopt(ltr);
+        tr.adopt(rtr);
         Ok((lres?, rres?))
     } else {
-        let lrel = eval_rec(l, db, stats, budget)?;
-        let rrel = eval_rec(r, db, stats, budget)?;
+        let lrel = eval_rec(l, db, stats, budget, tr)?;
+        let rrel = eval_rec(r, db, stats, budget, tr)?;
         Ok((lrel, rrel))
     }
 }
 
+/// Span-wrapping shell around [`eval_node`]: opens an operator span,
+/// evaluates, closes it as completed or incomplete. This is the single
+/// place tracing observes the operator boundary — the same boundary the
+/// governor checkpoints at.
 fn eval_rec(
     expr: &RaExpr,
     db: &Database,
     stats: &mut EvalStats,
     budget: &Budget,
+    tr: &mut Tracer,
+) -> Result<Relation, EvalError> {
+    tr.open(expr);
+    let res = eval_node(expr, db, stats, budget, tr);
+    tr.close(res.as_ref().ok());
+    res
+}
+
+fn eval_node(
+    expr: &RaExpr,
+    db: &Database,
+    stats: &mut EvalStats,
+    budget: &Budget,
+    tr: &mut Tracer,
 ) -> Result<Relation, EvalError> {
     let mut gov = Governor::new(budget, Stage::Eval);
     let out = match expr {
@@ -405,6 +450,7 @@ fn eval_rec(
                     pattern: pattern.len(),
                 });
             }
+            tr.note_input(base.len());
             let cols = expr.cols();
             // Plain scan — all-distinct variable pattern: the stored
             // relation IS the answer, and cloning it is O(1).
@@ -465,6 +511,7 @@ fn eval_rec(
                     }
                     out.push_row_from(first_pos.iter().map(|&i| row[i]));
                 }
+                tr.note_raw(out.len() as u64);
                 out.finish()
             }
         }
@@ -472,7 +519,9 @@ fn eval_rec(
         RaExpr::Unit => Relation::unit(),
         RaExpr::Empty { cols } => Relation::new(cols.len()),
         RaExpr::Join(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats, budget)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr)?;
+            tr.note_input(lrel.len());
+            tr.note_input(rrel.len());
             let lcols = l.cols();
             let rcols = r.cols();
             let shared: Vec<Var> = rcols
@@ -488,10 +537,13 @@ fn eval_rec(
                 .filter(|(_, v)| !lcols.contains(v))
                 .map(|(i, _)| i)
                 .collect();
-            join_kernel(&lrel, &rrel, &l_shared, &r_shared, &r_extra, &mut gov)?
+            join_kernel(&lrel, &rrel, &l_shared, &r_shared, &r_extra, &mut gov, tr)?
         }
         RaExpr::Union(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats, budget)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr)?;
+            tr.note_input(lrel.len());
+            tr.note_input(rrel.len());
+            tr.note_raw((lrel.len() + rrel.len()) as u64);
             let lcols = l.cols();
             let rcols = r.cols();
             let perm = positions(&rcols, &lcols);
@@ -508,7 +560,9 @@ fn eval_rec(
             }
         }
         RaExpr::Diff(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats, budget)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr)?;
+            tr.note_input(lrel.len());
+            tr.note_input(rrel.len());
             let lcols = l.cols();
             let rcols = r.cols();
             let proj = positions(&lcols, &rcols);
@@ -520,7 +574,9 @@ fn eval_rec(
             }
         }
         RaExpr::Project { input, cols } => {
-            let rel = eval_rec(input, db, stats, budget)?;
+            let rel = eval_rec(input, db, stats, budget, tr)?;
+            tr.note_input(rel.len());
+            tr.note_raw(rel.len() as u64);
             let icols = input.cols();
             let proj = positions(&icols, cols);
             let mut out = RelationBuilder::with_capacity(cols.len(), rel.len());
@@ -531,7 +587,8 @@ fn eval_rec(
             out.finish()
         }
         RaExpr::Select { input, pred } => {
-            let rel = eval_rec(input, db, stats, budget)?;
+            let rel = eval_rec(input, db, stats, budget, tr)?;
+            tr.note_input(rel.len());
             let icols = input.cols();
             let keep: RowPred = match *pred {
                 SelPred::EqCols(a, b) => {
@@ -564,7 +621,8 @@ fn eval_rec(
             Relation::from_canonical(icols.len(), n, kept)
         }
         RaExpr::Duplicate { input, src, .. } => {
-            let rel = eval_rec(input, db, stats, budget)?;
+            let rel = eval_rec(input, db, stats, budget, tr)?;
+            tr.note_input(rel.len());
             let icols = input.cols();
             let i = positions(&icols, &[*src])[0];
             // Appending a copy of an existing column cannot reorder rows:
@@ -580,6 +638,7 @@ fn eval_rec(
     };
     stats.record(&out);
     stats.budget_checks += gov.checks() + 1;
+    tr.note_kernel_rows(gov.ticks() as u64);
     budget.checkpoint(Stage::Eval)?;
     budget.charge_tuples(Stage::Eval, out.len() as u64)?;
     Ok(out)

@@ -46,6 +46,8 @@ pub enum Stage {
     Ranf,
     /// RANF → relational algebra (Sec. 9.3).
     Translate,
+    /// Algebraic simplification of the translated expression.
+    Optimize,
     /// Algebra evaluation.
     Eval,
 }
@@ -58,6 +60,7 @@ impl fmt::Display for Stage {
             Stage::Genify => "genify",
             Stage::Ranf => "ranf",
             Stage::Translate => "translate",
+            Stage::Optimize => "optimize",
             Stage::Eval => "eval",
         };
         write!(f, "{s}")
@@ -353,6 +356,15 @@ impl<'a> Governor<'a> {
     /// a given loop shape; folded into evaluation stats).
     pub fn checks(&self) -> u64 {
         self.checks
+    }
+
+    /// How many loop iterations this governor has observed — the kernel
+    /// row count the tracing layer reports per operator. The governor is
+    /// the shared operator-boundary hook: budgets consume its checkpoints,
+    /// traces consume its tick count, and both stay deterministic for a
+    /// given expression and database.
+    pub fn ticks(&self) -> usize {
+        self.ticks
     }
 }
 

@@ -15,6 +15,9 @@
 //! * [`eval`](mod@eval) — hash-join/anti-join evaluation with [`eval::EvalStats`];
 //! * [`govern`] — resource budgets, cooperative cancellation, fault
 //!   injection for the whole pipeline (shared with `rc-core`'s stages);
+//! * [`trace`] — opt-in span tracing of stages and operators (cardinalities,
+//!   dedup ratios, wall times) hooked at the same operator boundaries the
+//!   governor checkpoints;
 //! * [`optimize::simplify`] — semantics-preserving cleanup;
 //! * display impls that mimic the paper's `π/σ/⋈/∪/diff` notation;
 //! * [`io`] — fact-text and TSV import/export.
@@ -30,11 +33,13 @@ pub mod govern;
 pub mod io;
 pub mod optimize;
 pub mod relation;
+pub mod trace;
 
 pub use baseline::eval_baseline;
 pub use database::Database;
-pub use eval::{eval, eval_governed, eval_with_stats, EvalError, EvalStats};
+pub use eval::{eval, eval_governed, eval_traced, eval_with_stats, EvalError, EvalStats};
 pub use expr::{RaExpr, SelPred};
 pub use govern::{Budget, BudgetExceeded, CancelHandle, FaultInjector, Governor, Resource, Stage};
 pub use optimize::simplify;
 pub use relation::{tuple, Relation, RelationBuilder, Tuple};
+pub use trace::{OpSpan, PipelineTrace, StageSpan, StageTracer, TraceSink, Tracer};

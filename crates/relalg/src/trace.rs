@@ -1,0 +1,862 @@
+//! Pipeline observability: per-stage and per-operator span tracing.
+//!
+//! The pipeline is a sequence of meaning-preserving stages (classify →
+//! genify → ranf → translate → optimize → eval), and when a query is slow,
+//! trips a budget, or disagrees with a baseline the question is always
+//! *where*: which transformation blew up the formula, or which algebra
+//! operator produced the cardinality spike. This module records exactly
+//! that as a span tree:
+//!
+//! * **stage spans** ([`StageSpan`], collected by [`StageTracer`]) carry
+//!   formula/plan node counts and wall time per pipeline stage;
+//! * **operator spans** ([`OpSpan`], collected by [`Tracer`]) carry input
+//!   and output cardinalities, kernel row counts, pre-dedup row counts, and
+//!   whether the parallel or the sequential evaluation path ran.
+//!
+//! Tracing is opt-in through the [`TraceSink`] enum and near-zero cost when
+//! off: a disabled tracer's hooks are a branch on one bool, no allocation,
+//! and `Instant::now` is never consulted. The instrumentation points are
+//! the same operator boundaries the [`crate::govern::Governor`] checkpoints
+//! at, so governance and tracing share one hook.
+//!
+//! **Determinism contract:** span structure, labels, cardinalities,
+//! raw/kernel row counts and stage node counts are deterministic for a
+//! given expression and database — identical under parallel and sequential
+//! evaluation (parallel branches are adopted left-then-right, mirroring
+//! the stats merge). Wall times and the parallel flag are *not* part of the
+//! contract; [`PipelineTrace::deterministic`] projects them away, and that
+//! projection is what the golden-trace snapshot suite pins.
+
+use crate::database::Database;
+use crate::expr::{RaExpr, SelPred};
+use crate::govern::Stage;
+use crate::relation::Relation;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Where trace spans go. [`TraceSink::Off`] is the default and makes every
+/// tracing hook a no-op branch; [`TraceSink::Tree`] collects the full span
+/// tree in memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceSink {
+    /// Record nothing (near-zero overhead).
+    #[default]
+    Off,
+    /// Collect the span tree in memory.
+    Tree,
+}
+
+// ---------------------------------------------------------------- spans --
+
+/// One evaluated algebra operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpSpan {
+    /// Operator label, e.g. `scan P`, `join`, `select x=y`.
+    pub op: String,
+    /// Input cardinalities, in child order (base-relation size for scans).
+    pub rows_in: Vec<usize>,
+    /// Output cardinality (0 when the operator did not complete).
+    pub rows_out: usize,
+    /// Rows materialized before canonicalization/dedup; equals `rows_out`
+    /// for order-preserving kernels.
+    pub raw_rows: u64,
+    /// Kernel loop iterations observed by the governor for this operator.
+    pub kernel_rows: u64,
+    /// Were the children evaluated on separate threads? (Excluded from the
+    /// deterministic projection: spawn denial flips it, cardinalities not.)
+    pub parallel: bool,
+    /// Did the operator run to completion? `false` when a budget trip or
+    /// cancellation unwound it — the deepest incomplete span is the hot
+    /// operator a `BudgetExceeded` is attributed to.
+    pub completed: bool,
+    /// Wall time (not deterministic; excluded from the projection).
+    pub elapsed_ns: u64,
+    /// Sub-operator spans, in evaluation order (left child first).
+    pub children: Vec<OpSpan>,
+}
+
+impl OpSpan {
+    fn new(op: String) -> OpSpan {
+        OpSpan {
+            op,
+            rows_in: Vec::new(),
+            rows_out: 0,
+            raw_rows: 0,
+            kernel_rows: 0,
+            parallel: false,
+            completed: false,
+            elapsed_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Rows materialized per surviving output row (1.0 = no dedup work).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.rows_out == 0 {
+            if self.raw_rows == 0 {
+                1.0
+            } else {
+                self.raw_rows as f64
+            }
+        } else {
+            self.raw_rows as f64 / self.rows_out as f64
+        }
+    }
+
+    /// Number of spans in this subtree.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(OpSpan::span_count).sum::<usize>()
+    }
+
+    /// Total output rows across the subtree — equals
+    /// `EvalStats::tuples_produced` for a completed evaluation.
+    pub fn total_rows_out(&self) -> u64 {
+        self.rows_out as u64
+            + self
+                .children
+                .iter()
+                .map(OpSpan::total_rows_out)
+                .sum::<u64>()
+    }
+
+    /// The deepest, last-opened span that did not complete — the operator
+    /// that was running when a budget tripped or a cancellation fired.
+    pub fn last_incomplete(&self) -> Option<&OpSpan> {
+        if self.completed {
+            return None;
+        }
+        for c in self.children.iter().rev() {
+            if let Some(deep) = c.last_incomplete() {
+                return Some(deep);
+            }
+        }
+        Some(self)
+    }
+
+    /// Any parallel span in the subtree?
+    pub fn any_parallel(&self) -> bool {
+        self.parallel || self.children.iter().any(OpSpan::any_parallel)
+    }
+
+    fn deterministic_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let ins: Vec<String> = self.rows_in.iter().map(|n| n.to_string()).collect();
+        let _ = write!(
+            out,
+            "{pad}op {}: in=[{}] out={} raw={}",
+            self.op,
+            ins.join(","),
+            self.rows_out,
+            self.raw_rows
+        );
+        if !self.completed {
+            out.push_str(" INCOMPLETE");
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.deterministic_into(depth + 1, out);
+        }
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let ins: Vec<String> = self.rows_in.iter().map(|n| n.to_string()).collect();
+        let _ = write!(
+            out,
+            "{pad}{}  in=[{}] out={} raw={} kernel={}  {:.3} ms{}{}",
+            self.op,
+            ins.join(","),
+            self.rows_out,
+            self.raw_rows,
+            self.kernel_rows,
+            self.elapsed_ns as f64 / 1e6,
+            if self.parallel { "  [parallel]" } else { "" },
+            if self.completed { "" } else { "  [INCOMPLETE]" },
+        );
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"op\":{},\"rows_in\":[{}],\"rows_out\":{},\"raw_rows\":{},\
+             \"kernel_rows\":{},\"parallel\":{},\"completed\":{},\"elapsed_ns\":{},\
+             \"children\":[",
+            json_str(&self.op),
+            self.rows_in
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.rows_out,
+            self.raw_rows,
+            self.kernel_rows,
+            self.parallel,
+            self.completed,
+            self.elapsed_ns,
+        );
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.json_into(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// One pipeline stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSpan {
+    /// The stage.
+    pub stage: Stage,
+    /// Formula/plan node count entering the stage (query length for parse).
+    pub nodes_in: u64,
+    /// Node count leaving the stage (answer rows for eval).
+    pub nodes_out: u64,
+    /// Deterministic stage detail, e.g. `class=allowed` or `repairs=1`.
+    pub detail: String,
+    /// Wall time (not deterministic; excluded from the projection).
+    pub elapsed_ns: u64,
+    /// Did the stage run to completion?
+    pub completed: bool,
+}
+
+// --------------------------------------------------------- stage tracer --
+
+/// Collector for [`StageSpan`]s; the pipeline opens one span per stage.
+/// Disabled tracers ([`StageTracer::off`]) make every call a no-op.
+#[derive(Debug, Default)]
+pub struct StageTracer {
+    on: bool,
+    stages: Vec<StageSpan>,
+    current: Option<(StageSpan, Instant)>,
+}
+
+impl StageTracer {
+    /// A tracer honoring `sink`.
+    pub fn new(sink: TraceSink) -> StageTracer {
+        StageTracer {
+            on: sink == TraceSink::Tree,
+            ..StageTracer::default()
+        }
+    }
+
+    /// A disabled tracer (all hooks are no-ops).
+    pub fn off() -> StageTracer {
+        StageTracer::new(TraceSink::Off)
+    }
+
+    /// A collecting tracer.
+    pub fn on() -> StageTracer {
+        StageTracer::new(TraceSink::Tree)
+    }
+
+    /// Is this tracer collecting?
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Open a stage span. An unclosed previous span is closed as complete
+    /// (defensive; the pipeline pairs begin/end).
+    pub fn begin(&mut self, stage: Stage, nodes_in: u64) {
+        if !self.on {
+            return;
+        }
+        self.seal(true, None, None);
+        let span = StageSpan {
+            stage,
+            nodes_in,
+            nodes_out: 0,
+            detail: String::new(),
+            elapsed_ns: 0,
+            completed: false,
+        };
+        self.current = Some((span, Instant::now()));
+    }
+
+    /// Close the open stage span as completed.
+    pub fn end(&mut self, nodes_out: u64, detail: impl Into<String>) {
+        if !self.on {
+            return;
+        }
+        self.seal(true, Some(nodes_out), Some(detail.into()));
+    }
+
+    /// Close the open stage span as failed: the last stage span of the
+    /// trace then names the stage a `BudgetExceeded` (or any other error)
+    /// unwound from.
+    pub fn fail(&mut self) {
+        if !self.on {
+            return;
+        }
+        self.seal(false, None, None);
+    }
+
+    fn seal(&mut self, completed: bool, nodes_out: Option<u64>, detail: Option<String>) {
+        if let Some((mut span, start)) = self.current.take() {
+            span.completed = completed;
+            span.elapsed_ns = start.elapsed().as_nanos() as u64;
+            if let Some(n) = nodes_out {
+                span.nodes_out = n;
+            }
+            if let Some(d) = detail {
+                span.detail = d;
+            }
+            self.stages.push(span);
+        }
+    }
+
+    /// The stage spans recorded so far (an open span is not included).
+    pub fn stages(&self) -> &[StageSpan] {
+        &self.stages
+    }
+
+    /// Finish: close any open span as failed and package the stage spans
+    /// with an operator span tree into a [`PipelineTrace`].
+    pub fn into_trace(mut self, root: Option<OpSpan>) -> PipelineTrace {
+        self.seal(false, None, None);
+        PipelineTrace {
+            stages: self.stages,
+            root,
+        }
+    }
+}
+
+// ------------------------------------------------------ operator tracer --
+
+/// Collector for the operator span tree, threaded through the evaluator
+/// alongside `EvalStats`. Parallel branches evaluate into [`Tracer::fork`]s
+/// that the parent adopts left-then-right, so the recorded tree is
+/// identical to a sequential run's.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    on: bool,
+    stack: Vec<(OpSpan, Instant)>,
+    done: Vec<OpSpan>,
+}
+
+impl Tracer {
+    /// A tracer honoring `sink`.
+    pub fn new(sink: TraceSink) -> Tracer {
+        Tracer {
+            on: sink == TraceSink::Tree,
+            ..Tracer::default()
+        }
+    }
+
+    /// A disabled tracer: every hook is a branch on one bool, nothing is
+    /// allocated, and `Instant::now` is never called.
+    pub fn off() -> Tracer {
+        Tracer::new(TraceSink::Off)
+    }
+
+    /// A collecting tracer.
+    pub fn on() -> Tracer {
+        Tracer::new(TraceSink::Tree)
+    }
+
+    /// Is this tracer collecting?
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// An empty tracer with the same sink, for a parallel branch.
+    pub fn fork(&self) -> Tracer {
+        Tracer {
+            on: self.on,
+            ..Tracer::default()
+        }
+    }
+
+    /// Open a span for an operator about to be evaluated.
+    pub(crate) fn open(&mut self, expr: &RaExpr) {
+        if !self.on {
+            return;
+        }
+        self.stack
+            .push((OpSpan::new(op_label(expr)), Instant::now()));
+    }
+
+    /// Record one input cardinality on the open span.
+    pub(crate) fn note_input(&mut self, rows: usize) {
+        if let Some((span, _)) = self.stack.last_mut() {
+            span.rows_in.push(rows);
+        }
+    }
+
+    /// Record the pre-dedup row count on the open span.
+    pub(crate) fn note_raw(&mut self, raw: u64) {
+        if let Some((span, _)) = self.stack.last_mut() {
+            span.raw_rows = raw;
+        }
+    }
+
+    /// Record the kernel loop iteration count on the open span.
+    pub(crate) fn note_kernel_rows(&mut self, n: u64) {
+        if let Some((span, _)) = self.stack.last_mut() {
+            span.kernel_rows = n;
+        }
+    }
+
+    /// Mark the open span's children as evaluated in parallel.
+    pub(crate) fn note_parallel(&mut self) {
+        if let Some((span, _)) = self.stack.last_mut() {
+            span.parallel = true;
+        }
+    }
+
+    /// Close the innermost open span: `Some(rel)` on success (records the
+    /// output cardinality and, if no kernel reported one, the raw row
+    /// count), `None` on error (the span stays marked incomplete).
+    pub(crate) fn close(&mut self, out: Option<&Relation>) {
+        if !self.on {
+            return;
+        }
+        let Some((mut span, start)) = self.stack.pop() else {
+            return;
+        };
+        span.elapsed_ns = start.elapsed().as_nanos() as u64;
+        if let Some(rel) = out {
+            span.completed = true;
+            span.rows_out = rel.len();
+            if span.raw_rows == 0 {
+                span.raw_rows = rel.len() as u64;
+            }
+        }
+        self.attach(span);
+    }
+
+    /// Graft a forked branch's spans under the currently open span, in the
+    /// order the forks are adopted (left branch first for determinism).
+    pub(crate) fn adopt(&mut self, forked: Tracer) {
+        if !self.on {
+            return;
+        }
+        for span in forked.into_spans() {
+            self.attach(span);
+        }
+    }
+
+    fn attach(&mut self, span: OpSpan) {
+        match self.stack.last_mut() {
+            Some((parent, _)) => parent.children.push(span),
+            None => self.done.push(span),
+        }
+    }
+
+    fn into_spans(mut self) -> Vec<OpSpan> {
+        // Unwind anything still open (error paths close their own spans,
+        // so this only fires on panics survived by a caller).
+        while let Some((mut span, start)) = self.stack.pop() {
+            span.elapsed_ns = start.elapsed().as_nanos() as u64;
+            match self.stack.last_mut() {
+                Some((parent, _)) => parent.children.push(span),
+                None => self.done.push(span),
+            }
+        }
+        self.done
+    }
+
+    /// Finish tracing and return the root operator span (None when the
+    /// sink is off or nothing was evaluated). Partial trees from failed
+    /// evaluations are returned too — that is the point.
+    pub fn finish(self) -> Option<OpSpan> {
+        self.into_spans().into_iter().next()
+    }
+}
+
+/// The operator label of an expression node (deterministic).
+fn op_label(expr: &RaExpr) -> String {
+    match expr {
+        RaExpr::Scan { pred, .. } => format!("scan {pred}"),
+        RaExpr::Single { var, value } => format!("single {var}={value}"),
+        RaExpr::Unit => "unit".into(),
+        RaExpr::Empty { .. } => "empty".into(),
+        RaExpr::Join(..) => "join".into(),
+        RaExpr::Union(..) => "union".into(),
+        RaExpr::Diff(..) => "diff".into(),
+        RaExpr::Project { cols, .. } => {
+            let cs: Vec<String> = cols.iter().map(|v| v.to_string()).collect();
+            format!("project [{}]", cs.join(","))
+        }
+        RaExpr::Select { pred, .. } => format!("select {pred}"),
+        RaExpr::Duplicate { src, dst, .. } => format!("duplicate {src}->{dst}"),
+    }
+}
+
+// ------------------------------------------------------- pipeline trace --
+
+/// The complete observability record of one pipeline run: stage spans plus
+/// the operator span tree of the evaluation. Populated on both success and
+/// failure — a partial trace names the stage and operator that tripped.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineTrace {
+    /// Per-stage spans, in execution order.
+    pub stages: Vec<StageSpan>,
+    /// The evaluation's operator span tree, when eval ran.
+    pub root: Option<OpSpan>,
+}
+
+impl PipelineTrace {
+    /// The stage that failed, if any (the last incomplete stage span).
+    pub fn failed_stage(&self) -> Option<Stage> {
+        self.stages
+            .iter()
+            .rev()
+            .find(|s| !s.completed)
+            .map(|s| s.stage)
+    }
+
+    /// The operator running when evaluation tripped, if any.
+    pub fn hot_operator(&self) -> Option<&OpSpan> {
+        self.root.as_ref().and_then(OpSpan::last_incomplete)
+    }
+
+    /// The deterministic projection: span tree shape, labels, per-operator
+    /// in/out/raw cardinalities and stage node counts — everything except
+    /// wall times and the parallel flag. Identical across parallel and
+    /// sequential evaluation; this is what the golden-trace snapshots pin.
+    pub fn deterministic(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stages {
+            let _ = write!(
+                out,
+                "stage {}: nodes {} -> {}",
+                s.stage, s.nodes_in, s.nodes_out
+            );
+            if !s.detail.is_empty() {
+                let _ = write!(out, " [{}]", s.detail);
+            }
+            if !s.completed {
+                out.push_str(" FAILED");
+            }
+            out.push('\n');
+        }
+        if let Some(root) = &self.root {
+            root.deterministic_into(0, &mut out);
+        }
+        out
+    }
+
+    /// Human-readable rendering with wall times (what `explain analyze`
+    /// prints above the annotated plan).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "stage {:<10} {:>8.3} ms  nodes {} -> {}{}{}",
+                s.stage,
+                s.elapsed_ns as f64 / 1e6,
+                s.nodes_in,
+                s.nodes_out,
+                if s.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!("  [{}]", s.detail)
+                },
+                if s.completed { "" } else { "  [FAILED]" },
+            );
+        }
+        if let Some(root) = &self.root {
+            out.push_str("operators:\n");
+            root.render_into(1, &mut out);
+        }
+        out
+    }
+
+    /// Machine-readable JSON export (hand-rolled; the workspace is
+    /// dependency-free). Includes wall times — consumers wanting the
+    /// deterministic projection should use [`PipelineTrace::deterministic`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":{},\"nodes_in\":{},\"nodes_out\":{},\"detail\":{},\
+                 \"elapsed_ns\":{},\"completed\":{}}}",
+                json_str(&s.stage.to_string()),
+                s.nodes_in,
+                s.nodes_out,
+                json_str(&s.detail),
+                s.elapsed_ns,
+                s.completed,
+            );
+        }
+        out.push_str("],\"eval\":");
+        match &self.root {
+            Some(root) => root.json_into(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ------------------------------------------------- cardinality estimates --
+
+/// A crude, deterministic cardinality estimate for a plan node — what
+/// `explain` prints next to (and `explain analyze` against) the actual
+/// cardinalities. No per-column statistics exist, so the rules are the
+/// textbook defaults: scans halve per bound column, joins divide the cross
+/// product by the larger side, equality selections keep a third.
+pub fn estimate_rows(expr: &RaExpr, db: &Database) -> u64 {
+    match expr {
+        RaExpr::Scan { pred, pattern } => {
+            let base = db.relation(*pred).map(|r| r.len() as u64).unwrap_or(0);
+            let constraints = pattern.len().saturating_sub(expr.cols().len()) as u32;
+            let est = base >> constraints.min(63);
+            if base > 0 {
+                est.max(1)
+            } else {
+                0
+            }
+        }
+        RaExpr::Single { .. } | RaExpr::Unit => 1,
+        RaExpr::Empty { .. } => 0,
+        RaExpr::Join(l, r) => {
+            let (el, er) = (estimate_rows(l, db), estimate_rows(r, db));
+            let lcols = l.cols();
+            let shared = r.cols().iter().any(|v| lcols.contains(v));
+            if shared {
+                el.saturating_mul(er) / el.max(er).max(1)
+            } else {
+                el.saturating_mul(er)
+            }
+        }
+        RaExpr::Union(l, r) => estimate_rows(l, db).saturating_add(estimate_rows(r, db)),
+        RaExpr::Diff(l, _) => estimate_rows(l, db),
+        RaExpr::Project { input, .. } | RaExpr::Duplicate { input, .. } => estimate_rows(input, db),
+        RaExpr::Select { input, pred } => {
+            let e = estimate_rows(input, db);
+            match pred {
+                SelPred::EqCols(..) | SelPred::EqConst(..) => (e / 3).max(u64::from(e > 0)),
+                SelPred::NeqCols(..) | SelPred::NeqConst(..) => e,
+            }
+        }
+    }
+}
+
+/// Render a plan tree annotated with estimated cardinalities — the
+/// `explain` view (no evaluation required).
+pub fn render_plan(expr: &RaExpr, db: &Database) -> String {
+    let mut out = String::new();
+    plan_into(expr, db, 0, &mut out);
+    out
+}
+
+fn plan_into(expr: &RaExpr, db: &Database, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(
+        out,
+        "{pad}{}  (est {})",
+        op_label(expr),
+        estimate_rows(expr, db)
+    );
+    for c in expr.children() {
+        plan_into(c, db, depth + 1, out);
+    }
+}
+
+/// Render the plan tree annotated with estimated *and* actual
+/// cardinalities (plus raw rows and per-operator wall time) by zipping the
+/// expression with its operator span tree — the `explain analyze` view.
+/// Span-less nodes (unreached after a mid-plan trip) render with `actual=-`.
+pub fn render_analyze(expr: &RaExpr, db: &Database, span: Option<&OpSpan>) -> String {
+    let mut out = String::new();
+    analyze_into(expr, db, span, 0, &mut out);
+    out
+}
+
+fn analyze_into(
+    expr: &RaExpr,
+    db: &Database,
+    span: Option<&OpSpan>,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    let est = estimate_rows(expr, db);
+    match span {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "{pad}{}  est={} actual={} raw={}  {:.3} ms{}{}",
+                s.op,
+                est,
+                if s.completed {
+                    s.rows_out.to_string()
+                } else {
+                    "-".into()
+                },
+                s.raw_rows,
+                s.elapsed_ns as f64 / 1e6,
+                if s.parallel { "  [parallel]" } else { "" },
+                if s.completed { "" } else { "  [INCOMPLETE]" },
+            );
+        }
+        None => {
+            let _ = writeln!(out, "{pad}{}  est={} actual=-", op_label(expr), est);
+        }
+    }
+    let spans = span.map(|s| s.children.as_slice()).unwrap_or(&[]);
+    for (i, c) in expr.children().into_iter().enumerate() {
+        analyze_into(c, db, spans.get(i), depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_formula::Term;
+
+    #[test]
+    fn off_tracer_records_nothing_and_allocates_nothing() {
+        let mut t = Tracer::off();
+        let e = RaExpr::Unit;
+        t.open(&e);
+        t.note_input(5);
+        t.note_parallel();
+        t.close(Some(&Relation::unit()));
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn span_tree_mirrors_open_close_nesting() {
+        let mut t = Tracer::on();
+        let join = RaExpr::join(
+            RaExpr::scan("P", vec![Term::var("x")]),
+            RaExpr::scan("Q", vec![Term::var("x")]),
+        );
+        t.open(&join);
+        t.open(join.children()[0]);
+        t.close(Some(&Relation::new(1)));
+        t.open(join.children()[1]);
+        t.close(Some(&Relation::new(1)));
+        t.close(Some(&Relation::new(1)));
+        let root = t.finish().expect("one root span");
+        assert_eq!(root.op, "join");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].op, "scan P");
+        assert_eq!(root.children[1].op, "scan Q");
+        assert!(root.completed);
+        assert_eq!(root.span_count(), 3);
+    }
+
+    #[test]
+    fn error_close_leaves_incomplete_partial_tree() {
+        let mut t = Tracer::on();
+        let join = RaExpr::join(
+            RaExpr::scan("P", vec![Term::var("x")]),
+            RaExpr::scan("Q", vec![Term::var("x")]),
+        );
+        t.open(&join);
+        t.open(join.children()[0]);
+        t.close(None); // the scan tripped
+        t.close(None); // so the join unwinds too
+        let root = t.finish().expect("partial root");
+        assert!(!root.completed);
+        let hot = root.last_incomplete().unwrap();
+        assert_eq!(hot.op, "scan P");
+    }
+
+    #[test]
+    fn forked_branches_adopt_in_call_order() {
+        let mut t = Tracer::on();
+        let join = RaExpr::join(
+            RaExpr::scan("P", vec![Term::var("x")]),
+            RaExpr::scan("Q", vec![Term::var("x")]),
+        );
+        t.open(&join);
+        let mut l = t.fork();
+        let mut r = t.fork();
+        r.open(join.children()[1]);
+        r.close(Some(&Relation::new(1)));
+        l.open(join.children()[0]);
+        l.close(Some(&Relation::new(1)));
+        t.note_parallel();
+        t.adopt(l);
+        t.adopt(r);
+        t.close(Some(&Relation::new(1)));
+        let root = t.finish().unwrap();
+        assert!(root.parallel);
+        assert_eq!(root.children[0].op, "scan P", "left adopted first");
+        assert_eq!(root.children[1].op, "scan Q");
+    }
+
+    #[test]
+    fn stage_tracer_round_trip_and_failure_attribution() {
+        let mut st = StageTracer::on();
+        st.begin(Stage::Classify, 7);
+        st.end(7, "class=allowed");
+        st.begin(Stage::Ranf, 7);
+        st.fail();
+        let trace = st.into_trace(None);
+        assert_eq!(trace.stages.len(), 2);
+        assert_eq!(trace.failed_stage(), Some(Stage::Ranf));
+        let det = trace.deterministic();
+        assert!(det.contains("stage classify: nodes 7 -> 7 [class=allowed]"));
+        assert!(det.contains("stage ranf: nodes 7 -> 0 FAILED"));
+    }
+
+    #[test]
+    fn json_export_is_well_formed_enough() {
+        let mut st = StageTracer::on();
+        st.begin(Stage::Eval, 3);
+        st.end(1, "tuples=\"quoted\"");
+        let mut t = Tracer::on();
+        t.open(&RaExpr::Unit);
+        t.close(Some(&Relation::unit()));
+        let json = st.into_trace(t.finish()).to_json();
+        assert!(json.starts_with("{\"stages\":["));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"eval\":{\"op\":\"unit\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+    }
+
+    #[test]
+    fn estimates_are_deterministic_and_ordered() {
+        let db = Database::from_facts("P(1, 2)\nP(2, 3)\nP(3, 3)\nQ(2)\nQ(3)").unwrap();
+        let scan = RaExpr::scan("P", vec![Term::var("x"), Term::var("y")]);
+        assert_eq!(estimate_rows(&scan, &db), 3);
+        let constrained = RaExpr::scan("P", vec![Term::var("x"), Term::val(3)]);
+        assert!(estimate_rows(&constrained, &db) <= 3);
+        let join = RaExpr::join(scan.clone(), RaExpr::scan("Q", vec![Term::var("y")]));
+        assert_eq!(estimate_rows(&join, &db), 2); // 3*2 / max(3,2)
+        assert_eq!(estimate_rows(&RaExpr::scan("Zzz", vec![]), &db), 0);
+        let plan = render_plan(&join, &db);
+        assert!(plan.contains("join  (est 2)"), "{plan}");
+        assert!(plan.contains("  scan P  (est 3)"), "{plan}");
+    }
+}

@@ -8,14 +8,21 @@
 //!
 //! * `fact <Atom>` — insert a ground fact, e.g. `fact P(1, 'a')`
 //! * `db` — show the database
-//! * `explain <formula>` — classify and show every compilation stage
+//! * `explain <formula>` — classify, show every compilation stage, and
+//!   render the plan tree with estimated cardinalities
+//! * `explain analyze <formula>` — additionally evaluate with tracing on:
+//!   per-stage wall times and the plan tree annotated with estimated vs.
+//!   actual cardinalities, dedup ratios, and per-operator times
 //! * `budget tuples <n>` / `budget nodes <n>` / `budget ms <n>` — cap the
 //!   intermediate tuples, formula/plan nodes, or wall-clock per query
 //! * `budget off` / `budget` — clear / show the current limits
 //! * `<formula>` — compile and evaluate
 //! * `quit`
 
-use rcsafe::safety::pipeline::{compile_and_eval, CompileOptions, PipelineError};
+use rcsafe::relalg::trace::{render_analyze, render_plan};
+use rcsafe::safety::pipeline::{
+    compile_and_eval, compile_and_eval_traced, CompileOptions, PipelineError,
+};
 use rcsafe::{classify, parse, Budget, Database, SafetyClass};
 use std::io::{self, BufRead, Write};
 use std::time::Duration;
@@ -117,7 +124,9 @@ fn main() {
             "help" => {
                 println!("  fact <Atom>        insert a ground fact");
                 println!("  db                 show the database");
-                println!("  explain <formula>  show all compilation stages");
+                println!("  explain <formula>  show all compilation stages + estimated plan");
+                println!("  explain analyze <formula>");
+                println!("                     evaluate traced: stage times, est vs actual rows");
                 println!("  budget tuples <n>  cap intermediate tuples per query");
                 println!("  budget nodes <n>   cap formula/plan size per query");
                 println!("  budget ms <n>      wall-clock deadline per query");
@@ -147,9 +156,18 @@ fn main() {
             limits = budget_command(args, limits);
             continue;
         }
-        let (explain, text) = match line.strip_prefix("explain ") {
-            Some(rest) => (true, rest),
-            None => (false, line),
+        #[derive(PartialEq)]
+        enum Mode {
+            Plain,
+            Explain,
+            Analyze,
+        }
+        let (mode, text) = if let Some(rest) = line.strip_prefix("explain analyze ") {
+            (Mode::Analyze, rest)
+        } else if let Some(rest) = line.strip_prefix("explain ") {
+            (Mode::Explain, rest)
+        } else {
+            (Mode::Plain, line)
         };
         // Pre-classify for a friendlier rejection than the raw error.
         if let Ok(f) = parse(text) {
@@ -162,14 +180,27 @@ fn main() {
             budget: limits.arm(),
             ..CompileOptions::default()
         };
-        match compile_and_eval(text, &db, opts) {
+        let (result, trace) = if mode == Mode::Analyze {
+            let (r, t) = compile_and_eval_traced(text, &db, opts);
+            (r, Some(t))
+        } else {
+            (compile_and_eval(text, &db, opts), None)
+        };
+        match result {
             Err(PipelineError::Parse(e)) => println!("  parse error: {e}"),
             Err(PipelineError::NotSafe(v)) => println!("  rejected: {v}"),
-            Err(PipelineError::Budget(b)) => println!("  budget exceeded: {b}"),
+            Err(PipelineError::Budget(b)) => {
+                println!("  budget exceeded: {b}");
+                // The trace still names the hot operator on a trip.
+                if let Some(hot) = trace.as_ref().and_then(|t| t.hot_operator()) {
+                    println!("  hot operator: {} (inputs {:?})", hot.op, hot.rows_in);
+                }
+            }
             Err(e) => println!("  error: {e}"),
             Ok(outcome) => {
-                if explain {
-                    for line in outcome.compiled.explain().lines().skip(1) {
+                let c = &outcome.compiled;
+                if mode != Mode::Plain {
+                    for line in c.explain().lines().skip(1) {
                         println!("  {line}");
                     }
                     println!(
@@ -179,7 +210,27 @@ fn main() {
                         outcome.stats.budget_checks
                     );
                 }
-                let c = &outcome.compiled;
+                match (&mode, &trace) {
+                    (Mode::Explain, _) => {
+                        println!("  plan (estimated rows):");
+                        for line in render_plan(&c.expr, &db).lines() {
+                            println!("    {line}");
+                        }
+                    }
+                    (Mode::Analyze, Some(t)) => {
+                        println!("  stages:");
+                        // render() appends the operator tree; the annotated
+                        // plan below covers that, so stop at the stage list.
+                        for line in t.render().lines().take_while(|l| *l != "operators:") {
+                            println!("    {line}");
+                        }
+                        println!("  plan (estimated vs actual rows):");
+                        for line in render_analyze(&c.expr, &db, t.root.as_ref()).lines() {
+                            println!("    {line}");
+                        }
+                    }
+                    _ => {}
+                }
                 let rel = &outcome.relation;
                 let cols = c
                     .columns

@@ -15,10 +15,19 @@ echo "==> cargo doc (workspace, rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo test (workspace)"
+# Includes the golden-trace snapshot suite (tests/golden_trace.rs); after
+# an intentional plan/cardinality change, regenerate the snapshots with
+#   BLESS=1 cargo test --test golden_trace
 cargo test -q --workspace
 
 echo "==> example smoke tests"
 cargo run -q --example quickstart > /dev/null
 cargo run -q --example suppliers_parts > /dev/null
+
+echo "==> trace overhead gate (tracing off must cost < 1% median, paired)"
+TRACE_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
+
+echo "==> trace export smoke test (the JSON artifact CI uploads)"
+cargo run -q --release -p rc-bench --bin trace_export > /dev/null
 
 echo "All checks passed."

@@ -32,9 +32,13 @@ pub use rc_relalg as relalg;
 pub use rc_safety as safety;
 
 pub use rc_formula::{parse, Formula, Schema, Symbol, Term, Value, Var};
-pub use rc_relalg::{Budget, CancelHandle, Database, FaultInjector, RaExpr, Relation};
+pub use rc_relalg::{
+    Budget, CancelHandle, Database, FaultInjector, PipelineTrace, RaExpr, Relation, TraceSink,
+    Tracer,
+};
 pub use rc_safety::pipeline::{
-    classify, compile, compile_and_eval, query, Compiled, PipelineError, QueryOutput, SafetyClass,
+    classify, compile, compile_and_eval, compile_and_eval_traced, query, Compiled, PipelineError,
+    QueryOutput, SafetyClass,
 };
 pub use rc_safety::{
     equality_reduce, genify, is_allowed, is_evaluable, is_ranf, is_wide_sense_evaluable, ranf,

@@ -6,9 +6,9 @@
 mod common;
 
 use rcsafe::relalg::govern::{Resource, Stage};
-use rcsafe::relalg::{EvalStats, RelationBuilder};
-use rcsafe::safety::pipeline::{compile, Compiled};
-use rcsafe::{parse, Budget, Database, FaultInjector, Value};
+use rcsafe::relalg::{EvalStats, OpSpan, RelationBuilder};
+use rcsafe::safety::pipeline::{compile, compile_and_eval_traced, CompileOptions, Compiled};
+use rcsafe::{parse, Budget, Database, FaultInjector, Tracer, Value};
 
 /// A join big enough on both sides to cross the evaluator's parallel
 /// threshold (8192 scanned base tuples per side).
@@ -116,4 +116,197 @@ fn cancellation_under_denied_spawns_also_unwinds_cleanly() {
         other => panic!("expected a cancellation report, got {other:?}"),
     }
     assert_eq!(c.run(&db).unwrap(), reference);
+}
+
+/// The deterministic cardinality projection of an operator span tree —
+/// everything the trace pins except times and the parallel flag.
+fn span_projection(root: &OpSpan) -> String {
+    fn go(s: &OpSpan, depth: usize, out: &mut String) {
+        let ins: Vec<String> = s.rows_in.iter().map(|n| n.to_string()).collect();
+        out.push_str(&format!(
+            "{}{} in=[{}] out={} raw={} {}\n",
+            "  ".repeat(depth),
+            s.op,
+            ins.join(","),
+            s.rows_out,
+            s.raw_rows,
+            if s.completed { "done" } else { "open" }
+        ));
+        for c in &s.children {
+            go(c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    go(root, 0, &mut out);
+    out
+}
+
+/// A database whose `A` and `B` stay above the parallel threshold *after*
+/// builder dedup (the `big_join` fixture's `B` collapses to 97×13 rows, so
+/// it exercises the sequential kernels only).
+fn big_parallel_db() -> Database {
+    let mut db = Database::new();
+    let mut a = RelationBuilder::new(2);
+    let mut b = RelationBuilder::new(2);
+    for i in 0..9_000i64 {
+        a.push_row(&[Value::int(i), Value::int(i % 97)]);
+        b.push_row(&[Value::int(i % 97), Value::int(i)]);
+    }
+    db.insert_relation("A", a.finish());
+    db.insert_relation("B", b.finish());
+    db
+}
+
+#[test]
+fn spawn_denial_leaves_the_trace_projection_unchanged() {
+    let db = big_parallel_db();
+    let c = compile(&parse("A(x, y) | B(x, y)").unwrap()).unwrap();
+
+    let mut par_stats = EvalStats::default();
+    let mut par_tr = Tracer::on();
+    let parallel = c
+        .run_traced(&db, &mut par_stats, Budget::unlimited(), &mut par_tr)
+        .unwrap();
+    let par_root = par_tr.finish().expect("parallel run leaves a root span");
+    assert!(
+        par_root.any_parallel(),
+        "both sides scan 9000 distinct rows — the parallel path must fire"
+    );
+
+    let fault = FaultInjector::new();
+    fault.deny_thread_spawn(true);
+    let budget = Budget::new().with_fault_injector(fault);
+    let mut seq_stats = EvalStats::default();
+    let mut seq_tr = Tracer::on();
+    let sequential = c
+        .run_traced(&db, &mut seq_stats, &budget, &mut seq_tr)
+        .unwrap();
+    let seq_root = seq_tr.finish().expect("sequential run leaves a root span");
+    assert!(!seq_root.any_parallel(), "spawn denial must stick");
+
+    assert_eq!(parallel, sequential);
+    assert_eq!(
+        par_stats, seq_stats,
+        "every EvalStats field — operators, tuples_produced, \
+         max_intermediate, budget_checks — must agree across paths"
+    );
+    assert_eq!(
+        span_projection(&par_root),
+        span_projection(&seq_root),
+        "spawn denial may flip the parallel flag, never the projection"
+    );
+}
+
+/// The differential pin the spawn-denial tests rely on, widened to every
+/// parallel-capable operator shape: join, union, and difference with both
+/// subtrees above the parallel threshold must report identical `EvalStats`
+/// (all fields, `max_intermediate` included) on the parallel and the
+/// sequential path.
+#[test]
+fn parallel_and_sequential_stats_agree_for_all_operator_shapes() {
+    let db = big_parallel_db();
+    for text in [
+        "A(x, y) & B(y, z)",
+        "A(x, y) | B(x, y)",
+        "A(x, y) & ~B(x, y)",
+        "(A(x, y) & B(y, z)) | (A(z, y) & B(y, x))",
+    ] {
+        let c = compile(&parse(text).unwrap()).unwrap();
+
+        let mut par_stats = EvalStats::default();
+        let mut par_tr = Tracer::on();
+        let parallel = c
+            .run_traced(&db, &mut par_stats, Budget::unlimited(), &mut par_tr)
+            .unwrap();
+        assert!(
+            par_tr.finish().unwrap().any_parallel(),
+            "{text}: fixture must actually exercise the parallel path"
+        );
+
+        let fault = FaultInjector::new();
+        fault.deny_thread_spawn(true);
+        let budget = Budget::new().with_fault_injector(fault);
+        let mut seq_stats = EvalStats::default();
+        let sequential = c.run_governed(&db, &mut seq_stats, &budget).unwrap();
+
+        assert_eq!(parallel, sequential, "{text}: answers diverged");
+        assert_eq!(
+            par_stats, seq_stats,
+            "{text}: an EvalStats field diverges between the parallel and \
+             sequential paths"
+        );
+    }
+}
+
+#[test]
+fn mid_kernel_cancellation_yields_a_partial_trace_naming_the_culprit() {
+    let (c, db) = big_join();
+
+    let fault = FaultInjector::new();
+    fault.cancel_after_checkpoints(2);
+    let budget = Budget::new().with_fault_injector(fault);
+    let mut stats = EvalStats::default();
+    let mut tracer = Tracer::on();
+    c.run_traced(&db, &mut stats, &budget, &mut tracer)
+        .expect_err("forced cancellation must surface");
+
+    // Every span the unwind crossed is closed but marked incomplete, so
+    // the trace is well-formed and names where the cancellation landed.
+    let root = tracer
+        .finish()
+        .expect("partial trace must still have a root");
+    assert!(!root.completed, "the root span cannot have completed");
+    let culprit = root
+        .last_incomplete()
+        .expect("an incomplete span marks the cancelled operator");
+    assert!(
+        culprit.children.iter().all(|ch| ch.completed),
+        "the deepest incomplete span is the operator the cancellation hit"
+    );
+}
+
+/// Wherever in the pipeline a cancellation lands — compile-time stages
+/// checkpoint too, so small counts trip inside `ranf` or `translate` — the
+/// exported trace's failed stage must agree with the error's own stage
+/// attribution. Once the count is large enough to reach evaluation, the
+/// partial operator tree is exported and names the hot operator.
+#[test]
+fn cancelled_pipeline_trace_attributes_the_tripped_stage() {
+    let (_, db) = big_join();
+    let mut saw_eval_cancellation = false;
+
+    for checkpoints in [1, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let fault = FaultInjector::new();
+        fault.cancel_after_checkpoints(checkpoints);
+        let opts = CompileOptions {
+            budget: Budget::new().with_fault_injector(fault),
+            ..CompileOptions::default()
+        };
+        let (result, trace) = compile_and_eval_traced("A(x, y) & B(y, z)", &db, opts);
+        let b = match result {
+            Err(rcsafe::PipelineError::Budget(b)) => b,
+            Ok(_) => break, // count exceeds every checkpoint: nothing trips
+            Err(other) => panic!("expected a budget trip, got {other}"),
+        };
+        assert_eq!(b.resource, Resource::Cancelled);
+        assert_eq!(
+            trace.failed_stage(),
+            Some(b.stage),
+            "trace and error disagree on the cancelled stage \
+             (after {checkpoints} checkpoints)"
+        );
+        if b.stage == Stage::Eval {
+            saw_eval_cancellation = true;
+            let root = trace.root.as_ref().expect("partial operator tree exported");
+            assert!(!root.completed, "root span cannot have completed");
+            let hot = trace
+                .hot_operator()
+                .expect("the hot operator is named even on a cancelled run");
+            assert!(!hot.op.is_empty());
+        }
+    }
+    assert!(
+        saw_eval_cancellation,
+        "no checkpoint count landed the cancellation inside evaluation"
+    );
 }

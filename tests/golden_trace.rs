@@ -1,0 +1,137 @@
+//! Golden-trace snapshots: the deterministic projection of the pipeline
+//! trace (stage node counts, span tree shape, per-operator in/out/raw
+//! cardinalities — no times, no parallel flag) is pinned for a dozen
+//! corpus formulas against committed snapshots in `tests/snapshots/`.
+//!
+//! A change to any transformation stage or evaluation kernel that alters
+//! plan shape or cardinalities shows up here as a readable diff.
+//! Regenerate intentionally with:
+//!
+//! ```sh
+//! BLESS=1 cargo test --test golden_trace
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rcsafe::formula::{Schema, Value};
+use rcsafe::safety::corpus::{by_id, formula_of};
+use rcsafe::safety::pipeline::{compile_and_eval_traced, CompileOptions};
+use rcsafe::Database;
+use std::path::PathBuf;
+
+/// The pinned corpus entries: every safety class the pipeline accepts,
+/// both boolean and open formulas, including ones where simplification
+/// collapses the plan.
+const PINNED: &[&str] = &[
+    "sec21-curable",
+    "sec21-cured",
+    "ex5.2-F",
+    "ex5.2-G",
+    "sec53-default",
+    "ex6.1-before",
+    "ex6.1-after",
+    "ex6.3-F",
+    "ex9.1-a",
+    "ex9.1-b",
+    "ex9.2-row2",
+    "fig6",
+];
+
+/// The deterministic database every snapshot runs against: seeded from the
+/// formula's schema with the same recipe the end-to-end corpus tests use.
+const DB_SEED: u64 = 7;
+
+fn db_for_id(id: &str) -> Database {
+    let entry = by_id(id).unwrap_or_else(|| panic!("no corpus entry {id:?}"));
+    let f = formula_of(&entry);
+    let schema = Schema::infer(&f).expect("corpus formulas have consistent arities");
+    let mut domain: Vec<Value> = (1..=4).map(Value::int).collect();
+    for c in f.constants() {
+        if !domain.contains(&c) {
+            domain.push(c);
+        }
+    }
+    Database::random(&schema, &domain, 6, &mut StdRng::seed_from_u64(DB_SEED))
+}
+
+fn snapshot_path(id: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{id}.trace.txt"))
+}
+
+fn projection_of(id: &str) -> String {
+    let entry = by_id(id).unwrap();
+    let text = formula_of(&entry).to_string();
+    let db = db_for_id(id);
+    let (result, trace) = compile_and_eval_traced(&text, &db, CompileOptions::default());
+    result.unwrap_or_else(|e| panic!("{id} failed to compile+eval: {e}"));
+    trace.deterministic()
+}
+
+#[test]
+fn golden_traces_match_snapshots() {
+    let bless = std::env::var("BLESS").as_deref() == Ok("1");
+    let mut failures = Vec::new();
+    for id in PINNED {
+        let got = projection_of(id);
+        let path = snapshot_path(id);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => failures.push(format!(
+                "{id}: trace projection drifted\n--- snapshot\n{want}--- got\n{got}"
+            )),
+            Err(_) => failures.push(format!(
+                "{id}: missing snapshot {} (run BLESS=1 cargo test --test golden_trace)",
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden trace(s) drifted:\n\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+/// The projection itself is stable: two fresh runs of the same query over
+/// the same database produce byte-identical deterministic projections.
+#[test]
+fn projection_is_reproducible_within_a_run() {
+    for id in ["ex5.2-G", "ex9.2-row2"] {
+        assert_eq!(projection_of(id), projection_of(id), "{id}");
+    }
+}
+
+/// Every pinned snapshot carries the full stage ladder and a span tree:
+/// structural sanity independent of the committed bytes.
+#[test]
+fn projections_have_stages_and_operators() {
+    for id in PINNED {
+        let p = projection_of(id);
+        for stage in [
+            "parse",
+            "classify",
+            "genify",
+            "ranf",
+            "translate",
+            "optimize",
+            "eval",
+        ] {
+            assert!(
+                p.contains(&format!("stage {stage}:")),
+                "{id}: projection lacks stage {stage}:\n{p}"
+            );
+        }
+        assert!(
+            p.contains("op "),
+            "{id}: projection lacks operator spans:\n{p}"
+        );
+    }
+}
