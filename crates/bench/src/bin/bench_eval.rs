@@ -18,19 +18,33 @@
 //! cargo run --release -p rc-bench --bin bench_eval
 //! ```
 //!
+//! Two cache families ride along and land in the same JSON:
+//!
+//! * **repeated_query** — the full cached serving path
+//!   (`compile_and_eval_cached`): cold serve (empty [`PlanCache`]) vs the
+//!   second serve of the same text against an unchanged database, which
+//!   must hit both the plan and the result layer;
+//! * **shared_subtree** — plans whose join subtree appears several times:
+//!   plain tree evaluation vs the memoizing DAG evaluator
+//!   ([`eval_shared`]), with the per-run memo hit count.
+//!
 //! With `TRACE_GATE=1` the binary instead runs a fast CI gate: paired
 //! tracing-off overhead only, exiting nonzero when the median reaches 1%
-//! (and leaving `BENCH_eval.json` untouched).
+//! (and leaving `BENCH_eval.json` untouched). With `CACHE_GATE=1` it runs
+//! the repeated-query family only and exits nonzero unless every warm
+//! serve is a result-cache hit and the median speedup is at least 5x.
 //!
 //! The inputs are deterministic (`i mod k` patterns, no RNG), so tuple
 //! counts are exactly reproducible; only wall times vary by machine.
 
 use rc_bench::Table;
 use rc_formula::{Term, Value, Var};
+use rc_relalg::trace::json_str;
 use rc_relalg::{
-    eval, eval_baseline, eval_governed, eval_traced, Budget, Database, EvalStats, OpSpan, RaExpr,
-    Relation, RelationBuilder, Tracer,
+    eval, eval_baseline, eval_governed, eval_shared, eval_traced, Budget, Database, EvalStats,
+    OpSpan, PlanCache, RaExpr, Relation, RelationBuilder, Tracer,
 };
+use rc_safety::pipeline::{compile_and_eval_cached, CompileOptions, Compiled};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -207,9 +221,130 @@ fn run_trace_gate() {
     }
 }
 
+/// The repeated-query texts served through the full cached pipeline.
+fn repeated_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("repeat_join", "A(x, y) & B(y, z)"),
+        ("repeat_antijoin", "A(x, y) & !C(x)"),
+        ("repeat_exists", "exists z. (A(x, y) & B(y, z))"),
+    ]
+}
+
+/// Plans whose join subtree occurs several times, so the DAG evaluator
+/// can reuse one materialization (the selects differ, so no union-dedup
+/// rewrite can collapse the sharing away).
+fn shared_subtree_workloads() -> Vec<(&'static str, RaExpr)> {
+    let a = || RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]);
+    let b_yz = || RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]);
+    let j = || RaExpr::join(a(), b_yz());
+    let eq = RaExpr::select(
+        j(),
+        rc_relalg::SelPred::EqCols(Var::new("x"), Var::new("y")),
+    );
+    let neq = RaExpr::select(
+        j(),
+        rc_relalg::SelPred::NeqCols(Var::new("x"), Var::new("y")),
+    );
+    let neq_z = RaExpr::select(
+        j(),
+        rc_relalg::SelPred::NeqCols(Var::new("x"), Var::new("z")),
+    );
+    vec![
+        ("shared_join_2x", RaExpr::union(eq.clone(), neq.clone())),
+        (
+            "shared_join_3x",
+            RaExpr::union(eq, RaExpr::union(neq, neq_z)),
+        ),
+    ]
+}
+
+struct CacheRecord {
+    name: &'static str,
+    rows: usize,
+    cold_ns: u128,
+    warm_ns: u128,
+    speedup: f64,
+    warm_hits: bool,
+}
+
+/// Cold-vs-warm timing of one repeated query. Cold pays the whole
+/// pipeline into a fresh cache every sample; warm serves from a cache
+/// primed once against the same (unmutated) database.
+fn bench_repeated_query(
+    samples: usize,
+    name: &'static str,
+    text: &str,
+    db: &Database,
+    n: usize,
+) -> CacheRecord {
+    let cold_ns = time_median(samples, || {
+        let mut cache: PlanCache<Compiled> = PlanCache::new();
+        black_box(
+            compile_and_eval_cached(text, db, CompileOptions::default(), &mut cache)
+                .expect("cold serve"),
+        );
+    });
+    let mut cache: PlanCache<Compiled> = PlanCache::new();
+    compile_and_eval_cached(text, db, CompileOptions::default(), &mut cache).expect("prime");
+    let warm_ns = time_median(samples, || {
+        black_box(
+            compile_and_eval_cached(text, db, CompileOptions::default(), &mut cache)
+                .expect("warm serve"),
+        );
+    });
+    let check = compile_and_eval_cached(text, db, CompileOptions::default(), &mut cache)
+        .expect("warm serve");
+    CacheRecord {
+        name,
+        rows: n,
+        cold_ns,
+        warm_ns,
+        speedup: cold_ns as f64 / warm_ns as f64,
+        warm_hits: check.plan_cached && check.result_cached,
+    }
+}
+
+/// `CACHE_GATE=1` mode: the repeated-query family must hit the result
+/// cache on every warm serve with a median speedup of at least 5x. Exits
+/// nonzero on failure; never touches `BENCH_eval.json`.
+fn run_cache_gate() {
+    let samples = 15;
+    let n = 10_000;
+    let db = db_for(n);
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut all_hit = true;
+    for (name, text) in repeated_queries() {
+        let r = bench_repeated_query(samples, name, text, &db, n);
+        println!(
+            "repeated query {name}/{n}: cold {:.3} ms, warm {:.3} ms, {:.1}x, warm hit: {}",
+            r.cold_ns as f64 / 1e6,
+            r.warm_ns as f64 / 1e6,
+            r.speedup,
+            r.warm_hits
+        );
+        speedups.push(r.speedup);
+        all_hit &= r.warm_hits;
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = speedups[speedups.len() / 2];
+    println!("median repeated-query speedup: {median:.1}x (gate >= 5x, all warm serves must hit)");
+    if !all_hit {
+        eprintln!("CACHE GATE FAILED: a warm serve missed the result cache");
+        std::process::exit(1);
+    }
+    if median < 5.0 {
+        eprintln!("CACHE GATE FAILED: median warm speedup {median:.1}x < 5x");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     if std::env::var("TRACE_GATE").as_deref() == Ok("1") {
         run_trace_gate();
+        return;
+    }
+    if std::env::var("CACHE_GATE").as_deref() == Ok("1") {
+        run_cache_gate();
         return;
     }
     let sizes = [2_000usize, 10_000, 50_000];
@@ -273,7 +408,10 @@ fn main() {
             let breakdown = ops
                 .iter()
                 .map(|(op, ns, rows)| {
-                    format!("{{\"op\": \"{op}\", \"self_ns\": {ns}, \"rows_out\": {rows}}}")
+                    format!(
+                        "{{\"op\": {}, \"self_ns\": {ns}, \"rows_out\": {rows}}}",
+                        json_str(op)
+                    )
                 })
                 .collect::<Vec<_>>()
                 .join(", ");
@@ -309,8 +447,95 @@ fn main() {
             ));
         }
     }
+    // Cache families: repeated-query serving and shared-subtree DAG eval.
+    let cache_n = 10_000;
+    let cache_db = db_for(cache_n);
+    let mut cache_records: Vec<String> = Vec::new();
+    let mut cache_speedups: Vec<f64> = Vec::new();
+    let mut cache_table = Table::new(&[
+        "workload", "rows", "cold ms", "warm ms", "speedup", "warm hit",
+    ]);
+    for (name, text) in repeated_queries() {
+        let r = bench_repeated_query(samples, name, text, &cache_db, cache_n);
+        cache_speedups.push(r.speedup);
+        cache_table.row(vec![
+            r.name.to_string(),
+            r.rows.to_string(),
+            format!("{:.3}", r.cold_ns as f64 / 1e6),
+            format!("{:.3}", r.warm_ns as f64 / 1e6),
+            format!("{:.1}x", r.speedup),
+            r.warm_hits.to_string(),
+        ]);
+        cache_records.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"rows\": {}, \"cold_ns\": {}, ",
+                "\"warm_ns\": {}, \"speedup\": {:.2}, \"warm_result_hit\": {}}}"
+            ),
+            r.name, r.rows, r.cold_ns, r.warm_ns, r.speedup, r.warm_hits
+        ));
+    }
+    cache_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_cache_speedup = cache_speedups[cache_speedups.len() / 2];
+    let mut shared_records: Vec<String> = Vec::new();
+    let mut shared_table = Table::new(&[
+        "workload",
+        "rows",
+        "tree ms",
+        "dag ms",
+        "memo hits",
+        "speedup",
+    ]);
+    for (name, expr) in shared_subtree_workloads() {
+        let tree_ns = time_median(samples, || {
+            black_box(eval(black_box(&expr), black_box(&cache_db)).unwrap());
+        });
+        let dag_ns = time_median(samples, || {
+            let mut stats = EvalStats::default();
+            black_box(
+                eval_shared(
+                    black_box(&expr),
+                    black_box(&cache_db),
+                    &mut stats,
+                    Budget::unlimited(),
+                    &mut Tracer::off(),
+                )
+                .unwrap(),
+            );
+        });
+        let mut stats = EvalStats::default();
+        eval_shared(
+            &expr,
+            &cache_db,
+            &mut stats,
+            Budget::unlimited(),
+            &mut Tracer::off(),
+        )
+        .unwrap();
+        let speedup = tree_ns as f64 / dag_ns as f64;
+        shared_table.row(vec![
+            name.to_string(),
+            cache_n.to_string(),
+            format!("{:.3}", tree_ns as f64 / 1e6),
+            format!("{:.3}", dag_ns as f64 / 1e6),
+            stats.memo_hits.to_string(),
+            format!("{speedup:.2}x"),
+        ]);
+        shared_records.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"rows\": {}, \"tree_ns\": {}, ",
+                "\"dag_ns\": {}, \"memo_hits\": {}, \"speedup\": {:.2}}}"
+            ),
+            name, cache_n, tree_ns, dag_ns, stats.memo_hits, speedup
+        ));
+    }
+
     println!("=== E-ENGINE: batch kernels vs tuple-at-a-time baseline ===\n");
     println!("{}", table.render());
+    println!("=== repeated-query serving: cold vs cached ===\n");
+    println!("{}", cache_table.render());
+    println!("median repeated-query speedup: {median_cache_speedup:.1}x (target >= 5x)");
+    println!("\n=== shared-subtree plans: tree eval vs memoizing DAG eval ===\n");
+    println!("{}", shared_table.render());
     overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_overhead = overheads[overheads.len() / 2];
     println!("median governance overhead across workloads: {median_overhead:+.2}% (target < 2%)");
@@ -319,8 +544,10 @@ fn main() {
     println!("median tracing-off overhead across workloads: {median_trace_off:+.2}% (target < 1%)");
 
     let json = format!(
-        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"results\": [\n{}\n  ]\n}}\n",
-        records.join(",\n")
+        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n"),
+        cache_records.join(",\n"),
+        shared_records.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     std::fs::write(path, &json).expect("write BENCH_eval.json");

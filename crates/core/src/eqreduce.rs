@@ -392,6 +392,53 @@ mod tests {
     }
 
     #[test]
+    fn repeated_variable_atom_with_constant_equality() {
+        // Alg. A.1 on `p(x, x) ∧ x = c`: the A₁ substitution must hit
+        // BOTH positions of the repeated variable, and the `x ≠ c` branch
+        // must die (every occurrence of the atom is killed, so A₂ is
+        // `p(x, x) ∧ false`).
+        let f = parse("P(x, x) & x = 1").unwrap();
+        let r = equality_reduce(&f);
+        assert!(equivalent(&f, &r), "{f} vs {r}");
+        assert!(is_evaluable(&r), "not evaluable after reduction: {r}");
+        // No half-substituted residue like P(1, x) may survive.
+        let printed = r.to_string();
+        assert!(
+            !printed.contains("P(1, x)") && !printed.contains("P(x, 1)"),
+            "{r}"
+        );
+
+        // Bound: the quantifier absorbs the split entirely.
+        let g = parse("exists x. (P(x, x) & x = 1)").unwrap();
+        assert_eq!(equality_reduce(&g), parse("P(1, 1)").unwrap());
+    }
+
+    #[test]
+    fn repeated_variable_atom_with_variable_equality() {
+        // `∃x (p(x, x) ∧ x = y)` must collapse the diagonal onto y — both
+        // positions substituted, quantifier dropped.
+        let f = parse("exists x. (P(x, x) & x = y)").unwrap();
+        assert_eq!(equality_reduce(&f), parse("P(y, y)").unwrap());
+
+        // Free variant under a generator: stays equivalent and evaluable.
+        let g = parse("Q(y) & (exists x. (P(x, x) & x = y))").unwrap();
+        let r = equality_reduce(&g);
+        assert!(equivalent(&g, &r), "{g} vs {r}");
+        assert!(is_evaluable(&r), "not evaluable after reduction: {r}");
+    }
+
+    #[test]
+    fn repeated_variable_atom_under_disjunction_is_wide_sense() {
+        // `q(x) ∧ (p(x, x) ∨ x = c)`: not strict-sense (the disjunct
+        // `x = c` alone doesn't generate x on its branch until the split).
+        let f = parse("Q(x) & (P(x, x) | x = 1)").unwrap();
+        let r = equality_reduce(&f);
+        assert!(equivalent(&f, &r), "{f} vs {r}");
+        assert!(is_evaluable(&r), "not evaluable after reduction: {r}");
+        assert!(is_wide_sense_evaluable(&f));
+    }
+
+    #[test]
     fn free_variable_split_becomes_evaluable() {
         // P(y) ∧ (x = y ∨ Q(x)): not strict-sense evaluable (gen(x) fails),
         // but wide-sense: splits into x=y case (x generated by the copy

@@ -21,10 +21,12 @@ use rc_formula::term::Var;
 use rc_formula::vars::{free_vars, rectified};
 use rc_relalg::govern::{Budget, BudgetExceeded, Stage};
 use rc_relalg::{
-    eval_traced, Database, EvalError, EvalStats, PipelineTrace, RaExpr, Relation, StageTracer,
-    Tracer,
+    eval_shared, eval_traced, Database, EvalError, EvalStats, PipelineTrace, PlanCache, RaExpr,
+    Relation, StageTracer, Tracer,
 };
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// The safety classes of the paper, most restrictive first.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,6 +91,24 @@ impl Default for CompileOptions {
             budget: Budget::new(),
             generator_choice: ConjunctChoice::Smallest,
         }
+    }
+}
+
+impl CompileOptions {
+    /// Fingerprint of the *semantic* options — the ones that change what
+    /// plan a query text compiles to. Used as part of the
+    /// [`PlanCache`] plan key so that toggling, say, the optimizer cannot
+    /// serve a plan compiled under different options. The budget is
+    /// deliberately excluded: it bounds resources, never the plan.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = rc_formula::fxhash::FxHasher::default();
+        self.equality_reduction.hash(&mut h);
+        self.optimize.hash(&mut h);
+        match self.generator_choice {
+            ConjunctChoice::Smallest => 0u8.hash(&mut h),
+            ConjunctChoice::First => 1u8.hash(&mut h),
+        }
+        h.finish()
     }
 }
 
@@ -239,7 +259,10 @@ pub fn compile_traced(
         format!("ops_emitted={ops_emitted}"),
     );
 
-    // Stage 5: impose the answer column order, then simplify.
+    // Stage 5: impose the answer column order, simplify, then hash-cons
+    // into a DAG so genify/RANF-duplicated subplans are physically shared
+    // (the memoizing evaluator computes each shared node once; the stage
+    // detail reports how many tree nodes the interner folded away).
     st.begin(Stage::Optimize, raw.node_count() as u64);
     let expr = impose_columns(raw, &columns, &ranf_form)?;
     let expr = if opts.optimize {
@@ -247,9 +270,14 @@ pub fn compile_traced(
     } else {
         expr
     };
+    let (expr, intern_stats) = rc_relalg::intern(&expr);
     st.end(
         expr.node_count() as u64,
-        format!("simplify={}", if opts.optimize { "on" } else { "off" }),
+        format!(
+            "simplify={} shared={}",
+            if opts.optimize { "on" } else { "off" },
+            intern_stats.shared_nodes()
+        ),
     );
 
     Ok(Compiled {
@@ -355,6 +383,29 @@ impl Compiled {
         tracer: &mut Tracer,
     ) -> Result<Relation, EvalError> {
         eval_traced(
+            &self.expr,
+            &prepare(db, &self.original),
+            stats,
+            budget,
+            tracer,
+        )
+    }
+
+    /// [`Compiled::run_traced`] with common-subexpression sharing: the
+    /// plan's duplicated subtrees (compile interns the expression into a
+    /// DAG) are each evaluated once per run and served from a memo table
+    /// afterwards — [`EvalStats::memo_hits`] counts the services and the
+    /// reused subplans appear as `cache_hit` leaf spans. Same answer and
+    /// budget semantics as [`Compiled::run_traced`]; used by the cached
+    /// serving path ([`compile_and_eval_cached`]).
+    pub fn run_shared(
+        &self,
+        db: &Database,
+        stats: &mut EvalStats,
+        budget: &Budget,
+        tracer: &mut Tracer,
+    ) -> Result<Relation, EvalError> {
+        eval_shared(
             &self.expr,
             &prepare(db, &self.original),
             stats,
@@ -521,6 +572,97 @@ pub fn compile_and_eval(
         compiled,
         relation,
         stats,
+    })
+}
+
+/// What [`compile_and_eval_cached`] produces: the shared compiled plan,
+/// the answer, evaluation counters, and which cache layers were hit.
+#[derive(Clone, Debug)]
+pub struct CachedQueryOutput {
+    /// The compiled query (shared with the cache — cloning is one
+    /// reference bump).
+    pub compiled: Arc<Compiled>,
+    /// The answer relation.
+    pub relation: Relation,
+    /// Evaluation statistics. On a result-cache hit only the governance
+    /// charge for the materialized cardinality is recorded (nothing was
+    /// evaluated).
+    pub stats: EvalStats,
+    /// Was parse → … → optimize skipped via the plan cache?
+    pub plan_cached: bool,
+    /// Was evaluation skipped via the result cache?
+    pub result_cached: bool,
+}
+
+/// [`compile_and_eval`] through a cross-run [`PlanCache`]: re-serving the
+/// same query text (under the same semantic options) skips
+/// parse → classify → genify → ranf → translate → optimize, and — while
+/// the database version is unchanged — evaluation too.
+///
+/// Key and invalidation contract (see [`rc_relalg::cache`]):
+///
+/// * plans are keyed by `(text, opts.cache_key())` and never invalidated —
+///   compilation does not look at the database;
+/// * results are keyed by the interned plan's structural hash and the
+///   [`Database::version`] observed *before* evaluation; any mutation
+///   bumps the version, so stale results can never be served.
+///
+/// Budget semantics are preserved: a fully cached request still passes a
+/// checkpoint (so deadlines and cancellation fire) and charges the
+/// materialized cardinality against the tuple budget — a cache hit can
+/// trip a tight budget exactly like the evaluation it stands in for.
+/// Evaluation misses run through [`Compiled::run_shared`], so duplicated
+/// subplans inside one query are computed once even on a cold serve.
+pub fn compile_and_eval_cached(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+    cache: &mut PlanCache<Compiled>,
+) -> Result<CachedQueryOutput, PipelineError> {
+    // Capture the version before `prepare` clones-and-declares inside the
+    // eval path; the clone's declares must not disturb our key.
+    let db_version = db.version();
+    let opts_key = opts.cache_key();
+    let budget = opts.budget.clone();
+    let (compiled, plan_hash, plan_cached) = match cache.lookup_plan(text, opts_key) {
+        Some((compiled, hash)) => (compiled, hash, true),
+        None => {
+            let f = rc_formula::parse(text).map_err(PipelineError::Parse)?;
+            let compiled = compile_with(&f, opts).map_err(PipelineError::from)?;
+            let hash = rc_relalg::plan_hash(&compiled.expr);
+            (
+                cache.insert_plan(text, opts_key, compiled, hash),
+                hash,
+                false,
+            )
+        }
+    };
+    let mut stats = EvalStats::default();
+    if let Some(relation) = cache.lookup_result(plan_hash, db_version) {
+        // Serving from cache still consumes governance: one checkpoint
+        // (deadline/cancellation) plus the answer's cardinality against
+        // the tuple budget.
+        stats.budget_checks += 1;
+        budget
+            .checkpoint(Stage::Eval)
+            .and_then(|()| budget.charge_tuples(Stage::Eval, relation.len() as u64))
+            .map_err(PipelineError::Budget)?;
+        return Ok(CachedQueryOutput {
+            compiled,
+            relation,
+            stats,
+            plan_cached,
+            result_cached: true,
+        });
+    }
+    let relation = compiled.run_shared(db, &mut stats, &budget, &mut Tracer::off())?;
+    cache.insert_result(plan_hash, db_version, relation.clone());
+    Ok(CachedQueryOutput {
+        compiled,
+        relation,
+        stats,
+        plan_cached,
+        result_cached: false,
     })
 }
 

@@ -252,6 +252,7 @@ fn eval_rec(expr: &RaExpr, db: &Database) -> Result<BRel, EvalError> {
 mod tests {
     use super::*;
     use crate::eval::eval;
+    use std::sync::Arc;
 
     fn db() -> Database {
         Database::from_facts("P(1, 2)\nP(2, 3)\nP(3, 3)\nQ(2)\nQ(3)\nR(1)\nS(1, 2)\nS(9, 9)")
@@ -275,7 +276,7 @@ mod tests {
             RaExpr::project(p(), vec![Var::new("y")]),
             RaExpr::select(p(), SelPred::NeqCols(Var::new("x"), Var::new("y"))),
             RaExpr::Duplicate {
-                input: Box::new(q()),
+                input: Arc::new(q()),
                 src: Var::new("y"),
                 dst: Var::new("y2"),
             },

@@ -1,0 +1,256 @@
+//! Cross-run plan and result caching for repeated-query serving.
+//!
+//! A REPL or server loop re-serving the same formula should not pay for
+//! parse → classify → genify → RANF → translate → optimize on every
+//! request, and — until the database changes — should not pay for
+//! evaluation either. [`PlanCache`] provides both layers:
+//!
+//! * **Plan entries** map the query *text* (plus a caller-supplied options
+//!   fingerprint) to an arbitrary compiled payload `P` and its structural
+//!   [`plan_hash`](crate::plan::plan_hash). Compilation is a pure function
+//!   of the text and options, so plan entries never need invalidation.
+//! * **Result entries** map a plan hash to the materialized [`Relation`]
+//!   *stamped with the database version it was computed against*
+//!   ([`Database::version`](crate::database::Database::version)). A lookup
+//!   with any other version misses: version stamps are globally unique and
+//!   bumped by every mutation, so a stale entry can never be served. Each
+//!   plan keeps at most one result (the latest), so a mutate–reserve loop
+//!   self-evicts instead of accumulating garbage; [`purge_stale`] drops
+//!   leftovers eagerly.
+//!
+//! The payload type is generic because this crate only knows about algebra
+//! expressions — `rc-core` instantiates `PlanCache` with its full compiled
+//! pipeline artifact.
+//!
+//! Governance interaction: the cache stores only *completed* results.
+//! Serving a hit still passes through the caller's budget accounting (see
+//! `compile_and_eval_cached` in `rc-core`), charging the materialized
+//! cardinality, so a cached answer cannot bypass tuple limits.
+//!
+//! [`purge_stale`]: PlanCache::purge_stale
+
+use crate::relation::Relation;
+use rc_formula::fxhash::FxHashMap;
+use std::sync::Arc;
+
+/// Hit/miss counters for a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plan lookups served from the cache.
+    pub plan_hits: u64,
+    /// Plan lookups that had to compile.
+    pub plan_misses: u64,
+    /// Result lookups served from the cache (same plan, same db version).
+    pub result_hits: u64,
+    /// Result lookups that had to evaluate.
+    pub result_misses: u64,
+    /// Result lookups that found an entry for a *different* database
+    /// version — evidence of invalidation working (also counted in
+    /// `result_misses`).
+    pub stale_results: u64,
+}
+
+impl CacheStats {
+    /// Fraction of plan lookups served from the cache (0.0 when none).
+    pub fn plan_hit_rate(&self) -> f64 {
+        rate(self.plan_hits, self.plan_misses)
+    }
+
+    /// Fraction of result lookups served from the cache (0.0 when none).
+    pub fn result_hit_rate(&self) -> f64 {
+        rate(self.result_hits, self.result_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// A versioned plan/result cache; see the [module docs](self) for the key
+/// and invalidation contract.
+pub struct PlanCache<P> {
+    plans: FxHashMap<(String, u64), (Arc<P>, u64)>,
+    results: FxHashMap<u64, (u64, Relation)>,
+    stats: CacheStats,
+}
+
+impl<P> Default for PlanCache<P> {
+    fn default() -> Self {
+        PlanCache {
+            plans: FxHashMap::default(),
+            results: FxHashMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl<P> PlanCache<P> {
+    /// An empty cache.
+    pub fn new() -> PlanCache<P> {
+        PlanCache::default()
+    }
+
+    /// Look up a compiled plan by query text and options fingerprint.
+    /// Returns the payload and its plan hash.
+    pub fn lookup_plan(&mut self, text: &str, opts_key: u64) -> Option<(Arc<P>, u64)> {
+        // Keying by (text, opts) without allocating would need a borrowed
+        // pair key; one short String per lookup is noise next to the
+        // compile it saves.
+        match self.plans.get(&(text.to_string(), opts_key)) {
+            Some((p, h)) => {
+                self.stats.plan_hits += 1;
+                Some((p.clone(), *h))
+            }
+            None => {
+                self.stats.plan_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a compiled plan under its query text and options fingerprint.
+    /// Returns the shared payload for immediate use.
+    pub fn insert_plan(
+        &mut self,
+        text: impl Into<String>,
+        opts_key: u64,
+        payload: P,
+        plan_hash: u64,
+    ) -> Arc<P> {
+        let payload = Arc::new(payload);
+        self.plans
+            .insert((text.into(), opts_key), (payload.clone(), plan_hash));
+        payload
+    }
+
+    /// Look up a materialized result for a plan, valid only against the
+    /// exact database version it was computed for.
+    pub fn lookup_result(&mut self, plan_hash: u64, db_version: u64) -> Option<Relation> {
+        match self.results.get(&plan_hash) {
+            Some((v, rel)) if *v == db_version => {
+                self.stats.result_hits += 1;
+                Some(rel.clone())
+            }
+            Some(_) => {
+                self.stats.stale_results += 1;
+                self.stats.result_misses += 1;
+                None
+            }
+            None => {
+                self.stats.result_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a materialized result, replacing any entry for the same plan
+    /// (including stale ones from earlier database versions).
+    pub fn insert_result(&mut self, plan_hash: u64, db_version: u64, rel: Relation) {
+        self.results.insert(plan_hash, (db_version, rel));
+    }
+
+    /// Drop every result entry not computed against `db_version`. Returns
+    /// the number evicted. Plan entries are untouched (they are
+    /// version-independent).
+    pub fn purge_stale(&mut self, db_version: u64) -> usize {
+        let before = self.results.len();
+        self.results.retain(|_, (v, _)| *v == db_version);
+        before - self.results.len()
+    }
+
+    /// Number of cached plans.
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Number of cached results.
+    pub fn result_count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop all entries and reset the counters.
+    pub fn clear(&mut self) {
+        self.plans.clear();
+        self.results.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::tuple;
+
+    fn rel(vals: [i64; 2]) -> Relation {
+        Relation::from_rows(1, vals.map(|v| tuple([v])))
+    }
+
+    #[test]
+    fn plan_entries_key_on_text_and_options() {
+        let mut c: PlanCache<&'static str> = PlanCache::new();
+        assert!(c.lookup_plan("E x: P(x)", 0).is_none());
+        c.insert_plan("E x: P(x)", 0, "payload", 42);
+        let (p, h) = c.lookup_plan("E x: P(x)", 0).expect("hit");
+        assert_eq!((*p, h), ("payload", 42));
+        // Same text under different options is a different plan.
+        assert!(c.lookup_plan("E x: P(x)", 1).is_none());
+        assert!(c.lookup_plan("E x: Q(x)", 0).is_none());
+        let s = c.stats();
+        assert_eq!((s.plan_hits, s.plan_misses), (1, 3));
+    }
+
+    #[test]
+    fn results_hit_only_on_exact_version() {
+        let mut c: PlanCache<()> = PlanCache::new();
+        c.insert_result(7, 100, rel([1, 2]));
+        assert_eq!(c.lookup_result(7, 100), Some(rel([1, 2])));
+        assert_eq!(c.lookup_result(7, 101), None, "stale version must miss");
+        assert_eq!(c.lookup_result(8, 100), None, "unknown plan must miss");
+        let s = c.stats();
+        assert_eq!((s.result_hits, s.result_misses, s.stale_results), (1, 2, 1));
+        assert!(s.result_hit_rate() > 0.3 && s.result_hit_rate() < 0.34);
+    }
+
+    #[test]
+    fn insert_replaces_stale_entry_for_same_plan() {
+        let mut c: PlanCache<()> = PlanCache::new();
+        c.insert_result(7, 100, rel([1, 2]));
+        c.insert_result(7, 101, rel([3, 4]));
+        assert_eq!(c.result_count(), 1);
+        assert_eq!(c.lookup_result(7, 100), None);
+        assert_eq!(c.lookup_result(7, 101), Some(rel([3, 4])));
+    }
+
+    #[test]
+    fn purge_stale_drops_only_other_versions() {
+        let mut c: PlanCache<()> = PlanCache::new();
+        c.insert_result(1, 100, rel([1, 2]));
+        c.insert_result(2, 101, rel([3, 4]));
+        c.insert_result(3, 101, rel([5, 6]));
+        assert_eq!(c.purge_stale(101), 1);
+        assert_eq!(c.result_count(), 2);
+        assert_eq!(c.lookup_result(2, 101), Some(rel([3, 4])));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c: PlanCache<u8> = PlanCache::new();
+        c.insert_plan("q", 0, 1, 9);
+        c.insert_result(9, 100, rel([1, 2]));
+        c.lookup_plan("q", 0);
+        c.clear();
+        assert_eq!(c.plan_count(), 0);
+        assert_eq!(c.result_count(), 0);
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+}

@@ -7,7 +7,17 @@ use rc_formula::fxhash::FxHashMap;
 use rc_formula::{Formula, Schema, Symbol, Term, Value};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Process-wide version stamp allocator. Starting at 1 reserves version 0
+/// for pristine empty databases (`Database::default()`), which are all
+/// interchangeable anyway.
+static VERSION_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    VERSION_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An in-memory database: a map from predicate symbols to relations.
 ///
@@ -15,10 +25,21 @@ use std::sync::OnceLock;
 /// computed lazily and cached; every mutating method invalidates the
 /// cache, so repeated `active_domain()` calls — the Dom-translation
 /// baseline asks for it per query — cost one scan total, not one per call.
+///
+/// Every mutation also stamps the database with a fresh [`version`] drawn
+/// from a process-wide monotonic counter. Because stamps are globally
+/// unique (never reused by any database in the process), equal versions
+/// imply equal contents: a clone keeps its original's stamp (it *is* the
+/// same contents) until either side mutates, and two databases that
+/// evolved independently can never collide on a stamp. This is the
+/// invalidation signal for [`crate::cache::PlanCache`]'s result entries.
+///
+/// [`version`]: Database::version
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     relations: FxHashMap<Symbol, Relation>,
     domain_cache: OnceLock<BTreeSet<Value>>,
+    version: u64,
 }
 
 impl PartialEq for Database {
@@ -71,6 +92,20 @@ impl Database {
         Database::default()
     }
 
+    /// The monotonic version stamp: bumped (to a process-globally fresh
+    /// value) by every mutating method. Equal stamps imply equal contents;
+    /// a changed database always changes its stamp.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Invalidate derived state after a mutation: drop the active-domain
+    /// cache and take a fresh version stamp.
+    fn bump(&mut self) {
+        self.domain_cache.take();
+        self.version = next_version();
+    }
+
     /// The relation stored for `pred`, if any.
     pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
         self.relations.get(&pred)
@@ -81,14 +116,14 @@ impl Database {
         self.relations
             .entry(pred.into())
             .or_insert_with(|| Relation::new(arity));
-        self.domain_cache.take();
+        self.bump();
         self
     }
 
     /// Insert a whole relation, replacing any existing one.
     pub fn insert_relation(&mut self, pred: impl Into<Symbol>, rel: Relation) -> &mut Self {
         self.relations.insert(pred.into(), rel);
-        self.domain_cache.take();
+        self.bump();
         self
     }
 
@@ -107,7 +142,7 @@ impl Database {
             });
         }
         rel.insert(t);
-        self.domain_cache.take();
+        self.bump();
         Ok(())
     }
 
@@ -162,7 +197,7 @@ impl Database {
             };
             self.relations.insert(pred, merged);
         }
-        self.domain_cache.take();
+        self.bump();
         Ok(())
     }
 

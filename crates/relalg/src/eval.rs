@@ -31,10 +31,11 @@ use crate::expr::{ExprError, RaExpr, SelPred};
 use crate::govern::{Budget, BudgetExceeded, Governor, Stage};
 use crate::relation::{Relation, RelationBuilder};
 use crate::trace::Tracer;
-use rc_formula::fxhash::FxHasher;
+use rc_formula::fxhash::{FxHashMap, FxHasher};
 use rc_formula::{Symbol, Term, Value, Var};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Counters accumulated during evaluation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,6 +50,9 @@ pub struct EvalStats {
     /// one per [`crate::govern::CHECK_INTERVAL`] kernel rows) — the governance consumption
     /// counter; deterministic for a given expression and database.
     pub budget_checks: u64,
+    /// Subplan evaluations satisfied from the per-run memo table
+    /// ([`eval_shared`]); always 0 on the non-memoizing entry points.
+    pub memo_hits: u64,
 }
 
 impl EvalStats {
@@ -65,6 +69,7 @@ impl EvalStats {
         self.tuples_produced += other.tuples_produced;
         self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
         self.budget_checks += other.budget_checks;
+        self.memo_hits += other.memo_hits;
     }
 }
 
@@ -165,7 +170,87 @@ pub fn eval_traced(
     expr.validate(None)?;
     stats.budget_checks += 1;
     budget.checkpoint(Stage::Eval)?;
-    eval_rec(expr, db, stats, budget, tracer)
+    eval_rec(expr, db, stats, budget, tracer, None)
+}
+
+/// Per-run memo table for DAG evaluation: maps an interned subplan (by
+/// [`Arc`] address — sound because hash-consing makes pointer identity
+/// coincide with structural identity, see [`crate::plan`]) to its
+/// materialized relation. [`Relation`] clones are O(1), so a hit costs a
+/// map probe plus the governance charge for the materialized cardinality.
+#[derive(Default)]
+struct Memo {
+    table: FxHashMap<usize, Relation>,
+    hits: u64,
+}
+
+/// Evaluate with common-subexpression sharing: the expression is
+/// hash-consed into a DAG ([`crate::plan::intern`]) and each distinct
+/// subplan is computed **once**, later occurrences being served from a
+/// per-run memo table.
+///
+/// Semantics are identical to [`eval_traced`] — same relation, and a memo
+/// hit still passes a budget checkpoint and charges the materialized
+/// cardinality against the tuple budget, so governed runs cannot smuggle
+/// rows past the limits through the cache. Differences visible to callers:
+///
+/// * [`EvalStats::memo_hits`] counts served subplans, and `operators` /
+///   `tuples_produced` count only the work actually performed (shared
+///   subtrees are not re-counted);
+/// * trace spans for served subplans are leaves flagged `cache_hit` (their
+///   subtrees were traced at first evaluation);
+/// * subtrees are evaluated sequentially — the memo is shared mutable
+///   state, and the sharing it enables replaces the parallel speedup on
+///   exactly the plans where memoization applies.
+pub fn eval_shared(
+    expr: &RaExpr,
+    db: &Database,
+    stats: &mut EvalStats,
+    budget: &Budget,
+    tracer: &mut Tracer,
+) -> Result<Relation, EvalError> {
+    expr.validate(None)?;
+    let (dag, _) = crate::plan::intern(expr);
+    stats.budget_checks += 1;
+    budget.checkpoint(Stage::Eval)?;
+    let mut memo = Memo::default();
+    let out = eval_rec(&dag, db, stats, budget, tracer, Some(&mut memo));
+    stats.memo_hits += memo.hits;
+    out
+}
+
+/// Evaluate a child held behind an [`Arc`], consulting the memo first. On
+/// a hit the subplan's span is emitted as a `cache_hit` leaf and the
+/// governor is still charged with the materialized cardinality.
+fn eval_child(
+    child: &Arc<RaExpr>,
+    db: &Database,
+    stats: &mut EvalStats,
+    budget: &Budget,
+    tr: &mut Tracer,
+    memo: Option<&mut Memo>,
+) -> Result<Relation, EvalError> {
+    let Some(memo) = memo else {
+        return eval_rec(child, db, stats, budget, tr, None);
+    };
+    let key = Arc::as_ptr(child) as usize;
+    if let Some(rel) = memo.table.get(&key) {
+        let rel = rel.clone();
+        memo.hits += 1;
+        tr.open(child);
+        tr.note_cache_hit();
+        tr.note_input(rel.len());
+        stats.budget_checks += 1;
+        let charged = budget
+            .checkpoint(Stage::Eval)
+            .and_then(|()| budget.charge_tuples(Stage::Eval, rel.len() as u64));
+        let res = charged.map(|()| rel).map_err(EvalError::from);
+        tr.close(res.as_ref().ok());
+        return res;
+    }
+    let rel = eval_rec(child, db, stats, budget, tr, Some(memo))?;
+    memo.table.insert(key, rel.clone());
+    Ok(rel)
 }
 
 fn positions(haystack: &[Var], needles: &[Var]) -> Vec<usize> {
@@ -375,14 +460,23 @@ const PARALLEL_THRESHOLD: u64 = 8192;
 /// tree are identical to sequential evaluation; on a budget trip in either
 /// branch the scope still joins both workers, so cancelled threads drain
 /// cleanly (and leave their partial spans) before the error propagates.
+///
+/// Memoizing runs ([`eval_shared`]) always take the sequential path: the
+/// memo is shared mutable state, and cross-branch sharing is the point.
 fn eval_pair(
-    l: &RaExpr,
-    r: &RaExpr,
+    l: &Arc<RaExpr>,
+    r: &Arc<RaExpr>,
     db: &Database,
     stats: &mut EvalStats,
     budget: &Budget,
     tr: &mut Tracer,
+    memo: Option<&mut Memo>,
 ) -> Result<(Relation, Relation), EvalError> {
+    if let Some(memo) = memo {
+        let lrel = eval_child(l, db, stats, budget, tr, Some(memo))?;
+        let rrel = eval_child(r, db, stats, budget, tr, Some(memo))?;
+        return Ok((lrel, rrel));
+    }
     if scan_cost(l, db) >= PARALLEL_THRESHOLD
         && scan_cost(r, db) >= PARALLEL_THRESHOLD
         && budget.spawn_allowed()
@@ -393,11 +487,11 @@ fn eval_pair(
         let ((lres, lstats, ltr), (rres, rstats, rtr)) = std::thread::scope(|s| {
             let lhandle = s.spawn(move || {
                 let mut st = EvalStats::default();
-                let rel = eval_rec(l, db, &mut st, budget, &mut ltr);
+                let rel = eval_rec(l, db, &mut st, budget, &mut ltr, None);
                 (rel, st, ltr)
             });
             let mut rst = EvalStats::default();
-            let rrel = eval_rec(r, db, &mut rst, budget, &mut rtr);
+            let rrel = eval_rec(r, db, &mut rst, budget, &mut rtr, None);
             let left = lhandle.join().expect("eval worker panicked");
             (left, (rrel, rst, rtr))
         });
@@ -407,8 +501,8 @@ fn eval_pair(
         tr.adopt(rtr);
         Ok((lres?, rres?))
     } else {
-        let lrel = eval_rec(l, db, stats, budget, tr)?;
-        let rrel = eval_rec(r, db, stats, budget, tr)?;
+        let lrel = eval_rec(l, db, stats, budget, tr, None)?;
+        let rrel = eval_rec(r, db, stats, budget, tr, None)?;
         Ok((lrel, rrel))
     }
 }
@@ -423,9 +517,10 @@ fn eval_rec(
     stats: &mut EvalStats,
     budget: &Budget,
     tr: &mut Tracer,
+    memo: Option<&mut Memo>,
 ) -> Result<Relation, EvalError> {
     tr.open(expr);
-    let res = eval_node(expr, db, stats, budget, tr);
+    let res = eval_node(expr, db, stats, budget, tr, memo);
     tr.close(res.as_ref().ok());
     res
 }
@@ -436,6 +531,7 @@ fn eval_node(
     stats: &mut EvalStats,
     budget: &Budget,
     tr: &mut Tracer,
+    mut memo: Option<&mut Memo>,
 ) -> Result<Relation, EvalError> {
     let mut gov = Governor::new(budget, Stage::Eval);
     let out = match expr {
@@ -519,7 +615,7 @@ fn eval_node(
         RaExpr::Unit => Relation::unit(),
         RaExpr::Empty { cols } => Relation::new(cols.len()),
         RaExpr::Join(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr, memo.as_deref_mut())?;
             tr.note_input(lrel.len());
             tr.note_input(rrel.len());
             let lcols = l.cols();
@@ -540,7 +636,7 @@ fn eval_node(
             join_kernel(&lrel, &rrel, &l_shared, &r_shared, &r_extra, &mut gov, tr)?
         }
         RaExpr::Union(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr, memo.as_deref_mut())?;
             tr.note_input(lrel.len());
             tr.note_input(rrel.len());
             tr.note_raw((lrel.len() + rrel.len()) as u64);
@@ -560,7 +656,7 @@ fn eval_node(
             }
         }
         RaExpr::Diff(l, r) => {
-            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr)?;
+            let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr, memo.as_deref_mut())?;
             tr.note_input(lrel.len());
             tr.note_input(rrel.len());
             let lcols = l.cols();
@@ -574,7 +670,7 @@ fn eval_node(
             }
         }
         RaExpr::Project { input, cols } => {
-            let rel = eval_rec(input, db, stats, budget, tr)?;
+            let rel = eval_child(input, db, stats, budget, tr, memo)?;
             tr.note_input(rel.len());
             tr.note_raw(rel.len() as u64);
             let icols = input.cols();
@@ -587,7 +683,7 @@ fn eval_node(
             out.finish()
         }
         RaExpr::Select { input, pred } => {
-            let rel = eval_rec(input, db, stats, budget, tr)?;
+            let rel = eval_child(input, db, stats, budget, tr, memo.as_deref_mut())?;
             tr.note_input(rel.len());
             let icols = input.cols();
             let keep: RowPred = match *pred {
@@ -621,7 +717,7 @@ fn eval_node(
             Relation::from_canonical(icols.len(), n, kept)
         }
         RaExpr::Duplicate { input, src, .. } => {
-            let rel = eval_rec(input, db, stats, budget, tr)?;
+            let rel = eval_child(input, db, stats, budget, tr, memo)?;
             tr.note_input(rel.len());
             let icols = input.cols();
             let i = positions(&icols, &[*src])[0];
@@ -648,6 +744,7 @@ fn eval_node(
 mod tests {
     use super::*;
     use crate::relation::tuple;
+    use std::sync::Arc;
 
     fn db() -> Database {
         Database::from_facts("P(1, 2)\nP(2, 3)\nP(3, 3)\nQ(2)\nQ(3)\nR(1)\nS(1, 2)\nS(9, 9)")
@@ -794,7 +891,7 @@ mod tests {
     #[test]
     fn duplicate_copies_column() {
         let e = RaExpr::Duplicate {
-            input: Box::new(RaExpr::scan("Q", vec![Term::var("x")])),
+            input: Arc::new(RaExpr::scan("Q", vec![Term::var("x")])),
             src: Var::new("x"),
             dst: Var::new("x2"),
         };
@@ -846,12 +943,14 @@ mod tests {
             tuples_produced: 10,
             max_intermediate: 7,
             budget_checks: 1,
+            memo_hits: 1,
         };
         a.merge(EvalStats {
             operators: 3,
             tuples_produced: 4,
             max_intermediate: 9,
             budget_checks: 2,
+            memo_hits: 2,
         });
         assert_eq!(
             a,
@@ -860,6 +959,7 @@ mod tests {
                 tuples_produced: 14,
                 max_intermediate: 9,
                 budget_checks: 3,
+                memo_hits: 3,
             }
         );
     }
@@ -900,5 +1000,98 @@ mod tests {
         let r2 = eval(&e, &d).unwrap();
         assert_eq!(r, r2);
         assert_eq!(r.to_string(), r2.to_string());
+    }
+
+    /// A plan whose join subtree appears in both union branches (under
+    /// different selections, so union dedup cannot collapse them).
+    fn shared_subtree_plan() -> RaExpr {
+        let j = RaExpr::join(
+            RaExpr::scan("P", vec![Term::var("x"), Term::var("y")]),
+            RaExpr::scan("Q", vec![Term::var("y")]),
+        );
+        RaExpr::union(
+            RaExpr::select(j.clone(), SelPred::EqCols(Var::new("x"), Var::new("y"))),
+            RaExpr::select(j, SelPred::NeqCols(Var::new("x"), Var::new("y"))),
+        )
+    }
+
+    #[test]
+    fn eval_shared_matches_eval_and_counts_hits() {
+        let d = db();
+        let e = shared_subtree_plan();
+        let want = eval(&e, &d).unwrap();
+        let mut stats = EvalStats::default();
+        let mut tr = Tracer::on();
+        let got = eval_shared(&e, &d, &mut stats, Budget::unlimited(), &mut tr).unwrap();
+        assert_eq!(want, got);
+        // The join subtree (join + 2 scans) is computed once and served
+        // once: one memo hit, and only the 6 distinct DAG nodes count as
+        // evaluated operators (the tree has 9).
+        assert_eq!(stats.memo_hits, 1);
+        assert_eq!(stats.operators, 6);
+        assert_eq!(e.node_count(), 9);
+        let root = tr.finish().expect("span tree");
+        fn count_hits(s: &OpSpan) -> usize {
+            s.cache_hit as usize + s.children.iter().map(count_hits).sum::<usize>()
+        }
+        use crate::trace::OpSpan;
+        assert_eq!(count_hits(&root), 1);
+        // The hit span is a leaf reporting the memoized cardinality.
+        fn find_hit(s: &OpSpan) -> Option<&OpSpan> {
+            if s.cache_hit {
+                return Some(s);
+            }
+            s.children.iter().find_map(find_hit)
+        }
+        let hit = find_hit(&root).expect("cache-hit span");
+        assert!(hit.children.is_empty());
+        assert!(hit.completed);
+        assert_eq!(hit.op, "join");
+    }
+
+    #[test]
+    fn eval_shared_without_sharing_is_plain_eval() {
+        let d = db();
+        let e = RaExpr::diff(
+            RaExpr::scan("P", vec![Term::var("x"), Term::var("y")]),
+            RaExpr::scan("S", vec![Term::var("x"), Term::var("y")]),
+        );
+        let mut stats = EvalStats::default();
+        let got = eval_shared(&e, &d, &mut stats, Budget::unlimited(), &mut Tracer::off()).unwrap();
+        assert_eq!(got, eval(&e, &d).unwrap());
+        assert_eq!(stats.memo_hits, 0);
+    }
+
+    #[test]
+    fn memo_hits_still_charge_the_tuple_budget() {
+        let d = db();
+        let e = shared_subtree_plan();
+        // Ungoverned: find out how many tuples the memoized run charges.
+        let mut stats = EvalStats::default();
+        eval_shared(&e, &d, &mut stats, Budget::unlimited(), &mut Tracer::off()).unwrap();
+        let full = Budget::new().with_max_tuples(1_000_000);
+        eval_shared(&e, &d, &mut EvalStats::default(), &full, &mut Tracer::off()).unwrap();
+        let charged = full.tuples_used();
+        assert!(charged > 0);
+        // A budget one short of that must trip — even though the final
+        // tuples flow through a memo hit, the hit still charges its
+        // materialized cardinality.
+        let tight = Budget::new().with_max_tuples(charged - 1);
+        let err = eval_shared(
+            &e,
+            &d,
+            &mut EvalStats::default(),
+            &tight,
+            &mut Tracer::off(),
+        )
+        .expect_err("tuple cap must trip");
+        assert!(matches!(err, EvalError::Budget(_)), "got {err:?}");
+        // Sanity: the memoized run charges no more than the parallel-free
+        // plain run (shared subtrees are charged once per *service*, and
+        // the service charge equals the subplan's output size).
+        let plain = Budget::new().with_max_tuples(1_000_000);
+        let mut pstats = EvalStats::default();
+        eval_governed(&e, &d, &mut pstats, &plain).unwrap();
+        assert!(charged <= plain.tuples_used() + stats.memo_hits * stats.max_intermediate as u64);
     }
 }

@@ -14,9 +14,10 @@
 
 use rc_formula::{Schema, Symbol, Term, Value, Var};
 use std::fmt;
+use std::sync::Arc;
 
 /// A selection predicate for [`RaExpr::Select`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SelPred {
     /// Keep rows where two columns are equal.
     EqCols(Var, Var),
@@ -39,7 +40,14 @@ impl SelPred {
 }
 
 /// A relational algebra expression with variable-named columns.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// Children are held behind [`Arc`] so that hash-consing
+/// ([`crate::plan::intern`]) can *physically share* duplicate subtrees: the
+/// genify/RANF pipeline routinely emits the same scan/join/diff subplan in
+/// several union branches, and interning turns that tree into a DAG whose
+/// shared nodes the memoizing evaluator ([`crate::eval::eval_shared`])
+/// computes once. Cloning an expression is cheap (reference bumps).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum RaExpr {
     /// Scan of a base relation through an atom pattern. Constants select,
     /// repeated variables select equality, and the output columns are the
@@ -68,26 +76,26 @@ pub enum RaExpr {
         cols: Vec<Var>,
     },
     /// Natural join on shared column names (the equijoin of Sec. 2.1).
-    Join(Box<RaExpr>, Box<RaExpr>),
+    Join(Arc<RaExpr>, Arc<RaExpr>),
     /// Union. Operands must have the same column *set*; the right side is
     /// re-ordered to match the left (the paper's "possibly after a column
     /// permutation").
-    Union(Box<RaExpr>, Box<RaExpr>),
+    Union(Arc<RaExpr>, Arc<RaExpr>),
     /// Generalized set difference `P diff Q` (Def. 9.3): tuples of `P` whose
     /// projection onto `Q`'s columns is not in `Q`. Requires
     /// `cols(Q) ⊆ cols(P)`.
-    Diff(Box<RaExpr>, Box<RaExpr>),
+    Diff(Arc<RaExpr>, Arc<RaExpr>),
     /// Projection onto a subset of columns.
     Project {
         /// Input expression.
-        input: Box<RaExpr>,
+        input: Arc<RaExpr>,
         /// Columns to keep (order defines the output order).
         cols: Vec<Var>,
     },
     /// Selection.
     Select {
         /// Input expression.
-        input: Box<RaExpr>,
+        input: Arc<RaExpr>,
         /// The predicate.
         pred: SelPred,
     },
@@ -95,7 +103,7 @@ pub enum RaExpr {
     /// `src` named `dst`.
     Duplicate {
         /// Input expression.
-        input: Box<RaExpr>,
+        input: Arc<RaExpr>,
         /// Column to copy.
         src: Var,
         /// Name of the new column.
@@ -166,23 +174,23 @@ impl RaExpr {
 
     /// Join shorthand.
     pub fn join(l: RaExpr, r: RaExpr) -> RaExpr {
-        RaExpr::Join(Box::new(l), Box::new(r))
+        RaExpr::Join(Arc::new(l), Arc::new(r))
     }
 
     /// Union shorthand.
     pub fn union(l: RaExpr, r: RaExpr) -> RaExpr {
-        RaExpr::Union(Box::new(l), Box::new(r))
+        RaExpr::Union(Arc::new(l), Arc::new(r))
     }
 
     /// Diff shorthand.
     pub fn diff(l: RaExpr, r: RaExpr) -> RaExpr {
-        RaExpr::Diff(Box::new(l), Box::new(r))
+        RaExpr::Diff(Arc::new(l), Arc::new(r))
     }
 
     /// Projection shorthand.
     pub fn project(input: RaExpr, cols: Vec<Var>) -> RaExpr {
         RaExpr::Project {
-            input: Box::new(input),
+            input: Arc::new(input),
             cols,
         }
     }
@@ -190,7 +198,7 @@ impl RaExpr {
     /// Selection shorthand.
     pub fn select(input: RaExpr, pred: SelPred) -> RaExpr {
         RaExpr::Select {
-            input: Box::new(input),
+            input: Arc::new(input),
             pred,
         }
     }
@@ -404,14 +412,14 @@ mod tests {
     fn duplicate_validation() {
         let p = RaExpr::scan("P", vec![Term::var("x")]);
         let good = RaExpr::Duplicate {
-            input: Box::new(p.clone()),
+            input: Arc::new(p.clone()),
             src: v("x"),
             dst: v("x2"),
         };
         assert!(good.validate(None).is_ok());
         assert_eq!(good.cols(), vec![v("x"), v("x2")]);
         let bad = RaExpr::Duplicate {
-            input: Box::new(p),
+            input: Arc::new(p),
             src: v("z"),
             dst: v("x2"),
         };

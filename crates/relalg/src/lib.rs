@@ -12,7 +12,12 @@
 //!
 //! * [`relation::Relation`], [`database::Database`] — storage;
 //! * [`expr::RaExpr`] — the expression tree, with structural validation;
-//! * [`eval`](mod@eval) — hash-join/anti-join evaluation with [`eval::EvalStats`];
+//! * [`eval`](mod@eval) — hash-join/anti-join evaluation with [`eval::EvalStats`],
+//!   including the memoizing DAG evaluator [`eval::eval_shared`];
+//! * [`plan`] — hash-consing expressions into DAGs with physically shared
+//!   subtrees ([`plan::intern`]) and structural plan hashes;
+//! * [`cache`] — cross-run plan/result cache keyed by (plan hash,
+//!   [`database::Database`] version), invalidated by any mutation;
 //! * [`govern`] — resource budgets, cooperative cancellation, fault
 //!   injection for the whole pipeline (shared with `rc-core`'s stages);
 //! * [`trace`] — opt-in span tracing of stages and operators (cardinalities,
@@ -25,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod database;
 pub mod display;
 pub mod eval;
@@ -32,14 +38,19 @@ pub mod expr;
 pub mod govern;
 pub mod io;
 pub mod optimize;
+pub mod plan;
 pub mod relation;
 pub mod trace;
 
 pub use baseline::eval_baseline;
+pub use cache::{CacheStats, PlanCache};
 pub use database::Database;
-pub use eval::{eval, eval_governed, eval_traced, eval_with_stats, EvalError, EvalStats};
+pub use eval::{
+    eval, eval_governed, eval_shared, eval_traced, eval_with_stats, EvalError, EvalStats,
+};
 pub use expr::{RaExpr, SelPred};
 pub use govern::{Budget, BudgetExceeded, CancelHandle, FaultInjector, Governor, Resource, Stage};
 pub use optimize::simplify;
+pub use plan::{intern, plan_hash, InternStats, Interner};
 pub use relation::{tuple, Relation, RelationBuilder, Tuple};
 pub use trace::{OpSpan, PipelineTrace, StageSpan, StageTracer, TraceSink, Tracer};

@@ -6,7 +6,8 @@
 //! straightforward expressions; this pass cleans them up:
 //!
 //! * cascade projections; drop identity projections;
-//! * `⊤ ⋈ e → e` and `e ⋈ ⊤ → e`; `e ⋈ e → e` (set semantics);
+//! * `⊤ ⋈ e → e` and `e ⋈ ⊤ → e`; `e ⋈ e → e` (set semantics — guarded by
+//!   a column-set equality check, `join_dedup_applies`);
 //! * propagate empty relations through join/select/project/diff/union;
 //! * `e diff ∅ → e`;
 //! * deduplicate syntactically equal union branches;
@@ -14,10 +15,36 @@
 //!   through unions;
 //! * push projections through unions.
 //!
+//! ## Selection pushdown around `Diff` — soundness audit
+//!
+//! For the generalized difference `A diff B` the **only** sound pushdown is
+//! into the *left* operand: `σ(A diff B) = σ(A) diff B`, because `diff`
+//! keeps a subset of `A`'s rows and the filter commutes with "keep rows
+//! whose projection has no partner in B". Pushing the predicate into the
+//! *right* side instead — `A diff σ(B)` — is **unsound**: shrinking `B`
+//! can only *grow* the difference, so rows that σ would have rejected (or
+//! rows whose partners σ removed from `B`) leak into the output. Concretely
+//! with `A = {1, 2}`, `B = {2}` and `σ = (x ≠ 2)`:
+//! `σ(A − B) = {1}` but `A − σ(B) = A − ∅ = {1, 2}`. `push_select`
+//! therefore never touches the right operand of a `Diff`; regression tests
+//! below and the Diff-heavy property suite in `tests/prop_relalg.rs` pin
+//! this.
+//!
 //! Simplification is semantics-preserving; a property test in the workspace
 //! integration suite evaluates optimized and raw expressions side by side.
 
 use crate::expr::{RaExpr, SelPred};
+use std::sync::Arc;
+
+/// May `e ⋈ e → e` fire for these (already simplified) operands? Requires
+/// syntactic equality **and** column-*sequence* equality. Syntactic
+/// equality implies equal column order today, but the guard keeps the
+/// rewrite locally auditable: if a future rewrite ever reorders one side's
+/// children (changing its column order) without renaming it, the dedup
+/// stays off rather than silently changing the output column order.
+fn join_dedup_applies(l: &RaExpr, r: &RaExpr) -> bool {
+    l == r && l.cols() == r.cols()
+}
 
 /// Simplify to a fixpoint (each rewrite strictly shrinks the tree, so one
 /// bottom-up pass that re-simplifies rebuilt nodes suffices).
@@ -37,15 +64,15 @@ pub fn simplify(e: &RaExpr) -> RaExpr {
             }
             // Join with an empty side is empty over the merged columns.
             if is_empty(&l) || is_empty(&r) {
-                let cols = RaExpr::Join(Box::new(l), Box::new(r)).cols();
+                let cols = RaExpr::Join(Arc::new(l), Arc::new(r)).cols();
                 return RaExpr::Empty { cols };
             }
             // Set semantics: joining an expression with itself on all
-            // columns is the identity.
-            if l == r {
+            // columns is the identity (column-set guard included).
+            if join_dedup_applies(&l, &r) {
                 return l;
             }
-            RaExpr::Join(Box::new(l), Box::new(r))
+            RaExpr::Join(Arc::new(l), Arc::new(r))
         }
         RaExpr::Union(l, r) => {
             let l = simplify(l);
@@ -56,7 +83,7 @@ pub fn simplify(e: &RaExpr) -> RaExpr {
             if is_empty(&r) || l == r {
                 return l;
             }
-            RaExpr::Union(Box::new(l), Box::new(r))
+            RaExpr::Union(Arc::new(l), Arc::new(r))
         }
         RaExpr::Diff(l, r) => {
             let l = simplify(l);
@@ -67,7 +94,7 @@ pub fn simplify(e: &RaExpr) -> RaExpr {
             if is_empty(&l) {
                 return RaExpr::Empty { cols: l.cols() };
             }
-            RaExpr::Diff(Box::new(l), Box::new(r))
+            RaExpr::Diff(Arc::new(l), Arc::new(r))
         }
         RaExpr::Project { input, cols } => {
             let input = simplify(input);
@@ -87,18 +114,18 @@ pub fn simplify(e: &RaExpr) -> RaExpr {
             // Push through union: π(a ∪ b) = π(a) ∪ π(b).
             if let RaExpr::Union(a, b) = input {
                 return simplify(&RaExpr::Union(
-                    Box::new(RaExpr::Project {
+                    Arc::new(RaExpr::Project {
                         input: a,
                         cols: cols.clone(),
                     }),
-                    Box::new(RaExpr::Project {
+                    Arc::new(RaExpr::Project {
                         input: b,
                         cols: cols.clone(),
                     }),
                 ));
             }
             RaExpr::Project {
-                input: Box::new(input),
+                input: Arc::new(input),
                 cols: cols.clone(),
             }
         }
@@ -111,7 +138,7 @@ pub fn simplify(e: &RaExpr) -> RaExpr {
                 return pushed;
             }
             RaExpr::Select {
-                input: Box::new(input),
+                input: Arc::new(input),
                 pred: *pred,
             }
         }
@@ -123,7 +150,7 @@ pub fn simplify(e: &RaExpr) -> RaExpr {
                 return RaExpr::Empty { cols };
             }
             RaExpr::Duplicate {
-                input: Box::new(input),
+                input: Arc::new(input),
                 src: *src,
                 dst: *dst,
             }
@@ -140,14 +167,16 @@ fn is_empty(e: &RaExpr) -> bool {
 /// * `σ(a ⋈ b) → σ(a) ⋈ b` (or the right side) when one side holds every
 ///   selected column — shrinks join inputs;
 /// * `σ(a ∪ b) → σ(a) ∪ σ(b)`;
-/// * `σ(a diff b) → σ(a) diff b` (the filter only concerns kept tuples).
+/// * `σ(a diff b) → σ(a) diff b` — left side **only**; pushing into the
+///   right side of a difference is unsound (`σ(A−B) ≠ A−σ(B)`, see the
+///   module docs), even when every selected column lives in `b`'s columns.
 fn push_select(input: &RaExpr, pred: SelPred) -> Option<RaExpr> {
     let need = pred.cols();
     match input {
         RaExpr::Join(l, r) => {
             if need.iter().all(|v| l.cols().contains(v)) {
                 Some(simplify(&RaExpr::Join(
-                    Box::new(RaExpr::Select {
+                    Arc::new(RaExpr::Select {
                         input: l.clone(),
                         pred,
                     }),
@@ -156,7 +185,7 @@ fn push_select(input: &RaExpr, pred: SelPred) -> Option<RaExpr> {
             } else if need.iter().all(|v| r.cols().contains(v)) {
                 Some(simplify(&RaExpr::Join(
                     l.clone(),
-                    Box::new(RaExpr::Select {
+                    Arc::new(RaExpr::Select {
                         input: r.clone(),
                         pred,
                     }),
@@ -166,17 +195,17 @@ fn push_select(input: &RaExpr, pred: SelPred) -> Option<RaExpr> {
             }
         }
         RaExpr::Union(a, b) => Some(simplify(&RaExpr::Union(
-            Box::new(RaExpr::Select {
+            Arc::new(RaExpr::Select {
                 input: a.clone(),
                 pred,
             }),
-            Box::new(RaExpr::Select {
+            Arc::new(RaExpr::Select {
                 input: b.clone(),
                 pred,
             }),
         ))),
         RaExpr::Diff(a, b) => Some(simplify(&RaExpr::Diff(
-            Box::new(RaExpr::Select {
+            Arc::new(RaExpr::Select {
                 input: a.clone(),
                 pred,
             }),
@@ -195,7 +224,7 @@ fn align_union_result(survivor: RaExpr, vanished_left: &RaExpr) -> RaExpr {
         survivor
     } else {
         simplify(&RaExpr::Project {
-            input: Box::new(survivor),
+            input: Arc::new(survivor),
             cols: want,
         })
     }
@@ -274,6 +303,35 @@ mod tests {
     }
 
     #[test]
+    fn join_dedup_fires_only_after_rewriting_makes_sides_equal() {
+        // π[x,y](P(x,y)) ⋈ P(x,y): the sides are NOT syntactically equal in
+        // the input; the identity projection is dropped during
+        // simplification and only then does e ⋈ e → e apply. This pins that
+        // the dedup check runs on the *simplified* children (and that the
+        // column-set guard accepts the rewritten pair).
+        let wrapped = RaExpr::project(p(), vec![Var::new("x"), Var::new("y")]);
+        let e = RaExpr::join(wrapped, p());
+        assert_eq!(simplify(&e), p());
+    }
+
+    #[test]
+    fn join_dedup_requires_equal_column_sequences() {
+        // Directly exercise the guard: equal trees always share a column
+        // sequence, and a reordered twin is not a candidate.
+        let q_xy = RaExpr::scan("Q", vec![Term::var("x"), Term::var("y")]);
+        let q_yx = RaExpr::scan("Q", vec![Term::var("y"), Term::var("x")]);
+        assert!(join_dedup_applies(&q_xy, &q_xy));
+        assert!(!join_dedup_applies(&q_xy, &q_yx));
+        // The full join of the reordered twins must therefore survive as a
+        // join (it computes the intersection with x/y matched crosswise —
+        // not the identity).
+        assert!(matches!(
+            simplify(&RaExpr::join(q_xy, q_yx)),
+            RaExpr::Join(..)
+        ));
+    }
+
+    #[test]
     fn selection_pushes_into_join_side() {
         use rc_formula::Value;
         // σ[x=1](P(x,y) ⋈ Q(y,z)): x only lives on the P side.
@@ -328,6 +386,55 @@ mod tests {
             RaExpr::Diff(l, _) => assert!(matches!(*l, RaExpr::Select { .. })),
             other => panic!("expected diff with pushed select, got {other}"),
         }
+    }
+
+    #[test]
+    fn diff_pushdown_never_touches_the_right_side() {
+        use rc_formula::Value;
+        // σ[y≠1](P(x,y) diff R(y)): every selected column (y) lives in the
+        // right operand's columns too — the unsound rewrite A diff σ(B)
+        // would be "applicable" by the join-side column test. Pin that the
+        // selection lands on the left operand and the right one is the
+        // untouched scan.
+        let r_scan = RaExpr::scan("R", vec![Term::var("y")]);
+        let e = RaExpr::select(
+            RaExpr::diff(p(), r_scan.clone()),
+            SelPred::NeqConst(Var::new("y"), Value::int(1)),
+        );
+        match simplify(&e) {
+            RaExpr::Diff(l, r) => {
+                assert!(
+                    matches!(&*l, RaExpr::Select { .. }),
+                    "selection must move to the LEFT of diff, got {l}"
+                );
+                assert_eq!(*r, r_scan, "right side of diff must stay unfiltered");
+            }
+            other => panic!("expected diff, got {other}"),
+        }
+    }
+
+    #[test]
+    fn diff_pushdown_semantics_on_concrete_data() {
+        use crate::database::Database;
+        use crate::eval::eval;
+        use rc_formula::Value;
+        // The σ(A−B) = σ(A)−B identity on the module-doc counterexample
+        // shape: A = {1,2}, B = {2}, σ = (x ≠ 2). σ(A−B) = {1}; the unsound
+        // A−σ(B) would be {1,2}.
+        let db = Database::from_facts("A(1)\nA(2)\nB(2)").unwrap();
+        let raw = RaExpr::select(
+            RaExpr::diff(
+                RaExpr::scan("A", vec![Term::var("x")]),
+                RaExpr::scan("B", vec![Term::var("x")]),
+            ),
+            SelPred::NeqConst(Var::new("x"), Value::int(2)),
+        );
+        let opt = simplify(&raw);
+        let want = eval(&raw, &db).unwrap();
+        let got = eval(&opt, &db).unwrap();
+        assert_eq!(want, got, "optimized diff plan changed the answer");
+        assert_eq!(want.len(), 1);
+        assert!(want.contains(&[Value::int(1)]));
     }
 
     #[test]

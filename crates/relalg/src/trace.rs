@@ -65,6 +65,10 @@ pub struct OpSpan {
     /// Were the children evaluated on separate threads? (Excluded from the
     /// deterministic projection: spawn denial flips it, cardinalities not.)
     pub parallel: bool,
+    /// Was this subplan served from the per-run memo table
+    /// ([`crate::eval::eval_shared`])? Such spans are leaves — the subtree
+    /// was traced at its first evaluation.
+    pub cache_hit: bool,
     /// Did the operator run to completion? `false` when a budget trip or
     /// cancellation unwound it — the deepest incomplete span is the hot
     /// operator a `BudgetExceeded` is attributed to.
@@ -84,6 +88,7 @@ impl OpSpan {
             raw_rows: 0,
             kernel_rows: 0,
             parallel: false,
+            cache_hit: false,
             completed: false,
             elapsed_ns: 0,
             children: Vec::new(),
@@ -149,6 +154,9 @@ impl OpSpan {
             self.rows_out,
             self.raw_rows
         );
+        if self.cache_hit {
+            out.push_str(" MEMO");
+        }
         if !self.completed {
             out.push_str(" INCOMPLETE");
         }
@@ -163,7 +171,7 @@ impl OpSpan {
         let ins: Vec<String> = self.rows_in.iter().map(|n| n.to_string()).collect();
         let _ = write!(
             out,
-            "{pad}{}  in=[{}] out={} raw={} kernel={}  {:.3} ms{}{}",
+            "{pad}{}  in=[{}] out={} raw={} kernel={}  {:.3} ms{}{}{}",
             self.op,
             ins.join(","),
             self.rows_out,
@@ -171,6 +179,7 @@ impl OpSpan {
             self.kernel_rows,
             self.elapsed_ns as f64 / 1e6,
             if self.parallel { "  [parallel]" } else { "" },
+            if self.cache_hit { "  [cached]" } else { "" },
             if self.completed { "" } else { "  [INCOMPLETE]" },
         );
         out.push('\n');
@@ -183,8 +192,8 @@ impl OpSpan {
         let _ = write!(
             out,
             "{{\"op\":{},\"rows_in\":[{}],\"rows_out\":{},\"raw_rows\":{},\
-             \"kernel_rows\":{},\"parallel\":{},\"completed\":{},\"elapsed_ns\":{},\
-             \"children\":[",
+             \"kernel_rows\":{},\"parallel\":{},\"cache_hit\":{},\"completed\":{},\
+             \"elapsed_ns\":{},\"children\":[",
             json_str(&self.op),
             self.rows_in
                 .iter()
@@ -195,6 +204,7 @@ impl OpSpan {
             self.raw_rows,
             self.kernel_rows,
             self.parallel,
+            self.cache_hit,
             self.completed,
             self.elapsed_ns,
         );
@@ -409,6 +419,13 @@ impl Tracer {
         }
     }
 
+    /// Mark the open span as served from the evaluation memo table.
+    pub(crate) fn note_cache_hit(&mut self) {
+        if let Some((span, _)) = self.stack.last_mut() {
+            span.cache_hit = true;
+        }
+    }
+
     /// Close the innermost open span: `Some(rel)` on success (records the
     /// output cardinality and, if no kernel reported one, the raw row
     /// count), `None` on error (the span stays marked incomplete).
@@ -600,7 +617,12 @@ impl PipelineTrace {
     }
 }
 
-fn json_str(s: &str) -> String {
+/// Encode `s` as a JSON string literal (quotes included): `"`, `\\`, and
+/// all control characters are escaped, so the output is valid under a
+/// strict parser whatever bytes a [`Symbol`](rc_formula::Symbol) or stage
+/// detail carried. Public because every hand-rolled JSON emitter in the
+/// workspace must share one escaper rather than interpolate raw strings.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -16,16 +16,42 @@
 //! * `budget tuples <n>` / `budget nodes <n>` / `budget ms <n>` — cap the
 //!   intermediate tuples, formula/plan nodes, or wall-clock per query
 //! * `budget off` / `budget` — clear / show the current limits
-//! * `<formula>` — compile and evaluate
+//! * `cache` / `cache clear` — show plan/result cache statistics / drop
+//!   all cached entries (inserting a fact never serves stale answers: the
+//!   database version bump invalidates results automatically)
+//! * `<formula>` — compile and evaluate (served through the plan/result
+//!   cache: repeating a query skips compilation, and — until the database
+//!   changes — evaluation too)
 //! * `quit`
 
 use rcsafe::relalg::trace::{render_analyze, render_plan};
+use rcsafe::relalg::EvalStats;
 use rcsafe::safety::pipeline::{
-    compile_and_eval, compile_and_eval_traced, CompileOptions, PipelineError,
+    compile_and_eval, compile_and_eval_cached, compile_and_eval_traced, CompileOptions, Compiled,
+    PipelineError, QueryOutput,
 };
-use rcsafe::{classify, parse, Budget, Database, SafetyClass};
+use rcsafe::{classify, parse, Budget, Database, PlanCache, Relation, SafetyClass};
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// What every query mode produces: cached serving hands back a shared
+/// `Arc<Compiled>`, the uncached paths an owned one — unify on the `Arc`.
+struct Served {
+    compiled: Arc<Compiled>,
+    relation: Relation,
+    stats: EvalStats,
+}
+
+impl From<QueryOutput> for Served {
+    fn from(o: QueryOutput) -> Served {
+        Served {
+            compiled: Arc::new(o.compiled),
+            relation: o.relation,
+            stats: o.stats,
+        }
+    }
+}
 
 /// The limits the user has configured; a fresh [`Budget`] is armed from
 /// these for every query (a deadline starts counting when armed, and
@@ -102,6 +128,7 @@ fn main() {
     )
     .unwrap();
     let mut limits = Limits::default();
+    let mut cache: PlanCache<Compiled> = PlanCache::new();
 
     println!("rcsafe console — relational calculus with safe translation");
     println!("preloaded: Part/1, Supplies/2. Type `help` for commands.\n");
@@ -131,6 +158,8 @@ fn main() {
                 println!("  budget nodes <n>   cap formula/plan size per query");
                 println!("  budget ms <n>      wall-clock deadline per query");
                 println!("  budget off         remove all limits (budget: show them)");
+                println!("  cache              show plan/result cache statistics");
+                println!("  cache clear        drop all cached plans and results");
                 println!("  <formula>          evaluate a query");
                 println!("  quit               leave");
                 continue;
@@ -146,6 +175,28 @@ fn main() {
                 Ok(()) => println!("  ok"),
                 Err(e) => println!("  error: {e}"),
             }
+            continue;
+        }
+        if line == "cache" {
+            let s = cache.stats();
+            println!(
+                "  plans: {} cached ({} hits / {} misses)",
+                cache.plan_count(),
+                s.plan_hits,
+                s.plan_misses
+            );
+            println!(
+                "  results: {} cached ({} hits / {} misses, {} stale)",
+                cache.result_count(),
+                s.result_hits,
+                s.result_misses,
+                s.stale_results
+            );
+            continue;
+        }
+        if line == "cache clear" {
+            cache.clear();
+            println!("  cache cleared");
             continue;
         }
         if line == "budget" {
@@ -180,11 +231,37 @@ fn main() {
             budget: limits.arm(),
             ..CompileOptions::default()
         };
-        let (result, trace) = if mode == Mode::Analyze {
+        // Plain queries are served through the cross-run cache; `explain`
+        // modes always recompile so the reported stages stay live.
+        let (result, trace, served) = if mode == Mode::Analyze {
             let (r, t) = compile_and_eval_traced(text, &db, opts);
-            (r, Some(t))
+            (r.map(Served::from), Some(t), None)
+        } else if mode == Mode::Explain {
+            (
+                compile_and_eval(text, &db, opts).map(Served::from),
+                None,
+                None,
+            )
         } else {
-            (compile_and_eval(text, &db, opts), None)
+            match compile_and_eval_cached(text, &db, opts, &mut cache) {
+                Ok(o) => {
+                    let note = match (o.plan_cached, o.result_cached) {
+                        (_, true) => Some("result served from cache (database unchanged)"),
+                        (true, false) => Some("plan served from cache"),
+                        (false, false) => None,
+                    };
+                    (
+                        Ok(Served {
+                            compiled: o.compiled,
+                            relation: o.relation,
+                            stats: o.stats,
+                        }),
+                        None,
+                        note,
+                    )
+                }
+                Err(e) => (Err(e), None, None),
+            }
         };
         match result {
             Err(PipelineError::Parse(e)) => println!("  parse error: {e}"),
@@ -198,7 +275,10 @@ fn main() {
             }
             Err(e) => println!("  error: {e}"),
             Ok(outcome) => {
-                let c = &outcome.compiled;
+                let c: &Compiled = &outcome.compiled;
+                if let Some(note) = served {
+                    println!("  {note}");
+                }
                 if mode != Mode::Plain {
                     for line in c.explain().lines().skip(1) {
                         println!("  {line}");

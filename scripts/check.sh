@@ -20,12 +20,20 @@ echo "==> cargo test (workspace)"
 #   BLESS=1 cargo test --test golden_trace
 cargo test -q --workspace
 
+echo "==> cache and optimizer regression suites (named so a failure is obvious)"
+cargo test -q --test cache_serving
+cargo test -q --test trace_json
+cargo test -q --test prop_relalg diff_heavy
+
 echo "==> example smoke tests"
 cargo run -q --example quickstart > /dev/null
 cargo run -q --example suppliers_parts > /dev/null
 
 echo "==> trace overhead gate (tracing off must cost < 1% median, paired)"
 TRACE_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
+
+echo "==> cache gate (warm serves must hit; median repeated-query speedup >= 5x)"
+CACHE_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 
 echo "==> trace export smoke test (the JSON artifact CI uploads)"
 cargo run -q --release -p rc-bench --bin trace_export > /dev/null

@@ -3,7 +3,7 @@
 
 mod common;
 
-use rcsafe::safety::dom_baseline::eval_brute_force;
+use rcsafe::safety::dom_baseline::{eval_brute_force, eval_dom};
 use rcsafe::{compile, parse, query, Database, Value, Var};
 
 fn check_against_oracle(q: &str, db: &Database) {
@@ -21,6 +21,30 @@ fn repeated_variables_in_atoms() {
     check_against_oracle("P(x, x) & Q(x)", &db);
     check_against_oracle("exists x. P(x, x)", &db);
     check_against_oracle("Q(x) & !P(x, x)", &db);
+}
+
+/// Equality reduction on repeated-variable atoms (`p(x, x) ∧ x = c`
+/// shapes), checked differentially: the pipeline (equality reduction on by
+/// default), the Dom-relation baseline, and brute-force active-domain
+/// evaluation must all agree.
+#[test]
+fn repeated_variable_atoms_with_equalities() {
+    let db = Database::from_facts("P(1, 1)\nP(1, 2)\nP(3, 3)\nQ(1)\nQ(3)").unwrap();
+    for q in [
+        "P(x, x) & x = 1",
+        "exists x. (P(x, x) & x = 1)",
+        "Q(y) & exists x. (P(x, x) & x = y)",
+        "Q(x) & (P(x, x) | x = 1)",
+        "Q(x) & !(P(x, x) & x = 1)",
+        "P(x, y) & x = y",
+        "exists x. (P(x, x) & (x = 1 | x = 3))",
+    ] {
+        let f = parse(q).unwrap();
+        let c = compile(&f).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let ours = c.run(&db).unwrap();
+        assert_eq!(ours, eval_brute_force(&f, &db), "{q} vs brute force");
+        assert_eq!(ours, eval_dom(&f, &db).unwrap(), "{q} vs Dom baseline");
+    }
 }
 
 #[test]

@@ -15,6 +15,7 @@ use rcsafe::formula::vars::rectified;
 use rcsafe::relalg::{eval, eval_baseline, eval_with_stats, EvalStats, RelationBuilder};
 use rcsafe::safety::pipeline::{compile_with, CompileOptions};
 use rcsafe::{Database, RaExpr, Term, Value, Var};
+use std::sync::Arc;
 
 fn random_db(seed: u64, rows: usize, domain: i64) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -78,7 +79,7 @@ fn synthetic_exprs() -> Vec<RaExpr> {
             rcsafe::relalg::SelPred::EqConst(Var::new("x"), Value::int(1)),
         ),
         RaExpr::Duplicate {
-            input: Box::new(c()),
+            input: Arc::new(c()),
             src: Var::new("y"),
             dst: Var::new("y2"),
         },

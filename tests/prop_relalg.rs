@@ -10,9 +10,9 @@ use rand::Rng;
 use rand::SeedableRng;
 use rcsafe::formula::generate::{random_allowed_formula, GenConfig};
 use rcsafe::formula::vars::rectified;
-use rcsafe::relalg::{eval, simplify, RaExpr, Relation};
+use rcsafe::relalg::{eval, eval_shared, simplify, EvalStats, RaExpr, Relation, SelPred};
 use rcsafe::safety::pipeline::{compile_with, CompileOptions};
-use rcsafe::{Database, Term, Value, Var};
+use rcsafe::{Budget, Database, Term, Tracer, Value, Var};
 
 fn random_db(seed: u64, rows: usize) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -54,6 +54,50 @@ fn scan_b_xy() -> RaExpr {
 }
 fn scan_c() -> RaExpr {
     RaExpr::scan("C", vec![Term::var("y")])
+}
+
+/// A random plan over columns `[x, y]` where roughly half the internal
+/// nodes are `Diff` — the shape the selection-pushdown audit in
+/// `rc_relalg::optimize` cares about (`σ` must stay on the left side of a
+/// difference and never migrate to the right).
+fn random_diff_plan(rng: &mut StdRng, depth: usize) -> RaExpr {
+    if depth == 0 {
+        return match rng.gen_range(0..3) {
+            0 => scan_a(),
+            1 => scan_b_xy(),
+            _ => RaExpr::select(
+                scan_a(),
+                SelPred::NeqConst(Var::new("x"), Value::int(rng.gen_range(0..6))),
+            ),
+        };
+    }
+    match rng.gen_range(0..6) {
+        // Differences dominate; the right side varies between same-arity
+        // (plain minus) and narrower (generalized anti-join) operands.
+        0..=2 => {
+            let l = random_diff_plan(rng, depth - 1);
+            let r = match rng.gen_range(0..3) {
+                0 => random_diff_plan(rng, depth - 1),
+                1 => scan_c(),
+                _ => RaExpr::project(random_diff_plan(rng, depth - 1), vec![Var::new("y")]),
+            };
+            RaExpr::diff(l, r)
+        }
+        3 => RaExpr::union(
+            random_diff_plan(rng, depth - 1),
+            random_diff_plan(rng, depth - 1),
+        ),
+        4 => {
+            let pred = match rng.gen_range(0..4) {
+                0 => SelPred::EqCols(Var::new("x"), Var::new("y")),
+                1 => SelPred::NeqCols(Var::new("x"), Var::new("y")),
+                2 => SelPred::EqConst(Var::new("y"), Value::int(rng.gen_range(0..6))),
+                _ => SelPred::NeqConst(Var::new("x"), Value::int(rng.gen_range(0..6))),
+            };
+            RaExpr::select(random_diff_plan(rng, depth - 1), pred)
+        }
+        _ => RaExpr::join(random_diff_plan(rng, depth - 1), scan_c()),
+    }
 }
 
 /// Compare two expressions' results modulo column order (reorder the
@@ -163,6 +207,31 @@ proptest! {
         prop_assert!(same_answers(&noisy, &slim, &db), "{} vs {}", noisy, slim);
         // And the simplifier must actually strip the cruft.
         prop_assert_eq!(&slim, &simplify(&e));
+    }
+
+    /// The selection-pushdown audit, property-tested: on Diff-heavy plans
+    /// (selections wrapped around differences at every depth) the
+    /// simplifier and the memoizing DAG evaluator both agree with plain
+    /// bottom-up evaluation. A pushdown that crossed to the right side of
+    /// a `Diff` would resurrect tuples here and fail the comparison.
+    #[test]
+    fn diff_heavy_plans_optimize_and_share_soundly(seed in 0u64..10_000) {
+        let db = random_db(seed, 15);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+        let e = RaExpr::select(
+            random_diff_plan(&mut rng, 3),
+            SelPred::NeqConst(Var::new("x"), Value::int(rng.gen_range(0..6))),
+        );
+        let raw = eval(&e, &db).expect("raw plan evaluates");
+        let slim = simplify(&e);
+        prop_assert!(
+            same_answers(&e, &slim, &db),
+            "optimizer changed answers on {e} -> {slim}"
+        );
+        let mut stats = EvalStats::default();
+        let shared = eval_shared(&e, &db, &mut stats, Budget::unlimited(), &mut Tracer::off())
+            .expect("shared eval evaluates");
+        prop_assert_eq!(shared, raw, "memoized DAG eval diverged on {}", e);
     }
 
     /// Scans with repeated variables equal an explicit selection.
