@@ -28,11 +28,23 @@
 //!   plain tree evaluation vs the memoizing DAG evaluator
 //!   ([`eval_shared`]), with the per-run memo hit count.
 //!
+//! A **partition** family rides along: a large-join workload timed with
+//! the kernels forced sequential (`Budget::with_partitions(1)`) against
+//! the auto-partitioned policy, with a paired measurement of the
+//! spawn-denied fallback's overhead and a bit-identity check of the two
+//! results.
+//!
 //! With `TRACE_GATE=1` the binary instead runs a fast CI gate: paired
 //! tracing-off overhead only, exiting nonzero when the median reaches 1%
 //! (and leaving `BENCH_eval.json` untouched). With `CACHE_GATE=1` it runs
 //! the repeated-query family only and exits nonzero unless every warm
 //! serve is a result-cache hit and the median speedup is at least 5x.
+//! With `PAR_GATE=1` it runs the partition family only: results must be
+//! bit-identical across policies and the sequential fallback must cost
+//! under 2% median; on hosts with at least 8 cores the median partitioned
+//! speedup must reach 2x (on smaller hosts the speedup gate is skipped —
+//! the auto policy refuses to split below the per-partition row floor, so
+//! there is nothing to measure).
 //!
 //! The inputs are deterministic (`i mod k` patterns, no RNG), so tuple
 //! counts are exactly reproducible; only wall times vary by machine.
@@ -41,8 +53,9 @@ use rc_bench::Table;
 use rc_formula::{Term, Value, Var};
 use rc_relalg::trace::json_str;
 use rc_relalg::{
-    eval, eval_baseline, eval_governed, eval_shared, eval_traced, Budget, Database, EvalStats,
-    OpSpan, PlanCache, RaExpr, Relation, RelationBuilder, Tracer,
+    eval, eval_baseline, eval_governed, eval_shared, eval_traced, partition_count, Budget,
+    Database, EvalStats, FaultInjector, OpSpan, PlanCache, RaExpr, Relation, RelationBuilder,
+    Tracer,
 };
 use rc_safety::pipeline::{compile_and_eval_cached, CompileOptions, Compiled};
 use std::hint::black_box;
@@ -221,6 +234,168 @@ fn run_trace_gate() {
     }
 }
 
+/// Large-join database for the partition family: both sides far above the
+/// per-partition row floor, with a fan-out of 9 output rows per key so the
+/// join does real per-partition work.
+fn partition_db(n: usize) -> Database {
+    let key = (n as i64 / 3).max(1);
+    let mut db = Database::new();
+    db.insert_relation("A", keyed(n, key));
+    db.insert_relation("B", keyed_rev(n, key, 97));
+    db
+}
+
+/// The partition-parallel workloads: a plain co-partitioned hash join and
+/// the same join under a partitioned projection.
+fn partition_workloads() -> Vec<(&'static str, RaExpr)> {
+    let a = || RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]);
+    let b_yz = || RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]);
+    vec![
+        ("par_join", RaExpr::join(a(), b_yz())),
+        (
+            "par_join_project",
+            RaExpr::project(
+                RaExpr::join(a(), b_yz()),
+                vec![Var::new("x"), Var::new("z")],
+            ),
+        ),
+    ]
+}
+
+struct PartitionRecord {
+    name: &'static str,
+    rows: usize,
+    partitions: usize,
+    seq_ns: u128,
+    par_ns: u128,
+    speedup: f64,
+    fallback_overhead_pct: f64,
+    identical: bool,
+}
+
+/// One partition-family workload: paired sequential (forced
+/// `with_partitions(1)`) vs auto-partitioned timing, a paired measurement
+/// of the spawn-denied fallback against the forced-sequential path, and a
+/// bit-identity check of the two results (rows *and* rendered order).
+fn bench_partition_workload(
+    samples: usize,
+    name: &'static str,
+    expr: &RaExpr,
+    db: &Database,
+    n: usize,
+) -> PartitionRecord {
+    let seq_budget = Budget::new().with_partitions(1);
+    let par_budget = Budget::new(); // auto: cardinality/cores heuristic
+    let seq_rel = eval_governed(expr, db, &mut EvalStats::default(), &seq_budget).unwrap();
+    let par_rel = eval_governed(expr, db, &mut EvalStats::default(), &par_budget).unwrap();
+    let identical = seq_rel == par_rel && seq_rel.to_string() == par_rel.to_string();
+    let (seq_ns, par_ns, ratio) = time_paired(
+        samples,
+        || {
+            let mut stats = EvalStats::default();
+            black_box(
+                eval_governed(black_box(expr), black_box(db), &mut stats, &seq_budget).unwrap(),
+            );
+        },
+        || {
+            let mut stats = EvalStats::default();
+            black_box(
+                eval_governed(black_box(expr), black_box(db), &mut stats, &par_budget).unwrap(),
+            );
+        },
+    );
+    // Fallback overhead: spawn denial (the degraded path a thread-starved
+    // host takes) against the plain forced-sequential kernels.
+    let fault = FaultInjector::new();
+    fault.deny_thread_spawn(true);
+    let denied_budget = Budget::new().with_fault_injector(fault);
+    let (_, _, fb_ratio) = time_paired(
+        samples,
+        || {
+            let mut stats = EvalStats::default();
+            black_box(
+                eval_governed(black_box(expr), black_box(db), &mut stats, &seq_budget).unwrap(),
+            );
+        },
+        || {
+            let mut stats = EvalStats::default();
+            black_box(
+                eval_governed(black_box(expr), black_box(db), &mut stats, &denied_budget).unwrap(),
+            );
+        },
+    );
+    PartitionRecord {
+        name,
+        rows: n,
+        partitions: partition_count(n),
+        seq_ns,
+        par_ns,
+        speedup: 1.0 / ratio,
+        fallback_overhead_pct: (fb_ratio - 1.0) * 100.0,
+        identical,
+    }
+}
+
+/// `PAR_GATE=1` mode: bit-identity and fallback overhead are enforced on
+/// every host; the 2x median speedup only where the auto policy actually
+/// partitions (>= 8 cores). Exits nonzero on failure; never touches
+/// `BENCH_eval.json`.
+fn run_partition_gate() {
+    let samples = 9;
+    let n = 150_000;
+    let db = partition_db(n);
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut fallbacks: Vec<f64> = Vec::new();
+    let mut all_identical = true;
+    for (name, expr) in partition_workloads() {
+        let r = bench_partition_workload(samples, name, &expr, &db, n);
+        println!(
+            "partition {name}/{n} ({} parts): seq {:.3} ms, par {:.3} ms, {:.2}x, \
+             fallback {:+.2}%, identical: {}",
+            r.partitions,
+            r.seq_ns as f64 / 1e6,
+            r.par_ns as f64 / 1e6,
+            r.speedup,
+            r.fallback_overhead_pct,
+            r.identical
+        );
+        speedups.push(r.speedup);
+        fallbacks.push(r.fallback_overhead_pct);
+        all_identical &= r.identical;
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    fallbacks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_speedup = speedups[speedups.len() / 2];
+    let median_fallback = fallbacks[fallbacks.len() / 2];
+    println!(
+        "median partitioned speedup: {median_speedup:.2}x (gate >= 2x at >= 8 cores; \
+         this host: {cores}), median fallback overhead: {median_fallback:+.2}% (gate < 2%)"
+    );
+    if !all_identical {
+        eprintln!("PAR GATE FAILED: partitioned and sequential results are not bit-identical");
+        std::process::exit(1);
+    }
+    if median_fallback >= 2.0 {
+        eprintln!("PAR GATE FAILED: sequential fallback costs {median_fallback:.2}% >= 2% median");
+        std::process::exit(1);
+    }
+    if cores >= 8 && median_speedup < 2.0 {
+        eprintln!(
+            "PAR GATE FAILED: median partitioned speedup {median_speedup:.2}x < 2x at {cores} cores"
+        );
+        std::process::exit(1);
+    }
+    if cores < 8 {
+        println!(
+            "speedup gate skipped: {cores} core(s) < 8 (bit-identity and fallback \
+             overhead were still enforced)"
+        );
+    }
+}
+
 /// The repeated-query texts served through the full cached pipeline.
 fn repeated_queries() -> Vec<(&'static str, &'static str)> {
     vec![
@@ -345,6 +520,10 @@ fn main() {
     }
     if std::env::var("CACHE_GATE").as_deref() == Ok("1") {
         run_cache_gate();
+        return;
+    }
+    if std::env::var("PAR_GATE").as_deref() == Ok("1") {
+        run_partition_gate();
         return;
     }
     let sizes = [2_000usize, 10_000, 50_000];
@@ -529,6 +708,57 @@ fn main() {
         ));
     }
 
+    // Partition family: forced-sequential kernels vs the auto policy.
+    let par_n = 150_000;
+    let par_db = partition_db(par_n);
+    let par_samples = 9; // each sample evaluates a 450k-row join twice
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let mut par_records: Vec<String> = Vec::new();
+    let mut par_speedups: Vec<f64> = Vec::new();
+    let mut par_table = Table::new(&[
+        "workload",
+        "rows",
+        "parts",
+        "seq ms",
+        "par ms",
+        "speedup",
+        "fallback",
+        "identical",
+    ]);
+    for (name, expr) in partition_workloads() {
+        let r = bench_partition_workload(par_samples, name, &expr, &par_db, par_n);
+        par_speedups.push(r.speedup);
+        par_table.row(vec![
+            r.name.to_string(),
+            r.rows.to_string(),
+            r.partitions.to_string(),
+            format!("{:.3}", r.seq_ns as f64 / 1e6),
+            format!("{:.3}", r.par_ns as f64 / 1e6),
+            format!("{:.2}x", r.speedup),
+            format!("{:+.2}%", r.fallback_overhead_pct),
+            r.identical.to_string(),
+        ]);
+        par_records.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"rows\": {}, \"partitions\": {}, ",
+                "\"seq_ns\": {}, \"par_ns\": {}, \"speedup\": {:.2}, ",
+                "\"fallback_overhead_pct\": {:.2}, \"identical\": {}}}"
+            ),
+            r.name,
+            r.rows,
+            r.partitions,
+            r.seq_ns,
+            r.par_ns,
+            r.speedup,
+            r.fallback_overhead_pct,
+            r.identical
+        ));
+    }
+    par_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_par_speedup = par_speedups[par_speedups.len() / 2];
+
     println!("=== E-ENGINE: batch kernels vs tuple-at-a-time baseline ===\n");
     println!("{}", table.render());
     println!("=== repeated-query serving: cold vs cached ===\n");
@@ -536,6 +766,12 @@ fn main() {
     println!("median repeated-query speedup: {median_cache_speedup:.1}x (target >= 5x)");
     println!("\n=== shared-subtree plans: tree eval vs memoizing DAG eval ===\n");
     println!("{}", shared_table.render());
+    println!("=== partition family: sequential kernels vs auto-partitioned ===\n");
+    println!("{}", par_table.render());
+    println!(
+        "median partitioned speedup: {median_par_speedup:.2}x \
+         ({cores} core(s); 2x gate applies at >= 8 cores)"
+    );
     overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_overhead = overheads[overheads.len() / 2];
     println!("median governance overhead across workloads: {median_overhead:+.2}% (target < 2%)");
@@ -544,10 +780,11 @@ fn main() {
     println!("median tracing-off overhead across workloads: {median_trace_off:+.2}% (target < 1%)");
 
     let json = format!(
-        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ]\n}}\n",
         records.join(",\n"),
         cache_records.join(",\n"),
-        shared_records.join(",\n")
+        shared_records.join(",\n"),
+        par_records.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     std::fs::write(path, &json).expect("write BENCH_eval.json");

@@ -52,7 +52,7 @@
 //! assert!(query("!Part(x)", &db).is_err());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod classes;
 pub mod corpus;

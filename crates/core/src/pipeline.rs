@@ -558,6 +558,16 @@ pub struct QueryOutput {
 /// (`opts.budget` governs every stage). On a trip the result is a
 /// [`PipelineError::Budget`] naming the stage, the bound, and the
 /// consumption — never a truncated relation.
+///
+/// ```
+/// use rc_safety::pipeline::{compile_and_eval, CompileOptions};
+/// use rc_relalg::Database;
+///
+/// let db = Database::from_facts("P(1, 1)\nP(1, 2)\nP(3, 3)\nQ(1)").unwrap();
+/// let out = compile_and_eval("P(x, y) & ~Q(y)", &db, CompileOptions::default()).unwrap();
+/// assert_eq!(out.relation.len(), 2); // (1,2) and (3,3)
+/// assert!(out.stats.operators > 0);
+/// ```
 pub fn compile_and_eval(
     text: &str,
     db: &Database,
@@ -613,6 +623,21 @@ pub struct CachedQueryOutput {
 /// trip a tight budget exactly like the evaluation it stands in for.
 /// Evaluation misses run through [`Compiled::run_shared`], so duplicated
 /// subplans inside one query are computed once even on a cold serve.
+///
+/// ```
+/// use rc_safety::pipeline::{compile_and_eval_cached, CompileOptions};
+/// use rc_relalg::{Database, PlanCache};
+///
+/// let db = Database::from_facts("P(1, 1)\nP(1, 2)\nQ(1)").unwrap();
+/// let mut cache = PlanCache::new();
+/// let cold = compile_and_eval_cached("P(x, y) & Q(x)", &db, CompileOptions::default(), &mut cache)
+///     .unwrap();
+/// assert!(!cold.plan_cached && !cold.result_cached);
+/// let warm = compile_and_eval_cached("P(x, y) & Q(x)", &db, CompileOptions::default(), &mut cache)
+///     .unwrap();
+/// assert!(warm.plan_cached && warm.result_cached);
+/// assert_eq!(cold.relation, warm.relation);
+/// ```
 pub fn compile_and_eval_cached(
     text: &str,
     db: &Database,

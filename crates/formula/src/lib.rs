@@ -26,7 +26,7 @@
 //! RANF) lives in the `rc-safety` crate; the relational algebra target lives
 //! in `rc-relalg`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod display;

@@ -1,6 +1,6 @@
 //! Databases: named relations plus loading helpers.
 
-use crate::relation::{Relation, RelationBuilder, Tuple};
+use crate::relation::{PartitionedRelation, Relation, RelationBuilder, Tuple};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rc_formula::fxhash::FxHashMap;
@@ -8,7 +8,7 @@ use rc_formula::{Formula, Schema, Symbol, Term, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Process-wide version stamp allocator. Starting at 1 reserves version 0
 /// for pristine empty databases (`Database::default()`), which are all
@@ -39,8 +39,19 @@ fn next_version() -> u64 {
 pub struct Database {
     relations: FxHashMap<Symbol, Relation>,
     domain_cache: OnceLock<BTreeSet<Value>>,
+    /// Hash-partitioned layouts of stored relations, keyed by
+    /// `(predicate, key columns, partition count)` — computed on first use
+    /// by [`Database::partitioned`] and dropped wholesale by any mutation,
+    /// so the partition-parallel join never re-partitions a base relation
+    /// two queries in a row. Clones share the map (their contents are
+    /// identical until either side mutates, at which point the mutator
+    /// swaps in a fresh empty cache).
+    partition_cache: Arc<Mutex<PartitionCache>>,
     version: u64,
 }
+
+/// Partitioned layouts keyed by `(predicate, key columns, partition count)`.
+type PartitionCache = FxHashMap<(Symbol, Vec<usize>, usize), Arc<PartitionedRelation>>;
 
 impl PartialEq for Database {
     fn eq(&self, other: &Database) -> bool {
@@ -100,9 +111,10 @@ impl Database {
     }
 
     /// Invalidate derived state after a mutation: drop the active-domain
-    /// cache and take a fresh version stamp.
+    /// and partition caches and take a fresh version stamp.
     fn bump(&mut self) {
         self.domain_cache.take();
+        self.partition_cache = Arc::default();
         self.version = next_version();
     }
 
@@ -241,6 +253,39 @@ impl Database {
         self.relations.values().map(Relation::len).sum()
     }
 
+    /// The hash-partitioned layout of the stored relation for `pred` on
+    /// `key_cols` with `n` partitions, computed once and cached until the
+    /// next mutation (`None` if the predicate is absent). This is how the
+    /// partition-parallel join reuses materializations across repeated
+    /// queries and shared subtrees: a plain scan's partitions are a pure
+    /// function of `(contents, key columns, n)`, so serving the cached
+    /// [`PartitionedRelation`] is indistinguishable from re-partitioning.
+    pub fn partitioned(
+        &self,
+        pred: Symbol,
+        key_cols: &[usize],
+        n: usize,
+    ) -> Option<Arc<PartitionedRelation>> {
+        let rel = self.relations.get(&pred)?;
+        let mut cache = self
+            .partition_cache
+            .lock()
+            .expect("partition cache lock poisoned");
+        let entry = cache
+            .entry((pred, key_cols.to_vec(), n))
+            .or_insert_with(|| Arc::new(rel.partition_by(key_cols, n)));
+        Some(Arc::clone(entry))
+    }
+
+    /// How many partitioned layouts are currently cached (observability for
+    /// tests; the cache itself is an implementation detail).
+    pub fn partition_cache_entries(&self) -> usize {
+        self.partition_cache
+            .lock()
+            .expect("partition cache lock poisoned")
+            .len()
+    }
+
     /// Generate a random database over `schema`: each relation receives
     /// `rows_per_relation` tuples drawn uniformly from `domain`.
     pub fn random(
@@ -373,6 +418,29 @@ mod tests {
         assert_eq!(db.relation(Symbol::intern("Q")).unwrap().arity(), 2);
         // Set semantics may deduplicate, but some rows must exist.
         assert!(!db.relation(Symbol::intern("Q")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partition_cache_serves_and_invalidates() {
+        let mut db = Database::from_facts("P(1, 2)\nP(2, 3)\nP(3, 3)").unwrap();
+        let p = Symbol::intern("P");
+        assert_eq!(db.partition_cache_entries(), 0);
+        let a = db.partitioned(p, &[1], 2).unwrap();
+        let b = db.partitioned(p, &[1], 2).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second request must be a cache hit");
+        assert_eq!(db.partition_cache_entries(), 1);
+        // A different key or count is a different entry.
+        db.partitioned(p, &[0], 2).unwrap();
+        db.partitioned(p, &[1], 3).unwrap();
+        assert_eq!(db.partition_cache_entries(), 3);
+        // Unknown predicates don't cache.
+        assert!(db.partitioned(Symbol::intern("Zzz"), &[0], 2).is_none());
+        // Any mutation drops the cache.
+        db.insert_fact("P", tuple([9i64, 9])).unwrap();
+        assert_eq!(db.partition_cache_entries(), 0);
+        let c = db.partitioned(p, &[1], 2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.total_rows(), 4);
     }
 
     #[test]

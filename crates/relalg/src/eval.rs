@@ -22,6 +22,25 @@
 //! amortize a thread spawn; each branch accumulates its own [`EvalStats`],
 //! merged deterministically afterwards.
 //!
+//! # Partition-parallel kernels
+//!
+//! On top of subtree parallelism, the *kernels themselves* run
+//! partition-parallel when an operator's input is large enough
+//! ([`partition_count`] decides, or [`Budget::with_partitions`] forces a
+//! count): joins co-partition both sides by hashing the shared key columns
+//! (so matching rows meet in the same partition — the `hash_cols` helper is shared
+//! with [`Relation::partition_by`] exactly for this), order-preserving
+//! kernels (select, semijoin, anti-join, cross product) split the input
+//! into balanced chunks whose outputs concatenate back in canonical order,
+//! and sorted-merge union/difference split *both* sides at matching key
+//! boundaries found by binary search. Every worker runs its own
+//! [`Governor`] against the shared [`Budget`], so cancellation and tuple
+//! caps stop a partitioned kernel mid-flight exactly like a sequential
+//! one; workers are joined in partition order, making results, trace
+//! spans, and the first error deterministic. When the budget denies
+//! thread spawns the kernels fall back to the sequential paths, which
+//! produce bit-identical relations.
+//!
 //! [`EvalStats`] records operator counts and intermediate cardinalities so
 //! the benchmark harness can compare the Dom-free pipeline against the
 //! active-domain baseline on work done, not just wall time.
@@ -29,12 +48,15 @@
 use crate::database::Database;
 use crate::expr::{ExprError, RaExpr, SelPred};
 use crate::govern::{Budget, BudgetExceeded, Governor, Stage};
-use crate::relation::{Relation, RelationBuilder};
+use crate::relation::{
+    cmp_rows, hash_cols, merge_sorted, partition_count, PartitionedRelation, Relation,
+    RelationBuilder,
+};
 use crate::trace::Tracer;
-use rc_formula::fxhash::{FxHashMap, FxHasher};
-use rc_formula::{Symbol, Term, Value, Var};
+use rc_formula::fxhash::FxHashMap;
+use rc_formula::{symbol_order, Symbol, Term, Value, Var};
+use std::cmp::Ordering;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Counters accumulated during evaluation.
@@ -265,20 +287,11 @@ fn positions(haystack: &[Var], needles: &[Var]) -> Vec<usize> {
         .collect()
 }
 
-/// Hash the listed columns of a row (order-sensitive).
-#[inline]
-fn hash_cols(row: &[Value], cols: &[usize]) -> u64 {
-    let mut h = FxHasher::default();
-    for &c in cols {
-        row[c].hash(&mut h);
-    }
-    h.finish()
-}
-
 const NIL: u32 = u32::MAX;
 
-/// A compiled row predicate for `Select`.
-type RowPred = Box<dyn Fn(&[Value]) -> bool>;
+/// A compiled row predicate for `Select` (`Sync` so the partitioned filter
+/// can probe it from worker threads).
+type RowPred = Box<dyn Fn(&[Value]) -> bool + Sync>;
 
 /// A chained-array hash table over the rows of a relation: `heads[bucket]`
 /// is the first row index in the bucket, `next[row]` the following one.
@@ -321,7 +334,11 @@ fn keys_match(a: &[Value], a_cols: &[usize], b: &[Value], b_cols: &[usize]) -> b
 
 /// Join kernel: `lcols ++ r_extra` output. Builds the hash table on the
 /// smaller side, probes with the larger, assembles rows straight into a
-/// flat builder.
+/// flat builder. `raw` receives the pre-dedup row count on the paths that
+/// push through a builder (cross product, hash join) and is left untouched
+/// on the order-preserving semijoin path — callers report it to the tracer
+/// when nonzero. An out-param rather than a [`Tracer`] borrow so the
+/// partition-parallel join can run this kernel on worker threads.
 fn join_kernel(
     lrel: &Relation,
     rrel: &Relation,
@@ -329,7 +346,7 @@ fn join_kernel(
     r_shared: &[usize],
     r_extra: &[usize],
     gov: &mut Governor<'_>,
-    tr: &mut Tracer,
+    raw: &mut u64,
 ) -> Result<Relation, BudgetExceeded> {
     let out_arity = lrel.arity() + r_extra.len();
     if lrel.is_empty() || rrel.is_empty() {
@@ -365,7 +382,7 @@ fn join_kernel(
                 out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
             }
         }
-        tr.note_raw(out.len() as u64);
+        *raw = out.len() as u64;
         return Ok(out.finish());
     }
     // Build on the smaller input, probe with the larger.
@@ -398,7 +415,7 @@ fn join_kernel(
             }
         }
     }
-    tr.note_raw(out.len() as u64);
+    *raw = out.len() as u64;
     Ok(out.finish())
 }
 
@@ -438,6 +455,388 @@ fn antijoin_kernel(
         }
     }
     Ok(Relation::from_canonical(lrel.arity(), n, kept))
+}
+
+/// Number of partitions a kernel over `input_rows` rows should use: the
+/// explicit [`Budget::with_partitions`] policy override when set,
+/// otherwise [`partition_count`]'s cardinality-and-cores heuristic. Spawn
+/// denial (the fault injector's sequential-fallback switch) always wins
+/// and forces 1 — partitioned kernels never spawn a denied thread.
+fn partition_plan(input_rows: usize, budget: &Budget) -> usize {
+    if !budget.spawn_allowed() {
+        return 1;
+    }
+    budget
+        .partition_override()
+        .unwrap_or_else(|| partition_count(input_rows))
+}
+
+/// Row range of chunk `k` of `n` over `rows` rows: balanced, in order,
+/// covering `0..rows` exactly.
+fn chunk_bounds(rows: usize, k: usize, n: usize) -> (usize, usize) {
+    (rows * k / n, rows * (k + 1) / n)
+}
+
+/// Run `f(k, gov)` for every partition `0..n`, partitions `1..n` on scoped
+/// worker threads and partition 0 on the calling thread. Results are
+/// collected **in partition order**, so outputs — and the first error,
+/// chosen by lowest partition index — are deterministic regardless of
+/// which worker finishes first. Each worker ticks its own [`Governor`]
+/// against the shared [`Budget`]; a budget trip in one worker is observed
+/// by the others at their next check, and the scope joins every worker
+/// before the error propagates, so no thread outlives the call and no
+/// state is poisoned. Worker tick/check counters fold into
+/// `ticks`/`checks` in partition order, keeping
+/// [`EvalStats::budget_checks`] reproducible for a fixed partition count.
+fn run_partitioned<T: Send>(
+    n: usize,
+    budget: &Budget,
+    checks: &mut u64,
+    ticks: &mut usize,
+    f: impl Fn(usize, &mut Governor<'_>) -> Result<T, BudgetExceeded> + Sync,
+) -> Result<Vec<T>, BudgetExceeded> {
+    type Report<T> = (Result<T, BudgetExceeded>, u64, usize);
+    let reports: Vec<Report<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..n)
+            .map(|k| {
+                let f = &f;
+                s.spawn(move || {
+                    let mut gov = Governor::new(budget, Stage::Eval);
+                    let out = f(k, &mut gov);
+                    (out, gov.checks(), gov.ticks())
+                })
+            })
+            .collect();
+        let mut gov = Governor::new(budget, Stage::Eval);
+        let first = (f(0, &mut gov), gov.checks(), gov.ticks());
+        let mut all = Vec::with_capacity(n);
+        all.push(first);
+        all.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked")),
+        );
+        all
+    });
+    let mut outs = Vec::with_capacity(n);
+    let mut first_err: Option<BudgetExceeded> = None;
+    for (res, c, t) in reports {
+        *checks += c;
+        *ticks += t;
+        match res {
+            Ok(v) => outs.push(v),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    match first_err {
+        None => Ok(outs),
+        Some(e) => Err(e),
+    }
+}
+
+/// Concatenate per-chunk outputs of an order-preserving kernel into one
+/// canonical relation, returning the per-chunk cardinalities alongside.
+/// Sound only when the chunks cover a canonical input in row order — the
+/// result is then a strictly ascending concatenation, which
+/// `from_canonical` debug-asserts.
+fn concat_canonical(arity: usize, chunks: Vec<(Vec<Value>, usize)>) -> (Relation, Vec<u64>) {
+    let sizes: Vec<u64> = chunks.iter().map(|(_, m)| *m as u64).collect();
+    let total: usize = chunks.iter().map(|(d, _)| d.len()).sum();
+    let mut data = Vec::with_capacity(total);
+    let mut n = 0usize;
+    for (chunk, m) in chunks {
+        data.extend_from_slice(&chunk);
+        n += m;
+    }
+    (Relation::from_canonical(arity, n, data), sizes)
+}
+
+/// Order-preserving filter over `rel`, split into `n` balanced chunks with
+/// one worker per chunk. Canonical by construction: filtering a canonical
+/// relation chunk-wise preserves its global row order.
+fn filter_partitioned(
+    rel: &Relation,
+    n: usize,
+    budget: &Budget,
+    checks: &mut u64,
+    ticks: &mut usize,
+    keep: impl Fn(&[Value]) -> bool + Sync,
+) -> Result<(Relation, Vec<u64>), BudgetExceeded> {
+    let chunks = run_partitioned(n, budget, checks, ticks, |k, gov| {
+        let (lo, hi) = chunk_bounds(rel.len(), k, n);
+        let mut kept: Vec<Value> = Vec::new();
+        let mut m = 0usize;
+        for i in lo..hi {
+            gov.tick(m)?;
+            let row = rel.row(i);
+            if keep(row) {
+                kept.extend_from_slice(row);
+                m += 1;
+            }
+        }
+        Ok((kept, m))
+    })?;
+    Ok(concat_canonical(rel.arity(), chunks))
+}
+
+/// Partition a join input on its shared-key columns, serving the layout
+/// from the [`Database`] partition cache when the input is a plain scan of
+/// a stored relation (the common case after optimization) so repeated
+/// queries over the same base relation re-use one partitioning.
+fn co_partition(
+    expr: &RaExpr,
+    rel: &Relation,
+    key: &[usize],
+    n: usize,
+    db: &Database,
+) -> Arc<PartitionedRelation> {
+    if let Some(pred) = expr.plain_scan() {
+        if let Some(parts) = db.partitioned(pred, key, n) {
+            return parts;
+        }
+    }
+    Arc::new(rel.partition_by(key, n))
+}
+
+/// Partition-parallel join: the same output as [`join_kernel`], computed
+/// by chunking the probe side (semijoin), chunking the left side (cross
+/// product — sound because with no shared columns `r_extra` is all of the
+/// right's columns, so each chunk's l-major enumeration is canonical), or
+/// co-partitioning both sides on the shared key so matching rows meet in
+/// the same partition and the per-partition results merge sorted.
+///
+/// Returns the result, the per-partition output cardinalities for the
+/// trace span, and the total pre-dedup row count when the underlying
+/// kernel path reports one. The pre-dedup count equals the sequential
+/// kernel's: the number of matching row pairs is independent of both the
+/// partitioning and the per-partition build-side choice.
+#[allow(clippy::too_many_arguments)]
+fn join_partitioned(
+    l: &RaExpr,
+    r: &RaExpr,
+    lrel: &Relation,
+    rrel: &Relation,
+    l_shared: &[usize],
+    r_shared: &[usize],
+    r_extra: &[usize],
+    parts: usize,
+    db: &Database,
+    budget: &Budget,
+    gov: &mut Governor<'_>,
+    checks: &mut u64,
+    ticks: &mut usize,
+) -> Result<(Relation, Vec<u64>, Option<u64>), BudgetExceeded> {
+    let out_arity = lrel.arity() + r_extra.len();
+    if r_extra.is_empty() {
+        // Semijoin: one shared hash table, probed by chunk workers.
+        let table = RowTable::build(rrel, r_shared);
+        let (out, sizes) = filter_partitioned(lrel, parts, budget, checks, ticks, |lrow| {
+            let mut cur = table.first(hash_cols(lrow, l_shared));
+            while cur != NIL {
+                if keys_match(lrow, l_shared, rrel.row(cur as usize), r_shared) {
+                    return true;
+                }
+                cur = table.next[cur as usize];
+            }
+            false
+        })?;
+        return Ok((out, sizes, None));
+    }
+    if l_shared.is_empty() {
+        // Cross product over left-side chunks.
+        let chunks = run_partitioned(parts, budget, checks, ticks, |k, gov| {
+            let (lo, hi) = chunk_bounds(lrel.len(), k, parts);
+            let mut data: Vec<Value> = Vec::with_capacity((hi - lo) * rrel.len() * out_arity);
+            let mut m = 0usize;
+            for i in lo..hi {
+                let lrow = lrel.row(i);
+                for rrow in rrel.iter() {
+                    gov.tick(m)?;
+                    data.extend(lrow.iter().copied().chain(r_extra.iter().map(|&j| rrow[j])));
+                    m += 1;
+                }
+            }
+            Ok((data, m))
+        })?;
+        let (out, sizes) = concat_canonical(out_arity, chunks);
+        let raw = out.len() as u64;
+        return Ok((out, sizes, Some(raw)));
+    }
+    // General hash join: co-partition both sides on the shared key.
+    let lparts = co_partition(l, lrel, l_shared, parts, db);
+    let rparts = co_partition(r, rrel, r_shared, parts, db);
+    let joined = run_partitioned(parts, budget, checks, ticks, |k, gov| {
+        let mut raw = 0u64;
+        let rel = join_kernel(
+            &lparts.parts()[k],
+            &rparts.parts()[k],
+            l_shared,
+            r_shared,
+            r_extra,
+            gov,
+            &mut raw,
+        )?;
+        Ok((rel, raw))
+    })?;
+    let mut sizes = Vec::with_capacity(parts);
+    let mut rels = Vec::with_capacity(parts);
+    let mut raw_total = 0u64;
+    for (rel, raw) in joined {
+        sizes.push(rel.len() as u64);
+        raw_total += raw;
+        rels.push(rel);
+    }
+    let out = merge_sorted(rels, out_arity, gov)?;
+    Ok((out, sizes, Some(raw_total)))
+}
+
+/// Right-side row boundaries aligned with the left side's chunk
+/// boundaries: `rb[k]` is the first right row not below the left row that
+/// opens chunk `k`, found by binary search. Splitting both sorted inputs
+/// at these boundaries lets each range pair merge independently — every
+/// output row of range `k` sorts strictly below every output row of range
+/// `k + 1`, so the concatenation is canonical with no cross-range
+/// duplicates.
+fn aligned_bounds(l: &Relation, r: &Relation, parts: usize) -> Vec<usize> {
+    let order = symbol_order();
+    let mut rb = Vec::with_capacity(parts + 1);
+    rb.push(0usize);
+    for k in 1..parts {
+        let (lo, _) = chunk_bounds(l.len(), k, parts);
+        rb.push(if lo < l.len() {
+            r.lower_bound(l.row(lo), &order)
+        } else {
+            r.len()
+        });
+    }
+    rb.push(r.len());
+    rb
+}
+
+/// Partition-parallel sorted-merge union for same-column-order inputs
+/// (the fast path of `Union`); see [`aligned_bounds`] for why the ranges
+/// are independent.
+fn union_partitioned(
+    l: &Relation,
+    r: &Relation,
+    parts: usize,
+    budget: &Budget,
+    checks: &mut u64,
+    ticks: &mut usize,
+) -> Result<(Relation, Vec<u64>), BudgetExceeded> {
+    let order = symbol_order();
+    let arity = l.arity();
+    let rb = aligned_bounds(l, r, parts);
+    let chunks = run_partitioned(parts, budget, checks, ticks, |k, gov| {
+        let (llo, lhi) = chunk_bounds(l.len(), k, parts);
+        let (rlo, rhi) = (rb[k], rb[k + 1]);
+        let mut out: Vec<Value> = Vec::with_capacity((lhi - llo + rhi - rlo) * arity);
+        let (mut i, mut j) = (llo, rlo);
+        let mut n = 0usize;
+        while i < lhi && j < rhi {
+            gov.tick(n)?;
+            match cmp_rows(l.row(i), r.row(j), &order) {
+                Ordering::Less => {
+                    out.extend_from_slice(l.row(i));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.extend_from_slice(r.row(j));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.extend_from_slice(l.row(i));
+                    i += 1;
+                    j += 1;
+                }
+            }
+            n += 1;
+        }
+        if i < lhi {
+            out.extend_from_slice(&l.flat()[i * arity..lhi * arity]);
+            n += lhi - i;
+        }
+        if j < rhi {
+            out.extend_from_slice(&r.flat()[j * arity..rhi * arity]);
+            n += rhi - j;
+        }
+        Ok((out, n))
+    })?;
+    Ok(concat_canonical(arity, chunks))
+}
+
+/// Partition-parallel sorted-merge difference for same-column-order
+/// inputs (the fast path of `Diff`). Every right row equal to a left row
+/// of chunk `k` falls inside the aligned right range, so each chunk sees
+/// all its potential subtrahends.
+fn minus_partitioned(
+    l: &Relation,
+    r: &Relation,
+    parts: usize,
+    budget: &Budget,
+    checks: &mut u64,
+    ticks: &mut usize,
+) -> Result<(Relation, Vec<u64>), BudgetExceeded> {
+    let order = symbol_order();
+    let arity = l.arity();
+    let rb = aligned_bounds(l, r, parts);
+    let chunks = run_partitioned(parts, budget, checks, ticks, |k, gov| {
+        let (llo, lhi) = chunk_bounds(l.len(), k, parts);
+        let rhi = rb[k + 1];
+        let mut out: Vec<Value> = Vec::new();
+        let mut n = 0usize;
+        let mut j = rb[k];
+        for i in llo..lhi {
+            gov.tick(i - llo)?;
+            let row = l.row(i);
+            let mut keep = true;
+            while j < rhi {
+                match cmp_rows(r.row(j), row, &order) {
+                    Ordering::Less => j += 1,
+                    Ordering::Equal => {
+                        keep = false;
+                        break;
+                    }
+                    Ordering::Greater => break,
+                }
+            }
+            if keep {
+                out.extend_from_slice(row);
+                n += 1;
+            }
+        }
+        Ok((out, n))
+    })?;
+    Ok(concat_canonical(arity, chunks))
+}
+
+/// Partition-parallel projection: each chunk projects through its own
+/// [`RelationBuilder`] (chunk outputs may be unsorted and may carry
+/// duplicates), then the per-chunk canonical results merge sorted under
+/// the operator's governor.
+#[allow(clippy::too_many_arguments)]
+fn project_partitioned(
+    rel: &Relation,
+    proj: &[usize],
+    out_arity: usize,
+    parts: usize,
+    budget: &Budget,
+    gov: &mut Governor<'_>,
+    checks: &mut u64,
+    ticks: &mut usize,
+) -> Result<(Relation, Vec<u64>), BudgetExceeded> {
+    let rels = run_partitioned(parts, budget, checks, ticks, |k, worker| {
+        let (lo, hi) = chunk_bounds(rel.len(), k, parts);
+        let mut out = RelationBuilder::with_capacity(out_arity, hi - lo);
+        for i in lo..hi {
+            worker.tick(out.len())?;
+            out.push_row_from(proj.iter().map(|&c| rel.row(i)[c]));
+        }
+        Ok(out.finish())
+    })?;
+    let sizes: Vec<u64> = rels.iter().map(|p| p.len() as u64).collect();
+    let out = merge_sorted(rels, out_arity, gov)?;
+    Ok((out, sizes))
 }
 
 /// Total base tuples scanned by a subtree — the cost signal deciding
@@ -534,6 +933,10 @@ fn eval_node(
     mut memo: Option<&mut Memo>,
 ) -> Result<Relation, EvalError> {
     let mut gov = Governor::new(budget, Stage::Eval);
+    // Tick/check counters contributed by partitioned-kernel workers; folded
+    // into the operator's totals alongside the sequential governor's.
+    let mut part_checks: u64 = 0;
+    let mut part_ticks: usize = 0;
     let out = match expr {
         RaExpr::Scan { pred, pattern } => {
             let base = db
@@ -633,7 +1036,39 @@ fn eval_node(
                 .filter(|(_, v)| !lcols.contains(v))
                 .map(|(i, _)| i)
                 .collect();
-            join_kernel(&lrel, &rrel, &l_shared, &r_shared, &r_extra, &mut gov, tr)?
+            let parts = partition_plan(lrel.len().max(rrel.len()), budget);
+            if parts > 1 && !lrel.is_empty() && !rrel.is_empty() {
+                let (out, sizes, raw) = join_partitioned(
+                    l,
+                    r,
+                    &lrel,
+                    &rrel,
+                    &l_shared,
+                    &r_shared,
+                    &r_extra,
+                    parts,
+                    db,
+                    budget,
+                    &mut gov,
+                    &mut part_checks,
+                    &mut part_ticks,
+                )?;
+                tr.note_parallel();
+                tr.note_partitions(&sizes);
+                if let Some(raw) = raw {
+                    tr.note_raw(raw);
+                }
+                out
+            } else {
+                let mut raw = 0u64;
+                let out = join_kernel(
+                    &lrel, &rrel, &l_shared, &r_shared, &r_extra, &mut gov, &mut raw,
+                )?;
+                if raw > 0 {
+                    tr.note_raw(raw);
+                }
+                out
+            }
         }
         RaExpr::Union(l, r) => {
             let (lrel, rrel) = eval_pair(l, r, db, stats, budget, tr, memo.as_deref_mut())?;
@@ -644,8 +1079,23 @@ fn eval_node(
             let rcols = r.cols();
             let perm = positions(&rcols, &lcols);
             if perm.iter().enumerate().all(|(i, &p)| i == p) {
-                // Same column order: one linear merge of two sorted inputs.
-                lrel.union_governed(&rrel, &mut gov)?
+                let parts = partition_plan(lrel.len().max(rrel.len()), budget);
+                if parts > 1 && lrel.arity() > 0 && !lrel.is_empty() && !rrel.is_empty() {
+                    let (out, sizes) = union_partitioned(
+                        &lrel,
+                        &rrel,
+                        parts,
+                        budget,
+                        &mut part_checks,
+                        &mut part_ticks,
+                    )?;
+                    tr.note_parallel();
+                    tr.note_partitions(&sizes);
+                    out
+                } else {
+                    // Same column order: one linear merge of two sorted inputs.
+                    lrel.union_governed(&rrel, &mut gov)?
+                }
             } else {
                 let mut permuted = RelationBuilder::with_capacity(lcols.len(), rrel.len());
                 for row in rrel.iter() {
@@ -662,9 +1112,49 @@ fn eval_node(
             let lcols = l.cols();
             let rcols = r.cols();
             let proj = positions(&lcols, &rcols);
+            let parts = partition_plan(lrel.len().max(rrel.len()), budget);
+            let partitioned = parts > 1 && !lrel.is_empty() && !rrel.is_empty();
             if proj.len() == lcols.len() && proj.iter().enumerate().all(|(i, &p)| i == p) {
-                // Same columns, same order: plain sorted-merge difference.
-                lrel.minus_governed(&rrel, &mut gov)?
+                if partitioned && lrel.arity() > 0 {
+                    let (out, sizes) = minus_partitioned(
+                        &lrel,
+                        &rrel,
+                        parts,
+                        budget,
+                        &mut part_checks,
+                        &mut part_ticks,
+                    )?;
+                    tr.note_parallel();
+                    tr.note_partitions(&sizes);
+                    out
+                } else {
+                    // Same columns, same order: plain sorted-merge difference.
+                    lrel.minus_governed(&rrel, &mut gov)?
+                }
+            } else if partitioned {
+                // Anti-join over left-side chunks probing one shared table.
+                let r_all: Vec<usize> = (0..rrel.arity()).collect();
+                let table = RowTable::build(&rrel, &r_all);
+                let (out, sizes) = filter_partitioned(
+                    &lrel,
+                    parts,
+                    budget,
+                    &mut part_checks,
+                    &mut part_ticks,
+                    |lrow| {
+                        let mut cur = table.first(hash_cols(lrow, &proj));
+                        while cur != NIL {
+                            if keys_match(lrow, &proj, rrel.row(cur as usize), &r_all) {
+                                return false;
+                            }
+                            cur = table.next[cur as usize];
+                        }
+                        true
+                    },
+                )?;
+                tr.note_parallel();
+                tr.note_partitions(&sizes);
+                out
             } else {
                 antijoin_kernel(&lrel, &rrel, &proj, &mut gov)?
             }
@@ -675,12 +1165,29 @@ fn eval_node(
             tr.note_raw(rel.len() as u64);
             let icols = input.cols();
             let proj = positions(&icols, cols);
-            let mut out = RelationBuilder::with_capacity(cols.len(), rel.len());
-            for row in rel.iter() {
-                gov.tick(out.len())?;
-                out.push_row_from(proj.iter().map(|&i| row[i]));
+            let parts = partition_plan(rel.len(), budget);
+            if parts > 1 && !rel.is_empty() && !cols.is_empty() {
+                let (out, sizes) = project_partitioned(
+                    &rel,
+                    &proj,
+                    cols.len(),
+                    parts,
+                    budget,
+                    &mut gov,
+                    &mut part_checks,
+                    &mut part_ticks,
+                )?;
+                tr.note_parallel();
+                tr.note_partitions(&sizes);
+                out
+            } else {
+                let mut out = RelationBuilder::with_capacity(cols.len(), rel.len());
+                for row in rel.iter() {
+                    gov.tick(out.len())?;
+                    out.push_row_from(proj.iter().map(|&i| row[i]));
+                }
+                out.finish()
             }
-            out.finish()
         }
         RaExpr::Select { input, pred } => {
             let rel = eval_child(input, db, stats, budget, tr, memo.as_deref_mut())?;
@@ -705,16 +1212,31 @@ fn eval_node(
                 }
             };
             // Pure filter: canonical order is preserved, no re-sort needed.
-            let mut kept: Vec<Value> = Vec::new();
-            let mut n = 0usize;
-            for row in rel.iter() {
-                gov.tick(n)?;
-                if keep(row) {
-                    kept.extend_from_slice(row);
-                    n += 1;
+            let parts = partition_plan(rel.len(), budget);
+            if parts > 1 && !rel.is_empty() {
+                let (out, sizes) = filter_partitioned(
+                    &rel,
+                    parts,
+                    budget,
+                    &mut part_checks,
+                    &mut part_ticks,
+                    |row| keep(row),
+                )?;
+                tr.note_parallel();
+                tr.note_partitions(&sizes);
+                out
+            } else {
+                let mut kept: Vec<Value> = Vec::new();
+                let mut n = 0usize;
+                for row in rel.iter() {
+                    gov.tick(n)?;
+                    if keep(row) {
+                        kept.extend_from_slice(row);
+                        n += 1;
+                    }
                 }
+                Relation::from_canonical(icols.len(), n, kept)
             }
-            Relation::from_canonical(icols.len(), n, kept)
         }
         RaExpr::Duplicate { input, src, .. } => {
             let rel = eval_child(input, db, stats, budget, tr, memo)?;
@@ -733,8 +1255,8 @@ fn eval_node(
         }
     };
     stats.record(&out);
-    stats.budget_checks += gov.checks() + 1;
-    tr.note_kernel_rows(gov.ticks() as u64);
+    stats.budget_checks += gov.checks() + part_checks + 1;
+    tr.note_kernel_rows((gov.ticks() + part_ticks) as u64);
     budget.checkpoint(Stage::Eval)?;
     budget.charge_tuples(Stage::Eval, out.len() as u64)?;
     Ok(out)
@@ -743,6 +1265,7 @@ fn eval_node(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::govern::FaultInjector;
     use crate::relation::tuple;
     use std::sync::Arc;
 
@@ -1000,6 +1523,139 @@ mod tests {
         let r2 = eval(&e, &d).unwrap();
         assert_eq!(r, r2);
         assert_eq!(r.to_string(), r2.to_string());
+    }
+
+    /// A database big enough for interesting partition splits, with keys
+    /// shared between `A` and `B` and half of `A` mirrored into `A2`.
+    fn partition_db() -> Database {
+        let mut d = Database::new();
+        let mut a = RelationBuilder::new(2);
+        let mut a2 = RelationBuilder::new(2);
+        let mut b = RelationBuilder::new(2);
+        let mut c = RelationBuilder::new(1);
+        for i in 0..500i64 {
+            a.push_row(&[Value::int(i), Value::int(i % 23)]);
+            b.push_row(&[Value::int(i % 23), Value::int(i % 7)]);
+            if i % 2 == 0 {
+                a2.push_row(&[Value::int(i), Value::int(i % 23)]);
+            }
+            if i < 5 {
+                c.push_row(&[Value::int(i)]);
+            }
+        }
+        d.insert_relation("A", a.finish());
+        d.insert_relation("A2", a2.finish());
+        d.insert_relation("B", b.finish());
+        d.insert_relation("C", c.finish());
+        d
+    }
+
+    /// One expression per partitioned kernel family: hash join, semijoin,
+    /// cross product, sorted-merge union and difference, anti-join,
+    /// projection, selection.
+    fn kernel_family_plans() -> Vec<RaExpr> {
+        let a = RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]);
+        let a2 = RaExpr::scan("A2", vec![Term::var("x"), Term::var("y")]);
+        let b = RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]);
+        let c = RaExpr::scan("C", vec![Term::var("u")]);
+        vec![
+            RaExpr::join(a.clone(), b.clone()),
+            RaExpr::join(a.clone(), RaExpr::project(b.clone(), vec![Var::new("y")])),
+            RaExpr::join(c, a.clone()),
+            RaExpr::union(a.clone(), a2.clone()),
+            RaExpr::diff(a.clone(), a2),
+            RaExpr::diff(a.clone(), RaExpr::project(b, vec![Var::new("y")])),
+            RaExpr::project(a.clone(), vec![Var::new("y")]),
+            RaExpr::select(a, SelPred::NeqCols(Var::new("x"), Var::new("y"))),
+        ]
+    }
+
+    #[test]
+    fn forced_partitions_are_invisible_in_results() {
+        let d = partition_db();
+        for e in kernel_family_plans() {
+            let seq = Budget::new().with_partitions(1);
+            let want = eval_governed(&e, &d, &mut EvalStats::default(), &seq).unwrap();
+            for n in [2usize, 3, 7, 1000] {
+                let budget = Budget::new().with_partitions(n);
+                let got = eval_governed(&e, &d, &mut EvalStats::default(), &budget).unwrap();
+                assert_eq!(want, got, "partitions={n} plan={e}");
+                assert_eq!(want.to_string(), got.to_string(), "partitions={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_partitions_reproduce_stats_and_spans() {
+        let d = partition_db();
+        for e in kernel_family_plans() {
+            let budget = Budget::new().with_partitions(4);
+            let mut s1 = EvalStats::default();
+            let mut s2 = EvalStats::default();
+            let mut t1 = Tracer::on();
+            let mut t2 = Tracer::on();
+            let r1 = eval_traced(&e, &d, &mut s1, &budget, &mut t1).unwrap();
+            let r2 = eval_traced(&e, &d, &mut s2, &budget, &mut t2).unwrap();
+            assert_eq!(r1, r2);
+            assert_eq!(s1, s2, "stats must reproduce under a fixed count");
+            let (p1, p2) = (t1.finish().unwrap(), t2.finish().unwrap());
+            assert_eq!(
+                p1.partitioned_projection(),
+                p2.partitioned_projection(),
+                "per-partition spans must reproduce under a fixed count"
+            );
+            assert!(p1.any_partitioned(), "plan {e} never partitioned");
+        }
+    }
+
+    #[test]
+    fn spawn_denial_beats_partition_override() {
+        let d = partition_db();
+        let e = RaExpr::join(
+            RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]),
+            RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]),
+        );
+        let fault = FaultInjector::new();
+        fault.deny_thread_spawn(true);
+        let denied = Budget::new().with_partitions(8).with_fault_injector(fault);
+        let mut tr = Tracer::on();
+        let got = eval_traced(&e, &d, &mut EvalStats::default(), &denied, &mut tr).unwrap();
+        let root = tr.finish().unwrap();
+        assert!(!root.any_partitioned(), "denied spawn must stay sequential");
+        let plain = eval(&e, &d).unwrap();
+        assert_eq!(got, plain);
+    }
+
+    #[test]
+    fn partitioned_join_reuses_database_partition_cache() {
+        let d = partition_db();
+        let e = RaExpr::join(
+            RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]),
+            RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]),
+        );
+        assert_eq!(d.partition_cache_entries(), 0);
+        let budget = Budget::new().with_partitions(4);
+        eval_governed(&e, &d, &mut EvalStats::default(), &budget).unwrap();
+        // Both scan sides are plain scans: two cached layouts.
+        assert_eq!(d.partition_cache_entries(), 2);
+        eval_governed(&e, &d, &mut EvalStats::default(), &budget).unwrap();
+        assert_eq!(d.partition_cache_entries(), 2, "second run must re-use");
+    }
+
+    #[test]
+    fn partitioned_budget_trip_is_clean_and_engine_reusable() {
+        let d = partition_db();
+        let e = RaExpr::join(
+            RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]),
+            RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]),
+        );
+        let tight = Budget::new().with_partitions(4).with_max_tuples(100);
+        let err = eval_governed(&e, &d, &mut EvalStats::default(), &tight)
+            .expect_err("tuple cap must trip inside the partitioned join");
+        assert!(matches!(err, EvalError::Budget(_)));
+        // The same database (and its partition cache) serves a fresh run.
+        let ok = eval(&e, &d).unwrap();
+        assert!(!ok.is_empty());
     }
 
     /// A plan whose join subtree appears in both union branches (under

@@ -23,6 +23,21 @@
 //! sequential fallback) and flip the cancellation flag after a chosen
 //! number of checkpoints (forcing mid-kernel unwinding), so the cleanup
 //! paths are provable rather than hopeful.
+//!
+//! The budget also carries the evaluator's execution *policy* knobs that
+//! must reach every worker thread: [`Budget::with_partitions`] pins the
+//! partition-parallel kernels to a fixed partition count (or, at 1, to the
+//! sequential kernels). Policy knobs never change results — the invariant
+//! the differential suites enforce is that any budget clone of any policy
+//! computes bit-identical relations or the same structured error.
+//!
+//! **Accounting invariants.** `Governor::ticks` totals are deterministic
+//! for a given expression, database, and partition layout (each kernel
+//! ticks once per loop iteration, and partition workers split exactly the
+//! sequential iteration space for the order-preserving kernels).
+//! `budget_checks` depends on the checkpoint *cadence*, which changes with
+//! the worker count — so cross-policy comparisons should pin the partition
+//! count, while same-policy runs are exactly reproducible.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -149,6 +164,7 @@ pub struct Budget {
     wall_limit: Option<Duration>,
     max_tuples: Option<u64>,
     max_nodes: Option<u64>,
+    partitions: Option<usize>,
     shared: Arc<Shared>,
     fault: Option<FaultInjector>,
 }
@@ -190,6 +206,26 @@ impl Budget {
     pub fn with_fault_injector(mut self, fault: FaultInjector) -> Budget {
         self.fault = Some(fault);
         self
+    }
+
+    /// Override the evaluator's partition count: every partitionable
+    /// operator kernel uses exactly `n` partitions instead of the
+    /// cardinality/core heuristic
+    /// ([`crate::relation::partition_count`]). `1` forces the sequential
+    /// kernels (useful for differential tests and machine-independent
+    /// accounting); larger values force partitioning even on small inputs
+    /// or single-core hosts. Like the fault injector, this is an execution
+    /// *policy* riding on the budget — it never changes results, only how
+    /// they are computed. Spawn denial still wins: a denied budget runs
+    /// sequentially whatever the override says.
+    pub fn with_partitions(mut self, n: usize) -> Budget {
+        self.partitions = Some(n.max(1));
+        self
+    }
+
+    /// The configured partition-count override, if any.
+    pub fn partition_override(&self) -> Option<usize> {
+        self.partitions
     }
 
     /// The configured node cap, if any.
@@ -526,6 +562,19 @@ mod tests {
         assert!(b.checkpoint(Stage::Eval).is_ok());
         let err = b.checkpoint(Stage::Eval).unwrap_err();
         assert_eq!(err.resource, Resource::Cancelled);
+    }
+
+    #[test]
+    fn partition_override_is_clamped_and_shared_by_clones() {
+        assert_eq!(Budget::new().partition_override(), None);
+        let b = Budget::new().with_partitions(4);
+        assert_eq!(b.partition_override(), Some(4));
+        assert_eq!(b.clone().partition_override(), Some(4));
+        // 0 would mean "no partitions at all"; clamp to the sequential 1.
+        assert_eq!(
+            Budget::new().with_partitions(0).partition_override(),
+            Some(1)
+        );
     }
 
     #[test]

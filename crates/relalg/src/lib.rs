@@ -10,7 +10,10 @@
 //! duplication primitive (Appendix A). This crate implements exactly that
 //! operator set over set-semantics relations with variable-named columns:
 //!
-//! * [`relation::Relation`], [`database::Database`] — storage;
+//! * [`relation::Relation`], [`database::Database`] — storage, including
+//!   hash-partitioned layouts ([`relation::Relation::partition_by`],
+//!   [`relation::PartitionedRelation`]) behind the partition-parallel
+//!   kernels and the per-database partition cache;
 //! * [`expr::RaExpr`] — the expression tree, with structural validation;
 //! * [`eval`](mod@eval) — hash-join/anti-join evaluation with [`eval::EvalStats`],
 //!   including the memoizing DAG evaluator [`eval::eval_shared`];
@@ -27,7 +30,7 @@
 //! * display impls that mimic the paper's `π/σ/⋈/∪/diff` notation;
 //! * [`io`] — fact-text and TSV import/export.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baseline;
 pub mod cache;
@@ -52,5 +55,8 @@ pub use expr::{RaExpr, SelPred};
 pub use govern::{Budget, BudgetExceeded, CancelHandle, FaultInjector, Governor, Resource, Stage};
 pub use optimize::simplify;
 pub use plan::{intern, plan_hash, InternStats, Interner};
-pub use relation::{tuple, Relation, RelationBuilder, Tuple};
+pub use relation::{
+    partition_count, tuple, PartitionedRelation, Relation, RelationBuilder, Tuple,
+    MIN_PARTITION_ROWS,
+};
 pub use trace::{OpSpan, PipelineTrace, StageSpan, StageTracer, TraceSink, Tracer};

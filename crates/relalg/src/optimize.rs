@@ -15,6 +15,13 @@
 //!   through unions;
 //! * push projections through unions.
 //!
+//! Simplification is purely *plan-shaping*: it runs before any execution
+//! policy is chosen, so it neither sees nor influences how the kernels
+//! later partition an operator's data (`crate::eval`'s partition plan is
+//! a function of runtime cardinalities and the [`crate::Budget`], not of
+//! plan shape). Rewrites only have to preserve the relation — partition
+//! invisibility then guarantees the row order too.
+//!
 //! ## Selection pushdown around `Diff` — soundness audit
 //!
 //! For the generalized difference `A diff B` the **only** sound pushdown is

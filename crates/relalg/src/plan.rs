@@ -24,6 +24,13 @@
 //! cross-run [`crate::cache::PlanCache`]. The hash is deterministic within
 //! a process but **not** a stable on-disk identity: [`rc_formula::Symbol`]
 //! hashes by interner index, which depends on interning order.
+//!
+//! Execution policy is deliberately *excluded* from plan identity: a
+//! forced partition count ([`crate::Budget::with_partitions`]) changes how
+//! kernels split their data, never the relation they produce, so plans
+//! evaluated under different partition policies share one hash — a cached
+//! result computed sequentially is bit-identical to a partitioned re-run
+//! (the invisibility contract pinned by `tests/prop_engine.rs`).
 
 use crate::expr::{RaExpr, SelPred};
 use rc_formula::fxhash::{FxHashMap, FxHasher};

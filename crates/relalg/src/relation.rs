@@ -21,12 +21,28 @@
 //! formulas come back from the algebra evaluator. The flat buffer cannot
 //! distinguish them (both are zero values), so the row count is stored
 //! explicitly.
+//!
+//! **Canonical invariant.** Every constructed `Relation` satisfies
+//! [`Relation::debug_assert_canonical`]: the buffer is exactly
+//! `arity × n_rows` values, rows strictly ascending (sorted *and*
+//! deduplicated). The invariant is what makes `PartialEq` a buffer compare,
+//! membership a binary search, union/difference linear merges — and it is
+//! debug-checked at builder finish, at every trusted `from_canonical`
+//! construction, and at partition merges.
+//!
+//! For partition-parallel evaluation, [`Relation::partition_by`] splits a
+//! relation into disjoint hash partitions ([`PartitionedRelation`]) that
+//! are each canonical by construction (a subsequence of a sorted sequence),
+//! so per-partition kernel outputs merge back into canonical form without
+//! a global re-sort.
 
 use crate::govern::{Budget, BudgetExceeded, Governor, Stage};
+use rc_formula::fxhash::FxHasher;
 use rc_formula::{symbol_order, SymbolOrder, Value};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A database tuple.
@@ -47,6 +63,38 @@ pub(crate) fn cmp_rows(a: &[Value], b: &[Value], order: &SymbolOrder) -> Orderin
         }
     }
     a.len().cmp(&b.len())
+}
+
+/// Hash the listed columns of a row (order-sensitive). This is the shared
+/// key hash for the join kernels *and* for [`Relation::partition_by`]: two
+/// rows agreeing on their key columns hash identically, so co-partitioning
+/// both join inputs on the shared columns sends every matching pair to the
+/// same partition.
+#[inline]
+pub(crate) fn hash_cols(row: &[Value], cols: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for &c in cols {
+        row[c].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fewest input rows that justify giving a partition a worker thread of its
+/// own; below this the spawn/merge overhead exceeds the kernel work.
+pub const MIN_PARTITION_ROWS: usize = 4096;
+
+/// Deterministic partition count for an operator over `rows` input rows on
+/// this machine: one partition per [`MIN_PARTITION_ROWS`] rows, capped at
+/// the available cores, never zero. Depends only on the cardinality and the
+/// host's core count, so repeated runs on one machine always pick the same
+/// layout (the golden-trace suite pins partition cardinalities under an
+/// explicit [`crate::govern::Budget::with_partitions`] override instead, so
+/// its snapshots stay machine-independent).
+pub fn partition_count(rows: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    cores.min(rows / MIN_PARTITION_ROWS).max(1)
 }
 
 /// A finite relation: a set of tuples sharing one arity.
@@ -105,24 +153,50 @@ impl Relation {
     /// Wrap a buffer that is already canonical (sorted, deduplicated).
     /// Kernel internal: callers must guarantee the invariant.
     pub(crate) fn from_canonical(arity: usize, n_rows: usize, data: Vec<Value>) -> Relation {
-        debug_assert_eq!(data.len(), arity * n_rows);
-        debug_assert!(
-            {
-                let order = symbol_order();
-                (1..n_rows).all(|i| {
-                    cmp_rows(
-                        &data[(i - 1) * arity..i * arity],
-                        &data[i * arity..(i + 1) * arity],
-                        &order,
-                    ) == Ordering::Less
-                })
-            },
-            "from_canonical called with non-canonical rows"
-        );
-        Relation {
+        let rel = Relation {
             arity,
             n_rows,
             data: Arc::new(data),
+        };
+        rel.debug_assert_canonical();
+        rel
+    }
+
+    /// Debug-assert the canonical-storage invariant every construction path
+    /// must uphold: the buffer holds exactly `n_rows` arity-strided rows,
+    /// sorted strictly ascending under the current symbol order (sorted
+    /// *and* duplicate-free), and a nullary relation has at most one row.
+    /// Called at builder finish, at every trusted `from_canonical`
+    /// construction, and at partition merges; a no-op in release builds.
+    #[inline]
+    pub fn debug_assert_canonical(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.data.len(),
+                self.arity * self.n_rows,
+                "relation buffer length {} disagrees with arity {} × rows {}",
+                self.data.len(),
+                self.arity,
+                self.n_rows
+            );
+            if self.arity == 0 {
+                assert!(
+                    self.n_rows <= 1,
+                    "nullary relation claims {} rows",
+                    self.n_rows
+                );
+            } else {
+                let order = symbol_order();
+                for i in 1..self.n_rows {
+                    assert!(
+                        cmp_rows(self.row(i - 1), self.row(i), &order) == Ordering::Less,
+                        "rows {} and {} are out of order or duplicated",
+                        i - 1,
+                        i
+                    );
+                }
+            }
         }
     }
 
@@ -165,6 +239,87 @@ impl Relation {
             }
         }
         Err(lo)
+    }
+
+    /// Index of the first row `>= probe` in canonical order (the insertion
+    /// point of `probe`) — used by the range-parallel union/difference
+    /// kernels to align a split of one relation with the other.
+    pub(crate) fn lower_bound(&self, probe: &[Value], order: &SymbolOrder) -> usize {
+        let (mut lo, mut hi) = (0usize, self.n_rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if cmp_rows(self.row(mid), probe, order) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Split the relation into `n` hash partitions on `key_cols`: each row
+    /// goes to partition `hash(key columns) mod n`. Rows are taken in
+    /// canonical order, so every partition is a strictly ascending
+    /// subsequence — itself a canonical [`Relation`] — and
+    /// [`PartitionedRelation::merge`] restores exactly the source relation.
+    /// Rows agreeing on the key columns always share a partition, which is
+    /// what makes partition-wise joins on those columns sound.
+    ///
+    /// Panics if `n == 0` or a key column is out of range. `n` may exceed
+    /// the row count (the surplus partitions are empty); nullary relations
+    /// put their at-most-one row in partition 0.
+    ///
+    /// ```
+    /// use rc_relalg::{Relation, RelationBuilder};
+    /// use rc_formula::Value;
+    ///
+    /// let mut b = RelationBuilder::new(2);
+    /// for i in 0..100i64 {
+    ///     b.push_row(&[Value::int(i), Value::int(i % 7)]);
+    /// }
+    /// let rel = b.finish();
+    /// // Partition on the second column into 4 disjoint parts.
+    /// let parts = rel.partition_by(&[1], 4);
+    /// assert_eq!(parts.parts().len(), 4);
+    /// assert_eq!(parts.parts().iter().map(Relation::len).sum::<usize>(), rel.len());
+    /// // Merging restores exactly the original canonical relation.
+    /// assert_eq!(parts.merge(), rel);
+    /// ```
+    pub fn partition_by(&self, key_cols: &[usize], n: usize) -> PartitionedRelation {
+        assert!(n > 0, "partition count must be positive");
+        for &c in key_cols {
+            assert!(
+                c < self.arity,
+                "partition key column {c} out of range for arity {}",
+                self.arity
+            );
+        }
+        if n == 1 || self.arity == 0 {
+            let mut parts = vec![self.clone()];
+            parts.resize(n, Relation::new(self.arity));
+            return PartitionedRelation {
+                arity: self.arity,
+                key_cols: key_cols.to_vec(),
+                parts,
+            };
+        }
+        let mut bufs: Vec<Vec<Value>> = vec![Vec::new(); n];
+        let mut counts = vec![0usize; n];
+        for row in self.iter() {
+            let b = (hash_cols(row, key_cols) % n as u64) as usize;
+            bufs[b].extend_from_slice(row);
+            counts[b] += 1;
+        }
+        let parts = bufs
+            .into_iter()
+            .zip(counts)
+            .map(|(buf, rows)| Relation::from_canonical(self.arity, rows, buf))
+            .collect();
+        PartitionedRelation {
+            arity: self.arity,
+            key_cols: key_cols.to_vec(),
+            parts,
+        }
     }
 
     /// Insert a tuple; returns whether it was new. Panics on arity mismatch
@@ -279,11 +434,7 @@ impl Relation {
             out.extend_from_slice(&other.data[j * arity..]);
             n += other.n_rows - j;
         }
-        Ok(Relation {
-            arity,
-            n_rows: n,
-            data: Arc::new(out),
-        })
+        Ok(Relation::from_canonical(arity, n, out))
     }
 
     /// Plain set difference with another relation of the same arity
@@ -337,11 +488,87 @@ impl Relation {
                 n += 1;
             }
         }
-        Ok(Relation {
-            arity,
-            n_rows: n,
-            data: Arc::new(out),
-        })
+        Ok(Relation::from_canonical(arity, n, out))
+    }
+}
+
+/// Merge already-canonical relations pairwise (a balanced binary union
+/// tree) under one governor. The workhorse behind
+/// [`PartitionedRelation::merge_governed`] and the partition-wise join's
+/// result merge.
+pub(crate) fn merge_sorted(
+    mut layer: Vec<Relation>,
+    arity: usize,
+    gov: &mut Governor<'_>,
+) -> Result<Relation, BudgetExceeded> {
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(match pair {
+                [a, b] => a.union_governed(b, gov)?,
+                [a] => a.clone(),
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            });
+        }
+        layer = next;
+    }
+    let out = layer.pop().unwrap_or_else(|| Relation::new(arity));
+    out.debug_assert_canonical();
+    Ok(out)
+}
+
+/// A hash-partitioned layout of a [`Relation`], produced by
+/// [`Relation::partition_by`]: disjoint canonical parts whose union is the
+/// source relation, with rows assigned by hashing the key columns. The
+/// partition-parallel kernels evaluate one worker per part;
+/// [`crate::database::Database`] caches these layouts per stored relation
+/// so repeated queries reuse the materialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionedRelation {
+    arity: usize,
+    key_cols: Vec<usize>,
+    parts: Vec<Relation>,
+}
+
+impl PartitionedRelation {
+    /// The partitions, each canonical, in partition-index order.
+    pub fn parts(&self) -> &[Relation] {
+        &self.parts
+    }
+
+    /// The key columns rows were hashed on.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// The shared arity of the source and every part.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Per-partition row counts, in partition order (what trace spans
+    /// record as partition cardinalities).
+    pub fn part_sizes(&self) -> Vec<u64> {
+        self.parts.iter().map(|p| p.len() as u64).collect()
+    }
+
+    /// Total rows across all partitions (= the source relation's row count).
+    pub fn total_rows(&self) -> usize {
+        self.parts.iter().map(Relation::len).sum()
+    }
+
+    /// Reassemble the source relation: a balanced merge of the (disjoint,
+    /// individually canonical) parts, asserted canonical at the end.
+    pub fn merge(&self) -> Relation {
+        let mut gov = Governor::new(Budget::unlimited(), Stage::Eval);
+        self.merge_governed(&mut gov)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`PartitionedRelation::merge`] under a [`Governor`], checkpointing
+    /// every [`crate::govern::CHECK_INTERVAL`] merged rows.
+    pub fn merge_governed(&self, gov: &mut Governor<'_>) -> Result<Relation, BudgetExceeded> {
+        merge_sorted(self.parts.clone(), self.arity, gov)
     }
 }
 
@@ -531,11 +758,13 @@ impl RelationBuilder {
             }
         }
         data.shrink_to_fit();
-        Relation {
+        let rel = Relation {
             arity,
             n_rows,
             data: Arc::new(data),
-        }
+        };
+        rel.debug_assert_canonical();
+        rel
     }
 }
 
@@ -664,5 +893,83 @@ mod tests {
         let r = Relation::from_rows(2, [tuple([1i64, 2])]);
         assert!(!r.contains(&[Value::int(1)]));
         assert!(!r.contains(&[]));
+    }
+
+    fn numbered(rows: i64) -> Relation {
+        let mut b = RelationBuilder::new(2);
+        for i in 0..rows {
+            b.push_row(&[Value::int(i), Value::int(i % 13)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn partition_by_is_a_disjoint_canonical_cover() {
+        let rel = numbered(500);
+        for n in [1usize, 2, 3, 7, 16] {
+            let parts = rel.partition_by(&[1], n);
+            assert_eq!(parts.parts().len(), n);
+            assert_eq!(parts.total_rows(), rel.len());
+            for p in parts.parts() {
+                p.debug_assert_canonical();
+                // Disjointness: every row of a part is in the source.
+                for row in p.iter() {
+                    assert!(rel.contains(row));
+                }
+            }
+            assert_eq!(parts.merge(), rel, "merge must restore the source (n={n})");
+        }
+    }
+
+    #[test]
+    fn partition_by_more_parts_than_rows() {
+        let rel = numbered(3);
+        let parts = rel.partition_by(&[0], 64);
+        assert_eq!(parts.parts().len(), 64);
+        assert_eq!(parts.total_rows(), 3);
+        assert_eq!(parts.merge(), rel);
+    }
+
+    #[test]
+    fn partition_by_groups_equal_keys_together() {
+        let rel = numbered(500);
+        let parts = rel.partition_by(&[1], 5);
+        // Each distinct key value must land in exactly one partition.
+        for key in 0..13i64 {
+            let holders = parts
+                .parts()
+                .iter()
+                .filter(|p| p.iter().any(|row| row[1] == Value::int(key)))
+                .count();
+            assert_eq!(holders, 1, "key {key} split across partitions");
+        }
+    }
+
+    #[test]
+    fn partition_by_empty_and_nullary() {
+        let empty = Relation::new(2);
+        let parts = empty.partition_by(&[0], 4);
+        assert_eq!(parts.total_rows(), 0);
+        assert_eq!(parts.merge(), empty);
+
+        let unit = Relation::unit();
+        let parts = unit.partition_by(&[], 4);
+        assert_eq!(parts.parts().len(), 4);
+        assert_eq!(parts.merge(), unit);
+    }
+
+    #[test]
+    fn partition_count_is_monotone_and_floored() {
+        assert_eq!(partition_count(0), 1);
+        assert_eq!(partition_count(MIN_PARTITION_ROWS - 1), 1);
+        let big = partition_count(1 << 24);
+        assert!(big >= 1);
+        assert!(big >= partition_count(MIN_PARTITION_ROWS));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count")]
+    fn partition_by_zero_parts_panics() {
+        numbered(4).partition_by(&[0], 0);
     }
 }

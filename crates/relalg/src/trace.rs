@@ -20,12 +20,17 @@
 //! at, so governance and tracing share one hook.
 //!
 //! **Determinism contract:** span structure, labels, cardinalities,
-//! raw/kernel row counts and stage node counts are deterministic for a
-//! given expression and database — identical under parallel and sequential
+//! raw row counts and stage node counts are deterministic for a given
+//! expression and database — identical under parallel and sequential
 //! evaluation (parallel branches are adopted left-then-right, mirroring
-//! the stats merge). Wall times and the parallel flag are *not* part of the
-//! contract; [`PipelineTrace::deterministic`] projects them away, and that
-//! projection is what the golden-trace snapshot suite pins.
+//! the stats merge). Wall times, the parallel flag, per-partition
+//! cardinalities ([`OpSpan::partitions`] — the auto partition count is
+//! host-dependent), and kernel loop counts (a partitioned join may pick
+//! different per-partition probe sides than the global kernel would) are
+//! *not* part of the contract; [`PipelineTrace::deterministic`] projects
+//! them away, and that projection is what the golden-trace snapshot suite
+//! pins. Partition cardinalities get their own snapshot through
+//! [`OpSpan::partitioned_projection`] under a forced partition count.
 
 use crate::database::Database;
 use crate::expr::{RaExpr, SelPred};
@@ -65,6 +70,13 @@ pub struct OpSpan {
     /// Were the children evaluated on separate threads? (Excluded from the
     /// deterministic projection: spawn denial flips it, cardinalities not.)
     pub parallel: bool,
+    /// Per-partition output cardinalities when the operator's kernel ran
+    /// partition-parallel; empty for sequential kernels. Excluded from the
+    /// deterministic projection (the auto partition count depends on the
+    /// host's cores, and spawn denial empties it); the partition-pinning
+    /// golden snapshot uses [`OpSpan::partitioned_projection`] under a
+    /// forced partition count instead.
+    pub partitions: Vec<u64>,
     /// Was this subplan served from the per-run memo table
     /// ([`crate::eval::eval_shared`])? Such spans are leaves — the subtree
     /// was traced at its first evaluation.
@@ -88,6 +100,7 @@ impl OpSpan {
             raw_rows: 0,
             kernel_rows: 0,
             parallel: false,
+            partitions: Vec::new(),
             cache_hit: false,
             completed: false,
             elapsed_ns: 0,
@@ -143,6 +156,48 @@ impl OpSpan {
         self.parallel || self.children.iter().any(OpSpan::any_parallel)
     }
 
+    /// Any partition-parallel kernel in the subtree?
+    pub fn any_partitioned(&self) -> bool {
+        !self.partitions.is_empty() || self.children.iter().any(OpSpan::any_partitioned)
+    }
+
+    /// The deterministic projection *plus* per-partition cardinalities
+    /// (`parts=[..]` on partitioned spans). Only machine-independent when
+    /// the partition count is forced via
+    /// [`crate::govern::Budget::with_partitions`] — which is exactly how
+    /// the partitioned golden-trace snapshot pins it.
+    pub fn partitioned_projection(&self) -> String {
+        fn go(s: &OpSpan, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            let ins: Vec<String> = s.rows_in.iter().map(|n| n.to_string()).collect();
+            let _ = write!(
+                out,
+                "{pad}op {}: in=[{}] out={} raw={}",
+                s.op,
+                ins.join(","),
+                s.rows_out,
+                s.raw_rows
+            );
+            if !s.partitions.is_empty() {
+                let ps: Vec<String> = s.partitions.iter().map(|n| n.to_string()).collect();
+                let _ = write!(out, " parts=[{}]", ps.join(","));
+            }
+            if s.cache_hit {
+                out.push_str(" MEMO");
+            }
+            if !s.completed {
+                out.push_str(" INCOMPLETE");
+            }
+            out.push('\n');
+            for c in &s.children {
+                go(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        go(self, 0, &mut out);
+        out
+    }
+
     fn deterministic_into(&self, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         let ins: Vec<String> = self.rows_in.iter().map(|n| n.to_string()).collect();
@@ -182,6 +237,9 @@ impl OpSpan {
             if self.cache_hit { "  [cached]" } else { "" },
             if self.completed { "" } else { "  [INCOMPLETE]" },
         );
+        if !self.partitions.is_empty() {
+            let _ = write!(out, "  [parts={}]", self.partitions.len());
+        }
         out.push('\n');
         for c in &self.children {
             c.render_into(depth + 1, out);
@@ -192,7 +250,8 @@ impl OpSpan {
         let _ = write!(
             out,
             "{{\"op\":{},\"rows_in\":[{}],\"rows_out\":{},\"raw_rows\":{},\
-             \"kernel_rows\":{},\"parallel\":{},\"cache_hit\":{},\"completed\":{},\
+             \"kernel_rows\":{},\"parallel\":{},\"partitions\":[{}],\
+             \"cache_hit\":{},\"completed\":{},\
              \"elapsed_ns\":{},\"children\":[",
             json_str(&self.op),
             self.rows_in
@@ -204,6 +263,11 @@ impl OpSpan {
             self.raw_rows,
             self.kernel_rows,
             self.parallel,
+            self.partitions
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
             self.cache_hit,
             self.completed,
             self.elapsed_ns,
@@ -416,6 +480,14 @@ impl Tracer {
     pub(crate) fn note_parallel(&mut self) {
         if let Some((span, _)) = self.stack.last_mut() {
             span.parallel = true;
+        }
+    }
+
+    /// Record per-partition output cardinalities on the open span (the
+    /// kernel ran partition-parallel).
+    pub(crate) fn note_partitions(&mut self, sizes: &[u64]) {
+        if let Some((span, _)) = self.stack.last_mut() {
+            span.partitions = sizes.to_vec();
         }
     }
 

@@ -16,6 +16,9 @@
 //! * `budget tuples <n>` / `budget nodes <n>` / `budget ms <n>` — cap the
 //!   intermediate tuples, formula/plan nodes, or wall-clock per query
 //! * `budget off` / `budget` — clear / show the current limits
+//! * `partitions <n>` / `partitions auto` — force every partitionable
+//!   operator kernel to exactly `n` partitions (1 = sequential kernels) /
+//!   return to the cardinality-and-cores heuristic
 //! * `cache` / `cache clear` — show plan/result cache statistics / drop
 //!   all cached entries (inserting a fact never serves stale answers: the
 //!   database version bump invalidates results automatically)
@@ -61,6 +64,7 @@ struct Limits {
     tuples: Option<u64>,
     nodes: Option<u64>,
     ms: Option<u64>,
+    partitions: Option<usize>,
 }
 
 impl Limits {
@@ -75,6 +79,9 @@ impl Limits {
         if let Some(ms) = self.ms {
             b = b.with_deadline(Duration::from_millis(ms));
         }
+        if let Some(p) = self.partitions {
+            b = b.with_partitions(p);
+        }
         b
     }
 
@@ -88,6 +95,9 @@ impl Limits {
         }
         if let Some(ms) = self.ms {
             parts.push(format!("deadline {ms} ms"));
+        }
+        if let Some(p) = self.partitions {
+            parts.push(format!("partitions = {p}"));
         }
         if parts.is_empty() {
             "unlimited".to_string()
@@ -158,6 +168,8 @@ fn main() {
                 println!("  budget nodes <n>   cap formula/plan size per query");
                 println!("  budget ms <n>      wall-clock deadline per query");
                 println!("  budget off         remove all limits (budget: show them)");
+                println!("  partitions <n>     force n-way partitioned kernels (1 = sequential)");
+                println!("  partitions auto    partition by cardinality and cores (default)");
                 println!("  cache              show plan/result cache statistics");
                 println!("  cache clear        drop all cached plans and results");
                 println!("  <formula>          evaluate a query");
@@ -205,6 +217,22 @@ fn main() {
         }
         if let Some(args) = line.strip_prefix("budget ") {
             limits = budget_command(args, limits);
+            continue;
+        }
+        if let Some(args) = line.strip_prefix("partitions ") {
+            match args.trim() {
+                "auto" => {
+                    limits.partitions = None;
+                    println!("  partitions: auto (cardinality/cores heuristic)");
+                }
+                n => match n.parse::<usize>() {
+                    Ok(0) | Err(_) => println!("  usage: partitions [<n ≥ 1> | auto]"),
+                    Ok(v) => {
+                        limits.partitions = Some(v);
+                        println!("  partitions: forced to {v}");
+                    }
+                },
+            }
             continue;
         }
         #[derive(PartialEq)]

@@ -35,6 +35,19 @@ TRACE_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 echo "==> cache gate (warm serves must hit; median repeated-query speedup >= 5x)"
 CACHE_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 
+echo "==> partition gate (bit-identical results, fallback < 2%; 2x speedup at >= 8 cores)"
+PAR_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
+
+echo "==> partitioned golden trace carries per-partition span fields"
+# The blessed snapshot must pin per-partition cardinalities; if the field
+# vanished, the partitioned projection regressed — regenerate intentionally
+# with: BLESS=1 cargo test --test golden_trace
+if ! grep -q 'parts=\[' tests/snapshots/partitioned-join.trace.txt; then
+  echo "error: tests/snapshots/partitioned-join.trace.txt lacks parts=[..] fields" >&2
+  echo "       (after an intentional change: BLESS=1 cargo test --test golden_trace)" >&2
+  exit 1
+fi
+
 echo "==> trace export smoke test (the JSON artifact CI uploads)"
 cargo run -q --release -p rc-bench --bin trace_export > /dev/null
 

@@ -139,3 +139,43 @@ fn options_fragment_the_plan_cache() {
     assert_eq!(cache.plan_count(), 2);
     assert_eq!(a.relation, b.relation);
 }
+
+/// The partition policy is pure execution policy: it is excluded from the
+/// cache key (like the rest of the budget), so a result computed under one
+/// policy is served — bit-identical — under any other, and a cold eval
+/// under a forced partition count caches a relation indistinguishable from
+/// the sequential one.
+#[test]
+fn partition_policy_never_fragments_or_skews_the_cache() {
+    let db = db();
+    let mut cache: PlanCache<Compiled> = PlanCache::new();
+    let text = "Part(x) & !Supplies('busy', x)";
+    let with_parts = |n: usize| CompileOptions {
+        budget: Budget::new().with_partitions(n),
+        ..CompileOptions::default()
+    };
+
+    // Cold serve evaluated with forced 4-way partitioned kernels.
+    let cold = compile_and_eval_cached(text, &db, with_parts(4), &mut cache)
+        .expect("cold partitioned serve");
+    assert!(!cold.plan_cached && !cold.result_cached);
+
+    // Warm serves under sequential kernels and a different forced count
+    // both hit the same entry and return the identical relation.
+    for n in [1usize, 7] {
+        let warm = compile_and_eval_cached(text, &db, with_parts(n), &mut cache)
+            .unwrap_or_else(|e| panic!("warm serve at partitions={n}: {e}"));
+        assert!(
+            warm.plan_cached && warm.result_cached,
+            "partition count {n} must not fragment the cache"
+        );
+        assert_eq!(warm.relation, cold.relation);
+        assert_eq!(warm.relation.to_string(), cold.relation.to_string());
+    }
+    assert_eq!(cache.plan_count(), 1);
+
+    // And the partitioned-cold result equals an uncached sequential run.
+    let plain = rcsafe::safety::pipeline::compile_and_eval(text, &db, CompileOptions::default())
+        .expect("uncached sequential run");
+    assert_eq!(plain.relation, cold.relation);
+}

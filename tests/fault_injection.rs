@@ -2,6 +2,13 @@
 //! denial must fall back to the sequential path with *identical* output
 //! and deterministic stats, and forced mid-kernel cancellation must unwind
 //! cleanly, leaving the engine usable.
+//!
+//! Tests that compare full [`EvalStats`] across the parallel and the
+//! denied (sequential) path pin the kernel partition count to 1: subtree
+//! parallelism keeps `budget_checks` layout-invariant, but partitioned
+//! kernels run one governor per worker, whose checkpoint *cadence* (every
+//! 4096 ticks per worker) legitimately depends on the partition count —
+//! which would otherwise vary with the host's core count.
 
 mod common;
 
@@ -31,7 +38,8 @@ fn spawn_denial_degrades_to_identical_sequential_results() {
     let (c, db) = big_join();
 
     let mut par_stats = EvalStats::default();
-    let parallel = c.run_with_stats(&db, &mut par_stats).unwrap();
+    let pinned = Budget::new().with_partitions(1);
+    let parallel = c.run_governed(&db, &mut par_stats, &pinned).unwrap();
     assert!(!parallel.is_empty());
 
     let fault = FaultInjector::new();
@@ -164,8 +172,9 @@ fn spawn_denial_leaves_the_trace_projection_unchanged() {
 
     let mut par_stats = EvalStats::default();
     let mut par_tr = Tracer::on();
+    let pinned = Budget::new().with_partitions(1);
     let parallel = c
-        .run_traced(&db, &mut par_stats, Budget::unlimited(), &mut par_tr)
+        .run_traced(&db, &mut par_stats, &pinned, &mut par_tr)
         .unwrap();
     let par_root = par_tr.finish().expect("parallel run leaves a root span");
     assert!(
@@ -215,8 +224,9 @@ fn parallel_and_sequential_stats_agree_for_all_operator_shapes() {
 
         let mut par_stats = EvalStats::default();
         let mut par_tr = Tracer::on();
+        let pinned = Budget::new().with_partitions(1);
         let parallel = c
-            .run_traced(&db, &mut par_stats, Budget::unlimited(), &mut par_tr)
+            .run_traced(&db, &mut par_stats, &pinned, &mut par_tr)
             .unwrap();
         assert!(
             par_tr.finish().unwrap().any_parallel(),
@@ -235,6 +245,44 @@ fn parallel_and_sequential_stats_agree_for_all_operator_shapes() {
             "{text}: an EvalStats field diverges between the parallel and \
              sequential paths"
         );
+    }
+}
+
+/// Mid-join cancellation with the join kernel *forced* into partitioned
+/// workers: the trip must drain every worker, surface as a cancellation,
+/// and leave no poisoned state — the same compiled query over the same
+/// database (and its partition cache) still yields the full answer,
+/// partitioned or sequential.
+#[test]
+fn mid_join_cancellation_under_forced_partitions_unwinds_cleanly() {
+    let (c, db) = big_join();
+    let reference = c.run(&db).unwrap();
+
+    for checkpoints in [2u64, 5, 9] {
+        let fault = FaultInjector::new();
+        fault.cancel_after_checkpoints(checkpoints);
+        let budget = Budget::new().with_partitions(4).with_fault_injector(fault);
+        let mut stats = EvalStats::default();
+        let err = c
+            .run_governed(&db, &mut stats, &budget)
+            .expect_err("cancellation must fire inside the partitioned evaluation");
+        match err {
+            rcsafe::relalg::EvalError::Budget(b) => {
+                assert_eq!(b.stage, Stage::Eval);
+                assert_eq!(b.resource, Resource::Cancelled);
+            }
+            other => panic!("expected a cancellation report, got {other:?}"),
+        }
+
+        let partitioned_again = c
+            .run_governed(
+                &db,
+                &mut EvalStats::default(),
+                &Budget::new().with_partitions(4),
+            )
+            .expect("partitioned re-run after a cancelled partitioned run");
+        assert_eq!(partitioned_again, reference);
+        assert_eq!(c.run(&db).unwrap(), reference);
     }
 }
 

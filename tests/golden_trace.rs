@@ -14,9 +14,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rcsafe::formula::{Schema, Value};
+use rcsafe::relalg::RelationBuilder;
 use rcsafe::safety::corpus::{by_id, formula_of};
 use rcsafe::safety::pipeline::{compile_and_eval_traced, CompileOptions};
-use rcsafe::Database;
+use rcsafe::{Budget, Database};
 use std::path::PathBuf;
 
 /// The pinned corpus entries: every safety class the pipeline accepts,
@@ -98,6 +99,64 @@ fn golden_traces_match_snapshots() {
         failures.len(),
         failures.join("\n\n")
     );
+}
+
+/// The partitioned projection of a big join forced to exactly 4-way
+/// partitioned kernels. Machine-independent because the count is pinned:
+/// partition membership is decided by `FxHasher` (no random seed) and
+/// chunk boundaries by integer arithmetic — only wall times and loop
+/// counts vary, and the projection excludes both.
+fn partitioned_projection_of_big_join() -> String {
+    let mut db = Database::new();
+    let mut a = RelationBuilder::new(2);
+    let mut b = RelationBuilder::new(2);
+    for i in 0..9_000i64 {
+        a.push_row(&[Value::int(i), Value::int(i % 97)]);
+        b.push_row(&[Value::int(i % 97), Value::int(i % 13)]);
+    }
+    db.insert_relation("A", a.finish());
+    db.insert_relation("B", b.finish());
+    let opts = CompileOptions {
+        budget: Budget::new().with_partitions(4),
+        ..CompileOptions::default()
+    };
+    let (result, trace) = compile_and_eval_traced("A(x, y) & B(y, z)", &db, opts);
+    result.unwrap_or_else(|e| panic!("partitioned big join failed: {e}"));
+    trace
+        .root
+        .as_ref()
+        .expect("traced run leaves an operator tree")
+        .partitioned_projection()
+}
+
+/// Golden snapshot of the *partitioned* projection: per-partition output
+/// cardinalities (`parts=[..]`) under a forced 4-way split are pinned in
+/// `tests/snapshots/partitioned-join.trace.txt`.
+#[test]
+fn partitioned_golden_trace_matches_snapshot() {
+    let bless = std::env::var("BLESS").as_deref() == Ok("1");
+    let got = partitioned_projection_of_big_join();
+    assert!(
+        got.contains("parts=["),
+        "forced partition count must leave per-partition span fields:\n{got}"
+    );
+    let path = snapshot_path("partitioned-join");
+    if bless {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(want) if want == got => {}
+        Ok(want) => panic!(
+            "partitioned trace projection drifted\n--- snapshot\n{want}--- got\n{got}\n\
+             (intentional? BLESS=1 cargo test --test golden_trace)"
+        ),
+        Err(_) => panic!(
+            "missing snapshot {} (run BLESS=1 cargo test --test golden_trace)",
+            path.display()
+        ),
+    }
 }
 
 /// The projection itself is stable: two fresh runs of the same query over

@@ -12,9 +12,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rcsafe::formula::generate::{random_allowed_formula, GenConfig};
 use rcsafe::formula::vars::rectified;
-use rcsafe::relalg::{eval, eval_baseline, eval_with_stats, EvalStats, RelationBuilder};
+use rcsafe::relalg::{
+    eval, eval_baseline, eval_governed, eval_with_stats, EvalStats, RelationBuilder,
+};
 use rcsafe::safety::pipeline::{compile_with, CompileOptions};
-use rcsafe::{Database, RaExpr, Term, Value, Var};
+use rcsafe::{Budget, Database, RaExpr, Term, Value, Var};
 use std::sync::Arc;
 
 fn random_db(seed: u64, rows: usize, domain: i64) -> Database {
@@ -139,6 +141,63 @@ proptest! {
                 fast.to_string(),
                 slow.to_string(),
                 "row order differs on {}", &f
+            );
+        }
+    }
+
+    /// Forced partition counts — 1 (sequential kernels), a random small
+    /// count, and far more partitions than rows — never change the answer
+    /// or its row order, across every hand-built operator shape.
+    #[test]
+    fn partitioned_matches_sequential_on_synthetic_exprs(seed in 0u64..3_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9A71);
+        let db = random_db(seed, 40, 9);
+        let counts = [1usize, rng.gen_range(2..=7), 97];
+        for e in synthetic_exprs() {
+            let want = eval(&e, &db).expect("auto-policy eval");
+            for &n in &counts {
+                let budget = Budget::new().with_partitions(n);
+                let got = eval_governed(&e, &db, &mut EvalStats::default(), &budget)
+                    .expect("partitioned eval");
+                prop_assert_eq!(&want, &got, "partitions={} on {}", n, &e);
+                prop_assert_eq!(
+                    want.to_string(),
+                    got.to_string(),
+                    "order differs at partitions={} on {}", n, &e
+                );
+            }
+        }
+    }
+
+    /// The same partition-invisibility property on pipeline-compiled
+    /// expressions — the operator shapes the paper's translation emits.
+    #[test]
+    fn partitioned_matches_sequential_on_pipeline_exprs(seed in 0u64..1_500) {
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let f = rectified(&random_allowed_formula(
+            &cfg,
+            &[Var::new("x"), Var::new("y")],
+            &mut StdRng::seed_from_u64(seed),
+            3,
+        ));
+        prop_assume!(f.node_count() <= 60);
+        let Ok(c) = compile_with(&f, CompileOptions::default()) else { return Ok(()); };
+        let schema = rcsafe::Schema::infer(&f).expect("consistent");
+        let domain: Vec<Value> = (0..6).map(Value::int).collect();
+        let db = Database::random(&schema, &domain, 10, &mut StdRng::seed_from_u64(seed ^ 0x5EED));
+        let seq = Budget::new().with_partitions(1);
+        let want = eval_governed(&c.expr, &db, &mut EvalStats::default(), &seq)
+            .expect("sequential eval");
+        for n in [rng.gen_range(2..=8), 64usize] {
+            let budget = Budget::new().with_partitions(n);
+            let got = eval_governed(&c.expr, &db, &mut EvalStats::default(), &budget)
+                .expect("partitioned eval");
+            prop_assert_eq!(&want, &got, "partitions={} on {}", n, &f);
+            prop_assert_eq!(
+                want.to_string(),
+                got.to_string(),
+                "order differs at partitions={} on {}", n, &f
             );
         }
     }
