@@ -34,6 +34,13 @@
 //! spawn-denied fallback's overhead and a bit-identity check of the two
 //! results.
 //!
+//! A **multi_join** family exercises the cost-based planner
+//! ([`rc_relalg::optimize()`]): 3–6 relation chain/star/cycle shapes with
+//! skewed cardinalities, written in a pessimal join order. Each query is
+//! timed as the heuristic plan (`simplify`) against the cost-optimized
+//! plan, with a result-equality assert, the chosen join order, and the
+//! root estimation error landing in the JSON.
+//!
 //! With `TRACE_GATE=1` the binary instead runs a fast CI gate: paired
 //! tracing-off overhead only, exiting nonzero when the median reaches 1%
 //! (and leaving `BENCH_eval.json` untouched). With `CACHE_GATE=1` it runs
@@ -44,7 +51,11 @@
 //! under 2% median; on hosts with at least 8 cores the median partitioned
 //! speedup must reach 2x (on smaller hosts the speedup gate is skipped —
 //! the auto policy refuses to split below the per-partition row floor, so
-//! there is nothing to measure).
+//! there is nothing to measure). With `OPT_GATE=1` it runs the multi_join
+//! family only: the median cost-optimized speedup must reach 2x, every
+//! optimized plan must return exactly the heuristic plan's relation, and
+//! a paired re-check of the existing workload matrix must show the
+//! optimizer regressing no query by 5% or more.
 //!
 //! The inputs are deterministic (`i mod k` patterns, no RNG), so tuple
 //! counts are exactly reproducible; only wall times vary by machine.
@@ -53,9 +64,9 @@ use rc_bench::Table;
 use rc_formula::{Term, Value, Var};
 use rc_relalg::trace::json_str;
 use rc_relalg::{
-    eval, eval_baseline, eval_governed, eval_shared, eval_traced, partition_count, Budget,
-    Database, EvalStats, FaultInjector, OpSpan, PlanCache, RaExpr, Relation, RelationBuilder,
-    Tracer,
+    eval, eval_baseline, eval_governed, eval_shared, eval_traced, optimize, partition_count,
+    simplify, Budget, Database, Estimator, EvalStats, FaultInjector, OpSpan, PlanCache, RaExpr,
+    Relation, RelationBuilder, Tracer,
 };
 use rc_safety::pipeline::{compile_and_eval_cached, CompileOptions, Compiled};
 use std::hint::black_box;
@@ -396,6 +407,262 @@ fn run_partition_gate() {
     }
 }
 
+/// Database for the multi_join planner family: chain, star, and cycle
+/// query shapes over relations with heavily skewed cardinalities, so join
+/// order dominates the evaluation cost. All contents are deterministic
+/// `i mod k` patterns with pairwise-coprime moduli (every generated pair
+/// is distinct, so set-semantics dedup never shrinks a relation).
+fn multi_join_db() -> Database {
+    let pairs = |n: usize, f: &dyn Fn(i64) -> (i64, i64)| -> Relation {
+        let mut b = RelationBuilder::with_capacity(2, n);
+        for i in 0..n as i64 {
+            let (a, c) = f(i);
+            b.push_row(&[Value::int(a), Value::int(c)]);
+        }
+        b.finish()
+    };
+    let unary = |n: usize, f: &dyn Fn(i64) -> i64| -> Relation {
+        let mut b = RelationBuilder::with_capacity(1, n);
+        for i in 0..n as i64 {
+            b.push_row(&[Value::int(f(i))]);
+        }
+        b.finish()
+    };
+    let mut db = Database::new();
+    // chain3: MA ⋈ MB is a 300k-row intermediate; MC keeps 3 z-values.
+    db.insert_relation("MA", pairs(30_000, &|i| (i, i % 3000)));
+    db.insert_relation("MB", pairs(30_000, &|i| (i % 3000, i % 299)));
+    db.insert_relation("MC", pairs(3, &|i| (i, i)));
+    // star4: a 20k-row hub with three dimension tables of wildly
+    // different selectivity (10k / 11 / 2 matching values).
+    {
+        let mut b = RelationBuilder::with_capacity(3, 20_000);
+        for i in 0..20_000i64 {
+            b.push_row(&[Value::int(i), Value::int(i % 200), Value::int(i % 20)]);
+        }
+        db.insert_relation("Hub", b.finish());
+    }
+    db.insert_relation("D1", unary(10_000, &|i| 2 * i));
+    db.insert_relation("D2", unary(11, &|i| i));
+    db.insert_relation("D3", unary(2, &|i| i));
+    // cycle3: CA ⋈ CB fans out to 970k rows; CC closes the cycle on both
+    // ends with 3 values.
+    db.insert_relation("CA", pairs(10_000, &|i| (i, i % 100)));
+    db.insert_relation("CB", pairs(9_700, &|i| (i % 100, i % 97)));
+    db.insert_relation("CC", pairs(3, &|i| (i, i)));
+    // chain6: a six-relation chain with shrinking tails.
+    db.insert_relation("R1", pairs(10_000, &|i| (i, i % 1000)));
+    db.insert_relation("R2", pairs(1_000, &|i| (i, i % 100)));
+    db.insert_relation("R3", pairs(100, &|i| (i, i % 10)));
+    db.insert_relation("R4", pairs(10, &|i| (i, i % 5)));
+    db.insert_relation("R5", pairs(5, &|i| (i, i % 2)));
+    db.insert_relation("R6", pairs(2, &|i| (i, i)));
+    db
+}
+
+/// The multi_join queries, deliberately written in a pessimal join order
+/// (largest pair first, most selective relation last, chain interleaved so
+/// the textual order contains cross products).
+fn multi_join_workloads() -> Vec<(&'static str, RaExpr)> {
+    let s2 = |p: &str, a: &str, b: &str| RaExpr::scan(p, vec![Term::var(a), Term::var(b)]);
+    let s1 = |p: &str, a: &str| RaExpr::scan(p, vec![Term::var(a)]);
+    let chain3 = RaExpr::join(
+        RaExpr::join(s2("MA", "x", "y"), s2("MB", "y", "z")),
+        s2("MC", "z", "w"),
+    );
+    let star4 = RaExpr::join(
+        RaExpr::join(
+            RaExpr::join(
+                RaExpr::scan("Hub", vec![Term::var("a"), Term::var("b"), Term::var("c")]),
+                s1("D1", "a"),
+            ),
+            s1("D2", "b"),
+        ),
+        s1("D3", "c"),
+    );
+    let cycle3 = RaExpr::join(
+        RaExpr::join(s2("CA", "x", "y"), s2("CB", "y", "z")),
+        s2("CC", "z", "x"),
+    );
+    // Textually interleaved: R1 ⋈ R6 and the later pairs are cross
+    // products until the chain closes.
+    let chain6 = RaExpr::join(
+        RaExpr::join(
+            RaExpr::join(
+                RaExpr::join(
+                    RaExpr::join(s2("R1", "v0", "v1"), s2("R6", "v5", "v6")),
+                    s2("R3", "v2", "v3"),
+                ),
+                s2("R2", "v1", "v2"),
+            ),
+            s2("R5", "v4", "v5"),
+        ),
+        s2("R4", "v3", "v4"),
+    );
+    vec![
+        ("chain3", chain3),
+        ("star4", star4),
+        ("cycle3", cycle3),
+        ("chain6", chain6),
+    ]
+}
+
+/// The base-relation scan order of a plan, left to right — the planner's
+/// chosen join order in readable form.
+fn scan_order(e: &RaExpr, out: &mut Vec<String>) {
+    if let RaExpr::Scan { pred, .. } = e {
+        out.push(pred.as_str().to_string());
+    }
+    for c in e.children() {
+        scan_order(c, out);
+    }
+}
+
+struct MultiJoinRecord {
+    name: &'static str,
+    heuristic_ns: u128,
+    optimized_ns: u128,
+    speedup: f64,
+    chosen_order: Vec<String>,
+    est_rows: u64,
+    actual_rows: usize,
+    est_error_factor: f64,
+}
+
+/// One multi_join workload: the heuristic (`simplify`) plan against the
+/// cost-optimized plan, paired sampling, with a result-equality assert.
+fn bench_multi_join(
+    samples: usize,
+    name: &'static str,
+    expr: &RaExpr,
+    db: &Database,
+) -> MultiJoinRecord {
+    let heuristic = simplify(expr);
+    let optimized = optimize(expr, db);
+    let want = eval(&heuristic, db).expect("heuristic plan evaluates");
+    let got = eval(&optimized, db).expect("optimized plan evaluates");
+    assert_eq!(want, got, "{name}: cost-optimized plan changed the answer");
+    let (heuristic_ns, optimized_ns, ratio) = time_paired(
+        samples,
+        || {
+            black_box(eval(black_box(&heuristic), black_box(db)).unwrap());
+        },
+        || {
+            black_box(eval(black_box(&optimized), black_box(db)).unwrap());
+        },
+    );
+    let mut chosen_order = Vec::new();
+    scan_order(&optimized, &mut chosen_order);
+    let est_rows = Estimator::new(db).rows(&optimized);
+    let actual_rows = got.len();
+    let (e, a) = (est_rows.max(1) as f64, actual_rows.max(1) as f64);
+    MultiJoinRecord {
+        name,
+        heuristic_ns,
+        optimized_ns,
+        speedup: 1.0 / ratio,
+        chosen_order,
+        est_rows,
+        actual_rows,
+        est_error_factor: (e / a).max(a / e),
+    }
+}
+
+fn multi_join_json(r: &MultiJoinRecord) -> String {
+    let order = r
+        .chosen_order
+        .iter()
+        .map(|s| json_str(s))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "    {{\"workload\": \"{}\", \"heuristic_ns\": {}, \"optimized_ns\": {}, ",
+            "\"speedup\": {:.2}, \"chosen_order\": [{}], \"est_rows\": {}, ",
+            "\"actual_rows\": {}, \"est_error_factor\": {:.2}}}"
+        ),
+        r.name,
+        r.heuristic_ns,
+        r.optimized_ns,
+        r.speedup,
+        order,
+        r.est_rows,
+        r.actual_rows,
+        r.est_error_factor
+    )
+}
+
+/// `OPT_GATE=1` mode: the cost-based planner must deliver a median 2x
+/// speedup on the multi_join family (answers verified identical), and a
+/// paired re-check of the standard workload matrix must show no query
+/// where the optimized plan is 5% or more slower than the heuristic one.
+/// Exits nonzero on failure; never touches `BENCH_eval.json`.
+fn run_opt_gate() {
+    let samples = 7;
+    let db = multi_join_db();
+    let mut speedups: Vec<f64> = Vec::new();
+    for (name, expr) in multi_join_workloads() {
+        let r = bench_multi_join(samples, name, &expr, &db);
+        println!(
+            "multi_join {name}: heuristic {:.3} ms, optimized {:.3} ms, {:.2}x, \
+             order [{}], est {} vs actual {} ({:.2}x off)",
+            r.heuristic_ns as f64 / 1e6,
+            r.optimized_ns as f64 / 1e6,
+            r.speedup,
+            r.chosen_order.join(" "),
+            r.est_rows,
+            r.actual_rows,
+            r.est_error_factor
+        );
+        speedups.push(r.speedup);
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = speedups[speedups.len() / 2];
+    println!("median multi_join speedup: {median:.2}x (gate >= 2x)");
+    if median < 2.0 {
+        eprintln!("OPT GATE FAILED: median multi_join speedup {median:.2}x < 2x");
+        std::process::exit(1);
+    }
+    // No-regression leg: on the standard matrix the cost-based plan must
+    // not lose to the heuristic plan by 5% or more on any query.
+    let n = 10_000;
+    let reg_db = db_for(n);
+    let mut worst: f64 = 0.0;
+    for (name, expr) in workloads() {
+        let heuristic = simplify(&expr);
+        let optimized = optimize(&expr, &reg_db);
+        // When the planner keeps the heuristic plan verbatim there is
+        // nothing to regress — timing two evaluations of the *same* plan
+        // only measures machine noise, which would flake the gate.
+        if optimized == heuristic {
+            println!("optimizer regression check {name}/{n}: plan unchanged");
+            continue;
+        }
+        assert_eq!(
+            eval(&heuristic, &reg_db).unwrap(),
+            eval(&optimized, &reg_db).unwrap(),
+            "{name}: optimized plan changed the answer"
+        );
+        let (_, _, ratio) = time_paired(
+            15,
+            || {
+                black_box(eval(black_box(&heuristic), black_box(&reg_db)).unwrap());
+            },
+            || {
+                black_box(eval(black_box(&optimized), black_box(&reg_db)).unwrap());
+            },
+        );
+        let pct = (ratio - 1.0) * 100.0;
+        println!("optimizer regression check {name}/{n}: {pct:+.2}%");
+        worst = worst.max(pct);
+    }
+    println!("worst optimizer regression: {worst:+.2}% (gate < 5%)");
+    if worst >= 5.0 {
+        eprintln!("OPT GATE FAILED: optimizer regresses an existing workload by {worst:.2}% >= 5%");
+        std::process::exit(1);
+    }
+}
+
 /// The repeated-query texts served through the full cached pipeline.
 fn repeated_queries() -> Vec<(&'static str, &'static str)> {
     vec![
@@ -524,6 +791,10 @@ fn main() {
     }
     if std::env::var("PAR_GATE").as_deref() == Ok("1") {
         run_partition_gate();
+        return;
+    }
+    if std::env::var("OPT_GATE").as_deref() == Ok("1") {
+        run_opt_gate();
         return;
     }
     let sizes = [2_000usize, 10_000, 50_000];
@@ -759,6 +1030,39 @@ fn main() {
     par_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_par_speedup = par_speedups[par_speedups.len() / 2];
 
+    // Multi-join planner family: heuristic plan vs cost-optimized plan.
+    let mj_db = multi_join_db();
+    let mj_samples = 7;
+    let mut mj_records: Vec<String> = Vec::new();
+    let mut mj_speedups: Vec<f64> = Vec::new();
+    let mut mj_table = Table::new(&[
+        "workload",
+        "heuristic ms",
+        "optimized ms",
+        "speedup",
+        "chosen order",
+        "est rows",
+        "actual",
+        "est err",
+    ]);
+    for (name, expr) in multi_join_workloads() {
+        let r = bench_multi_join(mj_samples, name, &expr, &mj_db);
+        mj_speedups.push(r.speedup);
+        mj_table.row(vec![
+            r.name.to_string(),
+            format!("{:.3}", r.heuristic_ns as f64 / 1e6),
+            format!("{:.3}", r.optimized_ns as f64 / 1e6),
+            format!("{:.2}x", r.speedup),
+            r.chosen_order.join(" "),
+            r.est_rows.to_string(),
+            r.actual_rows.to_string(),
+            format!("{:.2}x", r.est_error_factor),
+        ]);
+        mj_records.push(multi_join_json(&r));
+    }
+    mj_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_mj_speedup = mj_speedups[mj_speedups.len() / 2];
+
     println!("=== E-ENGINE: batch kernels vs tuple-at-a-time baseline ===\n");
     println!("{}", table.render());
     println!("=== repeated-query serving: cold vs cached ===\n");
@@ -772,6 +1076,9 @@ fn main() {
         "median partitioned speedup: {median_par_speedup:.2}x \
          ({cores} core(s); 2x gate applies at >= 8 cores)"
     );
+    println!("\n=== multi_join family: heuristic plan vs cost-based planner ===\n");
+    println!("{}", mj_table.render());
+    println!("median multi_join speedup: {median_mj_speedup:.2}x (target >= 2x)");
     overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_overhead = overheads[overheads.len() / 2];
     println!("median governance overhead across workloads: {median_overhead:+.2}% (target < 2%)");
@@ -780,11 +1087,12 @@ fn main() {
     println!("median tracing-off overhead across workloads: {median_trace_off:+.2}% (target < 1%)");
 
     let json = format!(
-        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"multi_join_speedup_target\": 2.0,\n  \"median_multi_join_speedup\": {median_mj_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ],\n  \"multi_join_results\": [\n{}\n  ]\n}}\n",
         records.join(",\n"),
         cache_records.join(",\n"),
         shared_records.join(",\n"),
-        par_records.join(",\n")
+        par_records.join(",\n"),
+        mj_records.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     std::fs::write(path, &json).expect("write BENCH_eval.json");

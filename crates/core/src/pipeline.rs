@@ -191,8 +191,27 @@ pub fn compile(f: &Formula) -> Result<Compiled, CompileError> {
 }
 
 /// Compile a formula into a Dom-free relational algebra expression.
+///
+/// Without a target database the final stage runs the statistics-free
+/// [`rc_relalg::simplify`]; use [`compile_for`] to get cost-based join
+/// reordering against a concrete database's statistics.
 pub fn compile_with(f: &Formula, opts: CompileOptions) -> Result<Compiled, CompileError> {
-    compile_traced(f, opts, &mut StageTracer::off())
+    compile_traced_for(f, opts, None, &mut StageTracer::off())
+}
+
+/// [`compile_with`] against a target database: when `opts.optimize` is on,
+/// the final stage runs the full cost-based planner
+/// ([`rc_relalg::optimize()`]) — cardinality estimation from `db`'s
+/// statistics (and any trace-fed observed cardinalities), join reordering,
+/// and cost-gated projection placement. The compiled plan is still
+/// portable: it evaluates correctly against any database, it is merely
+/// *tuned* for this one.
+pub fn compile_for(
+    f: &Formula,
+    opts: CompileOptions,
+    db: &Database,
+) -> Result<Compiled, CompileError> {
+    compile_traced_for(f, opts, Some(db), &mut StageTracer::off())
 }
 
 /// [`compile_with`] recording one [`rc_relalg::StageSpan`] per pipeline
@@ -203,6 +222,17 @@ pub fn compile_with(f: &Formula, opts: CompileOptions) -> Result<Compiled, Compi
 pub fn compile_traced(
     f: &Formula,
     opts: CompileOptions,
+    st: &mut StageTracer,
+) -> Result<Compiled, CompileError> {
+    compile_traced_for(f, opts, None, st)
+}
+
+/// The full pipeline: [`compile_traced`] plus an optional target database
+/// enabling the cost-based planner (see [`compile_for`]).
+pub fn compile_traced_for(
+    f: &Formula,
+    opts: CompileOptions,
+    db: Option<&Database>,
     st: &mut StageTracer,
 ) -> Result<Compiled, CompileError> {
     let original = rectified(f);
@@ -259,25 +289,23 @@ pub fn compile_traced(
         format!("ops_emitted={ops_emitted}"),
     );
 
-    // Stage 5: impose the answer column order, simplify, then hash-cons
-    // into a DAG so genify/RANF-duplicated subplans are physically shared
-    // (the memoizing evaluator computes each shared node once; the stage
-    // detail reports how many tree nodes the interner folded away).
+    // Stage 5: impose the answer column order, optimize (cost-based when a
+    // target database's statistics are in reach, plain simplification
+    // otherwise), then hash-cons into a DAG so genify/RANF-duplicated
+    // subplans are physically shared (the memoizing evaluator computes
+    // each shared node once; the stage detail reports the chosen planner
+    // and how many tree nodes the interner folded away).
     st.begin(Stage::Optimize, raw.node_count() as u64);
     let expr = impose_columns(raw, &columns, &ranf_form)?;
-    let expr = if opts.optimize {
-        rc_relalg::simplify(&expr)
-    } else {
-        expr
+    let (expr, planner) = match (opts.optimize, db) {
+        (true, Some(db)) => (rc_relalg::optimize(&expr, db), "cost"),
+        (true, None) => (rc_relalg::simplify(&expr), "simplify"),
+        (false, _) => (expr, "off"),
     };
     let (expr, intern_stats) = rc_relalg::intern(&expr);
     st.end(
         expr.node_count() as u64,
-        format!(
-            "simplify={} shared={}",
-            if opts.optimize { "on" } else { "off" },
-            intern_stats.shared_nodes()
-        ),
+        format!("planner={planner} shared={}", intern_stats.shared_nodes()),
     );
 
     Ok(Compiled {
@@ -575,7 +603,7 @@ pub fn compile_and_eval(
 ) -> Result<QueryOutput, PipelineError> {
     let f = rc_formula::parse(text).map_err(PipelineError::Parse)?;
     let budget = opts.budget.clone();
-    let compiled = compile_with(&f, opts).map_err(PipelineError::from)?;
+    let compiled = compile_for(&f, opts, db).map_err(PipelineError::from)?;
     let mut stats = EvalStats::default();
     let relation = compiled.run_governed(db, &mut stats, &budget)?;
     Ok(QueryOutput {
@@ -611,8 +639,10 @@ pub struct CachedQueryOutput {
 ///
 /// Key and invalidation contract (see [`rc_relalg::cache`]):
 ///
-/// * plans are keyed by `(text, opts.cache_key())` and never invalidated —
-///   compilation does not look at the database;
+/// * plans are keyed by `(text, opts.cache_key(), stats epoch)` — the
+///   epoch ([`Database::stats_epoch`]) only moves when trace feedback
+///   changes the statistics store, so plans need no in-place invalidation
+///   and a re-plan against fresh statistics lands under a fresh key;
 /// * results are keyed by the interned plan's structural hash and the
 ///   [`Database::version`] observed *before* evaluation; any mutation
 ///   bumps the version, so stale results can never be served.
@@ -648,15 +678,18 @@ pub fn compile_and_eval_cached(
     // eval path; the clone's declares must not disturb our key.
     let db_version = db.version();
     let opts_key = opts.cache_key();
+    // Plans compiled without the cost-based planner never read statistics,
+    // so they share the epoch-0 key space regardless of feedback.
+    let stats_epoch = if opts.optimize { db.stats_epoch() } else { 0 };
     let budget = opts.budget.clone();
-    let (compiled, plan_hash, plan_cached) = match cache.lookup_plan(text, opts_key) {
+    let (compiled, plan_hash, plan_cached) = match cache.lookup_plan(text, opts_key, stats_epoch) {
         Some((compiled, hash)) => (compiled, hash, true),
         None => {
             let f = rc_formula::parse(text).map_err(PipelineError::Parse)?;
-            let compiled = compile_with(&f, opts).map_err(PipelineError::from)?;
+            let compiled = compile_for(&f, opts, db).map_err(PipelineError::from)?;
             let hash = rc_relalg::plan_hash(&compiled.expr);
             (
-                cache.insert_plan(text, opts_key, compiled, hash),
+                cache.insert_plan(text, opts_key, stats_epoch, compiled, hash),
                 hash,
                 false,
             )
@@ -696,6 +729,14 @@ pub fn compile_and_eval_cached(
 /// **both** success and failure — a `BudgetExceeded` comes back with the
 /// partial trace whose failed stage span and deepest incomplete operator
 /// span name exactly where the trip happened.
+///
+/// This is also where the statistics feedback loop closes: on success the
+/// completed operator spans' actual cardinalities are harvested into
+/// `db`'s statistics store ([`rc_relalg::harvest_actuals`]), so the next
+/// compilation of a query touching the same subplans re-plans against
+/// observed truth instead of estimates. Harvesting that *changes* a stored
+/// observation moves [`Database::stats_epoch`], which retires cached plans
+/// built against the stale statistics (see [`compile_and_eval_cached`]).
 pub fn compile_and_eval_traced(
     text: &str,
     db: &Database,
@@ -709,7 +750,7 @@ pub fn compile_and_eval_traced(
     };
     st.end(f.node_count() as u64, String::new());
     let budget = opts.budget.clone();
-    let compiled = match compile_traced(&f, opts, &mut st) {
+    let compiled = match compile_traced_for(&f, opts, Some(db), &mut st) {
         Ok(c) => c,
         Err(e) => return (Err(e.into()), st.into_trace(None)),
     };
@@ -722,12 +763,14 @@ pub fn compile_and_eval_traced(
                 relation.len() as u64,
                 format!("tuples_produced={}", stats.tuples_produced),
             );
+            let trace = st.into_trace(tracer.finish());
+            rc_relalg::harvest_actuals(&compiled.expr, trace.root.as_ref(), db);
             let out = QueryOutput {
                 compiled,
                 relation,
                 stats,
             };
-            (Ok(out), st.into_trace(tracer.finish()))
+            (Ok(out), trace)
         }
         Err(e) => (Err(e.into()), st.into_trace(tracer.finish())),
     }

@@ -6,9 +6,16 @@
 //! evaluation either. [`PlanCache`] provides both layers:
 //!
 //! * **Plan entries** map the query *text* (plus a caller-supplied options
-//!   fingerprint) to an arbitrary compiled payload `P` and its structural
+//!   fingerprint and the database's *statistics epoch*) to an arbitrary
+//!   compiled payload `P` and its structural
 //!   [`plan_hash`](crate::plan::plan_hash). Compilation is a pure function
-//!   of the text and options, so plan entries never need invalidation.
+//!   of the text, options, and the statistics the cost-based planner read,
+//!   so plan entries never need in-place invalidation — when trace feedback
+//!   changes the statistics store, the epoch
+//!   ([`Database::stats_epoch`](crate::database::Database::stats_epoch))
+//!   moves and re-plans land under a fresh key instead of overwriting a
+//!   plan another caller may still hold. Callers compiling without the
+//!   cost-based planner pass epoch `0`.
 //! * **Result entries** map a plan hash to the materialized [`Relation`]
 //!   *stamped with the database version it was computed against*
 //!   ([`Database::version`](crate::database::Database::version)). A lookup
@@ -74,7 +81,7 @@ fn rate(hits: u64, misses: u64) -> f64 {
 /// A versioned plan/result cache; see the [module docs](self) for the key
 /// and invalidation contract.
 pub struct PlanCache<P> {
-    plans: FxHashMap<(String, u64), (Arc<P>, u64)>,
+    plans: FxHashMap<(String, u64, u64), (Arc<P>, u64)>,
     results: FxHashMap<u64, (u64, Relation)>,
     stats: CacheStats,
 }
@@ -95,13 +102,19 @@ impl<P> PlanCache<P> {
         PlanCache::default()
     }
 
-    /// Look up a compiled plan by query text and options fingerprint.
-    /// Returns the payload and its plan hash.
-    pub fn lookup_plan(&mut self, text: &str, opts_key: u64) -> Option<(Arc<P>, u64)> {
-        // Keying by (text, opts) without allocating would need a borrowed
-        // pair key; one short String per lookup is noise next to the
-        // compile it saves.
-        match self.plans.get(&(text.to_string(), opts_key)) {
+    /// Look up a compiled plan by query text, options fingerprint, and the
+    /// statistics epoch it was planned under (`0` when the cost-based
+    /// planner was off). Returns the payload and its plan hash.
+    pub fn lookup_plan(
+        &mut self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+    ) -> Option<(Arc<P>, u64)> {
+        // Keying by (text, opts, epoch) without allocating would need a
+        // borrowed tuple key; one short String per lookup is noise next to
+        // the compile it saves.
+        match self.plans.get(&(text.to_string(), opts_key, stats_epoch)) {
             Some((p, h)) => {
                 self.stats.plan_hits += 1;
                 Some((p.clone(), *h))
@@ -113,18 +126,21 @@ impl<P> PlanCache<P> {
         }
     }
 
-    /// Store a compiled plan under its query text and options fingerprint.
-    /// Returns the shared payload for immediate use.
+    /// Store a compiled plan under its query text, options fingerprint, and
+    /// statistics epoch. Returns the shared payload for immediate use.
     pub fn insert_plan(
         &mut self,
         text: impl Into<String>,
         opts_key: u64,
+        stats_epoch: u64,
         payload: P,
         plan_hash: u64,
     ) -> Arc<P> {
         let payload = Arc::new(payload);
-        self.plans
-            .insert((text.into(), opts_key), (payload.clone(), plan_hash));
+        self.plans.insert(
+            (text.into(), opts_key, stats_epoch),
+            (payload.clone(), plan_hash),
+        );
         payload
     }
 
@@ -196,17 +212,23 @@ mod tests {
     }
 
     #[test]
-    fn plan_entries_key_on_text_and_options() {
+    fn plan_entries_key_on_text_options_and_epoch() {
         let mut c: PlanCache<&'static str> = PlanCache::new();
-        assert!(c.lookup_plan("E x: P(x)", 0).is_none());
-        c.insert_plan("E x: P(x)", 0, "payload", 42);
-        let (p, h) = c.lookup_plan("E x: P(x)", 0).expect("hit");
+        assert!(c.lookup_plan("E x: P(x)", 0, 0).is_none());
+        c.insert_plan("E x: P(x)", 0, 0, "payload", 42);
+        let (p, h) = c.lookup_plan("E x: P(x)", 0, 0).expect("hit");
         assert_eq!((*p, h), ("payload", 42));
         // Same text under different options is a different plan.
-        assert!(c.lookup_plan("E x: P(x)", 1).is_none());
-        assert!(c.lookup_plan("E x: Q(x)", 0).is_none());
+        assert!(c.lookup_plan("E x: P(x)", 1, 0).is_none());
+        assert!(c.lookup_plan("E x: Q(x)", 0, 0).is_none());
+        // A moved statistics epoch forces a re-plan rather than serving the
+        // plan built against stale statistics.
+        assert!(c.lookup_plan("E x: P(x)", 0, 7).is_none());
+        c.insert_plan("E x: P(x)", 0, 7, "replanned", 43);
+        let (p, h) = c.lookup_plan("E x: P(x)", 0, 7).expect("hit");
+        assert_eq!((*p, h), ("replanned", 43));
         let s = c.stats();
-        assert_eq!((s.plan_hits, s.plan_misses), (1, 3));
+        assert_eq!((s.plan_hits, s.plan_misses), (2, 4));
     }
 
     #[test]
@@ -245,9 +267,9 @@ mod tests {
     #[test]
     fn clear_resets_everything() {
         let mut c: PlanCache<u8> = PlanCache::new();
-        c.insert_plan("q", 0, 1, 9);
+        c.insert_plan("q", 0, 0, 1, 9);
         c.insert_result(9, 100, rel([1, 2]));
-        c.lookup_plan("q", 0);
+        c.lookup_plan("q", 0, 0);
         c.clear();
         assert_eq!(c.plan_count(), 0);
         assert_eq!(c.result_count(), 0);

@@ -1,6 +1,7 @@
 //! Databases: named relations plus loading helpers.
 
 use crate::relation::{PartitionedRelation, Relation, RelationBuilder, Tuple};
+use crate::stats::{StatsStore, TableStats};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rc_formula::fxhash::FxHashMap;
@@ -47,6 +48,14 @@ pub struct Database {
     /// identical until either side mutates, at which point the mutator
     /// swaps in a fresh empty cache).
     partition_cache: Arc<Mutex<PartitionCache>>,
+    /// Per-relation statistics, the harvested-cardinality feedback map,
+    /// and the stats epoch (see [`crate::stats`]) — same sharing
+    /// discipline as the partition cache (clones share the store until
+    /// either side mutates), but mutation only drops the *table*
+    /// statistics: the feedback map and the epoch are carried over, so
+    /// cached plans survive data mutations exactly like plan-cache entries
+    /// do, and the epoch moves only when an *observation* changes.
+    stats_cache: Arc<Mutex<StatsStore>>,
     version: u64,
 }
 
@@ -111,10 +120,24 @@ impl Database {
     }
 
     /// Invalidate derived state after a mutation: drop the active-domain
-    /// and partition caches and take a fresh version stamp.
+    /// and partition caches, drop the per-table statistics (row counts and
+    /// distincts are stale the moment data changes), and take a fresh
+    /// version stamp. The statistics *epoch* and the harvested-cardinality
+    /// feedback map survive: the epoch keys plan-cache entries, and plans
+    /// are data-independent (a mutation invalidates cached *results*
+    /// through the version stamp, never compiled plans).
     fn bump(&mut self) {
         self.domain_cache.take();
         self.partition_cache = Arc::default();
+        let carried = {
+            let store = self.stats_cache.lock().expect("stats cache lock poisoned");
+            StatsStore {
+                epoch: store.epoch,
+                tables: Default::default(),
+                observed: store.observed.clone(),
+            }
+        };
+        self.stats_cache = Arc::new(Mutex::new(carried));
         self.version = next_version();
     }
 
@@ -275,6 +298,86 @@ impl Database {
             .entry((pred, key_cols.to_vec(), n))
             .or_insert_with(|| Arc::new(rel.partition_by(key_cols, n)));
         Some(Arc::clone(entry))
+    }
+
+    /// Statistics (row count, per-column distinct counts) of the stored
+    /// relation for `pred`, computed on first use and cached until the
+    /// next mutation (`None` if the predicate is absent). This feeds the
+    /// cost-based optimizer's cardinality estimates (see
+    /// [`crate::stats::Estimator`]).
+    pub fn table_stats(&self, pred: Symbol) -> Option<Arc<TableStats>> {
+        let rel = self.relations.get(&pred)?;
+        let mut store = self.stats_cache.lock().expect("stats cache lock poisoned");
+        let entry = store
+            .tables
+            .entry(pred)
+            .or_insert_with(|| Arc::new(TableStats::of(rel)));
+        Some(Arc::clone(entry))
+    }
+
+    /// The stats epoch: a process-globally fresh stamp assigned lazily and
+    /// re-stamped whenever a harvested observation *changes* (see
+    /// [`Database::record_observed`]) or the feedback is cleared. The
+    /// cached serving path mixes this into its plan key so a query
+    /// compiled under stale statistics is recompiled, never served.
+    pub fn stats_epoch(&self) -> u64 {
+        let mut store = self.stats_cache.lock().expect("stats cache lock poisoned");
+        if store.epoch == 0 {
+            store.epoch = next_version();
+        }
+        store.epoch
+    }
+
+    /// Record an observed cardinality for the subplan with the given
+    /// structural [`plan_hash`](crate::plan::plan_hash). Returns whether
+    /// the observation *changed* (first sighting or a different value);
+    /// only a change bumps the stats epoch, so repeated identical runs
+    /// leave cached plans valid.
+    pub fn record_observed(&self, plan_hash: u64, rows: u64) -> bool {
+        let mut store = self.stats_cache.lock().expect("stats cache lock poisoned");
+        let changed = store.observed.insert(plan_hash, rows) != Some(rows);
+        if changed {
+            store.epoch = next_version();
+        }
+        changed
+    }
+
+    /// The observed cardinality recorded for a subplan hash, if any.
+    pub fn observed_rows(&self, plan_hash: u64) -> Option<u64> {
+        self.stats_cache
+            .lock()
+            .expect("stats cache lock poisoned")
+            .observed
+            .get(&plan_hash)
+            .copied()
+    }
+
+    /// Number of harvested cardinality observations currently stored.
+    pub fn observed_count(&self) -> usize {
+        self.stats_cache
+            .lock()
+            .expect("stats cache lock poisoned")
+            .observed
+            .len()
+    }
+
+    /// Drop all harvested observations and cached table statistics, and
+    /// take a fresh stats epoch (the REPL's `stats clear`).
+    pub fn clear_stats(&self) {
+        let mut store = self.stats_cache.lock().expect("stats cache lock poisoned");
+        store.observed.clear();
+        store.tables.clear();
+        store.epoch = next_version();
+    }
+
+    /// How many per-relation statistics entries are currently cached
+    /// (observability for tests, like [`Database::partition_cache_entries`]).
+    pub fn stats_cache_entries(&self) -> usize {
+        self.stats_cache
+            .lock()
+            .expect("stats cache lock poisoned")
+            .tables
+            .len()
     }
 
     /// How many partitioned layouts are currently cached (observability for

@@ -22,6 +22,12 @@
 //! amortize a thread spawn; each branch accumulates its own [`EvalStats`],
 //! merged deterministically afterwards.
 //!
+//! The evaluator takes the expression it is given as-is — join order and
+//! operator placement are decided upstream by
+//! [`optimize`](crate::optimize::optimize), whose cost model
+//! ([`crate::stats`]) is calibrated against these kernels' measured
+//! per-row timings.
+//!
 //! # Partition-parallel kernels
 //!
 //! On top of subtree parallelism, the *kernels themselves* run

@@ -26,7 +26,11 @@
 //! * [`trace`] — opt-in span tracing of stages and operators (cardinalities,
 //!   dedup ratios, wall times) hooked at the same operator boundaries the
 //!   governor checkpoints;
-//! * [`optimize::simplify`] — semantics-preserving cleanup;
+//! * [`stats`] — per-relation statistics, cardinality/cost estimation, and
+//!   the trace-fed feedback store behind the cost-based planner;
+//! * [`optimize::simplify`] — semantics-preserving cleanup — and
+//!   [`optimize::optimize`], the cost-based pass on top of it
+//!   (join reordering, cost-gated projection placement);
 //! * display impls that mimic the paper's `π/σ/⋈/∪/diff` notation;
 //! * [`io`] — fact-text and TSV import/export.
 
@@ -43,6 +47,7 @@ pub mod io;
 pub mod optimize;
 pub mod plan;
 pub mod relation;
+pub mod stats;
 pub mod trace;
 
 pub use baseline::eval_baseline;
@@ -53,10 +58,11 @@ pub use eval::{
 };
 pub use expr::{RaExpr, SelPred};
 pub use govern::{Budget, BudgetExceeded, CancelHandle, FaultInjector, Governor, Resource, Stage};
-pub use optimize::simplify;
+pub use optimize::{optimize, simplify};
 pub use plan::{intern, plan_hash, InternStats, Interner};
 pub use relation::{
     partition_count, tuple, PartitionedRelation, Relation, RelationBuilder, Tuple,
     MIN_PARTITION_ROWS,
 };
+pub use stats::{harvest_actuals, CardEst, Estimator, TableStats};
 pub use trace::{OpSpan, PipelineTrace, StageSpan, StageTracer, TraceSink, Tracer};

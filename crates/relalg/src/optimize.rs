@@ -11,9 +11,27 @@
 //! * propagate empty relations through join/select/project/diff/union;
 //! * `e diff ∅ → e`;
 //! * deduplicate syntactically equal union branches;
-//! * push selections below joins (into the side holding their columns) and
-//!   through unions;
+//! * push selections below joins (into the side holding their columns),
+//!   through unions, and beneath projections that keep every predicate
+//!   column;
 //! * push projections through unions.
+//!
+//! On top of `simplify`, [`optimize`] runs the **cost-based pass**: using
+//! the per-database statistics and estimator in [`crate::stats`], it
+//! reorders flattened join trees (dynamic programming over subsets up to 8
+//! relations, a greedy pairing above) and pushes projections beneath joins
+//! — each rewrite applied **iff the estimated cost strictly drops**, which
+//! also makes the pass idempotent: re-optimizing an optimized plan is a
+//! no-op (pinned by `tests/prop_optimizer.rs`). Selection pushdown stays
+//! unconditional in `simplify` because it is cost-monotone under the
+//! model: a selection never grows rows, so filtering earlier can only
+//! shrink every operator above it.
+//!
+//! Join reordering changes the natural join's *output column order* (left
+//! columns first); the pass restores the original order with a projection,
+//! so a reordered plan is column-for-column interchangeable with the
+//! original — parents (unions, diffs, the answer projection) never see a
+//! difference.
 //!
 //! Simplification is purely *plan-shaping*: it runs before any execution
 //! policy is chosen, so it neither sees nor influences how the kernels
@@ -40,7 +58,10 @@
 //! Simplification is semantics-preserving; a property test in the workspace
 //! integration suite evaluates optimized and raw expressions side by side.
 
+use crate::database::Database;
 use crate::expr::{RaExpr, SelPred};
+use crate::stats::{CardEst, Estimator};
+use rc_formula::Var;
 use std::sync::Arc;
 
 /// May `e ⋈ e → e` fire for these (already simplified) operands? Requires
@@ -174,12 +195,24 @@ fn is_empty(e: &RaExpr) -> bool {
 /// * `σ(a ⋈ b) → σ(a) ⋈ b` (or the right side) when one side holds every
 ///   selected column — shrinks join inputs;
 /// * `σ(a ∪ b) → σ(a) ∪ σ(b)`;
+/// * `σ(π[c](a)) → π[c](σ(a))` when every predicate column survives the
+///   projection — selections emitted above the RANF translation's
+///   projections keep sinking toward the scans;
 /// * `σ(a diff b) → σ(a) diff b` — left side **only**; pushing into the
 ///   right side of a difference is unsound (`σ(A−B) ≠ A−σ(B)`, see the
 ///   module docs), even when every selected column lives in `b`'s columns.
 fn push_select(input: &RaExpr, pred: SelPred) -> Option<RaExpr> {
     let need = pred.cols();
     match input {
+        RaExpr::Project { input: inner, cols } if need.iter().all(|v| cols.contains(v)) => {
+            Some(simplify(&RaExpr::Project {
+                input: Arc::new(RaExpr::Select {
+                    input: inner.clone(),
+                    pred,
+                }),
+                cols: cols.clone(),
+            }))
+        }
         RaExpr::Join(l, r) => {
             if need.iter().all(|v| l.cols().contains(v)) {
                 Some(simplify(&RaExpr::Join(
@@ -220,6 +253,324 @@ fn push_select(input: &RaExpr, pred: SelPred) -> Option<RaExpr> {
         ))),
         _ => None,
     }
+}
+
+// ---------------------------------------------- cost-based optimization --
+
+/// Cost-based optimization: [`simplify`], then statistics-driven join
+/// reordering and projection placement over `db`'s [`crate::stats`]
+/// estimates. Every cost-gated rewrite preserves the output columns *and
+/// their order* (reordered joins are re-projected to the original order),
+/// so the result is interchangeable with `simplify(e)` — same relation,
+/// same rows, same column sequence. Rewrites apply iff the estimated cost
+/// strictly drops.
+///
+/// The two passes alternate to a fixpoint: a reorder can expose a rewrite
+/// the simplifier could not see syntactically (two identical scans made
+/// adjacent dedup to one), and the shrunken plan may in turn reorder
+/// differently. Iterating until nothing changes makes `optimize`
+/// idempotent — re-optimizing its own output returns it unchanged, so the
+/// plan hash is stable. Each cost-gated change strictly lowers estimated
+/// cost and each simplifier change shrinks the plan, so the loop
+/// terminates; the iteration cap is a safety net, not a tuning knob.
+pub fn optimize(e: &RaExpr, db: &Database) -> RaExpr {
+    let est = Estimator::new(db);
+    let mut cur = simplify(e);
+    for _ in 0..8 {
+        let next = simplify(&cost_pass(&cur, &est));
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Bottom-up cost-gated rewriting of an already-simplified expression.
+fn cost_pass(e: &RaExpr, est: &Estimator) -> RaExpr {
+    match e {
+        RaExpr::Scan { .. } | RaExpr::Single { .. } | RaExpr::Unit | RaExpr::Empty { .. } => {
+            e.clone()
+        }
+        RaExpr::Join(..) => {
+            let mut raw_leaves = Vec::new();
+            collect_join_leaves(e, &mut raw_leaves);
+            let leaves: Vec<RaExpr> = raw_leaves.into_iter().map(|l| cost_pass(l, est)).collect();
+            // The original join shape with optimized leaves is the
+            // baseline the reordered candidate must strictly beat.
+            let mut it = leaves.iter();
+            let baseline = rebuild_join_shape(e, &mut it);
+            let reordered = order_join(&leaves, est);
+            let candidate = restore_columns(reordered, baseline.cols());
+            if est.cost(&candidate) < est.cost(&baseline) {
+                candidate
+            } else {
+                baseline
+            }
+        }
+        RaExpr::Union(l, r) => {
+            RaExpr::Union(Arc::new(cost_pass(l, est)), Arc::new(cost_pass(r, est)))
+        }
+        RaExpr::Diff(l, r) => {
+            RaExpr::Diff(Arc::new(cost_pass(l, est)), Arc::new(cost_pass(r, est)))
+        }
+        RaExpr::Project { input, cols } => {
+            let input = cost_pass(input, est);
+            // Re-simplify the rebuilt node: a reordered child may have
+            // gained a column-restoring projection that cascades with
+            // this one.
+            let baseline = simplify(&RaExpr::Project {
+                input: Arc::new(input),
+                cols: cols.clone(),
+            });
+            try_early_project(baseline, est)
+        }
+        RaExpr::Select { input, pred } => RaExpr::Select {
+            input: Arc::new(cost_pass(input, est)),
+            pred: *pred,
+        },
+        RaExpr::Duplicate { input, src, dst } => RaExpr::Duplicate {
+            input: Arc::new(cost_pass(input, est)),
+            src: *src,
+            dst: *dst,
+        },
+    }
+}
+
+/// Flatten a nested join tree into its non-join leaves, left to right.
+fn collect_join_leaves<'a>(e: &'a RaExpr, out: &mut Vec<&'a RaExpr>) {
+    match e {
+        RaExpr::Join(l, r) => {
+            collect_join_leaves(l, out);
+            collect_join_leaves(r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Rebuild the original join skeleton, substituting leaves in order.
+fn rebuild_join_shape(e: &RaExpr, leaves: &mut std::slice::Iter<'_, RaExpr>) -> RaExpr {
+    match e {
+        RaExpr::Join(l, r) => {
+            let nl = rebuild_join_shape(l, leaves);
+            let nr = rebuild_join_shape(r, leaves);
+            RaExpr::Join(Arc::new(nl), Arc::new(nr))
+        }
+        _ => leaves
+            .next()
+            .expect("one optimized leaf per flat leaf")
+            .clone(),
+    }
+}
+
+/// Restore the original output column order after a reorder (a natural
+/// join's columns are left-side-first, so a different order is a different
+/// column sequence). Identity when the order already matches.
+fn restore_columns(e: RaExpr, want: Vec<Var>) -> RaExpr {
+    if e.cols() == want {
+        e
+    } else {
+        RaExpr::Project {
+            input: Arc::new(e),
+            cols: want,
+        }
+    }
+}
+
+/// A join-order search entry: the plan so far with its cardinality
+/// estimate and accumulated cost.
+struct Planned {
+    expr: RaExpr,
+    est: CardEst,
+    cost: f64,
+}
+
+/// Pick a join order over the flattened leaves: exhaustive
+/// subset-dynamic-programming up to 8 leaves, greedy pairing above.
+/// Cardinalities combine through
+/// [`Estimator::join_cardinality`] so the search never re-walks subtrees;
+/// the caller's final cost gate re-checks the winner against the full
+/// (feedback-aware) cost model.
+fn order_join(leaves: &[RaExpr], est: &Estimator) -> RaExpr {
+    debug_assert!(leaves.len() >= 2);
+    if leaves.len() <= 8 {
+        dp_join(leaves, est)
+    } else {
+        greedy_join(leaves, est)
+    }
+}
+
+fn planned_leaf(e: &RaExpr, est: &Estimator) -> Planned {
+    let (cost, card) = est.cost_and_estimate(e);
+    Planned {
+        expr: e.clone(),
+        est: card,
+        cost,
+    }
+}
+
+fn join_planned(l: &Planned, r: &Planned, est: &Estimator) -> Planned {
+    let card = est.join_cardinality(&l.est, &r.est);
+    let cost = l.cost + r.cost + Estimator::join_step_cost(&l.est, &r.est, &card);
+    Planned {
+        expr: RaExpr::Join(Arc::new(l.expr.clone()), Arc::new(r.expr.clone())),
+        est: card,
+        cost,
+    }
+}
+
+/// Do the two leaf sets share at least one column name (an equijoin
+/// predicate) — i.e. is joining them *not* a cross product?
+fn masks_connected(s: usize, t: usize, col_sets: &[Vec<Var>]) -> bool {
+    for (i, ci) in col_sets.iter().enumerate() {
+        if s & (1 << i) == 0 {
+            continue;
+        }
+        for (j, cj) in col_sets.iter().enumerate() {
+            if t & (1 << j) == 0 {
+                continue;
+            }
+            if ci.iter().any(|v| cj.contains(v)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Selinger-style dynamic programming over leaf subsets. Splits are
+/// enumerated deterministically (canonical orientation: the side holding
+/// the lowest leaf index is the left operand), cross-product splits are
+/// skipped whenever a connected split exists, and ties keep the first
+/// candidate found — so the result is a deterministic function of the
+/// leaves and the statistics.
+fn dp_join(leaves: &[RaExpr], est: &Estimator) -> RaExpr {
+    let n = leaves.len();
+    let full: usize = (1 << n) - 1;
+    let col_sets: Vec<Vec<Var>> = leaves.iter().map(RaExpr::cols).collect();
+    let mut best: Vec<Option<Planned>> = Vec::with_capacity(full + 1);
+    best.resize_with(full + 1, || None);
+    for (i, l) in leaves.iter().enumerate() {
+        best[1 << i] = Some(planned_leaf(l, est));
+    }
+    for mask in 3..=full {
+        if (mask as u32).count_ones() < 2 {
+            continue;
+        }
+        let lowest = mask & mask.wrapping_neg();
+        // First pass: does any canonical split avoid a cross product?
+        let mut any_connected = false;
+        let mut s = (mask - 1) & mask;
+        while s > 0 {
+            if s & lowest != 0 && masks_connected(s, mask ^ s, &col_sets) {
+                any_connected = true;
+                break;
+            }
+            s = (s - 1) & mask;
+        }
+        let mut chosen: Option<Planned> = None;
+        let mut s = (mask - 1) & mask;
+        while s > 0 {
+            let t = mask ^ s;
+            if s & lowest != 0 && (!any_connected || masks_connected(s, t, &col_sets)) {
+                let (l, r) = (
+                    best[s].as_ref().expect("smaller mask planned"),
+                    best[t].as_ref().expect("smaller mask planned"),
+                );
+                let cand = join_planned(l, r, est);
+                if chosen.as_ref().is_none_or(|c| cand.cost < c.cost) {
+                    chosen = Some(cand);
+                }
+            }
+            s = (s - 1) & mask;
+        }
+        best[mask] = chosen;
+    }
+    best[full].take().expect("full mask planned").expr
+}
+
+/// Greedy fallback for > 8 leaves: repeatedly join the (connected, if
+/// possible) pair with the smallest estimated output, deterministically
+/// preferring lower indices on ties.
+fn greedy_join(leaves: &[RaExpr], est: &Estimator) -> RaExpr {
+    let mut work: Vec<Planned> = leaves.iter().map(|l| planned_leaf(l, est)).collect();
+    while work.len() > 1 {
+        let mut pick: Option<(usize, usize, f64, bool)> = None;
+        for i in 0..work.len() {
+            for j in (i + 1)..work.len() {
+                let connected = work[i]
+                    .est
+                    .cols()
+                    .iter()
+                    .any(|v| work[j].est.cols().contains(v));
+                let rows = est.join_cardinality(&work[i].est, &work[j].est).rows;
+                let better = match pick {
+                    None => true,
+                    // A connected pair always beats a cross product; then
+                    // smaller output wins.
+                    Some((_, _, best_rows, best_conn)) => {
+                        (connected && !best_conn) || (connected == best_conn && rows < best_rows)
+                    }
+                };
+                if better {
+                    pick = Some((i, j, rows, connected));
+                }
+            }
+        }
+        let (i, j, _, _) = pick.expect("at least one pair");
+        let joined = join_planned(&work[i], &work[j], est);
+        work.remove(j);
+        work[i] = joined;
+    }
+    work.pop().expect("one plan left").expr
+}
+
+/// Cost-gated early projection: for `π[C](A ⋈ B)`, project each join side
+/// down to the columns it must carry (`C` plus the join columns) *before*
+/// the join when the estimator says the dedup pays for the extra
+/// projections — `π[C](A ⋈ B) = π[C](π[Cₐ](A) ⋈ π[C_b](B))` with the join
+/// columns retained on both sides (set semantics; the classic pushdown).
+fn try_early_project(baseline: RaExpr, est: &Estimator) -> RaExpr {
+    if let RaExpr::Project { input, cols } = &baseline {
+        if let RaExpr::Join(l, r) = &**input {
+            if let Some(candidate) = early_project(l, r, cols) {
+                let candidate = simplify(&candidate);
+                if est.cost(&candidate) < est.cost(&baseline) {
+                    return candidate;
+                }
+            }
+        }
+    }
+    baseline
+}
+
+fn early_project(l: &Arc<RaExpr>, r: &Arc<RaExpr>, cols: &[Var]) -> Option<RaExpr> {
+    let (lc, rc) = (l.cols(), r.cols());
+    let shared: Vec<Var> = lc.iter().copied().filter(|v| rc.contains(v)).collect();
+    let keep = |side: &[Var]| -> Vec<Var> {
+        side.iter()
+            .copied()
+            .filter(|v| cols.contains(v) || shared.contains(v))
+            .collect()
+    };
+    let (keep_l, keep_r) = (keep(&lc), keep(&rc));
+    if keep_l.len() == lc.len() && keep_r.len() == rc.len() {
+        return None; // nothing to drop early
+    }
+    let narrow = |side: &Arc<RaExpr>, keep: Vec<Var>, full: &[Var]| -> RaExpr {
+        if keep.len() == full.len() {
+            (**side).clone()
+        } else {
+            RaExpr::Project {
+                input: side.clone(),
+                cols: keep,
+            }
+        }
+    };
+    Some(RaExpr::Project {
+        input: Arc::new(RaExpr::join(narrow(l, keep_l, &lc), narrow(r, keep_r, &rc))),
+        cols: cols.to_vec(),
+    })
 }
 
 /// When the left union branch vanished, the surviving right branch may have
@@ -467,5 +818,197 @@ mod tests {
         };
         let out = simplify(&RaExpr::union(left, p()));
         assert_eq!(out.cols(), vec![Var::new("y"), Var::new("x")]);
+    }
+
+    #[test]
+    fn select_pushes_beneath_projection_when_columns_survive() {
+        use rc_formula::Value;
+        // σ[y = c](π[x, y](R(x, y, z))) → π[x, y](σ[y = c](R)).
+        let r = RaExpr::scan("R", vec![Term::var("x"), Term::var("y"), Term::var("z")]);
+        let e = RaExpr::select(
+            RaExpr::project(r, vec![Var::new("x"), Var::new("y")]),
+            SelPred::EqConst(Var::new("y"), Value::int(1)),
+        );
+        match simplify(&e) {
+            RaExpr::Project { input, cols } => {
+                assert_eq!(cols, vec![Var::new("x"), Var::new("y")]);
+                assert!(
+                    matches!(&*input, RaExpr::Select { .. }),
+                    "selection should sit beneath the projection, got {input}"
+                );
+            }
+            other => panic!("expected projection over selection, got {other}"),
+        }
+        // When the predicate column is projected away, the select stays put.
+        let r2 = RaExpr::scan("R", vec![Term::var("x"), Term::var("y")]);
+        let stuck = RaExpr::select(
+            RaExpr::project(r2, vec![Var::new("x")]),
+            SelPred::EqConst(Var::new("x"), Value::int(1)),
+        );
+        // x survives so this one *does* push; check the negative case with a
+        // predicate over a dropped column is impossible to build (pred cols
+        // must be in scope), so instead pin that the rewrite preserves
+        // results on data.
+        let db = crate::database::Database::from_facts("R(1, 10)\nR(2, 20)").unwrap();
+        let want = crate::eval::eval(&stuck, &db).unwrap();
+        let got = crate::eval::eval(&simplify(&stuck), &db).unwrap();
+        assert_eq!(want, got);
+    }
+
+    mod cost {
+        use super::*;
+        use crate::database::Database;
+        use crate::eval::eval;
+
+        /// A database where join order matters: Big × Big is huge but either
+        /// Big ⋈ Tiny collapses.
+        fn skewed_db() -> Database {
+            let mut facts = String::new();
+            for i in 0..50 {
+                facts.push_str(&format!("A({i}, {})\n", i % 10));
+                facts.push_str(&format!("B({}, {i})\n", i % 10));
+            }
+            facts.push_str("T(0)\nT(1)\n");
+            Database::from_facts(&facts).unwrap()
+        }
+
+        fn three_way() -> RaExpr {
+            // A(x, y) ⋈ B(y, z) ⋈ T(y): T last even though it is the most
+            // selective leaf.
+            RaExpr::join(
+                RaExpr::join(
+                    RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]),
+                    RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]),
+                ),
+                RaExpr::scan("T", vec![Term::var("y")]),
+            )
+        }
+
+        #[test]
+        fn reorder_preserves_results_and_column_order() {
+            let db = skewed_db();
+            let e = three_way();
+            let opt = optimize(&e, &db);
+            assert_eq!(opt.cols(), e.cols(), "column order must be preserved");
+            assert_eq!(eval(&opt, &db).unwrap(), eval(&simplify(&e), &db).unwrap());
+        }
+
+        #[test]
+        fn reorder_joins_selective_leaf_early() {
+            let db = skewed_db();
+            let opt = optimize(&three_way(), &db);
+            // The tiny T scan must appear inside the innermost join of the
+            // chosen plan, not dangling at the end.
+            fn innermost_preds(e: &RaExpr, out: &mut Vec<String>) {
+                match e {
+                    RaExpr::Join(l, r) => {
+                        innermost_preds(l, out);
+                        innermost_preds(r, out);
+                    }
+                    RaExpr::Project { input, .. } => innermost_preds(input, out),
+                    RaExpr::Scan { pred, .. } => out.push(pred.as_str().to_string()),
+                    _ => {}
+                }
+            }
+            let mut order = Vec::new();
+            innermost_preds(&opt, &mut order);
+            assert_eq!(order.len(), 3);
+            let t_pos = order.iter().position(|p| p == "T").expect("T in plan");
+            assert!(
+                t_pos < 2,
+                "selective scan should join early, got order {order:?}"
+            );
+        }
+
+        #[test]
+        fn optimize_is_idempotent() {
+            let db = skewed_db();
+            let e = three_way();
+            let once = optimize(&e, &db);
+            let twice = optimize(&once, &db);
+            assert_eq!(
+                crate::plan::plan_hash(&once),
+                crate::plan::plan_hash(&twice),
+                "re-optimization must be a fixpoint"
+            );
+        }
+
+        #[test]
+        fn cross_product_query_still_correct() {
+            // No shared columns at all — the planner must not invent joins.
+            let db = Database::from_facts("A(1)\nA(2)\nB(7)").unwrap();
+            let e = RaExpr::join(
+                RaExpr::scan("A", vec![Term::var("x")]),
+                RaExpr::scan("B", vec![Term::var("y")]),
+            );
+            let opt = optimize(&e, &db);
+            assert_eq!(opt.cols(), e.cols());
+            assert_eq!(eval(&opt, &db).unwrap().len(), 2);
+        }
+
+        #[test]
+        fn greedy_path_handles_many_leaves() {
+            // 9 leaves forces the greedy fallback (> 8).
+            let mut facts = String::new();
+            for i in 0..4 {
+                for r in 1..=9 {
+                    facts.push_str(&format!("R{r}({i}, {})\n", (i + 1) % 4));
+                }
+            }
+            let db = Database::from_facts(&facts).unwrap();
+            let vars: Vec<&str> = vec!["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"];
+            let mut e: Option<RaExpr> = None;
+            for r in 1..=9usize {
+                let leaf = RaExpr::scan(
+                    format!("R{r}").as_str(),
+                    vec![Term::var(vars[r - 1]), Term::var(vars[r])],
+                );
+                e = Some(match e {
+                    None => leaf,
+                    Some(prev) => RaExpr::join(prev, leaf),
+                });
+            }
+            let e = e.unwrap();
+            let opt = optimize(&e, &db);
+            assert_eq!(opt.cols(), e.cols());
+            assert_eq!(eval(&opt, &db).unwrap(), eval(&simplify(&e), &db).unwrap());
+        }
+
+        #[test]
+        fn early_projection_is_cost_gated_and_sound() {
+            // π[x](A(x, y) ⋈ B(y, z)): y is the join column, z is dead weight
+            // on B's side — droppable early. Whatever the gate decides, the
+            // result must match the unoptimized plan.
+            let db = skewed_db();
+            let e = RaExpr::project(
+                RaExpr::join(
+                    RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]),
+                    RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]),
+                ),
+                vec![Var::new("x")],
+            );
+            let opt = optimize(&e, &db);
+            assert_eq!(opt.cols(), vec![Var::new("x")]);
+            assert_eq!(eval(&opt, &db).unwrap(), eval(&simplify(&e), &db).unwrap());
+        }
+
+        #[test]
+        fn feedback_changes_the_chosen_plan() {
+            // Seed an observed cardinality that contradicts the estimate and
+            // check the planner reacts (the A ⋈ B intermediate is claimed to
+            // be tiny, so joining it first becomes attractive again).
+            let db = skewed_db();
+            let e = three_way();
+            let before = optimize(&e, &db);
+            let ab = simplify(&RaExpr::join(
+                RaExpr::scan("A", vec![Term::var("x"), Term::var("y")]),
+                RaExpr::scan("B", vec![Term::var("y"), Term::var("z")]),
+            ));
+            db.record_observed(crate::plan::plan_hash(&ab), 1);
+            let after = optimize(&e, &db);
+            // Either the plan changed or it was already optimal; both plans
+            // must stay correct.
+            assert_eq!(eval(&after, &db).unwrap(), eval(&before, &db).unwrap());
+        }
     }
 }

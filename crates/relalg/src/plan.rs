@@ -177,9 +177,12 @@ pub fn intern(e: &RaExpr) -> (RaExpr, InternStats) {
 }
 
 /// Structural fingerprint of a plan, used as (half of) the
-/// [`crate::cache::PlanCache`] key. Equal expressions hash equal; the value
-/// is deterministic within a process but not across processes (symbol
-/// interning order feeds the hash).
+/// [`crate::cache::PlanCache`] result key and as the key under which the
+/// statistics feedback store files observed cardinalities per subplan
+/// ([`crate::database::Database::record_observed`] /
+/// [`crate::stats::harvest_actuals`]). Equal expressions hash equal; the
+/// value is deterministic within a process but not across processes
+/// (symbol interning order feeds the hash).
 pub fn plan_hash(e: &RaExpr) -> u64 {
     let mut h = FxHasher::default();
     e.hash(&mut h);

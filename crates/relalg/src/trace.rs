@@ -33,7 +33,7 @@
 //! [`OpSpan::partitioned_projection`] under a forced partition count.
 
 use crate::database::Database;
-use crate::expr::{RaExpr, SelPred};
+use crate::expr::RaExpr;
 use crate::govern::Stage;
 use crate::relation::Relation;
 use std::fmt::Write as _;
@@ -716,46 +716,20 @@ pub fn json_str(s: &str) -> String {
 
 // ------------------------------------------------- cardinality estimates --
 
-/// A crude, deterministic cardinality estimate for a plan node — what
-/// `explain` prints next to (and `explain analyze` against) the actual
-/// cardinalities. No per-column statistics exist, so the rules are the
-/// textbook defaults: scans halve per bound column, joins divide the cross
-/// product by the larger side, equality selections keep a third.
+/// The deterministic cardinality estimate for a plan node — what `explain`
+/// prints next to (and `explain analyze` against) the actual cardinalities.
+/// Since the statistics module landed this simply delegates to
+/// [`crate::stats::Estimator`], so the numbers shown by `explain` are
+/// exactly the ones the cost-based planner optimized against (including any
+/// feedback recorded for the subplan).
 pub fn estimate_rows(expr: &RaExpr, db: &Database) -> u64 {
-    match expr {
-        RaExpr::Scan { pred, pattern } => {
-            let base = db.relation(*pred).map(|r| r.len() as u64).unwrap_or(0);
-            let constraints = pattern.len().saturating_sub(expr.cols().len()) as u32;
-            let est = base >> constraints.min(63);
-            if base > 0 {
-                est.max(1)
-            } else {
-                0
-            }
-        }
-        RaExpr::Single { .. } | RaExpr::Unit => 1,
-        RaExpr::Empty { .. } => 0,
-        RaExpr::Join(l, r) => {
-            let (el, er) = (estimate_rows(l, db), estimate_rows(r, db));
-            let lcols = l.cols();
-            let shared = r.cols().iter().any(|v| lcols.contains(v));
-            if shared {
-                el.saturating_mul(er) / el.max(er).max(1)
-            } else {
-                el.saturating_mul(er)
-            }
-        }
-        RaExpr::Union(l, r) => estimate_rows(l, db).saturating_add(estimate_rows(r, db)),
-        RaExpr::Diff(l, _) => estimate_rows(l, db),
-        RaExpr::Project { input, .. } | RaExpr::Duplicate { input, .. } => estimate_rows(input, db),
-        RaExpr::Select { input, pred } => {
-            let e = estimate_rows(input, db);
-            match pred {
-                SelPred::EqCols(..) | SelPred::EqConst(..) => (e / 3).max(u64::from(e > 0)),
-                SelPred::NeqCols(..) | SelPred::NeqConst(..) => e,
-            }
-        }
-    }
+    crate::stats::Estimator::new(db).rows(expr)
+}
+
+/// The estimated evaluation cost (abstract ns units) the planner assigned
+/// to `expr` — shown by `explain` next to the root cardinality.
+pub fn estimate_cost(expr: &RaExpr, db: &Database) -> u64 {
+    crate::stats::Estimator::new(db).cost(expr).round() as u64
 }
 
 /// Render a plan tree annotated with estimated cardinalities — the
@@ -770,9 +744,10 @@ fn plan_into(expr: &RaExpr, db: &Database, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     let _ = writeln!(
         out,
-        "{pad}{}  (est {})",
+        "{pad}{}  (est {}, cost {})",
         op_label(expr),
-        estimate_rows(expr, db)
+        estimate_rows(expr, db),
+        estimate_cost(expr, db)
     );
     for c in expr.children() {
         plan_into(c, db, depth + 1, out);
@@ -947,10 +922,15 @@ mod tests {
         let constrained = RaExpr::scan("P", vec![Term::var("x"), Term::val(3)]);
         assert!(estimate_rows(&constrained, &db) <= 3);
         let join = RaExpr::join(scan.clone(), RaExpr::scan("Q", vec![Term::var("y")]));
-        assert_eq!(estimate_rows(&join, &db), 2); // 3*2 / max(3,2)
+        // Containment assumption: 3*2 / max(d_y(P)=2, d_y(Q)=2) = 3.
+        assert_eq!(estimate_rows(&join, &db), 3);
         assert_eq!(estimate_rows(&RaExpr::scan("Zzz", vec![]), &db), 0);
         let plan = render_plan(&join, &db);
-        assert!(plan.contains("join  (est 2)"), "{plan}");
-        assert!(plan.contains("  scan P  (est 3)"), "{plan}");
+        assert!(plan.contains("join  (est 3, cost "), "{plan}");
+        assert!(plan.contains("  scan P  (est 3, cost "), "{plan}");
+        assert!(
+            estimate_cost(&join, &db) > estimate_cost(&scan, &db),
+            "a join must cost more than one of its scans"
+        );
     }
 }

@@ -22,6 +22,12 @@
 //! * `cache` / `cache clear` — show plan/result cache statistics / drop
 //!   all cached entries (inserting a fact never serves stale answers: the
 //!   database version bump invalidates results automatically)
+//! * `stats` / `stats clear` — show the per-database statistics the
+//!   cost-based planner reads (per-relation rows and per-column distinct
+//!   counts, the stats epoch, and how many observed cardinalities the
+//!   trace feedback loop has filed) / drop them all, moving the epoch
+//!   (`explain analyze` repopulates observations — re-running a query
+//!   after one lets the planner reorder joins against observed truth)
 //! * `<formula>` — compile and evaluate (served through the plan/result
 //!   cache: repeating a query skips compilation, and — until the database
 //!   changes — evaluation too)
@@ -172,6 +178,8 @@ fn main() {
                 println!("  partitions auto    partition by cardinality and cores (default)");
                 println!("  cache              show plan/result cache statistics");
                 println!("  cache clear        drop all cached plans and results");
+                println!("  stats              show planner statistics (rows, distincts, epoch)");
+                println!("  stats clear        drop table stats and observed cardinalities");
                 println!("  <formula>          evaluate a query");
                 println!("  quit               leave");
                 continue;
@@ -209,6 +217,35 @@ fn main() {
         if line == "cache clear" {
             cache.clear();
             println!("  cache cleared");
+            continue;
+        }
+        if line == "stats" {
+            println!("  stats epoch: {}", db.stats_epoch());
+            let mut preds = db.predicates();
+            preds.sort_by_key(|p| p.as_str().to_string());
+            for p in preds {
+                match db.table_stats(p) {
+                    Some(ts) => {
+                        let ds = ts
+                            .distinct
+                            .iter()
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        println!("  {p}: {} rows, distinct per column [{ds}]", ts.rows);
+                    }
+                    None => println!("  {p}: no stats"),
+                }
+            }
+            println!(
+                "  observed cardinalities on file: {} (filed by `explain analyze`)",
+                db.observed_count()
+            );
+            continue;
+        }
+        if line == "stats clear" {
+            db.clear_stats();
+            println!("  stats cleared (epoch moved: cached plans will re-plan)");
             continue;
         }
         if line == "budget" {

@@ -38,6 +38,9 @@ CACHE_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 echo "==> partition gate (bit-identical results, fallback < 2%; 2x speedup at >= 8 cores)"
 PAR_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 
+echo "==> optimizer gate (median multi_join speedup >= 2x; no family regresses > 5%)"
+OPT_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
+
 echo "==> partitioned golden trace carries per-partition span fields"
 # The blessed snapshot must pin per-partition cardinalities; if the field
 # vanished, the partitioned projection regressed — regenerate intentionally
