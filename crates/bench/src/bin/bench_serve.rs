@@ -1,0 +1,354 @@
+//! Experiment E-SERVE: the concurrent query server under mixed traffic.
+//!
+//! Three traffic classes against one `rc_serve` server:
+//!
+//! * **hot** — a small set of repeated query texts: after the first serve
+//!   each is a shared-plan-cache hit, and (until a mutation) a result hit;
+//! * **cold** — per-request unique texts (a fresh equality constant per
+//!   request), forcing a full compile on every serve;
+//! * **mutation** — periodic fact loads, which bump the database version
+//!   and invalidate all cached results while queries keep their snapshots.
+//!
+//! Measured legs, each reporting completed requests, error counts, qps,
+//! and p50/p99 latency:
+//!
+//! 1. **serial** — one client serving warm queries back-to-back: the
+//!    baseline a concurrent server has to beat;
+//! 2. **concurrent warm** — N clients hammering the hot set;
+//! 3. **mixed** — N clients interleaving hot/cold traffic plus a mutator
+//!    thread rewriting a relation throughout.
+//!
+//! Emits `BENCH_serve.json` at the repository root:
+//!
+//! ```sh
+//! cargo run --release -p rc-bench --bin bench_serve
+//! ```
+//!
+//! With `SERVE_GATE=1` the binary runs a CI gate instead (and leaves
+//! `BENCH_serve.json` untouched): at least 100 concurrent clients must
+//! each complete their full request sequence with zero protocol errors
+//! and a bounded p99; the concurrent-vs-serial throughput gate
+//! (>= 5x warm-cache) applies only on hosts with at least 8 cores — like
+//! `PAR_GATE`, smaller hosts print a hardware-gated note instead, since a
+//! thread-per-connection server cannot multiply throughput without cores
+//! to run the connections on.
+
+use rc_bench::Table;
+use rc_formula::Value;
+use rc_relalg::{Database, RelationBuilder};
+use rc_serve::{Client, Request, Response, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The hot query set: safe formulas over the bench relations, spanning
+/// join, anti-join, and quantified shapes.
+fn hot_queries() -> Vec<&'static str> {
+    vec![
+        "A(x, y) & B(y, z)",
+        "A(x, y) & !C(x)",
+        "exists z. (A(x, y) & B(y, z))",
+        "A(x, y) & B(y, z) & !C(z)",
+    ]
+}
+
+/// A per-request unique text: the equality constant makes every text its
+/// own plan-cache key, forcing a cold compile.
+fn cold_query(i: u64) -> String {
+    format!("A(x, y) & B(y, z) & y = {}", i % 97)
+}
+
+/// Deterministic bench database (`i mod k` patterns, no RNG).
+fn serve_db(n: usize) -> Database {
+    let key = (n as i64 / 3).max(1);
+    let mut a = RelationBuilder::with_capacity(2, n);
+    let mut b = RelationBuilder::with_capacity(2, n);
+    let mut c = RelationBuilder::with_capacity(1, n / 2);
+    for i in 0..n as i64 {
+        a.push_row(&[Value::int(i), Value::int(i % key)]);
+        b.push_row(&[Value::int(i % key), Value::int(i % 97)]);
+        if i < (n / 2) as i64 {
+            c.push_row(&[Value::int(2 * i)]);
+        }
+    }
+    let mut db = Database::new();
+    db.insert_relation("A", a.finish());
+    db.insert_relation("B", b.finish());
+    db.insert_relation("C", c.finish());
+    db
+}
+
+/// Outcome counters plus every per-request latency, mergeable across
+/// client threads.
+#[derive(Default)]
+struct LegResult {
+    completed: u64,
+    server_errors: u64,
+    transport_errors: u64,
+    latencies_ns: Vec<u128>,
+}
+
+impl LegResult {
+    fn absorb(&mut self, other: LegResult) {
+        self.completed += other.completed;
+        self.server_errors += other.server_errors;
+        self.transport_errors += other.transport_errors;
+        self.latencies_ns.extend(other.latencies_ns);
+    }
+
+    fn percentile(&mut self, p: f64) -> u128 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        self.latencies_ns.sort_unstable();
+        let idx = ((self.latencies_ns.len() - 1) as f64 * p).round() as usize;
+        self.latencies_ns[idx]
+    }
+}
+
+/// Run one request on `client`, recording latency and outcome.
+fn timed_request(client: &mut Client, req: &Request, out: &mut LegResult) {
+    let t0 = Instant::now();
+    match client.request(req) {
+        Ok(Response::Error(_)) => out.server_errors += 1,
+        Ok(_) => out.completed += 1,
+        Err(_) => {
+            out.transport_errors += 1;
+            return; // latency of a dead connection is meaningless
+        }
+    }
+    out.latencies_ns.push(t0.elapsed().as_nanos());
+}
+
+/// Serial leg: one client, `rounds` passes over the hot set.
+fn run_serial(addr: SocketAddr, rounds: usize) -> (LegResult, f64) {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut out = LegResult::default();
+    // Prime the caches so the serial leg measures warm serving.
+    for q in hot_queries() {
+        let _ = client.query(q);
+    }
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for q in hot_queries() {
+            timed_request(&mut client, &Request::query(q), &mut out);
+        }
+    }
+    let qps = out.completed as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    (out, qps)
+}
+
+/// Concurrent leg: `clients` threads, each doing `rounds` passes over the
+/// hot set (plus optional cold/mutation traffic via `mixed`).
+fn run_concurrent(
+    addr: SocketAddr,
+    clients: usize,
+    rounds: usize,
+    mixed: bool,
+) -> (LegResult, f64) {
+    // Prime once so hot traffic is warm from the first concurrent request.
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        for q in hot_queries() {
+            let _ = c.query(q);
+        }
+    }
+    let cold_counter = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for id in 0..clients {
+        let cold_counter = Arc::clone(&cold_counter);
+        handles.push(std::thread::spawn(move || {
+            let mut out = LegResult::default();
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(_) => {
+                    out.transport_errors += 1;
+                    return out;
+                }
+            };
+            for round in 0..rounds {
+                for (qi, q) in hot_queries().into_iter().enumerate() {
+                    // In mixed mode every fourth slot becomes cold-compile
+                    // traffic instead of a hot serve.
+                    if mixed && (round + qi + id) % 4 == 0 {
+                        let i = cold_counter.fetch_add(1, Ordering::Relaxed);
+                        timed_request(&mut client, &Request::query(cold_query(i)), &mut out);
+                    } else {
+                        timed_request(&mut client, &Request::query(q), &mut out);
+                    }
+                }
+            }
+            out
+        }));
+    }
+    // Mixed mode: a mutator thread rewriting relation M throughout.
+    let mutator = if mixed {
+        Some(std::thread::spawn(move || {
+            let mut out = LegResult::default();
+            let Ok(mut client) = Client::connect(addr) else {
+                out.transport_errors += 1;
+                return out;
+            };
+            for i in 0..(rounds * 2) {
+                timed_request(&mut client, &Request::mutate(format!("M({i})")), &mut out);
+            }
+            out
+        }))
+    } else {
+        None
+    };
+    let mut merged = LegResult::default();
+    for h in handles {
+        merged.absorb(h.join().expect("client thread"));
+    }
+    if let Some(m) = mutator {
+        merged.absorb(m.join().expect("mutator thread"));
+    }
+    let qps = merged.completed as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    (merged, qps)
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// `SERVE_GATE=1`: >= 100 concurrent clients all complete, zero protocol
+/// errors, p99 bounded; the 5x warm-throughput gate only at >= 8 cores.
+fn run_serve_gate() {
+    let db = serve_db(2_000);
+    let server = Server::start(db, ServerConfig::default()).expect("server");
+    let addr = server.local_addr();
+    let clients = 100;
+    let rounds = 3;
+
+    let (_, serial_qps) = run_serial(addr, 10);
+    let (mut conc, conc_qps) = run_concurrent(addr, clients, rounds, false);
+
+    let expected = (clients * rounds * hot_queries().len()) as u64;
+    let p99_ms = conc.percentile(0.99) as f64 / 1e6;
+    let speedup = conc_qps / serial_qps.max(1e-9);
+    let host_cores = cores();
+    println!(
+        "serve gate: {clients} clients x {} requests: {} completed (expected {expected}), \
+         {} server errors, {} transport errors",
+        rounds * hot_queries().len(),
+        conc.completed,
+        conc.server_errors,
+        conc.transport_errors
+    );
+    println!(
+        "serial {serial_qps:.0} qps, concurrent {conc_qps:.0} qps ({speedup:.2}x), \
+         p99 {p99_ms:.1} ms, server-side protocol errors: {}",
+        server.protocol_errors()
+    );
+    if conc.completed != expected || conc.server_errors != 0 || conc.transport_errors != 0 {
+        eprintln!("SERVE GATE FAILED: not every concurrent request completed cleanly");
+        std::process::exit(1);
+    }
+    if server.protocol_errors() != 0 {
+        eprintln!("SERVE GATE FAILED: server counted protocol errors under clean traffic");
+        std::process::exit(1);
+    }
+    // Generous wall bound: warm serves are sub-millisecond in isolation;
+    // even a fully loaded 1-core box keeps p99 well under this.
+    if p99_ms >= 5_000.0 {
+        eprintln!("SERVE GATE FAILED: p99 latency {p99_ms:.1} ms >= 5000 ms");
+        std::process::exit(1);
+    }
+    if host_cores >= 8 {
+        if speedup < 5.0 {
+            eprintln!(
+                "SERVE GATE FAILED: concurrent warm throughput {speedup:.2}x serial < 5x \
+                 at {host_cores} cores"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "throughput gate skipped: {host_cores} core(s) < 8 (a thread-per-connection \
+             server cannot multiply throughput without cores; completion, error, and \
+             latency gates were still enforced)"
+        );
+    }
+}
+
+fn main() {
+    if std::env::var("SERVE_GATE").as_deref() == Ok("1") {
+        run_serve_gate();
+        return;
+    }
+    let db = serve_db(2_000);
+    let server = Server::start(db, ServerConfig::default()).expect("server");
+    let addr = server.local_addr();
+    let host_cores = cores();
+    let clients = 16;
+    let rounds = 10;
+
+    let mut table = Table::new(&[
+        "leg",
+        "clients",
+        "completed",
+        "errors",
+        "qps",
+        "p50 ms",
+        "p99 ms",
+    ]);
+    let mut json_legs: Vec<String> = Vec::new();
+    let mut record = |name: &str, clients: usize, mut r: LegResult, qps: f64| -> f64 {
+        let p50 = r.percentile(0.50);
+        let p99 = r.percentile(0.99);
+        let errors = r.server_errors + r.transport_errors;
+        table.row(vec![
+            name.to_string(),
+            clients.to_string(),
+            r.completed.to_string(),
+            errors.to_string(),
+            format!("{qps:.0}"),
+            format!("{:.3}", p50 as f64 / 1e6),
+            format!("{:.3}", p99 as f64 / 1e6),
+        ]);
+        json_legs.push(format!(
+            concat!(
+                "    {{\"leg\": \"{}\", \"clients\": {}, \"completed\": {}, ",
+                "\"server_errors\": {}, \"transport_errors\": {}, \"qps\": {:.1}, ",
+                "\"p50_ns\": {}, \"p99_ns\": {}}}"
+            ),
+            name, clients, r.completed, r.server_errors, r.transport_errors, qps, p50, p99
+        ));
+        qps
+    };
+
+    let (serial, serial_qps) = run_serial(addr, rounds * 4);
+    let serial_qps = record("serial_warm", 1, serial, serial_qps);
+    let (conc, conc_qps) = run_concurrent(addr, clients, rounds, false);
+    let conc_qps = record("concurrent_warm", clients, conc, conc_qps);
+    let (mixed, mixed_qps) = run_concurrent(addr, clients, rounds, true);
+    record("mixed_hot_cold_mutation", clients, mixed, mixed_qps);
+
+    let speedup = conc_qps / serial_qps.max(1e-9);
+    println!("=== E-SERVE: concurrent query serving ===\n");
+    println!("{}", table.render());
+    println!(
+        "concurrent warm throughput: {speedup:.2}x serial \
+         ({host_cores} core(s); the 5x target applies at >= 8 cores)"
+    );
+    println!(
+        "server counters: {} served, {} protocol errors, {} inline-served connections",
+        server.served(),
+        server.protocol_errors(),
+        server.inline_served()
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E-SERVE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_serve\",\n  \"cores\": {host_cores},\n  \"clients\": {clients},\n  \"throughput_speedup_target\": 5.0,\n  \"throughput_speedup_gate_min_cores\": 8,\n  \"warm_throughput_speedup\": {speedup:.2},\n  \"server_protocol_errors\": {},\n  \"legs\": [\n{}\n  ]\n}}\n",
+        server.protocol_errors(),
+        json_legs.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

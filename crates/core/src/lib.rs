@@ -75,8 +75,9 @@ pub use eqreduce::{equality_reduce, is_wide_sense_evaluable};
 pub use gencon::{con, con_not, gen, gen_not};
 pub use genify::genify;
 pub use pipeline::{
-    classify, compile, compile_and_eval, compile_and_eval_cached, compile_and_eval_traced, query,
-    CachedQueryOutput, Compiled, PipelineError, QueryOutput, SafetyClass,
+    classify, compile, compile_and_eval, compile_and_eval_cached, compile_and_eval_shared,
+    compile_and_eval_traced, query, CachedQueryOutput, Compiled, PipelineError, PlanStore,
+    QueryOutput, SafetyClass,
 };
 pub use ranf::{is_ranf, ranf};
 pub use translate::translate;

@@ -22,8 +22,9 @@ use rc_formula::vars::{free_vars, rectified};
 use rc_relalg::govern::{Budget, BudgetExceeded, Stage};
 use rc_relalg::{
     eval_shared, eval_traced, Database, EvalError, EvalStats, PipelineTrace, PlanCache, RaExpr,
-    Relation, StageTracer, Tracer,
+    Relation, SharedPlanCache, StageTracer, Tracer,
 };
+use std::cell::RefCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -673,6 +674,128 @@ pub fn compile_and_eval_cached(
     db: &Database,
     opts: CompileOptions,
     cache: &mut PlanCache<Compiled>,
+) -> Result<CachedQueryOutput, PipelineError> {
+    compile_and_eval_in(text, db, opts, &Exclusive(RefCell::new(cache)))
+}
+
+/// [`compile_and_eval_cached`] against a *concurrently shared* cache: the
+/// exact same serving path (one implementation — see [`PlanStore`]), but
+/// callable from any number of threads through `&self`. This is the
+/// entry point a multi-client query server uses: each worker snapshots the
+/// database (O(1) `Arc`'d relation clones) and serves through one
+/// process-wide [`SharedPlanCache`], so a formula compiled for any client
+/// is warm for every client.
+pub fn compile_and_eval_shared(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+    cache: &SharedPlanCache<Compiled>,
+) -> Result<CachedQueryOutput, PipelineError> {
+    compile_and_eval_in(text, db, opts, cache)
+}
+
+/// The cache surface the cached serving path needs, abstracted so the
+/// single-threaded [`PlanCache`] (exclusive `&mut`, zero synchronization)
+/// and the lock-sharded [`SharedPlanCache`] serve through *one* code path
+/// — the differential suite's byte-identical guarantee between in-process
+/// and server-side serving holds by construction, not by parallel
+/// maintenance of two implementations.
+pub trait PlanStore {
+    /// See [`PlanCache::lookup_plan`].
+    fn lookup_plan(
+        &self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+    ) -> Option<(Arc<Compiled>, u64)>;
+    /// See [`PlanCache::insert_plan`].
+    fn insert_plan(
+        &self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+        compiled: Compiled,
+        plan_hash: u64,
+    ) -> Arc<Compiled>;
+    /// See [`PlanCache::lookup_result`].
+    fn lookup_result(&self, plan_hash: u64, db_version: u64) -> Option<Relation>;
+    /// See [`PlanCache::insert_result`].
+    fn insert_result(&self, plan_hash: u64, db_version: u64, rel: Relation);
+}
+
+/// Adapter giving an exclusively borrowed [`PlanCache`] the [`PlanStore`]
+/// shape (interior mutability is safe: the borrow is exclusive).
+struct Exclusive<'a>(RefCell<&'a mut PlanCache<Compiled>>);
+
+impl PlanStore for Exclusive<'_> {
+    fn lookup_plan(
+        &self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+    ) -> Option<(Arc<Compiled>, u64)> {
+        self.0.borrow_mut().lookup_plan(text, opts_key, stats_epoch)
+    }
+
+    fn insert_plan(
+        &self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+        compiled: Compiled,
+        plan_hash: u64,
+    ) -> Arc<Compiled> {
+        self.0
+            .borrow_mut()
+            .insert_plan(text, opts_key, stats_epoch, compiled, plan_hash)
+    }
+
+    fn lookup_result(&self, plan_hash: u64, db_version: u64) -> Option<Relation> {
+        self.0.borrow_mut().lookup_result(plan_hash, db_version)
+    }
+
+    fn insert_result(&self, plan_hash: u64, db_version: u64, rel: Relation) {
+        self.0
+            .borrow_mut()
+            .insert_result(plan_hash, db_version, rel)
+    }
+}
+
+impl PlanStore for SharedPlanCache<Compiled> {
+    fn lookup_plan(
+        &self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+    ) -> Option<(Arc<Compiled>, u64)> {
+        SharedPlanCache::lookup_plan(self, text, opts_key, stats_epoch)
+    }
+
+    fn insert_plan(
+        &self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+        compiled: Compiled,
+        plan_hash: u64,
+    ) -> Arc<Compiled> {
+        SharedPlanCache::insert_plan(self, text, opts_key, stats_epoch, compiled, plan_hash)
+    }
+
+    fn lookup_result(&self, plan_hash: u64, db_version: u64) -> Option<Relation> {
+        SharedPlanCache::lookup_result(self, plan_hash, db_version)
+    }
+
+    fn insert_result(&self, plan_hash: u64, db_version: u64, rel: Relation) {
+        SharedPlanCache::insert_result(self, plan_hash, db_version, rel)
+    }
+}
+
+fn compile_and_eval_in(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+    cache: &impl PlanStore,
 ) -> Result<CachedQueryOutput, PipelineError> {
     // Capture the version before `prepare` clones-and-declares inside the
     // eval path; the clone's declares must not disturb our key.

@@ -37,8 +37,9 @@
 //! [`purge_stale`]: PlanCache::purge_stale
 
 use crate::relation::Relation;
-use rc_formula::fxhash::FxHashMap;
-use std::sync::Arc;
+use rc_formula::fxhash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// Hit/miss counters for a [`PlanCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -202,6 +203,165 @@ impl<P> PlanCache<P> {
     }
 }
 
+/// How many independently locked shards a [`SharedPlanCache`] spreads its
+/// entries over. A power of two so the shard pick is a mask; 16 keeps lock
+/// contention negligible for any worker count this process can host while
+/// costing only 16 small maps.
+pub const CACHE_SHARDS: usize = 16;
+
+/// A process-wide, concurrently shareable [`PlanCache`]: the same
+/// plan/result layers and the same key-and-invalidation contract, but
+/// callable from any number of threads through `&self`.
+///
+/// Internally the cache is *lock-sharded*: [`CACHE_SHARDS`] independent
+/// `Mutex<PlanCache>` shards, with plan entries routed by a hash of the
+/// query text and result entries routed by the plan hash. Two requests for
+/// different queries almost never touch the same lock, and no lock is ever
+/// held across compilation or evaluation — only across the map probe
+/// itself. This is the wasmtime engine/store discipline applied to plans:
+/// the compiled artifact is immutable and `Arc`-shared, so concurrent
+/// sessions hand out the same plan without copying or blocking each other.
+///
+/// A poisoned shard (a panic while holding the lock) is recovered rather
+/// than propagated: cache contents are derived state, so serving from a
+/// shard some earlier panicking thread touched is always safe — worst case
+/// the entry is stale-free but cold.
+pub struct SharedPlanCache<P> {
+    shards: Vec<Mutex<PlanCache<P>>>,
+}
+
+impl<P> Default for SharedPlanCache<P> {
+    fn default() -> Self {
+        SharedPlanCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(PlanCache::new()))
+                .collect(),
+        }
+    }
+}
+
+fn shard_of_text(text: &str, opts_key: u64, stats_epoch: u64) -> usize {
+    let mut h = FxHasher::default();
+    text.hash(&mut h);
+    opts_key.hash(&mut h);
+    stats_epoch.hash(&mut h);
+    (h.finish() as usize) & (CACHE_SHARDS - 1)
+}
+
+fn shard_of_hash(plan_hash: u64) -> usize {
+    // The low bits of an FxHash-derived plan hash are well mixed.
+    (plan_hash as usize) & (CACHE_SHARDS - 1)
+}
+
+impl<P> SharedPlanCache<P> {
+    /// An empty shared cache.
+    pub fn new() -> SharedPlanCache<P> {
+        SharedPlanCache::default()
+    }
+
+    fn plan_shard(&self, text: &str, opts_key: u64, epoch: u64) -> &Mutex<PlanCache<P>> {
+        &self.shards[shard_of_text(text, opts_key, epoch)]
+    }
+
+    fn result_shard(&self, plan_hash: u64) -> &Mutex<PlanCache<P>> {
+        &self.shards[shard_of_hash(plan_hash)]
+    }
+
+    fn lock(shard: &Mutex<PlanCache<P>>) -> std::sync::MutexGuard<'_, PlanCache<P>> {
+        shard.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Concurrent [`PlanCache::lookup_plan`].
+    pub fn lookup_plan(
+        &self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+    ) -> Option<(Arc<P>, u64)> {
+        Self::lock(self.plan_shard(text, opts_key, stats_epoch)).lookup_plan(
+            text,
+            opts_key,
+            stats_epoch,
+        )
+    }
+
+    /// Concurrent [`PlanCache::insert_plan`]. When another thread raced the
+    /// same compile and inserted first, *its* payload wins and is returned,
+    /// so every caller converges on one shared `Arc` per key.
+    pub fn insert_plan(
+        &self,
+        text: &str,
+        opts_key: u64,
+        stats_epoch: u64,
+        payload: P,
+        plan_hash: u64,
+    ) -> Arc<P> {
+        let mut shard = Self::lock(self.plan_shard(text, opts_key, stats_epoch));
+        // Probe the map directly: a racing-insert convergence check is not
+        // a lookup and must not touch the hit/miss counters.
+        if let Some((existing, _)) = shard.plans.get(&(text.to_string(), opts_key, stats_epoch)) {
+            return existing.clone();
+        }
+        shard.insert_plan(text, opts_key, stats_epoch, payload, plan_hash)
+    }
+
+    /// Concurrent [`PlanCache::lookup_result`].
+    pub fn lookup_result(&self, plan_hash: u64, db_version: u64) -> Option<Relation> {
+        Self::lock(self.result_shard(plan_hash)).lookup_result(plan_hash, db_version)
+    }
+
+    /// Concurrent [`PlanCache::insert_result`].
+    pub fn insert_result(&self, plan_hash: u64, db_version: u64, rel: Relation) {
+        Self::lock(self.result_shard(plan_hash)).insert_result(plan_hash, db_version, rel)
+    }
+
+    /// [`PlanCache::purge_stale`] across every shard; returns the total
+    /// number of result entries evicted.
+    pub fn purge_stale(&self, db_version: u64) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).purge_stale(db_version))
+            .sum()
+    }
+
+    /// Total cached plans across all shards.
+    pub fn plan_count(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).plan_count()).sum()
+    }
+
+    /// Total cached results across all shards.
+    pub fn result_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).result_count())
+            .sum()
+    }
+
+    /// Aggregated hit/miss counters across all shards. Each counter is the
+    /// sum of per-shard counters; a snapshot taken while other threads are
+    /// serving is a consistent-enough lower bound (shards are read one at a
+    /// time), which is all cache statistics can promise under concurrency.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            let s = Self::lock(s).stats();
+            total.plan_hits += s.plan_hits;
+            total.plan_misses += s.plan_misses;
+            total.result_hits += s.result_hits;
+            total.result_misses += s.result_misses;
+            total.stale_results += s.stale_results;
+        }
+        total
+    }
+
+    /// Drop every entry and reset the counters in every shard.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            Self::lock(s).clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +422,66 @@ mod tests {
         assert_eq!(c.purge_stale(101), 1);
         assert_eq!(c.result_count(), 2);
         assert_eq!(c.lookup_result(2, 101), Some(rel([3, 4])));
+    }
+
+    #[test]
+    fn shared_cache_mirrors_plan_cache_contract() {
+        let c: SharedPlanCache<&'static str> = SharedPlanCache::new();
+        assert!(c.lookup_plan("q", 0, 0).is_none());
+        let first = c.insert_plan("q", 0, 0, "mine", 7);
+        // A racing insert under the same key converges on the first payload.
+        let second = c.insert_plan("q", 0, 0, "theirs", 7);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*c.lookup_plan("q", 0, 0).expect("hit").0, "mine");
+        c.insert_result(7, 100, rel([1, 2]));
+        assert_eq!(c.lookup_result(7, 100), Some(rel([1, 2])));
+        assert_eq!(c.lookup_result(7, 101), None);
+        let s = c.stats();
+        assert_eq!((s.plan_hits, s.plan_misses), (1, 1));
+        assert_eq!((s.result_hits, s.result_misses, s.stale_results), (1, 1, 1));
+        assert_eq!((c.plan_count(), c.result_count()), (1, 1));
+        assert_eq!(c.purge_stale(999), 1);
+        c.clear();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!((c.plan_count(), c.result_count()), (0, 0));
+    }
+
+    #[test]
+    fn shared_cache_is_coherent_under_contention() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c: Arc<SharedPlanCache<u64>> = Arc::new(SharedPlanCache::new());
+        let built = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = Arc::clone(&c);
+                let built = Arc::clone(&built);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let key = i % 10;
+                        let text = format!("q{key}");
+                        let payload = match c.lookup_plan(&text, 0, 0) {
+                            Some((p, h)) => {
+                                assert_eq!(h, key);
+                                p
+                            }
+                            None => {
+                                built.fetch_add(1, Ordering::Relaxed);
+                                c.insert_plan(&text, 0, 0, key * 1000, key)
+                            }
+                        };
+                        // Every thread must observe the converged payload,
+                        // never a torn or thread-local one.
+                        assert_eq!(*payload % 1000, 0);
+                        assert_eq!(*payload / 1000, key);
+                        c.insert_result(key, t, rel([key as i64, i as i64 % 7]));
+                        let _ = c.lookup_result(key, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.plan_count(), 10);
+        let s = c.stats();
+        assert_eq!(s.plan_hits + s.plan_misses, 800);
     }
 
     #[test]

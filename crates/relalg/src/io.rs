@@ -61,7 +61,13 @@ fn tsv_cell(v: &Value) -> String {
     }
 }
 
-fn parse_cell(cell: &str) -> Value {
+/// Parse one TSV cell under the module's cell convention: single-quoted
+/// cells are strings (quotes stripped), anything that parses as an `i64`
+/// is an integer, and everything else is a plain string. The inverse of
+/// the cell writer used by [`write_tsv`] — exposed so wire protocols that
+/// ship relations as TSV (the `rc-serve` crate) decode with exactly the
+/// convention the engine encodes with.
+pub fn parse_tsv_cell(cell: &str) -> Value {
     let trimmed = cell.trim();
     if let Some(stripped) = trimmed
         .strip_prefix('\'')
@@ -87,7 +93,7 @@ pub fn read_tsv(r: impl Read) -> Result<Relation, LoadError> {
         if line.trim().is_empty() || line.trim_start().starts_with('#') {
             continue;
         }
-        let tuple: Tuple = line.split('\t').map(parse_cell).collect();
+        let tuple: Tuple = line.split('\t').map(parse_tsv_cell).collect();
         let b = builder.get_or_insert_with(|| RelationBuilder::new(tuple.len()));
         if b.arity() != tuple.len() {
             return Err(LoadError::Parse(format!(

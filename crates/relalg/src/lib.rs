@@ -51,7 +51,7 @@ pub mod stats;
 pub mod trace;
 
 pub use baseline::eval_baseline;
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, PlanCache, SharedPlanCache, CACHE_SHARDS};
 pub use database::Database;
 pub use eval::{
     eval, eval_governed, eval_shared, eval_traced, eval_with_stats, EvalError, EvalStats,

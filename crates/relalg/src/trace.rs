@@ -221,6 +221,31 @@ impl OpSpan {
         }
     }
 
+    fn json_deterministic_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"op\":{},\"rows_in\":[{}],\"rows_out\":{},\"raw_rows\":{},\
+             \"cache_hit\":{},\"completed\":{},\"children\":[",
+            json_str(&self.op),
+            self.rows_in
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.rows_out,
+            self.raw_rows,
+            self.cache_hit,
+            self.completed,
+        );
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.json_deterministic_into(out);
+        }
+        out.push_str("]}");
+    }
+
     fn render_into(&self, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         let ins: Vec<String> = self.rows_in.iter().map(|n| n.to_string()).collect();
@@ -682,6 +707,39 @@ impl PipelineTrace {
         out.push_str("],\"eval\":");
         match &self.root {
             Some(root) => root.json_into(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// The JSON form of the deterministic projection: the same span tree as
+    /// [`PipelineTrace::to_json`] but without wall times, kernel tick
+    /// counts, the parallel flag, or per-partition splits — exactly the
+    /// fields that are reproducible for a given expression and database
+    /// whatever the execution policy. This is what a query *server* sends
+    /// on the wire, so a response can be compared byte-for-byte against an
+    /// in-process evaluation (see `tests/serve_differential.rs`).
+    pub fn to_json_deterministic(&self) -> String {
+        let mut out = String::from("{\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":{},\"nodes_in\":{},\"nodes_out\":{},\"detail\":{},\
+                 \"completed\":{}}}",
+                json_str(&s.stage.to_string()),
+                s.nodes_in,
+                s.nodes_out,
+                json_str(&s.detail),
+                s.completed,
+            );
+        }
+        out.push_str("],\"eval\":");
+        match &self.root {
+            Some(root) => root.json_deterministic_into(&mut out),
             None => out.push_str("null"),
         }
         out.push('}');

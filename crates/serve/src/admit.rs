@@ -1,0 +1,323 @@
+//! Admission control: a bounded, two-class priority queue in front of
+//! query execution.
+//!
+//! The server admits at most `max_active` queries at once; the rest wait
+//! on a condvar in FIFO order within their priority class, high-priority
+//! tickets strictly before normal ones. A full queue rejects immediately
+//! ([`AdmitError::Overloaded`]) rather than stalling the accept loop —
+//! back-pressure is explicit and bounded.
+//!
+//! Admission hands back an RAII [`Permit`]; dropping it (normal
+//! completion, error return, or client disconnect mid-query) releases the
+//! slot and wakes a waiter. That drop-based release is what the fault
+//! suite leans on: no path out of a served request can leak a slot.
+
+use crate::protocol::Priority;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Admission limits.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Queries allowed to run concurrently.
+    pub max_active: usize,
+    /// Tickets allowed to wait beyond the active set before new arrivals
+    /// are rejected as overloaded.
+    pub max_queue: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_active: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2),
+            max_queue: 1024,
+        }
+    }
+}
+
+/// Why admission failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The wait queue is full; the caller should answer `overloaded`.
+    Overloaded,
+    /// The controller was closed (server shutdown) while waiting.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    active: usize,
+    /// Waiting ticket ids, FIFO per class.
+    queue_high: VecDeque<u64>,
+    queue_normal: VecDeque<u64>,
+    next_ticket: u64,
+    closed: bool,
+    // Counters (monotonic, exposed via `stats`).
+    admitted: u64,
+    rejected: u64,
+    peak_active: usize,
+    peak_queued: usize,
+}
+
+impl State {
+    fn queued(&self) -> usize {
+        self.queue_high.len() + self.queue_normal.len()
+    }
+
+    /// Is `ticket` first in line for a free slot?
+    fn my_turn(&self, ticket: u64, pri: Priority) -> bool {
+        match pri {
+            Priority::High => self.queue_high.front() == Some(&ticket),
+            Priority::Normal => {
+                self.queue_high.is_empty() && self.queue_normal.front() == Some(&ticket)
+            }
+        }
+    }
+}
+
+/// The admission controller. One per server; shared by all connection
+/// threads.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// A running-query slot. Dropping it releases the slot and wakes the
+/// next waiter — hold it for exactly the duration of query execution.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    owner: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.owner.lock_state();
+        st.active -= 1;
+        drop(st);
+        self.owner.cv.notify_all();
+    }
+}
+
+/// A point-in-time snapshot of admission counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Currently running queries.
+    pub active: usize,
+    /// Currently waiting tickets.
+    pub queued: usize,
+    /// Total admissions granted.
+    pub admitted: u64,
+    /// Total overload rejections.
+    pub rejected: u64,
+    /// High-water mark of concurrently running queries.
+    pub peak_active: usize,
+    /// High-water mark of the wait queue.
+    pub peak_queued: usize,
+}
+
+impl Admission {
+    /// A controller with the given limits (`max_active` is clamped to at
+    /// least 1).
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            cfg: AdmissionConfig {
+                max_active: cfg.max_active.max(1),
+                ..cfg
+            },
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        // A panic while holding the lock leaves only counters in a stale
+        // state; recover rather than propagating poison to every client.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Block until a slot frees up (honoring priority order), the queue
+    /// overflows, or the controller closes.
+    pub fn admit(&self, pri: Priority) -> Result<Permit<'_>, AdmitError> {
+        let mut st = self.lock_state();
+        if st.closed {
+            return Err(AdmitError::Closed);
+        }
+        // Fast path: free slot and nobody with priority over us waiting.
+        let can_jump = st.active < self.cfg.max_active
+            && match pri {
+                Priority::High => st.queue_high.is_empty(),
+                Priority::Normal => st.queued() == 0,
+            };
+        if can_jump {
+            st.active += 1;
+            st.admitted += 1;
+            st.peak_active = st.peak_active.max(st.active);
+            return Ok(Permit { owner: self });
+        }
+        if st.queued() >= self.cfg.max_queue {
+            st.rejected += 1;
+            return Err(AdmitError::Overloaded);
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        match pri {
+            Priority::High => st.queue_high.push_back(ticket),
+            Priority::Normal => st.queue_normal.push_back(ticket),
+        }
+        st.peak_queued = st.peak_queued.max(st.queued());
+        loop {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            if st.closed {
+                remove_ticket(&mut st, ticket, pri);
+                return Err(AdmitError::Closed);
+            }
+            if st.active < self.cfg.max_active && st.my_turn(ticket, pri) {
+                remove_ticket(&mut st, ticket, pri);
+                st.active += 1;
+                st.admitted += 1;
+                st.peak_active = st.peak_active.max(st.active);
+                return Ok(Permit { owner: self });
+            }
+        }
+    }
+
+    /// Close the controller: all current and future waiters get
+    /// [`AdmitError::Closed`]. Used on server shutdown.
+    pub fn close(&self) {
+        let mut st = self.lock_state();
+        st.closed = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        let st = self.lock_state();
+        AdmissionStats {
+            active: st.active,
+            queued: st.queued(),
+            admitted: st.admitted,
+            rejected: st.rejected,
+            peak_active: st.peak_active,
+            peak_queued: st.peak_queued,
+        }
+    }
+}
+
+fn remove_ticket(st: &mut State, ticket: u64, pri: Priority) {
+    let q = match pri {
+        Priority::High => &mut st.queue_high,
+        Priority::Normal => &mut st.queue_normal,
+    };
+    if let Some(pos) = q.iter().position(|&t| t == ticket) {
+        q.remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn caps_concurrency_and_releases_on_drop() {
+        let adm = Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_queue: 8,
+        });
+        let p1 = adm.admit(Priority::Normal).unwrap();
+        assert_eq!(adm.stats().active, 1);
+        drop(p1);
+        assert_eq!(adm.stats().active, 0);
+        let _p2 = adm.admit(Priority::Normal).unwrap();
+        assert_eq!(adm.stats().admitted, 2);
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let adm = Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_queue: 0,
+        });
+        let _p = adm.admit(Priority::Normal).unwrap();
+        assert!(matches!(
+            adm.admit(Priority::Normal),
+            Err(AdmitError::Overloaded)
+        ));
+        assert_eq!(adm.stats().rejected, 1);
+    }
+
+    #[test]
+    fn close_wakes_waiters() {
+        let adm = Arc::new(Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_queue: 8,
+        }));
+        let p = adm.admit(Priority::Normal).unwrap();
+        let adm2 = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || adm2.admit(Priority::Normal).map(|_| ()));
+        std::thread::sleep(Duration::from_millis(30));
+        adm.close();
+        assert_eq!(waiter.join().unwrap(), Err(AdmitError::Closed));
+        drop(p);
+        assert!(matches!(
+            adm.admit(Priority::Normal),
+            Err(AdmitError::Closed)
+        ));
+    }
+
+    #[test]
+    fn high_priority_admitted_before_waiting_normals() {
+        let adm = Arc::new(Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_queue: 8,
+        }));
+        let gate = adm.admit(Priority::Normal).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let normal_waiting = Arc::new(AtomicUsize::new(0));
+
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let adm = Arc::clone(&adm);
+            let order = Arc::clone(&order);
+            let waiting = Arc::clone(&normal_waiting);
+            handles.push(std::thread::spawn(move || {
+                waiting.fetch_add(1, Ordering::SeqCst);
+                let permit = adm.admit(Priority::Normal).unwrap();
+                order.lock().unwrap().push(format!("normal{i}"));
+                // Hold briefly so release order is observable.
+                std::thread::sleep(Duration::from_millis(5));
+                drop(permit);
+            }));
+        }
+        // Wait until all normals are queued, then add a high ticket.
+        while normal_waiting.load(Ordering::SeqCst) < 3 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        {
+            let adm = Arc::clone(&adm);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                let permit = adm.admit(Priority::High).unwrap();
+                order.lock().unwrap().push("high".to_string());
+                drop(permit);
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        drop(gate);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], "high", "high ticket must jump the normal queue");
+    }
+}

@@ -1,0 +1,93 @@
+//! `rc_serve` — run a query server over a fact file.
+//!
+//! ```text
+//! rc_serve [--addr HOST:PORT] [--facts FILE] [--max-active N] [--max-queue N]
+//! ```
+//!
+//! Prints the bound address (`listening on …`) to stdout, then serves
+//! until stdin closes (EOF) or the process is killed. Port 0 (the
+//! default) picks a free port — scripts read it from the first line.
+
+use rc_relalg::Database;
+use rc_serve::{AdmissionConfig, Server, ServerConfig};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut facts_path: Option<String> = None;
+    let mut admission = AdmissionConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--facts" => facts_path = Some(take("--facts")),
+            "--max-active" => match take("--max-active").parse() {
+                Ok(n) => admission.max_active = n,
+                Err(_) => return usage("--max-active needs a number"),
+            },
+            "--max-queue" => match take("--max-queue").parse() {
+                Ok(n) => admission.max_queue = n,
+                Err(_) => return usage("--max-queue needs a number"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: rc_serve [--addr HOST:PORT] [--facts FILE] \
+                     [--max-active N] [--max-queue N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let db = match &facts_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match Database::from_facts(&text) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("rc_serve: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("rc_serve: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Database::new(),
+    };
+
+    let cfg = ServerConfig {
+        addr,
+        admission,
+        ..ServerConfig::default()
+    };
+    let mut server = match Server::start(db, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rc_serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.local_addr());
+
+    // Serve until stdin closes — lets a parent script hold the server
+    // open with a pipe and stop it by closing its end.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("rc_serve: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,150 @@
+//! A blocking client for the `rc1` wire protocol.
+//!
+//! One [`Client`] owns one connection; requests on it are answered in
+//! order. The raw-frame senders exist for the robustness suite — they let
+//! a test put arbitrary bytes on the wire and observe that the server
+//! answers with a structured error instead of hanging or dying.
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, ProtoError, Request, Response, Verb, WireError,
+    MAX_RESPONSE_FRAME,
+};
+use std::fmt;
+use std::io::{self, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A client-side failure (transport or protocol — *server-reported*
+/// errors arrive as [`Response::Error`], not here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// Connecting or writing failed.
+    Io(String),
+    /// Reading the response frame failed.
+    Frame(FrameError),
+    /// The response payload did not parse.
+    Proto(ProtoError),
+    /// The server closed the connection instead of answering.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// One connection to an `rc_serve` server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Set a response-read timeout (`None` blocks indefinitely).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Send one request and read its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send_raw_frame(&req.encode())?;
+        self.read_response()
+    }
+
+    /// Read one response frame without sending anything first.
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream, MAX_RESPONSE_FRAME) {
+            Ok(Some(payload)) => Response::parse(&payload).map_err(ClientError::Proto),
+            Ok(None) => Err(ClientError::Closed),
+            Err(e) => Err(ClientError::Frame(e)),
+        }
+    }
+
+    /// Frame and send arbitrary payload bytes (robustness tests: garbage
+    /// that frames correctly but does not parse).
+    pub fn send_raw_frame(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    /// Send arbitrary bytes with *no* framing (robustness tests:
+    /// truncated frames, hostile length prefixes).
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Half-close the write side, simulating a client that disappears
+    /// mid-conversation.
+    pub fn shutdown_write(&mut self) -> Result<(), ClientError> {
+        self.stream.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    }
+
+    /// `query` with default options; server errors come back as `Err`
+    /// with the structured [`WireError`].
+    pub fn query(&mut self, text: &str) -> Result<Response, ClientError> {
+        self.request(&Request::query(text))
+    }
+
+    /// A fully parameterized query.
+    pub fn query_with(&mut self, req: Request) -> Result<Response, ClientError> {
+        self.request(&req)
+    }
+
+    /// Traced evaluation; the response carries deterministic trace JSON.
+    pub fn analyze(&mut self, text: &str) -> Result<Response, ClientError> {
+        self.request(&Request::analyze(text))
+    }
+
+    /// Load fact text server-side; returns the new database version on
+    /// success.
+    pub fn mutate(&mut self, facts: &str) -> Result<Response, ClientError> {
+        self.request(&Request::mutate(facts))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::bare(Verb::Ping))
+    }
+
+    /// Server statistics as key/value pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        match self.request(&Request::bare(Verb::Stats))? {
+            Response::Stats(pairs) => Ok(pairs),
+            Response::Error(e) => Err(unexpected(&e)),
+            other => Err(ClientError::Proto(ProtoError::BadVerb(format!(
+                "expected stats, got {other:?}"
+            )))),
+        }
+    }
+}
+
+fn unexpected(e: &WireError) -> ClientError {
+    ClientError::Proto(ProtoError::BadVerb(format!(
+        "server error {}: {}",
+        e.kind, e.message
+    )))
+}

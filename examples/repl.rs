@@ -32,6 +32,19 @@
 //!   cache: repeating a query skips compilation, and — until the database
 //!   changes — evaluation too)
 //! * `quit`
+//!
+//! ## Client mode
+//!
+//! ```sh
+//! cargo run --example repl -- --connect 127.0.0.1:4567
+//! ```
+//!
+//! Instead of an in-process database, serve every command over one
+//! `rc_serve` connection (see `crates/serve`): `fact` becomes a mutation,
+//! `stats` asks the server, `explain analyze` requests a traced
+//! evaluation, and plain formulas are served through the server's shared
+//! plan cache. Budget and partition commands translate to per-request
+//! wire limits. Start a server with `cargo run -p rc-serve --bin rc_serve`.
 
 use rcsafe::relalg::trace::{render_analyze, render_plan};
 use rcsafe::relalg::EvalStats;
@@ -138,7 +151,146 @@ fn budget_command(args: &str, mut limits: Limits) -> Limits {
     limits
 }
 
+/// The `--connect` client loop: the same console surface, served over one
+/// `rc_serve` connection instead of an in-process database.
+fn client_main(addr: &str) {
+    use rc_serve::{Client, Priority, Request, Response, Verb, WireLimits};
+
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rcsafe console: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut limits = Limits::default();
+    println!("rcsafe console — connected to {addr}");
+    println!("Commands: fact, stats, budget, partitions, explain analyze, <formula>, quit.\n");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        print!("rc[{addr}]> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if line == "budget" {
+            limits = budget_command("", limits);
+            continue;
+        }
+        if let Some(args) = line.strip_prefix("budget ") {
+            limits = budget_command(args, limits);
+            continue;
+        }
+        if let Some(args) = line.strip_prefix("partitions ") {
+            match args.trim() {
+                "auto" => limits.partitions = None,
+                n => match n.parse::<usize>() {
+                    Ok(v) if v >= 1 => limits.partitions = Some(v),
+                    _ => {
+                        println!("  usage: partitions [<n ≥ 1> | auto]");
+                        continue;
+                    }
+                },
+            }
+            println!("  budget: {}", limits.describe());
+            continue;
+        }
+        if line == "stats" {
+            match client.stats() {
+                Ok(pairs) => {
+                    for (k, v) in pairs {
+                        println!("  {k}: {v}");
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            }
+            continue;
+        }
+        let wire_limits = WireLimits {
+            tuples: limits.tuples,
+            nodes: limits.nodes,
+            ms: limits.ms,
+            partitions: limits.partitions,
+        };
+        let request = if let Some(fact) = line.strip_prefix("fact ") {
+            Request::mutate(fact)
+        } else if let Some(text) = line.strip_prefix("explain analyze ") {
+            Request {
+                limits: wire_limits,
+                ..Request::analyze(text)
+            }
+        } else {
+            Request {
+                verb: Verb::Query,
+                priority: Priority::Normal,
+                limits: wire_limits,
+                ..Request::query(line)
+            }
+        };
+        match client.request(&request) {
+            Err(e) => {
+                println!("  connection error: {e}");
+                break;
+            }
+            Ok(Response::Mutate { version }) => println!("  ok (version {version})"),
+            Ok(Response::Query(ok)) => {
+                match (ok.plan_cached, ok.result_cached) {
+                    (_, true) => println!("  result served from cache (database unchanged)"),
+                    (true, false) => println!("  plan served from cache"),
+                    (false, false) => {}
+                }
+                println!(
+                    "  stats:    {} operators, {} tuples, {} budget checks (version {})",
+                    ok.stats.operators,
+                    ok.stats.tuples_produced,
+                    ok.stats.budget_checks,
+                    ok.version
+                );
+                if let Some(trace) = &ok.trace_json {
+                    println!("  trace:    {trace}");
+                }
+                if ok.columns.is_empty() {
+                    println!("  {}", ok.relation.as_bool().unwrap_or(false));
+                } else {
+                    println!("  ({}) ∈ {}", ok.columns.join(", "), ok.relation);
+                }
+            }
+            Ok(Response::Error(e)) => {
+                print!("  {} error", e.kind);
+                if let Some(stage) = &e.stage {
+                    print!(" in stage {stage}");
+                }
+                println!(": {}", e.message);
+            }
+            Ok(other) => println!("  unexpected response: {other:?}"),
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--connect") {
+        match args.get(pos + 1) {
+            Some(addr) => {
+                client_main(addr);
+                return;
+            }
+            None => {
+                eprintln!("--connect needs an address (e.g. --connect 127.0.0.1:4567)");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut db = Database::from_facts(
         "Part('bolt')\nPart('nut')\nSupplies('acme', 'bolt')\nSupplies('acme', 'nut')\nSupplies('busy', 'bolt')",
     )

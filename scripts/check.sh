@@ -25,6 +25,12 @@ cargo test -q --test cache_serving
 cargo test -q --test trace_json
 cargo test -q --test prop_relalg diff_heavy
 
+echo "==> query-server suites (wire differential, concurrency, protocol robustness, faults)"
+cargo test -q --test serve_differential
+cargo test -q --test serve_concurrent
+cargo test -q --test serve_protocol
+cargo test -q --test fault_injection
+
 echo "==> example smoke tests"
 cargo run -q --example quickstart > /dev/null
 cargo run -q --example suppliers_parts > /dev/null
@@ -40,6 +46,9 @@ PAR_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 
 echo "==> optimizer gate (median multi_join speedup >= 2x; no family regresses > 5%)"
 OPT_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
+
+echo "==> serve gate (100 concurrent clients complete, zero errors, p99 bounded; 5x throughput at >= 8 cores)"
+SERVE_GATE=1 cargo run -q --release -p rc-bench --bin bench_serve
 
 echo "==> partitioned golden trace carries per-partition span fields"
 # The blessed snapshot must pin per-partition cardinalities; if the field

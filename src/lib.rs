@@ -34,11 +34,12 @@ pub use rc_safety as safety;
 pub use rc_formula::{parse, Formula, Schema, Symbol, Term, Value, Var};
 pub use rc_relalg::{
     Budget, CacheStats, CancelHandle, Database, FaultInjector, PipelineTrace, PlanCache, RaExpr,
-    Relation, TraceSink, Tracer,
+    Relation, SharedPlanCache, TraceSink, Tracer,
 };
 pub use rc_safety::pipeline::{
-    classify, compile, compile_and_eval, compile_and_eval_cached, compile_and_eval_traced, query,
-    CachedQueryOutput, Compiled, PipelineError, QueryOutput, SafetyClass,
+    classify, compile, compile_and_eval, compile_and_eval_cached, compile_and_eval_shared,
+    compile_and_eval_traced, query, CachedQueryOutput, Compiled, PipelineError, QueryOutput,
+    SafetyClass,
 };
 pub use rc_safety::{
     equality_reduce, genify, is_allowed, is_evaluable, is_ranf, is_wide_sense_evaluable, ranf,

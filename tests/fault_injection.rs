@@ -1,7 +1,8 @@
-//! Fault-injected degradation of the parallel evaluator: thread-spawn
-//! denial must fall back to the sequential path with *identical* output
-//! and deterministic stats, and forced mid-kernel cancellation must unwind
-//! cleanly, leaving the engine usable.
+//! Fault-injected degradation of the parallel evaluator and the query
+//! server: thread-spawn denial must fall back to the sequential path
+//! (engine) or inline accept-thread serving (server) with *identical*
+//! output, and forced mid-evaluation cancellation must unwind cleanly,
+//! releasing the admission slot and leaving engine and server usable.
 //!
 //! Tests that compare full [`EvalStats`] across the parallel and the
 //! denied (sequential) path pin the kernel partition count to 1: subtree
@@ -356,5 +357,126 @@ fn cancelled_pipeline_trace_attributes_the_tripped_stage() {
     assert!(
         saw_eval_cancellation,
         "no checkpoint count landed the cancellation inside evaluation"
+    );
+}
+
+// --------------------------------------------------- the query server --
+
+use rc_serve::{Client, Request, Response, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// The `big_join` fixture behind a server, with an optional injector
+/// wired into every request budget and the accept loop.
+fn serve_big_join(fault: Option<FaultInjector>) -> (Server, Database, Compiled) {
+    let (c, db) = big_join();
+    let server = Server::start(
+        db.clone(),
+        ServerConfig {
+            fault,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    (server, db, c)
+}
+
+fn query_relation(client: &mut Client, text: &str) -> rcsafe::Relation {
+    match client.query(text).expect("transport") {
+        Response::Query(ok) => ok.relation,
+        other => panic!("expected a query response, got {other:?}"),
+    }
+}
+
+/// A cancellation that fires mid-serve comes back as a structured budget
+/// error, releases the admission slot, and poisons nothing: the very
+/// same connection then gets the full answer.
+#[test]
+fn served_cancellation_releases_the_slot_and_poisons_nothing() {
+    let fault = FaultInjector::new();
+    let (server, db, c) = serve_big_join(Some(fault.clone()));
+    let reference = c.run(&db).unwrap();
+    let text = "A(x, y) & B(y, z)";
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // Arm after connecting: the accept loop's spawn-denial probe does not
+    // tick checkpoints, so the cancellation lands inside this request.
+    fault.cancel_after_checkpoints(2);
+    match client.query(text).expect("transport") {
+        Response::Error(e) => {
+            assert_eq!(e.kind, "budget");
+            let b = e.to_budget().expect("cancellations are reconstructible");
+            assert_eq!(b.resource, Resource::Cancelled);
+        }
+        other => panic!("expected a cancellation error, got {other:?}"),
+    }
+    // The injector disarmed itself; the slot was released on the error
+    // path; the shared cache was not poisoned with a partial result.
+    assert_eq!(query_relation(&mut client, text), reference);
+    let stats: std::collections::HashMap<String, String> =
+        client.stats().expect("stats").into_iter().collect();
+    assert_eq!(stats["active"], "0", "the cancelled query leaked its slot");
+    assert_eq!(stats["rejected"], "0");
+}
+
+/// Clients that vanish mid-conversation — after sending a query, before
+/// reading its answer — must not wedge or poison the server.
+#[test]
+fn client_disconnect_mid_query_leaves_the_server_healthy() {
+    let (server, db, c) = serve_big_join(None);
+    let reference = c.run(&db).unwrap();
+    let text = "A(x, y) & B(y, z)";
+
+    for _ in 0..8 {
+        let mut ghost = Client::connect(server.local_addr()).expect("connect");
+        ghost
+            .send_raw_frame(&Request::query(text).encode())
+            .unwrap();
+        drop(ghost); // connection torn down with the response in flight
+    }
+    // The survivors: a fresh client gets the full, correct answer and the
+    // admission ledger drains back to zero.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(query_relation(&mut client, text), reference);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats: std::collections::HashMap<String, String> =
+            client.stats().expect("stats").into_iter().collect();
+        if stats["active"] == "0" {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ghost connections leaked admission slots: active={}",
+            stats["active"]
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Thread-spawn denial at the server layer: connections are served
+/// inline on the accept thread — sequentially, later clients waiting
+/// rather than being dropped — with answers identical to threaded serving.
+#[test]
+fn spawn_denial_degrades_to_inline_sequential_serving() {
+    let fault = FaultInjector::new();
+    fault.deny_thread_spawn(true);
+    let (server, db, c) = serve_big_join(Some(fault));
+    let reference = c.run(&db).unwrap();
+    let text = "A(x, y) & B(y, z)";
+
+    // Inline serving occupies the accept thread until the connection
+    // closes, so exercise clients strictly one after another.
+    for i in 0..3 {
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        assert_eq!(
+            query_relation(&mut client, text),
+            reference,
+            "inline-served answer diverged (client {i})"
+        );
+    }
+    assert_eq!(
+        server.inline_served(),
+        3,
+        "every connection must have been served on the accept thread"
     );
 }

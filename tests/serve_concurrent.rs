@@ -1,0 +1,246 @@
+//! Concurrency tests for the query server: snapshot isolation under a
+//! live mutator, read-your-writes version visibility (no lost
+//! invalidations), deterministic single-client replay, and byte-level
+//! response determinism across racing warm clients.
+//!
+//! The MVCC-lite contract under test: every query runs against exactly
+//! one database version (the `Arc` snapshot it cloned at admission), the
+//! version stamp in its response names that version, and a mutation's
+//! returned version is visible to every query admitted after the mutate
+//! response was sent.
+
+use rc_serve::{Client, Request, Response, Server, ServerConfig};
+use rcsafe::relalg::tuple;
+use rcsafe::{Database, Relation};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn expect_query(resp: Response, ctx: &str) -> (u64, Relation) {
+    match resp {
+        Response::Query(ok) => (ok.version, ok.relation),
+        other => panic!("{ctx}: expected a query response, got {other:?}"),
+    }
+}
+
+fn expect_mutate(resp: Response, ctx: &str) -> u64 {
+    match resp {
+        Response::Mutate { version } => version,
+        other => panic!("{ctx}: expected a mutate response, got {other:?}"),
+    }
+}
+
+/// `S` holding exactly `0..=k`: the database contents after mutation `k`.
+fn s_after(k: i64) -> Relation {
+    Relation::from_rows(1, (0..=k).map(|i| tuple([i])))
+}
+
+/// Readers race a mutator. Every response must be *internally
+/// consistent*: its version stamp names a state the mutator actually
+/// published, and its relation is exactly that state's answer — never a
+/// torn mix of two versions, never a version that was never current.
+#[test]
+fn responses_are_consistent_with_exactly_one_published_version() {
+    const MUTATIONS: i64 = 24;
+    const READERS: usize = 4;
+    const READS: usize = 40;
+
+    let db = Database::from_facts("S(0)").unwrap();
+    let server = Server::start(db.clone(), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    // version → k (the state "S holds 0..=k"). Seed with the initial
+    // version before any reader starts.
+    let published: Arc<Mutex<HashMap<u64, i64>>> = Arc::default();
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        let (v0, r0) = expect_query(client.query("S(x)").expect("initial query"), "initial");
+        assert_eq!(r0, s_after(0));
+        published.lock().unwrap().insert(v0, 0);
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for r in 0..READERS {
+        let published = Arc::clone(&published);
+        readers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("reader connect");
+            let mut observed = Vec::new();
+            for i in 0..READS {
+                let resp = client
+                    .query("S(x)")
+                    .unwrap_or_else(|e| panic!("reader {r} read {i}: {e}"));
+                observed.push(expect_query(resp, "reader"));
+            }
+            // Validate after the fact: the mutator records a version in
+            // `published` *before* sending the mutate request, so every
+            // version a reader can observe is in the map by then.
+            let map = published.lock().unwrap();
+            for (version, relation) in observed {
+                let k = *map.get(&version).unwrap_or_else(|| {
+                    panic!("reader {r} saw version {version} that was never published")
+                });
+                assert_eq!(
+                    relation,
+                    s_after(k),
+                    "reader {r}: torn read at version {version} (expected S = 0..={k})"
+                );
+            }
+        }));
+    }
+
+    // The mutator: read-your-writes after every mutation. The new fact's
+    // version is pre-registered (the server assigns versions by cloning
+    // our mirror's global counter order — we learn the actual stamp from
+    // the response, so register it before any reader can observe it by
+    // holding the map lock across the request).
+    let mutator = {
+        let published = Arc::clone(&published);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("mutator connect");
+            for k in 1..=MUTATIONS {
+                let version = {
+                    // Holding the lock across the round trip means the
+                    // version is in the map before the server can answer
+                    // any reader from the new state.
+                    let mut map = published.lock().unwrap();
+                    let v = expect_mutate(
+                        client
+                            .mutate(&format!("S({k})"))
+                            .unwrap_or_else(|e| panic!("mutation {k}: {e}")),
+                        "mutate",
+                    );
+                    map.insert(v, k);
+                    v
+                };
+                // No lost invalidations: a query issued after the mutate
+                // response must see exactly the new version and the new
+                // fact — the stale cached result must not be served.
+                let (rv, rel) = expect_query(
+                    client.query("S(x)").expect("read-your-writes query"),
+                    "read-your-writes",
+                );
+                assert_eq!(
+                    rv, version,
+                    "mutation {k}: follow-up query saw version {rv}, expected {version}"
+                );
+                assert_eq!(rel, s_after(k), "mutation {k}: follow-up answer is stale");
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    mutator.join().expect("mutator panicked");
+    for h in readers {
+        h.join().expect("reader panicked");
+    }
+    assert!(done.load(Ordering::SeqCst));
+    assert_eq!(
+        published.lock().unwrap().len() as i64,
+        MUTATIONS + 1,
+        "every mutation must publish a distinct version"
+    );
+}
+
+/// Replay determinism: one client, a fixed read-only request sequence,
+/// four passes. Pass 1 warms the caches but its analyze also harvests
+/// observed cardinalities, moving the statistics epoch — so pass 2 still
+/// recompiles plans keyed on the old epoch. From pass 2 on the feedback
+/// loop is stationary (re-recording identical observations does not move
+/// the epoch), so passes 3 and 4 must be byte-identical, response by
+/// response.
+#[test]
+fn single_client_replay_is_deterministic() {
+    let db = Database::from_facts(
+        "Part('bolt')\nPart('nut')\nSupplies('acme', 'bolt')\nSupplies('acme', 'nut')\nSupplies('busy', 'bolt')",
+    )
+    .unwrap();
+    let server = Server::start(db, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let script: &[Request] = &[
+        Request::query("Part(x)"),
+        Request::query("exists y. forall x. (!Part(x) | Supplies(y, x))"),
+        Request::analyze("Part(x) & Supplies(y, x)"),
+        Request::query("Part(x) & !Supplies('busy', x)"),
+        Request::query("Part(x)"),
+    ];
+    let run_pass = |client: &mut Client| -> Vec<Vec<u8>> {
+        script
+            .iter()
+            .map(|req| client.request(req).expect("transport").encode())
+            .collect()
+    };
+    // Two warm-up passes: caches filled, statistics feedback converged.
+    let _cold = run_pass(&mut client);
+    let _epoch_settles = run_pass(&mut client);
+    let third = run_pass(&mut client);
+    let fourth = run_pass(&mut client);
+    assert_eq!(
+        third, fourth,
+        "warm replay must be byte-identical, request by request"
+    );
+}
+
+/// Racing warm clients: after one priming query, every concurrent client
+/// gets the *same bytes* — the shared cache serves all of them and no
+/// interleaving can perturb a response.
+#[test]
+fn warm_responses_are_byte_identical_under_concurrency() {
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 10;
+    let text = "Part(x) & Supplies(y, x)";
+
+    let db = Database::from_facts(
+        "Part('bolt')\nPart('nut')\nSupplies('acme', 'bolt')\nSupplies('busy', 'bolt')",
+    )
+    .unwrap();
+    let server = Server::start(db, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let baseline = {
+        let mut client = Client::connect(addr).expect("primer connect");
+        let _cold = client.query(text).expect("priming serve");
+        let warm = client.query(text).expect("warm baseline");
+        match &warm {
+            Response::Query(ok) => assert!(ok.plan_cached && ok.result_cached),
+            other => panic!("expected a query response, got {other:?}"),
+        }
+        warm.encode()
+    };
+
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let baseline = baseline.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("client connect");
+            for round in 0..ROUNDS {
+                let got = client
+                    .query(text)
+                    .unwrap_or_else(|e| panic!("client {c} round {round}: {e}"))
+                    .encode();
+                assert_eq!(
+                    got, baseline,
+                    "client {c} round {round}: warm response bytes diverged"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client panicked");
+    }
+
+    // The server's own accounting agrees: all traffic was admitted, no
+    // rejections, and everything has drained.
+    let mut client = Client::connect(addr).expect("stats connect");
+    let stats: HashMap<String, String> = client.stats().expect("stats").into_iter().collect();
+    assert_eq!(stats["active"], "0");
+    assert_eq!(stats["queued"], "0");
+    assert_eq!(stats["rejected"], "0");
+    let result_hits: u64 = stats["result_hits"].parse().unwrap();
+    assert!(
+        result_hits >= (CLIENTS * ROUNDS) as u64,
+        "warm traffic must be served from the shared result cache (hits: {result_hits})"
+    );
+}
