@@ -55,7 +55,17 @@
 //! family only: the median cost-optimized speedup must reach 2x, every
 //! optimized plan must return exactly the heuristic plan's relation, and
 //! a paired re-check of the existing workload matrix must show the
-//! optimizer regressing no query by 5% or more.
+//! optimizer regressing no query by 5% or more. With `IVM_GATE=1` it runs
+//! the update_trickle family only: every warm re-serve after a one-row
+//! `apply_delta` must take the view-refresh path, and the median speedup
+//! over the full re-evaluation fallback must reach 10x.
+//!
+//! An **update_trickle** family rides along in the default run: a warm
+//! standing query re-served after each one-row mutation, with the
+//! baseline mutating through `load_facts` (no delta journal, so every
+//! serve pays a full re-evaluation — the pre-IVM behavior) and the
+//! variant through `apply_delta` (every serve advances the maintained
+//! view incrementally).
 //!
 //! The inputs are deterministic (`i mod k` patterns, no RNG), so tuple
 //! counts are exactly reproducible; only wall times vary by machine.
@@ -780,6 +790,134 @@ fn run_cache_gate() {
     }
 }
 
+/// The update-trickle texts: warm standing queries re-served after a
+/// one-row mutation. Join-heavy shapes are where maintenance pays —
+/// full re-evaluation re-probes every row while the refresh probes one
+/// delta row against persistent indexes; the antijoin and bare-exists
+/// entries are kept as honest low-end members (their full evaluations
+/// are order-preserving single passes, so the refresh's merge floor
+/// caps the win).
+fn update_trickle_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("trickle_join", "A(x, y) & B(y, z)"),
+        ("trickle_triple", "A(x, y) & B(y, z) & C(z)"),
+        ("trickle_chain", "A(x, y) & B(y, z) & B(z, w)"),
+        ("trickle_antijoin", "A(x, y) & !C(x)"),
+        ("trickle_exists", "exists z. (A(x, y) & B(y, z))"),
+    ]
+}
+
+struct TrickleRecord {
+    name: &'static str,
+    rows: usize,
+    delta_rows: usize,
+    full_ns: u128,
+    refresh_ns: u128,
+    speedup: f64,
+    refreshed: bool,
+}
+
+/// One update-trickle workload: two identical databases behind two
+/// identically-primed caches, fed the same one-fact insert trickle, with
+/// the *warm re-serve* after each fact timed on both sides. The baseline
+/// side mutates through [`Database::load_facts`] — a version bump with no
+/// delta journal entry, so every warm re-serve pays a full re-evaluation
+/// (the pre-IVM stale-hit behavior). The variant side applies the same
+/// fact through [`Database::apply_delta`], so every re-serve advances the
+/// maintained view by the one-row delta. Mutations happen outside the
+/// timed region (they are the same database change either way); each
+/// sample times the two serves back to back and the medians are paired.
+fn bench_update_trickle(samples: usize, name: &'static str, text: &str, n: usize) -> TrickleRecord {
+    let mut db_full = db_for(n);
+    let mut db_ivm = db_for(n);
+    let mut cache_full: PlanCache<Compiled> = PlanCache::new();
+    let mut cache_ivm: PlanCache<Compiled> = PlanCache::new();
+    compile_and_eval_cached(text, &db_full, CompileOptions::default(), &mut cache_full)
+        .expect("prime baseline cache");
+    compile_and_eval_cached(text, &db_ivm, CompileOptions::default(), &mut cache_ivm)
+        .expect("prime ivm cache");
+    let key = (n as i64 / 3).max(1);
+    let fresh = 10 * n as i64; // key range disjoint from the seeded rows
+    let mut full_times: Vec<u128> = Vec::with_capacity(samples);
+    let mut refresh_times: Vec<u128> = Vec::with_capacity(samples);
+    let mut refreshed = true;
+    // One untimed warm-up round, then the measured trickle. `i % key`
+    // keeps the new fact's join key inside B's key range, so every
+    // insert genuinely changes the answer.
+    for i in 0..=samples as i64 {
+        let fact = format!("A({}, {})", fresh + i, i % key);
+        db_full.load_facts(&fact).expect("baseline mutation");
+        db_ivm.apply_delta(&fact).expect("delta mutation");
+        let t0 = Instant::now();
+        black_box(
+            compile_and_eval_cached(text, &db_full, CompileOptions::default(), &mut cache_full)
+                .expect("full re-serve"),
+        );
+        let full = t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        let out = compile_and_eval_cached(text, &db_ivm, CompileOptions::default(), &mut cache_ivm)
+            .expect("delta re-serve");
+        let refresh = t1.elapsed().as_nanos();
+        refreshed &= out.result_refreshed;
+        black_box(out);
+        if i > 0 {
+            full_times.push(full);
+            refresh_times.push(refresh);
+        }
+    }
+    full_times.sort_unstable();
+    refresh_times.sort_unstable();
+    let full_ns = full_times[full_times.len() / 2];
+    let refresh_ns = refresh_times[refresh_times.len() / 2];
+    TrickleRecord {
+        name,
+        rows: n,
+        delta_rows: 1,
+        full_ns,
+        refresh_ns,
+        speedup: full_ns as f64 / refresh_ns as f64,
+        refreshed,
+    }
+}
+
+/// `IVM_GATE=1` mode: warm re-serves after one-row deltas must take the
+/// refresh path and beat the full-re-evaluation fallback by at least 10x
+/// median. The delta work is O(|Δ|·fanout), independent of core count, so
+/// unlike `PAR_GATE` this gate applies on any host. Exits nonzero on
+/// failure; never touches `BENCH_eval.json`.
+fn run_ivm_gate() {
+    let samples = 15;
+    let n = 50_000;
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut all_refreshed = true;
+    for (name, text) in update_trickle_queries() {
+        let r = bench_update_trickle(samples, name, text, n);
+        println!(
+            "update trickle {name}/{n}: full {:.3} ms, refresh {:.3} ms, {:.1}x, refreshed: {}",
+            r.full_ns as f64 / 1e6,
+            r.refresh_ns as f64 / 1e6,
+            r.speedup,
+            r.refreshed
+        );
+        speedups.push(r.speedup);
+        all_refreshed &= r.refreshed;
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = speedups[speedups.len() / 2];
+    println!(
+        "median update-trickle speedup: {median:.1}x \
+         (gate >= 10x, every delta serve must refresh)"
+    );
+    if !all_refreshed {
+        eprintln!("IVM GATE FAILED: a delta serve fell back to full re-evaluation");
+        std::process::exit(1);
+    }
+    if median < 10.0 {
+        eprintln!("IVM GATE FAILED: median refresh speedup {median:.1}x < 10x");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     if std::env::var("TRACE_GATE").as_deref() == Ok("1") {
         run_trace_gate();
@@ -795,6 +933,10 @@ fn main() {
     }
     if std::env::var("OPT_GATE").as_deref() == Ok("1") {
         run_opt_gate();
+        return;
+    }
+    if std::env::var("IVM_GATE").as_deref() == Ok("1") {
+        run_ivm_gate();
         return;
     }
     let sizes = [2_000usize, 10_000, 50_000];
@@ -1063,6 +1205,45 @@ fn main() {
     mj_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_mj_speedup = mj_speedups[mj_speedups.len() / 2];
 
+    // Update-trickle family: full re-evaluation vs delta refresh after
+    // one-row mutations to a warm standing query.
+    let trickle_n = 10_000;
+    let trickle_samples = 9;
+    let mut trickle_records: Vec<String> = Vec::new();
+    let mut trickle_speedups: Vec<f64> = Vec::new();
+    let mut trickle_table = Table::new(&[
+        "workload",
+        "rows",
+        "delta",
+        "full ms",
+        "refresh ms",
+        "speedup",
+        "refreshed",
+    ]);
+    for (name, text) in update_trickle_queries() {
+        let r = bench_update_trickle(trickle_samples, name, text, trickle_n);
+        trickle_speedups.push(r.speedup);
+        trickle_table.row(vec![
+            r.name.to_string(),
+            r.rows.to_string(),
+            r.delta_rows.to_string(),
+            format!("{:.3}", r.full_ns as f64 / 1e6),
+            format!("{:.3}", r.refresh_ns as f64 / 1e6),
+            format!("{:.1}x", r.speedup),
+            r.refreshed.to_string(),
+        ]);
+        trickle_records.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"rows\": {}, \"delta_rows\": {}, ",
+                "\"full_ns\": {}, \"refresh_ns\": {}, \"speedup\": {:.2}, ",
+                "\"refreshed\": {}}}"
+            ),
+            r.name, r.rows, r.delta_rows, r.full_ns, r.refresh_ns, r.speedup, r.refreshed
+        ));
+    }
+    trickle_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_trickle_speedup = trickle_speedups[trickle_speedups.len() / 2];
+
     println!("=== E-ENGINE: batch kernels vs tuple-at-a-time baseline ===\n");
     println!("{}", table.render());
     println!("=== repeated-query serving: cold vs cached ===\n");
@@ -1079,6 +1260,9 @@ fn main() {
     println!("\n=== multi_join family: heuristic plan vs cost-based planner ===\n");
     println!("{}", mj_table.render());
     println!("median multi_join speedup: {median_mj_speedup:.2}x (target >= 2x)");
+    println!("\n=== update_trickle family: full re-evaluation vs delta refresh ===\n");
+    println!("{}", trickle_table.render());
+    println!("median update-trickle speedup: {median_trickle_speedup:.1}x (target >= 10x)");
     overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_overhead = overheads[overheads.len() / 2];
     println!("median governance overhead across workloads: {median_overhead:+.2}% (target < 2%)");
@@ -1087,12 +1271,13 @@ fn main() {
     println!("median tracing-off overhead across workloads: {median_trace_off:+.2}% (target < 1%)");
 
     let json = format!(
-        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"multi_join_speedup_target\": 2.0,\n  \"median_multi_join_speedup\": {median_mj_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ],\n  \"multi_join_results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"multi_join_speedup_target\": 2.0,\n  \"median_multi_join_speedup\": {median_mj_speedup:.2},\n  \"update_trickle_speedup_target\": 10.0,\n  \"median_update_trickle_speedup\": {median_trickle_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ],\n  \"multi_join_results\": [\n{}\n  ],\n  \"update_trickle_results\": [\n{}\n  ]\n}}\n",
         records.join(",\n"),
         cache_records.join(",\n"),
         shared_records.join(",\n"),
         par_records.join(",\n"),
-        mj_records.join(",\n")
+        mj_records.join(",\n"),
+        trickle_records.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     std::fs::write(path, &json).expect("write BENCH_eval.json");

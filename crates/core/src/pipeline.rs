@@ -21,8 +21,9 @@ use rc_formula::term::Var;
 use rc_formula::vars::{free_vars, rectified};
 use rc_relalg::govern::{Budget, BudgetExceeded, Stage};
 use rc_relalg::{
-    eval_shared, eval_traced, Database, EvalError, EvalStats, PipelineTrace, PlanCache, RaExpr,
-    Relation, SharedPlanCache, StageTracer, Tracer,
+    eval_shared, eval_traced, materialize, refresh, worth_refreshing, Database, Estimator,
+    EvalError, EvalStats, MaintainedView, PipelineTrace, PlanCache, RaExpr, RefreshError, Relation,
+    SharedPlanCache, StageTracer, Tracer,
 };
 use std::cell::RefCell;
 use std::fmt;
@@ -442,6 +443,32 @@ impl Compiled {
             tracer,
         )
     }
+
+    /// [`Compiled::run_shared`], additionally materializing every subplan
+    /// into a [`MaintainedView`] registered for delta-refresh: identical
+    /// answer, statistics, and budget semantics (the recording evaluator
+    /// *is* the memoizing evaluator), plus the standing-query state that
+    /// lets later mutations advance this result in O(|Δ|) instead of
+    /// recomputing it. `base_version` is the version of `db` the caller
+    /// serves — captured by the caller because the evaluation itself runs
+    /// against a prepared clone with its own stamp.
+    pub fn run_maintained(
+        &self,
+        db: &Database,
+        base_version: u64,
+        stats: &mut EvalStats,
+        budget: &Budget,
+        tracer: &mut Tracer,
+    ) -> Result<(Relation, MaintainedView), EvalError> {
+        materialize(
+            &self.expr,
+            &prepare(db, &self.original),
+            base_version,
+            stats,
+            budget,
+            tracer,
+        )
+    }
 }
 
 /// Make missing query predicates evaluate as empty relations rather than
@@ -629,8 +656,14 @@ pub struct CachedQueryOutput {
     pub stats: EvalStats,
     /// Was parse → … → optimize skipped via the plan cache?
     pub plan_cached: bool,
-    /// Was evaluation skipped via the result cache?
+    /// Was evaluation skipped via the result cache? Also true when a
+    /// stale entry was delta-refreshed instead of recomputed (see
+    /// `result_refreshed`).
     pub result_cached: bool,
+    /// Was a stale cached result *refreshed* by delta propagation
+    /// ([`rc_relalg::ivm`]) rather than served verbatim or recomputed?
+    /// Implies `result_cached`.
+    pub result_refreshed: bool,
 }
 
 /// [`compile_and_eval`] through a cross-run [`PlanCache`]: re-serving the
@@ -721,6 +754,12 @@ pub trait PlanStore {
     fn lookup_result(&self, plan_hash: u64, db_version: u64) -> Option<Relation>;
     /// See [`PlanCache::insert_result`].
     fn insert_result(&self, plan_hash: u64, db_version: u64, rel: Relation);
+    /// See [`PlanCache::register_view`].
+    fn register_view(&self, plan_hash: u64, view: MaintainedView);
+    /// See [`PlanCache::view_snapshot`].
+    fn view_snapshot(&self, plan_hash: u64) -> Option<MaintainedView>;
+    /// See [`PlanCache::install_refreshed`].
+    fn install_refreshed(&self, plan_hash: u64, view: MaintainedView, rel: Relation);
 }
 
 /// Adapter giving an exclusively borrowed [`PlanCache`] the [`PlanStore`]
@@ -759,6 +798,18 @@ impl PlanStore for Exclusive<'_> {
             .borrow_mut()
             .insert_result(plan_hash, db_version, rel)
     }
+
+    fn register_view(&self, plan_hash: u64, view: MaintainedView) {
+        self.0.borrow_mut().register_view(plan_hash, view)
+    }
+
+    fn view_snapshot(&self, plan_hash: u64) -> Option<MaintainedView> {
+        self.0.borrow().view_snapshot(plan_hash)
+    }
+
+    fn install_refreshed(&self, plan_hash: u64, view: MaintainedView, rel: Relation) {
+        self.0.borrow_mut().install_refreshed(plan_hash, view, rel)
+    }
 }
 
 impl PlanStore for SharedPlanCache<Compiled> {
@@ -788,6 +839,18 @@ impl PlanStore for SharedPlanCache<Compiled> {
 
     fn insert_result(&self, plan_hash: u64, db_version: u64, rel: Relation) {
         SharedPlanCache::insert_result(self, plan_hash, db_version, rel)
+    }
+
+    fn register_view(&self, plan_hash: u64, view: MaintainedView) {
+        SharedPlanCache::register_view(self, plan_hash, view)
+    }
+
+    fn view_snapshot(&self, plan_hash: u64) -> Option<MaintainedView> {
+        SharedPlanCache::view_snapshot(self, plan_hash)
+    }
+
+    fn install_refreshed(&self, plan_hash: u64, view: MaintainedView, rel: Relation) {
+        SharedPlanCache::install_refreshed(self, plan_hash, view, rel)
     }
 }
 
@@ -834,16 +897,80 @@ fn compile_and_eval_in(
             stats,
             plan_cached,
             result_cached: true,
+            result_refreshed: false,
         });
     }
-    let relation = compiled.run_shared(db, &mut stats, &budget, &mut Tracer::off())?;
+    // The result entry missed (cold, or stale by some mutation). Before
+    // re-evaluating, try to *advance* the registered maintained view by
+    // the delta chain bridging its version to ours: O(|Δ|·fanout) merge
+    // work instead of a full evaluation. The attempt is skipped when the
+    // chain is unknown (non-delta mutation, evicted journal link) or when
+    // the cost gate says the delta is too large relative to the estimated
+    // full cost; it is *abandoned* — with the cached entry left exactly
+    // as it was — on a budget trip or an unsupported shape.
+    if let Some(view) = cache.view_snapshot(plan_hash) {
+        if view.base_version() != db_version {
+            if let Some(chain) = db.delta_chain(view.base_version(), db_version) {
+                // Lazy: a trickle-sized delta refreshes without ever
+                // asking the estimator (whose table statistics were just
+                // invalidated by the mutation and would rebuild in O(n)).
+                let full_cost = || Estimator::new(db).cost(&compiled.expr);
+                if worth_refreshing(&view, &chain, full_cost) {
+                    match refresh(
+                        &view,
+                        &chain,
+                        db_version,
+                        &mut stats,
+                        &budget,
+                        &mut Tracer::off(),
+                    ) {
+                        Ok((refreshed_view, relation)) => {
+                            // A refreshed serve still charges the answer's
+                            // cardinality, exactly like a verbatim hit — a
+                            // small delta must not smuggle a large cached
+                            // relation past the tuple budget. Charged
+                            // *before* install so a trip leaves the cache
+                            // untouched.
+                            stats.budget_checks += 1;
+                            budget
+                                .checkpoint(Stage::Eval)
+                                .and_then(|()| {
+                                    budget.charge_tuples(Stage::Eval, relation.len() as u64)
+                                })
+                                .map_err(PipelineError::Budget)?;
+                            cache.install_refreshed(plan_hash, refreshed_view, relation.clone());
+                            return Ok(CachedQueryOutput {
+                                compiled,
+                                relation,
+                                stats,
+                                plan_cached,
+                                result_cached: true,
+                                result_refreshed: true,
+                            });
+                        }
+                        Err(RefreshError::Budget(b)) => return Err(PipelineError::Budget(b)),
+                        Err(RefreshError::Unsupported(_)) => {
+                            // Fall back to full evaluation with clean
+                            // counters (partial refresh accounting would
+                            // pollute the cold-path statistics).
+                            stats = EvalStats::default();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let (relation, view) =
+        compiled.run_maintained(db, db_version, &mut stats, &budget, &mut Tracer::off())?;
     cache.insert_result(plan_hash, db_version, relation.clone());
+    cache.register_view(plan_hash, view);
     Ok(CachedQueryOutput {
         compiled,
         relation,
         stats,
         plan_cached,
         result_cached: false,
+        result_refreshed: false,
     })
 }
 

@@ -36,6 +36,7 @@
 //!
 //! [`purge_stale`]: PlanCache::purge_stale
 
+use crate::ivm::MaintainedView;
 use crate::relation::Relation;
 use rc_formula::fxhash::{FxHashMap, FxHasher};
 use std::hash::{Hash, Hasher};
@@ -56,6 +57,14 @@ pub struct CacheStats {
     /// version — evidence of invalidation working (also counted in
     /// `result_misses`).
     pub stale_results: u64,
+    /// Stale results that were *refreshed* in place by delta propagation
+    /// (see [`crate::ivm`]) rather than discarded and recomputed. Always
+    /// ≤ `stale_results` over any window where only the maintenance layer
+    /// writes refreshed entries.
+    pub refreshed_results: u64,
+    /// Result entries dropped by [`PlanCache::purge_stale`] — stale
+    /// entries that were *evicted* rather than refreshed.
+    pub evicted_results: u64,
 }
 
 impl CacheStats {
@@ -84,6 +93,13 @@ fn rate(hits: u64, misses: u64) -> f64 {
 pub struct PlanCache<P> {
     plans: FxHashMap<(String, u64, u64), (Arc<P>, u64)>,
     results: FxHashMap<u64, (u64, Relation)>,
+    /// Materialized standing queries keyed by plan hash — the substrate
+    /// the maintenance layer refreshes when a result entry goes stale by
+    /// a known delta chain. At most one view per plan (latest wins), and
+    /// views deliberately survive [`PlanCache::purge_stale`]: a purged
+    /// result is gone, but the view can still be delta-advanced to the
+    /// current version, which is the whole point.
+    views: FxHashMap<u64, MaintainedView>,
     stats: CacheStats,
 }
 
@@ -92,6 +108,7 @@ impl<P> Default for PlanCache<P> {
         PlanCache {
             plans: FxHashMap::default(),
             results: FxHashMap::default(),
+            views: FxHashMap::default(),
             stats: CacheStats::default(),
         }
     }
@@ -172,12 +189,47 @@ impl<P> PlanCache<P> {
     }
 
     /// Drop every result entry not computed against `db_version`. Returns
-    /// the number evicted. Plan entries are untouched (they are
-    /// version-independent).
+    /// the number evicted (also accumulated into
+    /// [`CacheStats::evicted_results`]). Plan entries are untouched (they
+    /// are version-independent), and so are maintained views — a view is
+    /// exactly the state that lets a *future* lookup skip recomputation,
+    /// stale or not.
     pub fn purge_stale(&mut self, db_version: u64) -> usize {
         let before = self.results.len();
         self.results.retain(|_, (v, _)| *v == db_version);
-        before - self.results.len()
+        let evicted = before - self.results.len();
+        self.stats.evicted_results += evicted as u64;
+        evicted
+    }
+
+    /// Register (or replace) the materialized standing query backing a
+    /// result entry, so later mutations can refresh instead of evict.
+    pub fn register_view(&mut self, plan_hash: u64, view: MaintainedView) {
+        self.views.insert(plan_hash, view);
+    }
+
+    /// A clone of the maintained view registered for a plan, if any. The
+    /// clone is cheap in spirit (canonical buffers are contiguous) and
+    /// deliberate in letter: refresh happens *outside* any cache lock,
+    /// against a snapshot, and only a fully successful refresh is
+    /// installed back — a failed or abandoned refresh leaves the cache
+    /// holding exactly the old state.
+    pub fn view_snapshot(&self, plan_hash: u64) -> Option<MaintainedView> {
+        self.views.get(&plan_hash).cloned()
+    }
+
+    /// Install a successfully refreshed view and its root result, bumping
+    /// [`CacheStats::refreshed_results`]. The result entry is stamped
+    /// with the view's new base version.
+    pub fn install_refreshed(&mut self, plan_hash: u64, view: MaintainedView, rel: Relation) {
+        self.results.insert(plan_hash, (view.base_version(), rel));
+        self.views.insert(plan_hash, view);
+        self.stats.refreshed_results += 1;
+    }
+
+    /// Number of maintained views currently registered.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
     }
 
     /// Number of cached plans.
@@ -195,10 +247,12 @@ impl<P> PlanCache<P> {
         self.stats
     }
 
-    /// Drop all entries and reset the counters.
+    /// Drop all entries (including maintained views) and reset the
+    /// counters.
     pub fn clear(&mut self) {
         self.plans.clear();
         self.results.clear();
+        self.views.clear();
         self.stats = CacheStats::default();
     }
 }
@@ -315,6 +369,30 @@ impl<P> SharedPlanCache<P> {
         Self::lock(self.result_shard(plan_hash)).insert_result(plan_hash, db_version, rel)
     }
 
+    /// Concurrent [`PlanCache::register_view`] (routed like results, by
+    /// plan hash).
+    pub fn register_view(&self, plan_hash: u64, view: MaintainedView) {
+        Self::lock(self.result_shard(plan_hash)).register_view(plan_hash, view)
+    }
+
+    /// Concurrent [`PlanCache::view_snapshot`]. The shard lock covers only
+    /// the clone — never the refresh computed against the snapshot.
+    pub fn view_snapshot(&self, plan_hash: u64) -> Option<MaintainedView> {
+        Self::lock(self.result_shard(plan_hash)).view_snapshot(plan_hash)
+    }
+
+    /// Concurrent [`PlanCache::install_refreshed`]. Racing refreshers for
+    /// the same plan both install; last writer wins with a complete
+    /// (view, result) pair either way — both are self-consistent states.
+    pub fn install_refreshed(&self, plan_hash: u64, view: MaintainedView, rel: Relation) {
+        Self::lock(self.result_shard(plan_hash)).install_refreshed(plan_hash, view, rel)
+    }
+
+    /// Total maintained views across all shards.
+    pub fn view_count(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).view_count()).sum()
+    }
+
     /// [`PlanCache::purge_stale`] across every shard; returns the total
     /// number of result entries evicted.
     pub fn purge_stale(&self, db_version: u64) -> usize {
@@ -350,6 +428,8 @@ impl<P> SharedPlanCache<P> {
             total.result_hits += s.result_hits;
             total.result_misses += s.result_misses;
             total.stale_results += s.stale_results;
+            total.refreshed_results += s.refreshed_results;
+            total.evicted_results += s.evicted_results;
         }
         total
     }
@@ -482,6 +562,88 @@ mod tests {
         assert_eq!(c.plan_count(), 10);
         let s = c.stats();
         assert_eq!(s.plan_hits + s.plan_misses, 800);
+    }
+
+    fn tiny_view() -> (crate::Database, Relation, MaintainedView) {
+        use crate::eval::EvalStats;
+        use crate::govern::Budget;
+        use crate::ivm::materialize;
+        use crate::trace::Tracer;
+        let db = crate::Database::from_facts("P(1)").unwrap();
+        let e = crate::expr::RaExpr::scan("P", vec![rc_formula::Term::var("x")]);
+        let (out, view) = materialize(
+            &e,
+            &db,
+            db.version(),
+            &mut EvalStats::default(),
+            Budget::unlimited(),
+            &mut Tracer::off(),
+        )
+        .unwrap();
+        (db, out, view)
+    }
+
+    #[test]
+    fn stale_refreshed_and_evicted_counters_are_split() {
+        use crate::eval::EvalStats;
+        use crate::govern::Budget;
+        use crate::ivm::refresh;
+        use crate::trace::Tracer;
+        let (mut db, out, view) = tiny_view();
+        let v0 = db.version();
+        let mut c: PlanCache<()> = PlanCache::new();
+        c.insert_result(7, v0, out.clone());
+        c.register_view(7, view);
+        assert_eq!(c.view_count(), 1);
+        let delta = db.apply_delta("P(2)").unwrap();
+        // The result entry is now stale: counted as stale + miss, but the
+        // view snapshot can still be delta-advanced.
+        assert!(c.lookup_result(7, db.version()).is_none());
+        let snap = c.view_snapshot(7).expect("view registered");
+        assert_eq!(snap.base_version(), v0);
+        let (nv, rel) = refresh(
+            &snap,
+            &delta,
+            db.version(),
+            &mut EvalStats::default(),
+            Budget::unlimited(),
+            &mut Tracer::off(),
+        )
+        .unwrap();
+        c.install_refreshed(7, nv, rel.clone());
+        assert_eq!(c.lookup_result(7, db.version()), Some(rel));
+        // A different plan's stale entry gets purged: evicted, not
+        // refreshed — the three counters move independently.
+        c.insert_result(8, v0, out);
+        assert_eq!(c.purge_stale(db.version()), 1);
+        let s = c.stats();
+        assert_eq!(
+            (s.stale_results, s.refreshed_results, s.evicted_results),
+            (1, 1, 1)
+        );
+        assert_eq!(c.view_count(), 1, "views survive purge_stale");
+        c.clear();
+        assert_eq!(c.view_count(), 0);
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn shared_cache_mirrors_view_registry() {
+        let (db, out, view) = tiny_view();
+        let c: SharedPlanCache<()> = SharedPlanCache::new();
+        c.insert_result(7, db.version(), out.clone());
+        c.register_view(7, view.clone());
+        assert_eq!(c.view_count(), 1);
+        let snap = c.view_snapshot(7).expect("view registered");
+        assert_eq!(snap.base_version(), view.base_version());
+        c.install_refreshed(7, view, out);
+        let s = c.stats();
+        assert_eq!(s.refreshed_results, 1);
+        assert_eq!(c.purge_stale(0), 1);
+        assert_eq!(c.stats().evicted_results, 1);
+        assert_eq!(c.view_count(), 1, "views survive purge_stale");
+        c.clear();
+        assert_eq!(c.view_count(), 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Databases: named relations plus loading helpers.
 
+use crate::ivm::{Delta, DeltaLog, TableDelta};
 use crate::relation::{PartitionedRelation, Relation, RelationBuilder, Tuple};
 use crate::stats::{StatsStore, TableStats};
 use rand::seq::SliceRandom;
@@ -56,6 +57,15 @@ pub struct Database {
     /// cached plans survive data mutations exactly like plan-cache entries
     /// do, and the epoch moves only when an *observation* changes.
     stats_cache: Arc<Mutex<StatsStore>>,
+    /// The journal of deltas applied via [`Database::apply_delta`], shared
+    /// by *all* clones (unlike the derived-state caches it is never
+    /// swapped out by a mutation): the copy-on-write serving path clones,
+    /// mutates, and swaps databases, and the maintenance layer must still
+    /// be able to chain from the version a cached view was built against
+    /// to the version currently served. Mutations that bypass
+    /// `apply_delta` simply leave a gap in the journal, which chain
+    /// resolution reports as "unknown" — forcing full re-evaluation.
+    delta_log: Arc<Mutex<DeltaLog>>,
     version: u64,
 }
 
@@ -241,6 +251,145 @@ impl Database {
         let mut db = Database::new();
         db.load_facts(text)?;
         Ok(db)
+    }
+
+    /// Apply a mutation expressed as newline-separated ground atoms,
+    /// where a leading `-` marks a deletion:
+    ///
+    /// ```text
+    /// Supplies('acme', 'bolt')
+    /// -Part('nut').
+    /// ```
+    ///
+    /// Inserts win over deletes of the same fact within one batch (the
+    /// final contents are `(current \ deletes) ∪ inserts`). Returns the
+    /// **net** [`Delta`] actually applied — inserting a present fact or
+    /// deleting an absent one contributes nothing. An all-empty net delta
+    /// is a no-op: the version stamp is *not* bumped, so cached results
+    /// stay warm. Otherwise the version advances and the net delta is
+    /// recorded in the shared delta journal, from which
+    /// [`Database::delta_chain`] lets the maintenance layer refresh
+    /// cached views instead of discarding them.
+    pub fn apply_delta(&mut self, text: &str) -> Result<Delta, LoadError> {
+        let mut inserts: FxHashMap<Symbol, RelationBuilder> = FxHashMap::default();
+        let mut deletes: FxHashMap<Symbol, RelationBuilder> = FxHashMap::default();
+        let mut preds: Vec<Symbol> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches('.');
+            if line.is_empty() || line.starts_with('%') {
+                continue;
+            }
+            let (negated, line) = match line.strip_prefix('-') {
+                Some(rest) => (true, rest.trim_start()),
+                None => (false, line),
+            };
+            let parsed = rc_formula::parse(line).map_err(|e| LoadError::Parse(e.to_string()))?;
+            let atom = match parsed {
+                Formula::Atom(a) => a,
+                _ => return Err(LoadError::NotAnAtom(line.to_string())),
+            };
+            let mut vals = Vec::with_capacity(atom.terms.len());
+            for t in &atom.terms {
+                match t {
+                    Term::Const(v) => vals.push(*v),
+                    Term::Var(_) => return Err(LoadError::NonGroundFact(line.to_string())),
+                }
+            }
+            let known_arity = self
+                .relations
+                .get(&atom.pred)
+                .map(|r| r.arity())
+                .or_else(|| inserts.get(&atom.pred).map(|b| b.arity()))
+                .or_else(|| deletes.get(&atom.pred).map(|b| b.arity()));
+            let side = if negated { &mut deletes } else { &mut inserts };
+            let b = side
+                .entry(atom.pred)
+                .or_insert_with(|| RelationBuilder::new(known_arity.unwrap_or(vals.len())));
+            if b.arity() != vals.len() {
+                return Err(LoadError::ArityMismatch {
+                    pred: atom.pred,
+                    expected: b.arity(),
+                    found: vals.len(),
+                });
+            }
+            if !preds.contains(&atom.pred) {
+                preds.push(atom.pred);
+            }
+            b.push_row(&vals);
+        }
+        let mut delta = Delta::default();
+        let mut updates: Vec<(Symbol, Relation)> = Vec::new();
+        for pred in preds {
+            let ins_b = inserts.remove(&pred);
+            let del_b = deletes.remove(&pred);
+            let arity = ins_b
+                .as_ref()
+                .or(del_b.as_ref())
+                .map(RelationBuilder::arity)
+                .expect("recorded predicates have a builder");
+            let ins = ins_b
+                .map(RelationBuilder::finish)
+                .unwrap_or_else(|| Relation::new(arity));
+            let del = del_b
+                .map(RelationBuilder::finish)
+                .unwrap_or_else(|| Relation::new(arity));
+            let empty = Relation::new(arity);
+            let current = self.relations.get(&pred).unwrap_or(&empty);
+            // Net inserts: requested inserts not already present.
+            let net_plus = ins.minus(current);
+            // Net deletes: requested deletes that are present and not
+            // re-inserted by the same batch (inserts win).
+            let candidates = del.minus(&ins);
+            let net_minus = candidates.minus(&candidates.minus(current));
+            if net_plus.is_empty() && net_minus.is_empty() {
+                continue;
+            }
+            updates.push((pred, current.minus(&net_minus).union(&net_plus)));
+            delta.insert_table(
+                pred,
+                TableDelta {
+                    plus: net_plus,
+                    minus: net_minus,
+                },
+            );
+        }
+        if delta.is_empty() {
+            // Net no-op: contents unchanged, so the version stamp (and
+            // every cached result keyed by it) stays valid.
+            return Ok(delta);
+        }
+        for (pred, rel) in updates {
+            self.relations.insert(pred, rel);
+        }
+        let from = self.version;
+        self.bump();
+        self.delta_log
+            .lock()
+            .expect("delta log lock poisoned")
+            .record(from, self.version, Arc::new(delta.clone()));
+        Ok(delta)
+    }
+
+    /// Compose the journal's chain of deltas carrying version `from` to
+    /// version `to`, or `None` when the chain is broken (a link was
+    /// evicted, or the versions are bridged by a mutation that bypassed
+    /// [`Database::apply_delta`]). The journal is shared by all clones of
+    /// a database, so the chain resolves across the copy-on-write
+    /// serving path's clone-mutate-swap cycle.
+    pub fn delta_chain(&self, from: u64, to: u64) -> Option<Delta> {
+        self.delta_log
+            .lock()
+            .expect("delta log lock poisoned")
+            .chain(from, to)
+    }
+
+    /// Number of links currently retained in the delta journal
+    /// (observability for tests).
+    pub fn delta_log_len(&self) -> usize {
+        self.delta_log
+            .lock()
+            .expect("delta log lock poisoned")
+            .len()
     }
 
     /// The schema induced by the stored relations.
@@ -544,6 +693,73 @@ mod tests {
         let c = db.partitioned(p, &[1], 2).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(c.total_rows(), 4);
+    }
+
+    #[test]
+    fn apply_delta_nets_out_noops() {
+        let mut db = Database::from_facts("P(1, 2)\nP(2, 3)").unwrap();
+        let v0 = db.version();
+        // Inserting a present fact and deleting an absent one are both
+        // net no-ops: no version bump, empty delta, caches stay warm.
+        let d = db.apply_delta("P(1, 2)\n-P(9, 9)").unwrap();
+        assert!(d.is_empty());
+        assert_eq!(db.version(), v0);
+        assert_eq!(db.delta_log_len(), 0);
+        // A real mutation records a link.
+        let d = db.apply_delta("P(4, 4)\n-P(1, 2)").unwrap();
+        assert_eq!(d.summary(), vec![("P".to_string(), 1, 1)]);
+        assert_ne!(db.version(), v0);
+        assert_eq!(db.delta_log_len(), 1);
+        assert_eq!(
+            db.relation(Symbol::intern("P")).unwrap().to_string(),
+            "{(2, 3), (4, 4)}"
+        );
+        assert!(db.delta_chain(v0, db.version()).is_some());
+    }
+
+    #[test]
+    fn apply_delta_insert_wins_over_delete_in_one_batch() {
+        let mut db = Database::from_facts("P(1)").unwrap();
+        let d = db.apply_delta("-P(2)\nP(2)").unwrap();
+        // The fact was absent, got both deleted and inserted: net insert.
+        let td = d.table(Symbol::intern("P")).unwrap();
+        assert_eq!((td.plus.len(), td.minus.len()), (1, 0));
+        assert!(db
+            .relation(Symbol::intern("P"))
+            .unwrap()
+            .contains(&[Value::int(2)]));
+        // Present fact deleted and re-inserted in one batch: net no-op.
+        let d = db.apply_delta("-P(1)\nP(1)").unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_creates_and_checks_arity() {
+        let mut db = Database::new();
+        let d = db.apply_delta("Fresh(1, 2)").unwrap();
+        assert_eq!(d.summary(), vec![("Fresh".to_string(), 1, 0)]);
+        assert!(matches!(
+            db.apply_delta("Fresh(1)"),
+            Err(LoadError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.apply_delta("-Fresh(x, y)"),
+            Err(LoadError::NonGroundFact(_))
+        ));
+    }
+
+    #[test]
+    fn delta_log_is_shared_by_clones() {
+        let mut db = Database::from_facts("P(1)").unwrap();
+        let v0 = db.version();
+        let mut clone = db.clone();
+        clone.apply_delta("P(2)").unwrap();
+        // The original still resolves the chain the clone recorded — the
+        // copy-on-write serving path depends on this.
+        assert!(db.delta_chain(v0, clone.version()).is_some());
+        // But a non-delta mutation on the original leaves a gap.
+        db.insert_fact("P", tuple([5i64])).unwrap();
+        assert!(clone.delta_chain(v0, db.version()).is_none());
     }
 
     #[test]

@@ -247,6 +247,36 @@ pub fn eval_shared(
     out
 }
 
+/// Evaluate an already-interned plan DAG while *recording* every
+/// subplan's materialized relation, keyed by the [`Arc`] address of each
+/// node inside `root`'s DAG. This is the initialization path for
+/// incremental view maintenance ([`crate::ivm`]): the returned table
+/// holds one canonical relation per distinct DAG node — the root
+/// included — exactly the "old" operand values the Δ-rules merge
+/// against.
+///
+/// Semantics and governance are identical to [`eval_shared`] minus the
+/// interning step: `root` must already be hash-consed (see
+/// [`crate::plan::intern`]) so pointer identity coincides with
+/// structural identity.
+pub(crate) fn eval_shared_recording(
+    root: &Arc<RaExpr>,
+    db: &Database,
+    stats: &mut EvalStats,
+    budget: &Budget,
+    tracer: &mut Tracer,
+) -> Result<(Relation, FxHashMap<usize, Relation>), EvalError> {
+    root.validate(None)?;
+    stats.budget_checks += 1;
+    budget.checkpoint(Stage::Eval)?;
+    let mut memo = Memo::default();
+    let out = eval_rec(root, db, stats, budget, tracer, Some(&mut memo))?;
+    stats.memo_hits += memo.hits;
+    let mut vals = memo.table;
+    vals.insert(Arc::as_ptr(root) as usize, out.clone());
+    Ok((out, vals))
+}
+
 /// Evaluate a child held behind an [`Arc`], consulting the memo first. On
 /// a hit the subplan's span is emitted as a `cache_hit` leaf and the
 /// governor is still charged with the materialized cardinality.
@@ -281,7 +311,7 @@ fn eval_child(
     Ok(rel)
 }
 
-fn positions(haystack: &[Var], needles: &[Var]) -> Vec<usize> {
+pub(crate) fn positions(haystack: &[Var], needles: &[Var]) -> Vec<usize> {
     needles
         .iter()
         .map(|v| {
@@ -293,7 +323,7 @@ fn positions(haystack: &[Var], needles: &[Var]) -> Vec<usize> {
         .collect()
 }
 
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
 
 /// A compiled row predicate for `Select` (`Sync` so the partitioned filter
 /// can probe it from worker threads).
@@ -302,14 +332,14 @@ type RowPred = Box<dyn Fn(&[Value]) -> bool + Sync>;
 /// A chained-array hash table over the rows of a relation: `heads[bucket]`
 /// is the first row index in the bucket, `next[row]` the following one.
 /// Two flat `u32` vectors — no per-row allocation, cache-friendly build.
-struct RowTable {
+pub(crate) struct RowTable {
     heads: Vec<u32>,
-    next: Vec<u32>,
+    pub(crate) next: Vec<u32>,
     mask: usize,
 }
 
 impl RowTable {
-    fn build(rel: &Relation, key_cols: &[usize]) -> RowTable {
+    pub(crate) fn build(rel: &Relation, key_cols: &[usize]) -> RowTable {
         let n = rel.len();
         let cap = (n.max(1) * 2).next_power_of_two();
         let mask = cap - 1;
@@ -325,13 +355,13 @@ impl RowTable {
 
     /// First candidate row index for a probe hash.
     #[inline]
-    fn first(&self, hash: u64) -> u32 {
+    pub(crate) fn first(&self, hash: u64) -> u32 {
         self.heads[(hash as usize) & self.mask]
     }
 }
 
 #[inline]
-fn keys_match(a: &[Value], a_cols: &[usize], b: &[Value], b_cols: &[usize]) -> bool {
+pub(crate) fn keys_match(a: &[Value], a_cols: &[usize], b: &[Value], b_cols: &[usize]) -> bool {
     a_cols
         .iter()
         .zip(b_cols.iter())
@@ -345,7 +375,7 @@ fn keys_match(a: &[Value], a_cols: &[usize], b: &[Value], b_cols: &[usize]) -> b
 /// on the order-preserving semijoin path — callers report it to the tracer
 /// when nonzero. An out-param rather than a [`Tracer`] borrow so the
 /// partition-parallel join can run this kernel on worker threads.
-fn join_kernel(
+pub(crate) fn join_kernel(
     lrel: &Relation,
     rrel: &Relation,
     l_shared: &[usize],
@@ -428,7 +458,7 @@ fn join_kernel(
 /// Anti-join kernel for the generalized difference (Def. 9.3): keep the
 /// left rows whose projection onto the right's columns has no partner.
 /// Order-preserving over the left input.
-fn antijoin_kernel(
+pub(crate) fn antijoin_kernel(
     lrel: &Relation,
     rrel: &Relation,
     proj: &[usize],
@@ -442,6 +472,84 @@ fn antijoin_kernel(
     }
     let r_all: Vec<usize> = (0..rrel.arity()).collect();
     let table = RowTable::build(rrel, &r_all);
+    let mut kept: Vec<Value> = Vec::new();
+    let mut n = 0usize;
+    for lrow in lrel.iter() {
+        gov.tick(n)?;
+        let mut cur = table.first(hash_cols(lrow, proj));
+        let mut hit = false;
+        while cur != NIL {
+            if keys_match(lrow, proj, rrel.row(cur as usize), &r_all) {
+                hit = true;
+                break;
+            }
+            cur = table.next[cur as usize];
+        }
+        if !hit {
+            kept.extend_from_slice(lrow);
+            n += 1;
+        }
+    }
+    Ok(Relation::from_canonical(lrel.arity(), n, kept))
+}
+
+/// Hash-join probe against a caller-supplied [`RowTable`] over `rrel`'s
+/// `r_shared` columns — the build-on-right branch of [`join_kernel`]
+/// with the build hoisted out. The IVM refresh path keeps per-node
+/// tables alive across refreshes (`ivm::JoinIndex`), so probing a
+/// small delta does not pay an `O(|rrel|)` rebuild every serve. The
+/// builder's canonicalizing `finish` makes the output identical to
+/// [`join_kernel`]'s regardless of which side the table covers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn join_probe_prebuilt(
+    lrel: &Relation,
+    rrel: &Relation,
+    l_shared: &[usize],
+    r_shared: &[usize],
+    r_extra: &[usize],
+    table: &RowTable,
+    gov: &mut Governor<'_>,
+    raw: &mut u64,
+) -> Result<Relation, BudgetExceeded> {
+    let out_arity = lrel.arity() + r_extra.len();
+    if lrel.is_empty() || rrel.is_empty() {
+        return Ok(Relation::new(out_arity));
+    }
+    let mut out = RelationBuilder::with_capacity(out_arity, lrel.len());
+    for lrow in lrel.iter() {
+        gov.tick(out.len())?;
+        let mut cur = table.first(hash_cols(lrow, l_shared));
+        while cur != NIL {
+            let rrow = rrel.row(cur as usize);
+            if keys_match(lrow, l_shared, rrow, r_shared) {
+                gov.tick(out.len())?;
+                out.push_row_from(lrow.iter().copied().chain(r_extra.iter().map(|&i| rrow[i])));
+            }
+            cur = table.next[cur as usize];
+        }
+    }
+    *raw = out.len() as u64;
+    Ok(out.finish())
+}
+
+/// Anti-join probe against a caller-supplied [`RowTable`] over **all**
+/// of `rrel`'s columns — [`antijoin_kernel`] with the build hoisted out,
+/// for the same reuse-across-refreshes purpose as
+/// [`join_probe_prebuilt`].
+pub(crate) fn antijoin_probe_prebuilt(
+    lrel: &Relation,
+    rrel: &Relation,
+    proj: &[usize],
+    table: &RowTable,
+    gov: &mut Governor<'_>,
+) -> Result<Relation, BudgetExceeded> {
+    if rrel.is_empty() {
+        return Ok(lrel.clone());
+    }
+    if lrel.is_empty() {
+        return Ok(Relation::new(lrel.arity()));
+    }
+    let r_all: Vec<usize> = (0..rrel.arity()).collect();
     let mut kept: Vec<Value> = Vec::new();
     let mut n = 0usize;
     for lrow in lrel.iter() {

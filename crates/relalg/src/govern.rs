@@ -65,6 +65,8 @@ pub enum Stage {
     Optimize,
     /// Algebra evaluation.
     Eval,
+    /// Incremental view maintenance (delta propagation and merge).
+    Maintain,
 }
 
 impl fmt::Display for Stage {
@@ -77,6 +79,7 @@ impl fmt::Display for Stage {
             Stage::Translate => "translate",
             Stage::Optimize => "optimize",
             Stage::Eval => "eval",
+            Stage::Maintain => "maintain",
         };
         write!(f, "{s}")
     }

@@ -21,6 +21,9 @@
 //!   subtrees ([`plan::intern`]) and structural plan hashes;
 //! * [`cache`] — cross-run plan/result cache keyed by (plan hash,
 //!   [`database::Database`] version), invalidated by any mutation;
+//! * [`ivm`](mod@ivm) — incremental view maintenance: delta journals and
+//!   per-operator Δ-rules that *refresh* cached results in O(|Δ|·fanout)
+//!   instead of discarding them on mutation;
 //! * [`govern`] — resource budgets, cooperative cancellation, fault
 //!   injection for the whole pipeline (shared with `rc-core`'s stages);
 //! * [`trace`] — opt-in span tracing of stages and operators (cardinalities,
@@ -44,6 +47,7 @@ pub mod eval;
 pub mod expr;
 pub mod govern;
 pub mod io;
+pub mod ivm;
 pub mod optimize;
 pub mod plan;
 pub mod relation;
@@ -58,6 +62,10 @@ pub use eval::{
 };
 pub use expr::{RaExpr, SelPred};
 pub use govern::{Budget, BudgetExceeded, CancelHandle, FaultInjector, Governor, Resource, Stage};
+pub use ivm::{
+    materialize, refresh, worth_refreshing, Delta, DeltaLog, MaintainedView, RefreshError,
+    TableDelta,
+};
 pub use optimize::{optimize, simplify};
 pub use plan::{intern, plan_hash, InternStats, Interner};
 pub use relation::{
@@ -65,4 +73,4 @@ pub use relation::{
     MIN_PARTITION_ROWS,
 };
 pub use stats::{harvest_actuals, CardEst, Estimator, TableStats};
-pub use trace::{OpSpan, PipelineTrace, StageSpan, StageTracer, TraceSink, Tracer};
+pub use trace::{IvmNote, OpSpan, PipelineTrace, StageSpan, StageTracer, TraceSink, Tracer};

@@ -97,6 +97,13 @@ pub fn partition_count(rows: usize) -> usize {
     cores.min(rows / MIN_PARTITION_ROWS).max(1)
 }
 
+/// Side-size ceiling for the binary-search-and-stitch fast path in
+/// [`Relation::union_governed`] and [`Relation::minus_governed`]: a side
+/// at most this big (and at least 8× smaller than the other) is located
+/// by per-row binary search and the output assembled from whole-segment
+/// copies, instead of walking the big side row by row.
+const SMALL_MERGE: usize = 64;
+
 /// A finite relation: a set of tuples sharing one arity.
 ///
 /// Always canonical: rows sorted ascending, no duplicates. Cloning is O(1)
@@ -346,6 +353,17 @@ impl Relation {
         }
     }
 
+    /// Do `self` and `other` share the same underlying row buffer?
+    /// Exact (pointer) identity, not value equality: a no-op
+    /// `Relation::apply_delta` and plain clones propagate the same
+    /// `Arc`'d buffer, so the IVM refresh path uses this to decide a
+    /// cached hash index is still valid for a node's unchanged value.
+    pub fn shares_data(&self, other: &Relation) -> bool {
+        self.arity == other.arity
+            && self.n_rows == other.n_rows
+            && Arc::ptr_eq(&self.data, &other.data)
+    }
+
     /// Membership test.
     pub fn contains(&self, t: &[Value]) -> bool {
         if t.len() != self.arity {
@@ -404,6 +422,38 @@ impl Relation {
         }
         let order = symbol_order();
         let arity = self.arity;
+        // Tiny right side into a big left side: binary-search each row's
+        // slot and stitch the output from whole-segment copies instead of
+        // a per-row comparison merge. This is the IVM trickle path — a
+        // handful of delta rows applied to a buffer of hundreds of
+        // thousands — where memcpy beats row-at-a-time by an order of
+        // magnitude.
+        if other.n_rows <= SMALL_MERGE && other.n_rows * 8 <= self.n_rows {
+            let mut inserts: Vec<(usize, usize)> = Vec::with_capacity(other.n_rows);
+            for j in 0..other.n_rows {
+                gov.tick(j)?;
+                if let Err(pos) = self.search(other.row(j), &order) {
+                    inserts.push((pos, j));
+                }
+            }
+            if inserts.is_empty() {
+                return Ok(self.clone());
+            }
+            let mut out = Vec::with_capacity(self.data.len() + inserts.len() * arity);
+            let mut prev = 0usize;
+            // `other` is sorted, so the slot positions are nondecreasing.
+            for &(pos, j) in &inserts {
+                out.extend_from_slice(&self.data[prev * arity..pos * arity]);
+                out.extend_from_slice(other.row(j));
+                prev = pos;
+            }
+            out.extend_from_slice(&self.data[prev * arity..]);
+            return Ok(Relation::from_canonical(
+                arity,
+                self.n_rows + inserts.len(),
+                out,
+            ));
+        }
         let mut out = Vec::with_capacity(self.data.len() + other.data.len());
         let (mut i, mut j) = (0usize, 0usize);
         let mut n = 0usize;
@@ -466,6 +516,34 @@ impl Relation {
         }
         let order = symbol_order();
         let arity = self.arity;
+        // Tiny subtrahend from a big relation: locate the doomed rows by
+        // binary search and stitch the survivors from whole-segment
+        // copies (see the twin fast path in [`Relation::union_governed`]).
+        if other.n_rows <= SMALL_MERGE && other.n_rows * 8 <= self.n_rows {
+            let mut hits: Vec<usize> = Vec::with_capacity(other.n_rows);
+            for j in 0..other.n_rows {
+                gov.tick(j)?;
+                if let Ok(pos) = self.search(other.row(j), &order) {
+                    hits.push(pos);
+                }
+            }
+            if hits.is_empty() {
+                return Ok(self.clone());
+            }
+            let mut out = Vec::with_capacity((self.n_rows - hits.len()) * arity);
+            let mut prev = 0usize;
+            // Distinct sorted rows give strictly increasing positions.
+            for &pos in &hits {
+                out.extend_from_slice(&self.data[prev * arity..pos * arity]);
+                prev = pos + 1;
+            }
+            out.extend_from_slice(&self.data[prev * arity..]);
+            return Ok(Relation::from_canonical(
+                arity,
+                self.n_rows - hits.len(),
+                out,
+            ));
+        }
         let mut out = Vec::new();
         let mut n = 0usize;
         let mut j = 0usize;
@@ -489,6 +567,24 @@ impl Relation {
             }
         }
         Ok(Relation::from_canonical(arity, n, out))
+    }
+
+    /// Apply a delta pair to a canonical relation: `(self \ minus) ∪
+    /// plus`, in exactly that order. The minus-then-plus schedule is what
+    /// makes composed delta chains exact: a row deleted by one link and
+    /// reinserted by a later one sits in *both* sides of the composed
+    /// delta, and subtracting first guarantees the reinsert survives.
+    /// Empty deltas are O(1) (a clone of the shared buffer).
+    pub(crate) fn apply_delta(
+        &self,
+        plus: &Relation,
+        minus: &Relation,
+        gov: &mut Governor<'_>,
+    ) -> Result<Relation, BudgetExceeded> {
+        if minus.is_empty() && plus.is_empty() {
+            return Ok(self.clone());
+        }
+        self.minus_governed(minus, gov)?.union_governed(plus, gov)
     }
 }
 

@@ -53,6 +53,21 @@ pub enum TraceSink {
 
 // ---------------------------------------------------------------- spans --
 
+/// IVM annotation on an operator span: how the operator's cached value
+/// was brought up to date, plus the delta cardinalities that flowed
+/// through it (see [`crate::ivm`]). Absent on ordinary evaluation spans,
+/// so pre-IVM trace renders and JSON exports are byte-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IvmNote {
+    /// `"refresh"` (delta-maintained in place) or `"fallback"` (a full
+    /// re-evaluation after maintenance was skipped or unsupported).
+    pub mode: &'static str,
+    /// Rows in this operator's Δ⁺ (insert delta).
+    pub plus: u64,
+    /// Rows in this operator's Δ⁻ (delete delta).
+    pub minus: u64,
+}
+
 /// One evaluated algebra operator.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OpSpan {
@@ -87,6 +102,9 @@ pub struct OpSpan {
     pub completed: bool,
     /// Wall time (not deterministic; excluded from the projection).
     pub elapsed_ns: u64,
+    /// Incremental-maintenance annotation (`None` on ordinary evaluation
+    /// spans; set by [`crate::ivm`] refresh walks and fallbacks).
+    pub ivm: Option<IvmNote>,
     /// Sub-operator spans, in evaluation order (left child first).
     pub children: Vec<OpSpan>,
 }
@@ -104,6 +122,7 @@ impl OpSpan {
             cache_hit: false,
             completed: false,
             elapsed_ns: 0,
+            ivm: None,
             children: Vec::new(),
         }
     }
@@ -182,6 +201,9 @@ impl OpSpan {
                 let ps: Vec<String> = s.partitions.iter().map(|n| n.to_string()).collect();
                 let _ = write!(out, " parts=[{}]", ps.join(","));
             }
+            if let Some(note) = &s.ivm {
+                let _ = write!(out, " ivm={} d+={} d-={}", note.mode, note.plus, note.minus);
+            }
             if s.cache_hit {
                 out.push_str(" MEMO");
             }
@@ -209,6 +231,9 @@ impl OpSpan {
             self.rows_out,
             self.raw_rows
         );
+        if let Some(note) = &self.ivm {
+            let _ = write!(out, " ivm={} d+={} d-={}", note.mode, note.plus, note.minus);
+        }
         if self.cache_hit {
             out.push_str(" MEMO");
         }
@@ -225,7 +250,7 @@ impl OpSpan {
         let _ = write!(
             out,
             "{{\"op\":{},\"rows_in\":[{}],\"rows_out\":{},\"raw_rows\":{},\
-             \"cache_hit\":{},\"completed\":{},\"children\":[",
+             \"cache_hit\":{},\"completed\":{}",
             json_str(&self.op),
             self.rows_in
                 .iter()
@@ -237,6 +262,16 @@ impl OpSpan {
             self.cache_hit,
             self.completed,
         );
+        if let Some(note) = &self.ivm {
+            let _ = write!(
+                out,
+                ",\"ivm\":{{\"mode\":{},\"plus\":{},\"minus\":{}}}",
+                json_str(note.mode),
+                note.plus,
+                note.minus
+            );
+        }
+        out.push_str(",\"children\":[");
         for (i, c) in self.children.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -262,6 +297,13 @@ impl OpSpan {
             if self.cache_hit { "  [cached]" } else { "" },
             if self.completed { "" } else { "  [INCOMPLETE]" },
         );
+        if let Some(note) = &self.ivm {
+            let _ = write!(
+                out,
+                "  [ivm={} d+={} d-={}]",
+                note.mode, note.plus, note.minus
+            );
+        }
         if !self.partitions.is_empty() {
             let _ = write!(out, "  [parts={}]", self.partitions.len());
         }
@@ -277,7 +319,7 @@ impl OpSpan {
             "{{\"op\":{},\"rows_in\":[{}],\"rows_out\":{},\"raw_rows\":{},\
              \"kernel_rows\":{},\"parallel\":{},\"partitions\":[{}],\
              \"cache_hit\":{},\"completed\":{},\
-             \"elapsed_ns\":{},\"children\":[",
+             \"elapsed_ns\":{}",
             json_str(&self.op),
             self.rows_in
                 .iter()
@@ -297,6 +339,16 @@ impl OpSpan {
             self.completed,
             self.elapsed_ns,
         );
+        if let Some(note) = &self.ivm {
+            let _ = write!(
+                out,
+                ",\"ivm\":{{\"mode\":{},\"plus\":{},\"minus\":{}}}",
+                json_str(note.mode),
+                note.plus,
+                note.minus
+            );
+        }
+        out.push_str(",\"children\":[");
         for (i, c) in self.children.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -520,6 +572,27 @@ impl Tracer {
     pub(crate) fn note_cache_hit(&mut self) {
         if let Some((span, _)) = self.stack.last_mut() {
             span.cache_hit = true;
+        }
+    }
+
+    /// Annotate the open span with an IVM note: refresh mode and the Δ
+    /// cardinalities that flowed through this operator.
+    pub(crate) fn note_ivm(&mut self, mode: &'static str, plus: u64, minus: u64) {
+        if let Some((span, _)) = self.stack.last_mut() {
+            span.ivm = Some(IvmNote { mode, plus, minus });
+        }
+    }
+
+    /// Tag the most recently completed top-level span with an IVM note —
+    /// used to mark a full re-evaluation as `ivm=fallback` after the
+    /// fact, once the maintenance layer knows a refresh was abandoned.
+    pub(crate) fn note_ivm_done(&mut self, mode: &'static str) {
+        if let Some(span) = self.done.last_mut() {
+            span.ivm = Some(IvmNote {
+                mode,
+                plus: 0,
+                minus: 0,
+            });
         }
     }
 

@@ -472,6 +472,11 @@ pub struct QueryOk {
     pub plan_cached: bool,
     /// Was evaluation skipped via the shared result cache?
     pub result_cached: bool,
+    /// Was the cached result *advanced* through the delta journal
+    /// (incremental view maintenance, DESIGN.md §14) rather than served
+    /// verbatim? Always implies `result_cached`; false on a verbatim hit
+    /// or a full (re-)evaluation.
+    pub result_refreshed: bool,
     /// Evaluation counters.
     pub stats: WireStats,
     /// Answer column names, in order (empty for boolean queries).
@@ -532,6 +537,7 @@ fn parse_stage(tok: &str) -> Option<Stage> {
         "translate" => Stage::Translate,
         "optimize" => Stage::Optimize,
         "eval" => Stage::Eval,
+        "maintain" => Stage::Maintain,
         _ => return None,
     })
 }
@@ -599,15 +605,34 @@ impl WireError {
     }
 }
 
+/// Net insert/delete counts for one table, as carried in a mutate
+/// response body (`<table> +<inserted> -<deleted>` per line, sorted by
+/// table name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaCount {
+    /// The table (predicate) name.
+    pub table: String,
+    /// Rows actually inserted (absent before, present after).
+    pub inserted: u64,
+    /// Rows actually deleted (present before, absent after).
+    pub deleted: u64,
+}
+
 /// One parsed response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// A served query/analyze answer.
     Query(QueryOk),
-    /// A mutation applied; carries the new database version.
+    /// A mutation applied; carries the new database version and the net
+    /// per-table delta actually applied (empty for a no-op mutation,
+    /// which also leaves the version unchanged).
     Mutate {
         /// The database version after the mutation.
         version: u64,
+        /// Net per-table insert/delete counts, sorted by table name. A
+        /// duplicate insert or an absent-fact delete nets out to nothing
+        /// and so never appears here.
+        delta: Vec<DeltaCount>,
     },
     /// Ping reply.
     Pong,
@@ -630,6 +655,7 @@ impl Response {
                 let _ = writeln!(out, "version {}", ok.version);
                 let _ = writeln!(out, "plan_cached {}", u8::from(ok.plan_cached));
                 let _ = writeln!(out, "result_cached {}", u8::from(ok.result_cached));
+                let _ = writeln!(out, "result_refreshed {}", u8::from(ok.result_refreshed));
                 let _ = writeln!(out, "operators {}", ok.stats.operators);
                 let _ = writeln!(out, "tuples_produced {}", ok.stats.tuples_produced);
                 let _ = writeln!(out, "max_intermediate {}", ok.stats.max_intermediate);
@@ -654,10 +680,16 @@ impl Response {
                     out.push('\n');
                 }
             }
-            Response::Mutate { version } => {
+            Response::Mutate { version, delta } => {
                 let _ = writeln!(out, "{PROTOCOL_VERSION} ok mutate");
                 let _ = writeln!(out, "version {version}");
                 out.push_str(".\n");
+                // Body: one `<table> +<inserted> -<deleted>` line per
+                // table with a nonzero net change, in the (sorted) order
+                // the server reported.
+                for d in delta {
+                    let _ = writeln!(out, "{} +{} -{}", d.table, d.inserted, d.deleted);
+                }
             }
             Response::Pong => {
                 let _ = writeln!(out, "{PROTOCOL_VERSION} ok pong");
@@ -704,7 +736,13 @@ impl Response {
                 "mutate" => {
                     let version = header_num(&headers, "version")
                         .ok_or_else(|| ProtoError::BadHeader("version".to_string()))?;
-                    Ok(Response::Mutate { version })
+                    let delta = body
+                        .lines()
+                        .filter(|l| !l.is_empty())
+                        .map(parse_delta_count)
+                        .collect::<Option<Vec<DeltaCount>>>()
+                        .ok_or_else(|| ProtoError::BadHeader("delta summary".to_string()))?;
+                    Ok(Response::Mutate { version, delta })
                 }
                 "pong" => Ok(Response::Pong),
                 "stats" => Ok(Response::Stats(
@@ -748,10 +786,24 @@ fn header_num(headers: &[(&str, &str)], key: &str) -> Option<u64> {
     header_str(headers, key)?.parse().ok()
 }
 
+/// Parse one `<table> +<inserted> -<deleted>` mutate-body line.
+fn parse_delta_count(line: &str) -> Option<DeltaCount> {
+    let mut parts = line.rsplitn(3, ' ');
+    let deleted = parts.next()?.strip_prefix('-')?.parse().ok()?;
+    let inserted = parts.next()?.strip_prefix('+')?.parse().ok()?;
+    let table = parts.next()?.to_string();
+    Some(DeltaCount {
+        table,
+        inserted,
+        deleted,
+    })
+}
+
 fn parse_query_ok(headers: &[(&str, &str)], body: &str) -> Option<Response> {
     let version = header_num(headers, "version")?;
     let plan_cached = header_num(headers, "plan_cached")? != 0;
     let result_cached = header_num(headers, "result_cached")? != 0;
+    let result_refreshed = header_num(headers, "result_refreshed")? != 0;
     let stats = WireStats {
         operators: header_num(headers, "operators")?,
         tuples_produced: header_num(headers, "tuples_produced")?,
@@ -792,6 +844,7 @@ fn parse_query_ok(headers: &[(&str, &str)], body: &str) -> Option<Response> {
         version,
         plan_cached,
         result_cached,
+        result_refreshed,
         stats,
         columns,
         relation,
@@ -902,6 +955,7 @@ mod tests {
             version: 42,
             plan_cached: true,
             result_cached: false,
+            result_refreshed: false,
             stats: WireStats {
                 operators: 3,
                 tuples_produced: 7,
@@ -923,6 +977,7 @@ mod tests {
                 version: 1,
                 plan_cached: false,
                 result_cached: false,
+                result_refreshed: false,
                 stats: WireStats::default(),
                 columns: Vec::new(),
                 relation: rel,
@@ -962,7 +1017,26 @@ mod tests {
             Response::parse(&Response::Pong.encode()).unwrap(),
             Response::Pong
         );
-        let m = Response::Mutate { version: 7 };
+        let m = Response::Mutate {
+            version: 7,
+            delta: vec![],
+        };
+        assert_eq!(Response::parse(&m.encode()).unwrap(), m);
+        let m = Response::Mutate {
+            version: 9,
+            delta: vec![
+                DeltaCount {
+                    table: "P".to_string(),
+                    inserted: 3,
+                    deleted: 1,
+                },
+                DeltaCount {
+                    table: "Some Table".to_string(),
+                    inserted: 0,
+                    deleted: 2,
+                },
+            ],
+        };
         assert_eq!(Response::parse(&m.encode()).unwrap(), m);
     }
 }

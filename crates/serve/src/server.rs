@@ -33,8 +33,8 @@
 
 use crate::admit::{Admission, AdmissionConfig, AdmitError};
 use crate::protocol::{
-    read_frame, write_frame, FrameError, QueryOk, Request, Response, Verb, WireError, WireLimits,
-    WireStats, MAX_REQUEST_FRAME,
+    read_frame, write_frame, DeltaCount, FrameError, QueryOk, Request, Response, Verb, WireError,
+    WireLimits, WireStats, MAX_REQUEST_FRAME,
 };
 use rc_relalg::{Budget, Database, FaultInjector, SharedPlanCache};
 use rc_safety::pipeline::{
@@ -388,6 +388,7 @@ fn serve_query(
                 version: snapshot.version(),
                 plan_cached: out.plan_cached,
                 result_cached: out.result_cached,
+                result_refreshed: out.result_refreshed,
                 stats: WireStats::from(&out.stats),
                 columns: out.compiled.columns.iter().map(|v| v.to_string()).collect(),
                 relation: out.relation,
@@ -407,6 +408,7 @@ fn serve_query(
                     version: snapshot.version(),
                     plan_cached: false,
                     result_cached: false,
+                    result_refreshed: false,
                     stats: WireStats::from(&out.stats),
                     columns: out.compiled.columns.iter().map(|v| v.to_string()).collect(),
                     relation: out.relation,
@@ -420,7 +422,7 @@ fn serve_query(
 }
 
 fn mutate(state: &Arc<Shared>, facts: &str) -> Response {
-    // Serialize mutators; the expensive clone+load runs outside the write
+    // Serialize mutators; the expensive clone+apply runs outside the write
     // lock so readers snapshotting concurrently never wait on it.
     let _mutating = state.mutate_lock.lock().unwrap_or_else(|p| p.into_inner());
     let base: Arc<Database> = {
@@ -428,16 +430,33 @@ fn mutate(state: &Arc<Shared>, facts: &str) -> Response {
         Arc::clone(&guard)
     };
     let mut next = (*base).clone();
-    if let Err(e) = next.load_facts(facts) {
-        return Response::Error(WireError::server("load", e.to_string()));
-    }
+    // Delta application (rather than a bulk load) records the net change
+    // in the clone-shared delta journal, which is what lets the cached
+    // serving path *refresh* warm results across this mutation instead of
+    // recomputing them. A net no-op leaves the version (and so every
+    // cached result) untouched.
+    let delta = match next.apply_delta(facts) {
+        Ok(d) => d,
+        Err(e) => return Response::Error(WireError::server("load", e.to_string())),
+    };
     let version = next.version();
     {
         let mut guard = state.db.write().unwrap_or_else(|p| p.into_inner());
         *guard = Arc::new(next);
     }
     state.mutations.fetch_add(1, Ordering::Relaxed);
-    Response::Mutate { version }
+    Response::Mutate {
+        version,
+        delta: delta
+            .summary()
+            .into_iter()
+            .map(|(table, inserted, deleted)| DeltaCount {
+                table,
+                inserted,
+                deleted,
+            })
+            .collect(),
+    }
 }
 
 fn stats_response(state: &Arc<Shared>) -> Response {
@@ -470,7 +489,16 @@ fn stats_response(state: &Arc<Shared>) -> Response {
         ("result_hits".to_string(), cache.result_hits.to_string()),
         ("result_misses".to_string(), cache.result_misses.to_string()),
         ("stale_results".to_string(), cache.stale_results.to_string()),
+        (
+            "refreshed_results".to_string(),
+            cache.refreshed_results.to_string(),
+        ),
+        (
+            "evicted_results".to_string(),
+            cache.evicted_results.to_string(),
+        ),
         ("plans".to_string(), state.cache.plan_count().to_string()),
+        ("views".to_string(), state.cache.view_count().to_string()),
         (
             "results".to_string(),
             state.cache.result_count().to_string(),

@@ -242,12 +242,25 @@ fn client_main(addr: &str) {
                 println!("  connection error: {e}");
                 break;
             }
-            Ok(Response::Mutate { version }) => println!("  ok (version {version})"),
+            Ok(Response::Mutate { version, delta }) => {
+                let summary: Vec<String> = delta
+                    .iter()
+                    .map(|d| format!("{} +{} -{}", d.table, d.inserted, d.deleted))
+                    .collect();
+                if summary.is_empty() {
+                    println!("  ok (version {version}, no net change)");
+                } else {
+                    println!("  ok (version {version}; {})", summary.join(", "));
+                }
+            }
             Ok(Response::Query(ok)) => {
-                match (ok.plan_cached, ok.result_cached) {
-                    (_, true) => println!("  result served from cache (database unchanged)"),
-                    (true, false) => println!("  plan served from cache"),
-                    (false, false) => {}
+                match (ok.plan_cached, ok.result_cached, ok.result_refreshed) {
+                    (_, true, true) => {
+                        println!("  result refreshed from cached view (delta applied)")
+                    }
+                    (_, true, false) => println!("  result served from cache (database unchanged)"),
+                    (true, false, _) => println!("  plan served from cache"),
+                    (false, false, _) => {}
                 }
                 println!(
                     "  stats:    {} operators, {} tuples, {} budget checks (version {})",
@@ -462,10 +475,13 @@ fn main() {
         } else {
             match compile_and_eval_cached(text, &db, opts, &mut cache) {
                 Ok(o) => {
-                    let note = match (o.plan_cached, o.result_cached) {
-                        (_, true) => Some("result served from cache (database unchanged)"),
-                        (true, false) => Some("plan served from cache"),
-                        (false, false) => None,
+                    let note = match (o.plan_cached, o.result_cached, o.result_refreshed) {
+                        (_, true, true) => {
+                            Some("result refreshed from cached view (delta applied)")
+                        }
+                        (_, true, false) => Some("result served from cache (database unchanged)"),
+                        (true, false, _) => Some("plan served from cache"),
+                        (false, false, _) => None,
                     };
                     (
                         Ok(Served {

@@ -31,6 +31,9 @@ cargo test -q --test serve_concurrent
 cargo test -q --test serve_protocol
 cargo test -q --test fault_injection
 
+echo "==> IVM differential suite (delta refresh must equal full re-evaluation)"
+cargo test -q --test prop_ivm
+
 echo "==> example smoke tests"
 cargo run -q --example quickstart > /dev/null
 cargo run -q --example suppliers_parts > /dev/null
@@ -46,6 +49,9 @@ PAR_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 
 echo "==> optimizer gate (median multi_join speedup >= 2x; no family regresses > 5%)"
 OPT_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
+
+echo "==> IVM gate (every trickle re-serve refreshes; median speedup over full re-eval >= 10x)"
+IVM_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 
 echo "==> serve gate (100 concurrent clients complete, zero errors, p99 bounded; 5x throughput at >= 8 cores)"
 SERVE_GATE=1 cargo run -q --release -p rc-bench --bin bench_serve

@@ -360,6 +360,191 @@ fn cancelled_pipeline_trace_attributes_the_tripped_stage() {
     );
 }
 
+// ------------------------------------------ incremental maintenance --
+
+use rcsafe::relalg::{materialize, plan_hash, refresh};
+use rcsafe::safety::pipeline::{compile_and_eval, compile_and_eval_cached};
+use rcsafe::PlanCache;
+
+/// Cancellation landing inside a delta refresh must leave the cached
+/// entry *atomic*: wholly at the old version or wholly at the new one,
+/// never a torn mix. The refresh walk builds the new view on the side
+/// and installs it only after the final budget charge, so whichever
+/// checkpoint the cancellation hits, the registered view's stored answer
+/// must be exactly its own version's full answer.
+#[test]
+fn cancellation_mid_refresh_never_tears_the_cached_entry() {
+    let mut db = Database::from_facts("P(1, 2)\nP(2, 3)\nP(3, 1)\nQ(1)\nQ(2)").unwrap();
+    let text = "P(x, y) & Q(y)";
+    let mut cache: PlanCache<Compiled> = PlanCache::new();
+    let cold = compile_and_eval_cached(text, &db, CompileOptions::default(), &mut cache).unwrap();
+    let hash = plan_hash(&cold.compiled.expr);
+    let mut old_version = db.version();
+    let mut old_answer = cold.relation.clone();
+
+    for (i, checkpoints) in [1u64, 2, 3, 4, 6].into_iter().enumerate() {
+        let fresh = 10 + i as i64;
+        db.apply_delta(&format!("P({fresh}, 1)\nQ({fresh})"))
+            .unwrap();
+        let full = compile_and_eval(text, &db, CompileOptions::default())
+            .unwrap()
+            .relation;
+
+        let fault = FaultInjector::new();
+        fault.cancel_after_checkpoints(checkpoints);
+        let opts = CompileOptions {
+            budget: Budget::new().with_fault_injector(fault),
+            ..CompileOptions::default()
+        };
+        match compile_and_eval_cached(text, &db, opts, &mut cache) {
+            Err(rcsafe::PipelineError::Budget(b)) => {
+                assert_eq!(b.resource, Resource::Cancelled);
+            }
+            // A large enough count lands past the last checkpoint.
+            Ok(out) => assert_eq!(out.relation, full),
+            Err(other) => panic!("expected a cancellation, got {other}"),
+        }
+
+        // Atomicity: the registered view sits wholly at one version, and
+        // its stored root answer is exactly that version's full answer.
+        let view = cache.view_snapshot(hash).expect("view stays registered");
+        if view.base_version() == db.version() {
+            assert_eq!(view.result(), &full, "torn view at the new version");
+        } else {
+            assert_eq!(
+                view.base_version(),
+                old_version,
+                "view at a version that was never current"
+            );
+            assert_eq!(view.result(), &old_answer, "torn view at the old version");
+        }
+        // Any result entry still present agrees with its own version too.
+        if let Some(rel) = cache.lookup_result(hash, db.version()) {
+            assert_eq!(rel, full, "torn result entry at the new version");
+        }
+        if let Some(rel) = cache.lookup_result(hash, old_version) {
+            assert_eq!(rel, old_answer, "torn result entry at the old version");
+        }
+
+        // A clean serve recovers, whatever the trip left behind.
+        let ok = compile_and_eval_cached(text, &db, CompileOptions::default(), &mut cache).unwrap();
+        assert_eq!(ok.relation, full);
+        old_version = db.version();
+        old_answer = full;
+    }
+}
+
+/// Spawn denial during a partitioned delta refresh: with the kernels
+/// forced to 4 partitions, denying every thread spawn must degrade the
+/// refresh to the sequential merge path with *byte-identical* output and
+/// identical statistics — at the `refresh` level and through the cached
+/// serving path alike.
+#[test]
+fn spawn_denial_during_partitioned_refresh_is_byte_identical() {
+    let (c, mut db) = big_join();
+    let budget_par = Budget::new().with_partitions(4);
+    let mut stats = EvalStats::default();
+    let (_, view) = materialize(
+        &c.expr,
+        &db,
+        db.version(),
+        &mut stats,
+        &budget_par,
+        &mut Tracer::off(),
+    )
+    .unwrap();
+
+    // A delta wide enough that the refresh's join re-probes do real work:
+    // 400 fresh `A` rows and 40 deleted `B` rows.
+    let mut lines = Vec::new();
+    for i in 0..400i64 {
+        lines.push(format!("A({}, {})", 20_000 + i, i % 97));
+    }
+    for i in 0..40i64 {
+        lines.push(format!("-B({}, {})", i, i % 13));
+    }
+    let delta = db.apply_delta(&lines.join("\n")).unwrap();
+
+    let mut st_par = EvalStats::default();
+    let (view_par, with_spawns) = refresh(
+        &view,
+        &delta,
+        db.version(),
+        &mut st_par,
+        &budget_par,
+        &mut Tracer::off(),
+    )
+    .unwrap();
+
+    let fault = FaultInjector::new();
+    fault.deny_thread_spawn(true);
+    let denied_budget = Budget::new().with_partitions(4).with_fault_injector(fault);
+    let mut st_seq = EvalStats::default();
+    let (view_seq, denied) = refresh(
+        &view,
+        &delta,
+        db.version(),
+        &mut st_seq,
+        &denied_budget,
+        &mut Tracer::off(),
+    )
+    .unwrap();
+
+    assert_eq!(
+        with_spawns, denied,
+        "spawn denial changed the refreshed answer"
+    );
+    assert_eq!(
+        with_spawns.to_string(),
+        denied.to_string(),
+        "even the rendering must be identical"
+    );
+    assert_eq!(
+        st_par, st_seq,
+        "refresh statistics must not depend on spawning"
+    );
+    assert_eq!(view_par.result(), view_seq.result());
+    assert_eq!(
+        denied,
+        c.run(&db).unwrap(),
+        "refresh diverged from full eval"
+    );
+
+    // The serving path agrees: two identically primed caches, the same
+    // delta, one serve with spawns denied — identical refreshed answers.
+    let (_c2, mut db2) = big_join();
+    let text = "A(x, y) & B(y, z)";
+    let opts_par = || CompileOptions {
+        budget: Budget::new().with_partitions(4),
+        ..CompileOptions::default()
+    };
+    let mut cache_a: PlanCache<Compiled> = PlanCache::new();
+    let mut cache_b: PlanCache<Compiled> = PlanCache::new();
+    compile_and_eval_cached(text, &db2, opts_par(), &mut cache_a).unwrap();
+    compile_and_eval_cached(text, &db2, opts_par(), &mut cache_b).unwrap();
+    db2.apply_delta(&lines.join("\n")).unwrap();
+
+    let allowed = compile_and_eval_cached(text, &db2, opts_par(), &mut cache_a).unwrap();
+    let fault = FaultInjector::new();
+    fault.deny_thread_spawn(true);
+    let opts_denied = CompileOptions {
+        budget: Budget::new().with_partitions(4).with_fault_injector(fault),
+        ..CompileOptions::default()
+    };
+    let denied_serve = compile_and_eval_cached(text, &db2, opts_denied, &mut cache_b).unwrap();
+    assert!(
+        allowed.result_refreshed && denied_serve.result_refreshed,
+        "both serves must take the refresh path (allowed: {}, denied: {})",
+        allowed.result_refreshed,
+        denied_serve.result_refreshed
+    );
+    assert_eq!(allowed.relation, denied_serve.relation);
+    assert_eq!(
+        allowed.relation.to_string(),
+        denied_serve.relation.to_string()
+    );
+}
+
 // --------------------------------------------------- the query server --
 
 use rc_serve::{Client, Request, Response, Server, ServerConfig};

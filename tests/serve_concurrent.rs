@@ -25,7 +25,7 @@ fn expect_query(resp: Response, ctx: &str) -> (u64, Relation) {
 
 fn expect_mutate(resp: Response, ctx: &str) -> u64 {
     match resp {
-        Response::Mutate { version } => version,
+        Response::Mutate { version, .. } => version,
         other => panic!("{ctx}: expected a mutate response, got {other:?}"),
     }
 }
@@ -141,6 +141,107 @@ fn responses_are_consistent_with_exactly_one_published_version() {
         MUTATIONS + 1,
         "every mutation must publish a distinct version"
     );
+}
+
+/// Mutation edge cases: inserting a fact that is already present and
+/// deleting one that never was are *net no-ops* — the wire response
+/// carries an empty delta summary, the version stamp does not move, and
+/// warm cached results stay warm (no cold restart for a mutation that
+/// changed nothing).
+#[test]
+fn duplicate_inserts_and_absent_deletes_are_no_op_deltas() {
+    let db = Database::from_facts("S(0)\nS(1)").unwrap();
+    let server = Server::start(db, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Prime the result cache: second serve is a warm hit.
+    let (v0, _) = expect_query(client.query("S(x)").expect("prime"), "prime");
+    match client.query("S(x)").expect("warm") {
+        Response::Query(ok) => assert!(ok.result_cached, "priming must warm the result cache"),
+        other => panic!("expected a query response, got {other:?}"),
+    }
+
+    // Duplicate insert and absent delete, separately and combined: every
+    // one is a no-op with an empty summary and an unchanged version.
+    for facts in ["S(1)", "-S(9)", "S(0)\n-S(7)"] {
+        match client.mutate(facts).expect("no-op mutate") {
+            Response::Mutate { version, delta } => {
+                assert_eq!(
+                    version, v0,
+                    "{facts:?}: no-op must not publish a new version"
+                );
+                assert!(
+                    delta.is_empty(),
+                    "{facts:?}: expected empty summary, got {delta:?}"
+                );
+            }
+            other => panic!("{facts:?}: expected a mutate response, got {other:?}"),
+        }
+    }
+
+    // The cache never went cold: still a warm hit at the same version.
+    match client.query("S(x)").expect("post no-op query") {
+        Response::Query(ok) => {
+            assert_eq!(ok.version, v0);
+            assert!(
+                ok.result_cached,
+                "a no-op mutation must not invalidate cached results"
+            );
+            assert!(
+                !ok.result_refreshed,
+                "a no-op mutation leaves a verbatim hit, not a refresh"
+            );
+            assert_eq!(ok.relation, s_after(1));
+        }
+        other => panic!("expected a query response, got {other:?}"),
+    }
+}
+
+/// A mutation racing an in-flight query never changes that query's
+/// snapshot: the reader fires its request bytes, a mutation lands on
+/// another connection *before* the reader collects its answer, and the
+/// answer must still be internally consistent — version and relation
+/// from exactly one published state, never a torn mix.
+#[test]
+fn in_flight_queries_keep_their_admission_snapshot() {
+    const ROUNDS: i64 = 16;
+    let db = Database::from_facts("S(0)").unwrap();
+    let server = Server::start(db, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut reader = Client::connect(addr).expect("reader connect");
+    let mut mutator = Client::connect(addr).expect("mutator connect");
+
+    let (v0, r0) = expect_query(reader.query("S(x)").expect("initial"), "initial");
+    assert_eq!(r0, s_after(0));
+    let mut states = HashMap::from([(v0, 0i64)]);
+
+    for k in 1..=ROUNDS {
+        // Fire the query, then race a mutation behind it before reading
+        // the reader's answer — the query is plausibly in flight when
+        // the new version is published.
+        reader
+            .send_raw_frame(&Request::query("S(x)").encode())
+            .expect("send query");
+        let v_new = expect_mutate(
+            mutator
+                .mutate(&format!("S({k})"))
+                .unwrap_or_else(|e| panic!("mutation {k}: {e}")),
+            "racing mutate",
+        );
+        let (rv, rel) = expect_query(
+            reader.read_response().expect("read raced query"),
+            "raced query",
+        );
+        states.insert(v_new, k);
+        let snapshot_k = *states
+            .get(&rv)
+            .unwrap_or_else(|| panic!("round {k}: version {rv} was never published"));
+        assert_eq!(
+            rel,
+            s_after(snapshot_k),
+            "round {k}: answer does not match its own version stamp {rv} — torn snapshot"
+        );
+    }
 }
 
 /// Replay determinism: one client, a fixed read-only request sequence,

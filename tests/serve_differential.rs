@@ -68,6 +68,7 @@ fn expected_query(
             version: db.version(),
             plan_cached: out.plan_cached,
             result_cached: out.result_cached,
+            result_refreshed: out.result_refreshed,
             stats: WireStats::from(&out.stats),
             columns: out.compiled.columns.iter().map(|v| v.to_string()).collect(),
             relation: out.relation,
@@ -141,6 +142,7 @@ fn served_analyze_responses_match_in_process_traced_runs() {
                 version: db.version(),
                 plan_cached: false,
                 result_cached: false,
+                result_refreshed: false,
                 stats: WireStats::from(&out.stats),
                 columns: out.compiled.columns.iter().map(|v| v.to_string()).collect(),
                 relation: out.relation,

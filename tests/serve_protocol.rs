@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rc_serve::{
-    read_frame, write_frame, Client, ClientError, FrameError, Priority, QueryOk, Request, Response,
-    Server, ServerConfig, Verb, WireLimits, WireStats, MAX_REQUEST_FRAME,
+    read_frame, write_frame, Client, ClientError, DeltaCount, FrameError, Priority, QueryOk,
+    Request, Response, Server, ServerConfig, Verb, WireLimits, WireStats, MAX_REQUEST_FRAME,
 };
 use rcsafe::relalg::RelationBuilder;
 use rcsafe::{Database, Relation, Value};
@@ -221,6 +221,28 @@ proptest! {
         prop_assert_eq!(parsed.as_ref().ok(), Some(&req));
     }
 
+    /// Mutate responses round-trip: the applied-delta summary (including
+    /// table names containing spaces, and the empty no-op summary)
+    /// survives encode → parse.
+    #[test]
+    fn mutate_responses_roundtrip(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0usize..=4);
+        let delta: Vec<DeltaCount> = (0..n)
+            .map(|i| DeltaCount {
+                table: if rng.gen_bool(0.3) { format!("Table {i}") } else { format!("T{i}") },
+                inserted: rng.gen_range(0u64..1 << 40),
+                deleted: rng.gen_range(0u64..1 << 40),
+            })
+            .collect();
+        let resp = Response::Mutate {
+            version: rng.gen_range(0u64..1 << 50),
+            delta,
+        };
+        let parsed = Response::parse(&resp.encode());
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&resp));
+    }
+
     /// Query responses round-trip: parse(encode(resp)) == resp for
     /// randomized stats, columns, relations (including the arity-0
     /// boolean codec), and trace payloads.
@@ -253,6 +275,7 @@ proptest! {
             version: rng.gen_range(0u64..1 << 50),
             plan_cached: rng.gen_bool(0.5),
             result_cached: rng.gen_bool(0.5),
+            result_refreshed: rng.gen_bool(0.5),
             stats: WireStats {
                 operators: rng.gen_range(0u64..1 << 30),
                 tuples_produced: rng.gen_range(0u64..1 << 30),
@@ -268,6 +291,119 @@ proptest! {
         });
         let parsed = Response::parse(&resp.encode());
         prop_assert_eq!(parsed.as_ref().ok(), Some(&resp));
+    }
+}
+
+/// The mutate verb's applied-delta summary round-trips over the wire
+/// through a live server: per-table net insert/delete counts in the
+/// response body, an empty summary (and an unchanged version stamp) for
+/// net no-op mutations, and a follow-up query confirming the summary
+/// described the state that is actually served.
+#[test]
+fn mutate_responses_report_the_applied_delta_over_the_wire() {
+    let (_server, addr) = test_server();
+    let mut c = connect(addr);
+
+    let resp = c
+        .mutate("Part('washer')\n-Part('nut')\nSupplies('acme', 'washer')")
+        .expect("mutate");
+    let version = match resp {
+        Response::Mutate { version, delta } => {
+            assert_eq!(
+                delta,
+                vec![
+                    DeltaCount {
+                        table: "Part".into(),
+                        inserted: 1,
+                        deleted: 1
+                    },
+                    DeltaCount {
+                        table: "Supplies".into(),
+                        inserted: 1,
+                        deleted: 0
+                    },
+                ]
+            );
+            version
+        }
+        other => panic!("expected a mutate response, got {other:?}"),
+    };
+
+    // Net no-op: re-inserting a present fact and deleting an absent one
+    // leaves the version stamp untouched and the summary empty.
+    match c.mutate("Part('washer')\n-Part('gone')").expect("no-op") {
+        Response::Mutate { version: v2, delta } => {
+            assert_eq!(v2, version, "a net no-op must not publish a new version");
+            assert!(delta.is_empty(), "no-op summary must be empty: {delta:?}");
+        }
+        other => panic!("expected a mutate response, got {other:?}"),
+    }
+
+    // The summary described the served state: 'nut' gone, 'washer' in.
+    match c.query("Part(x)").expect("query after mutate") {
+        Response::Query(ok) => {
+            assert_eq!(ok.version, version);
+            assert_eq!(ok.relation.len(), 2);
+        }
+        other => panic!("expected a query response, got {other:?}"),
+    }
+}
+
+/// The `result_refreshed` header distinguishes the three warm-serve
+/// shapes over the wire: a verbatim result hit (cached, not refreshed),
+/// a delta-advanced serve after a small mutation (cached *and*
+/// refreshed), and a cold serve (neither).
+#[test]
+fn refreshed_serves_are_distinguishable_over_the_wire() {
+    let (_server, addr) = test_server();
+    let mut c = connect(addr);
+    let text = "Part(x) & Supplies(y, x)";
+
+    // Seed the Supplies table (the fixture only preloads Part).
+    match c.mutate("Supplies('acme', 'bolt')").expect("seed") {
+        Response::Mutate { delta, .. } => assert!(!delta.is_empty()),
+        other => panic!("expected a mutate response, got {other:?}"),
+    }
+
+    match c.query(text).expect("cold serve") {
+        Response::Query(ok) => {
+            assert!(!ok.result_cached && !ok.result_refreshed);
+        }
+        other => panic!("expected a query response, got {other:?}"),
+    }
+    match c.query(text).expect("verbatim warm serve") {
+        Response::Query(ok) => {
+            assert!(ok.result_cached, "second serve must hit the result cache");
+            assert!(
+                !ok.result_refreshed,
+                "an unchanged database is a verbatim hit, not a refresh"
+            );
+        }
+        other => panic!("expected a query response, got {other:?}"),
+    }
+
+    // One-row mutation: the next serve must advance the maintained view
+    // through the delta journal, and say so on the wire.
+    match c.mutate("Supplies('apex', 'nut')").expect("mutate") {
+        Response::Mutate { delta, .. } => assert!(!delta.is_empty()),
+        other => panic!("expected a mutate response, got {other:?}"),
+    }
+    match c.query(text).expect("refreshed serve") {
+        Response::Query(ok) => {
+            assert!(
+                ok.result_cached && ok.result_refreshed,
+                "a trickle mutation must be served by delta refresh, got \
+                 cached={} refreshed={}",
+                ok.result_cached,
+                ok.result_refreshed
+            );
+            assert_eq!(
+                ok.relation.len(),
+                2,
+                "the refreshed answer must include the new supplier row"
+            );
+        }
+        other => panic!("expected a query response, got {other:?}"),
     }
 }
 
