@@ -58,7 +58,17 @@
 //! optimizer regressing no query by 5% or more. With `IVM_GATE=1` it runs
 //! the update_trickle family only: every warm re-serve after a one-row
 //! `apply_delta` must take the view-refresh path, and the median speedup
-//! over the full re-evaluation fallback must reach 10x.
+//! over the full re-evaluation fallback must reach 10x. With `ANY_GATE=1`
+//! it runs the safe-pair acceptance check: every classifier-rejected
+//! corpus formula must be served by `compile_and_eval_any` byte-identical
+//! to the brute-force active-domain oracle — in process *and* over the
+//! `any` wire verb, with the infiniteness flags surviving the round trip.
+//!
+//! An **any_query** family rides along in the default run: cold and warm
+//! safe-pair serving latency for classifier-rejected formulas (both legs
+//! compiled, evaluated, and cached under one budget), with a fast-path
+//! member pinning that recognized queries pay nothing for the new entry
+//! point.
 //!
 //! An **update_trickle** family rides along in the default run: a warm
 //! standing query re-served after each one-row mutation, with the
@@ -78,6 +88,7 @@ use rc_relalg::{
     simplify, Budget, Database, Estimator, EvalStats, FaultInjector, OpSpan, PlanCache, RaExpr,
     Relation, RelationBuilder, Tracer,
 };
+use rc_safety::anyrc::compile_and_eval_any_cached;
 use rc_safety::pipeline::{compile_and_eval_cached, CompileOptions, Compiled};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -918,6 +929,166 @@ fn run_ivm_gate() {
     }
 }
 
+/// The any_query texts: classifier-rejected formulas over the bench
+/// schema, served end to end through the safe-pair translation (both
+/// legs compiled, evaluated, and cached), plus one recognized member
+/// that must take the ordinary fast path through the same entry point.
+fn any_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("any_negation", "!C(x)"),
+        ("any_uncurable_exists", "exists y. (C(x) | C(y))"),
+        ("any_forall", "forall y. (C(y) | B(x, y))"),
+        ("any_fastpath_join", "A(x, y) & B(y, z)"),
+    ]
+}
+
+struct AnyRecord {
+    name: &'static str,
+    rows: usize,
+    cold_ns: u128,
+    warm_ns: u128,
+    speedup: f64,
+    safe_pair: bool,
+    maybe_infinite: bool,
+    warm_hits: bool,
+}
+
+/// Cold-vs-warm timing of one safe-pair serve. Cold pays parse, both
+/// legs' compilation, the augmented guard databases, and both
+/// evaluations into a fresh cache every sample; warm serves both legs
+/// from a cache primed against the same (unmutated) database.
+fn bench_any_query(
+    samples: usize,
+    name: &'static str,
+    text: &str,
+    db: &Database,
+    n: usize,
+) -> AnyRecord {
+    let cold_ns = time_median(samples, || {
+        let mut cache: PlanCache<Compiled> = PlanCache::new();
+        black_box(
+            compile_and_eval_any_cached(text, db, CompileOptions::default(), &mut cache)
+                .expect("cold any serve"),
+        );
+    });
+    let mut cache: PlanCache<Compiled> = PlanCache::new();
+    compile_and_eval_any_cached(text, db, CompileOptions::default(), &mut cache).expect("prime");
+    let warm_ns = time_median(samples, || {
+        black_box(
+            compile_and_eval_any_cached(text, db, CompileOptions::default(), &mut cache)
+                .expect("warm any serve"),
+        );
+    });
+    let check = compile_and_eval_any_cached(text, db, CompileOptions::default(), &mut cache)
+        .expect("warm any serve");
+    AnyRecord {
+        name,
+        rows: n,
+        cold_ns,
+        warm_ns,
+        speedup: cold_ns as f64 / warm_ns as f64,
+        safe_pair: check.answer.safe_pair,
+        maybe_infinite: check.answer.maybe_infinite,
+        warm_hits: check.plan_cached && check.result_cached,
+    }
+}
+
+/// `ANY_GATE=1` mode: the safe-pair acceptance check. Every corpus
+/// formula — and in particular every classifier-rejected one — must be
+/// served by `compile_and_eval_any` with a finite part byte-identical to
+/// the brute-force active-domain oracle, both in process and over the
+/// `any` wire verb, with the infiniteness flags surviving the round
+/// trip. Exits nonzero on failure; never touches `BENCH_eval.json`.
+fn run_any_gate() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rc_safety::corpus::{corpus, formula_of};
+    use rc_safety::dom_baseline::eval_brute_force;
+    use rc_safety::pipeline::{classify, SafetyClass};
+    use rc_serve::{Client, Response, Server, ServerConfig};
+
+    let mut checked = 0u32;
+    let mut via_pair = 0u32;
+    for entry in corpus() {
+        let f = formula_of(&entry);
+        let rejected = classify(&f) == SafetyClass::NotRecognized;
+        for seed in [0u64, 3] {
+            let schema = rc_formula::Schema::infer(&f).expect("corpus schema");
+            let mut domain: Vec<Value> = (1..=4).map(Value::int).collect();
+            for c in f.constants() {
+                if !domain.contains(&c) {
+                    domain.push(c);
+                }
+            }
+            let db = if seed == 0 {
+                let mut d = Database::new();
+                for (p, ar) in schema.predicates() {
+                    d.declare(p, ar);
+                }
+                d
+            } else {
+                Database::random(&schema, &domain, 6, &mut StdRng::seed_from_u64(seed))
+            };
+            let mut cache: PlanCache<Compiled> = PlanCache::new();
+            let out = match compile_and_eval_any_cached(
+                entry.text,
+                &db,
+                CompileOptions::default(),
+                &mut cache,
+            ) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("ANY GATE FAILED: {} (seed {seed}) errors: {e}", entry.id);
+                    std::process::exit(1);
+                }
+            };
+            if out.answer.finite != eval_brute_force(&f, &db) {
+                eprintln!(
+                    "ANY GATE FAILED: {} (seed {seed}) diverges from the brute-force oracle",
+                    entry.id
+                );
+                std::process::exit(1);
+            }
+            let server = Server::start(db.clone(), ServerConfig::default()).expect("bind server");
+            let mut client = Client::connect(server.local_addr()).expect("connect client");
+            match client.any(entry.text) {
+                Ok(Response::Query(ok)) => {
+                    if ok.relation != out.answer.finite
+                        || ok.any_infinite != Some(out.answer.maybe_infinite)
+                        || ok.any_infinite_vars.as_deref() != Some(&out.answer.per_variable)
+                    {
+                        eprintln!(
+                            "ANY GATE FAILED: {} (seed {seed}) wire round-trip diverges \
+                             (relation or infiniteness flags)",
+                            entry.id
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                other => {
+                    eprintln!(
+                        "ANY GATE FAILED: {} (seed {seed}) unexpected response: {other:?}",
+                        entry.id
+                    );
+                    std::process::exit(1);
+                }
+            }
+            checked += 1;
+            if rejected {
+                via_pair += 1;
+            }
+        }
+    }
+    println!(
+        "any gate: {checked} corpus serves match the oracle ({via_pair} via the safe pair), \
+         infiniteness flags intact over the wire"
+    );
+    if via_pair == 0 {
+        eprintln!("ANY GATE FAILED: no classifier-rejected entries exercised");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     if std::env::var("TRACE_GATE").as_deref() == Ok("1") {
         run_trace_gate();
@@ -937,6 +1108,10 @@ fn main() {
     }
     if std::env::var("IVM_GATE").as_deref() == Ok("1") {
         run_ivm_gate();
+        return;
+    }
+    if std::env::var("ANY_GATE").as_deref() == Ok("1") {
+        run_any_gate();
         return;
     }
     let sizes = [2_000usize, 10_000, 50_000];
@@ -1244,6 +1419,56 @@ fn main() {
     trickle_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_trickle_speedup = trickle_speedups[trickle_speedups.len() / 2];
 
+    // Any-query family: safe-pair serving of classifier-rejected
+    // formulas, cold (both legs compiled + evaluated) vs warm (both legs
+    // cached).
+    let any_n = 2_000;
+    let any_db = db_for(any_n);
+    let any_samples = 9;
+    let mut any_records: Vec<String> = Vec::new();
+    let mut any_speedups: Vec<f64> = Vec::new();
+    let mut any_table = Table::new(&[
+        "workload",
+        "rows",
+        "cold ms",
+        "warm ms",
+        "speedup",
+        "safe pair",
+        "infinite",
+        "warm hit",
+    ]);
+    for (name, text) in any_queries() {
+        let r = bench_any_query(any_samples, name, text, &any_db, any_n);
+        any_speedups.push(r.speedup);
+        any_table.row(vec![
+            r.name.to_string(),
+            r.rows.to_string(),
+            format!("{:.3}", r.cold_ns as f64 / 1e6),
+            format!("{:.3}", r.warm_ns as f64 / 1e6),
+            format!("{:.1}x", r.speedup),
+            r.safe_pair.to_string(),
+            r.maybe_infinite.to_string(),
+            r.warm_hits.to_string(),
+        ]);
+        any_records.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"rows\": {}, \"cold_ns\": {}, ",
+                "\"warm_ns\": {}, \"speedup\": {:.2}, \"safe_pair\": {}, ",
+                "\"maybe_infinite\": {}, \"warm_result_hit\": {}}}"
+            ),
+            r.name,
+            r.rows,
+            r.cold_ns,
+            r.warm_ns,
+            r.speedup,
+            r.safe_pair,
+            r.maybe_infinite,
+            r.warm_hits
+        ));
+    }
+    any_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_any_speedup = any_speedups[any_speedups.len() / 2];
+
     println!("=== E-ENGINE: batch kernels vs tuple-at-a-time baseline ===\n");
     println!("{}", table.render());
     println!("=== repeated-query serving: cold vs cached ===\n");
@@ -1263,6 +1488,9 @@ fn main() {
     println!("\n=== update_trickle family: full re-evaluation vs delta refresh ===\n");
     println!("{}", trickle_table.render());
     println!("median update-trickle speedup: {median_trickle_speedup:.1}x (target >= 10x)");
+    println!("\n=== any_query family: safe-pair serving, cold vs warm ===\n");
+    println!("{}", any_table.render());
+    println!("median any-query warm speedup: {median_any_speedup:.1}x");
     overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_overhead = overheads[overheads.len() / 2];
     println!("median governance overhead across workloads: {median_overhead:+.2}% (target < 2%)");
@@ -1271,13 +1499,14 @@ fn main() {
     println!("median tracing-off overhead across workloads: {median_trace_off:+.2}% (target < 1%)");
 
     let json = format!(
-        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"multi_join_speedup_target\": 2.0,\n  \"median_multi_join_speedup\": {median_mj_speedup:.2},\n  \"update_trickle_speedup_target\": 10.0,\n  \"median_update_trickle_speedup\": {median_trickle_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ],\n  \"multi_join_results\": [\n{}\n  ],\n  \"update_trickle_results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"multi_join_speedup_target\": 2.0,\n  \"median_multi_join_speedup\": {median_mj_speedup:.2},\n  \"update_trickle_speedup_target\": 10.0,\n  \"median_update_trickle_speedup\": {median_trickle_speedup:.2},\n  \"median_any_query_warm_speedup\": {median_any_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ],\n  \"multi_join_results\": [\n{}\n  ],\n  \"update_trickle_results\": [\n{}\n  ],\n  \"any_query_results\": [\n{}\n  ]\n}}\n",
         records.join(",\n"),
         cache_records.join(",\n"),
         shared_records.join(",\n"),
         par_records.join(",\n"),
         mj_records.join(",\n"),
-        trickle_records.join(",\n")
+        trickle_records.join(",\n"),
+        any_records.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     std::fs::write(path, &json).expect("write BENCH_eval.json");

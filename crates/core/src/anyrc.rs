@@ -1,0 +1,751 @@
+//! Evaluate **arbitrary** relational calculus queries via safe-pair
+//! translation — including formulas every recognizer in this crate
+//! rejects.
+//!
+//! The paper's classes (evaluable, allowed, wide-sense evaluable) are
+//! decidable under-approximations of domain independence: a formula
+//! outside all of them may still be a perfectly sensible query, and even
+//! a domain *dependent* formula has a well-defined answer once one fixes
+//! the domain semantics. Following the safe-pair idea of Raszyk, Basin,
+//! Krstić and Traytel ("translating arbitrary relational calculus
+//! queries to safe pairs"), this module translates any rectified formula
+//! `F` into **two** formulas inside the recognized classes:
+//!
+//! * the **fin** leg — `F` relativized to the guard `Dom#(·)` holding
+//!   the active domain (every database constant plus the query's
+//!   constants). Its answer is the classical *active-domain* answer,
+//!   exactly what the [`crate::dom_baseline`] oracles compute — but
+//!   produced by the paper's own Dom-free pipeline, because the
+//!   relativized formula is evaluable by construction (every free
+//!   variable and every quantified variable carries a positive guard
+//!   atom).
+//! * the **inf** leg — the same relativization against `DomPlus#(·)`,
+//!   the active domain extended with `q` fresh "star" constants, where
+//!   `q` is the number of (free plus bound) variables of `F`. By the
+//!   genericity argument of Ailamazyan–Gilula–Stolboushkin–Schwartz, a
+//!   formula with `q` variables cannot distinguish the elements outside
+//!   the active domain from each other, and `q` representatives are
+//!   enough: a star surviving into the answer at column `j` witnesses
+//!   that *infinitely many* values (every non-active-domain value)
+//!   satisfy the query at that column.
+//!
+//! The pair is packaged as an [`AnyAnswer`]: the finite (active-domain)
+//! answer, a `maybe_infinite` flag, and a per-column infiniteness mask.
+//! For formulas the classifier *does* recognize, the safe pair is
+//! skipped entirely: recognized classes are domain independent, so the
+//! ordinary pipeline answer is the whole answer and `maybe_infinite` is
+//! `false` on every database.
+//!
+//! # Contract
+//!
+//! * [`AnyAnswer::finite`] is always the active-domain answer — it
+//!   agrees with [`crate::dom_baseline::eval_brute_force`] and
+//!   [`crate::dom_baseline::eval_dom`] on every formula, recognized or
+//!   not.
+//! * [`AnyAnswer::maybe_infinite`] is `true` iff the answer under an
+//!   infinite domain contains tuples outside the active domain (for
+//!   closed formulas it is always `false` — a 0-ary answer is never
+//!   infinite, even when the truth value itself is domain dependent).
+//! * Both legs run under **one** budget (`opts.budget` governs the pair
+//!   as a single query), and both are served through the same plan/result
+//!   cache machinery as ordinary queries: the legs are keyed by the
+//!   original query text under salted option keys, their results are
+//!   keyed by the *base* database version, and stale cached legs are
+//!   delta-refreshed ([`rc_relalg::ivm`]) — the guard tables, which the
+//!   base database does not store, get a computed delta spliced into the
+//!   mutation chain.
+
+use crate::dom_baseline::dom_pred;
+use crate::pipeline::{
+    classify, compile_and_eval_in, compile_and_eval_traced, compile_for, compile_traced_for,
+    CompileOptions, Compiled, Exclusive, PipelineError, PlanStore, QueryOutput, SafetyClass,
+};
+use rc_formula::ast::Formula;
+use rc_formula::term::Var;
+use rc_formula::vars::{bound_vars, free_vars, is_rectified, rectified};
+use rc_formula::{Symbol, Term, Value};
+use rc_relalg::govern::{Budget, Stage};
+use rc_relalg::{
+    refresh, worth_refreshing, Database, Estimator, EvalStats, PipelineTrace, PlanCache,
+    RefreshError, Relation, RelationBuilder, SharedPlanCache, StageSpan, StageTracer, TableDelta,
+    Tracer,
+};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The reserved name of the star-extended domain guard relation (the
+/// active domain plus the fresh star constants), the `inf` counterpart
+/// of [`dom_pred`].
+pub fn dom_plus_pred() -> Symbol {
+    Symbol::intern("DomPlus#")
+}
+
+/// Salt XORed into the option fingerprint for the fin leg's plan-cache
+/// key, so both legs (and the ordinary pipeline) can share one cache
+/// under the *original* query text without colliding.
+const FIN_SALT: u64 = 0x5afe_9a12_f19f_0001;
+
+/// Salt for the inf leg's plan-cache key (see [`FIN_SALT`]).
+const INF_SALT: u64 = 0x5afe_9a12_f19f_0002;
+
+/// The answer to an arbitrary relational calculus query, as a safe pair:
+/// the finite (active-domain) part plus infiniteness witnesses.
+#[derive(Clone, Debug)]
+pub struct AnyAnswer {
+    /// The answer columns — the query's free variables in first-occurrence
+    /// order.
+    pub columns: Vec<Var>,
+    /// The classifier's verdict on the original formula.
+    pub class: SafetyClass,
+    /// `true` when the safe-pair construction actually ran; `false` when
+    /// the formula was recognized and served by the ordinary pipeline
+    /// (recognized ⇒ domain independent ⇒ the finite answer is total).
+    pub safe_pair: bool,
+    /// The active-domain answer — agrees with the brute-force and
+    /// Dom-baseline oracles on every formula.
+    pub finite: Relation,
+    /// Does the answer under an infinite domain contain tuples outside
+    /// the active domain? Always `false` for recognized (domain
+    /// independent) formulas and for closed formulas.
+    pub maybe_infinite: bool,
+    /// Per-column infiniteness: `per_variable[j]` is `true` when some
+    /// infinite-domain answer tuple carries a non-active-domain value in
+    /// column `j`. All-`false` iff `maybe_infinite` is `false`.
+    pub per_variable: Vec<bool>,
+    /// Evaluation counters, summed over both legs (or the single
+    /// fast-path evaluation).
+    pub stats: EvalStats,
+}
+
+/// What the cached serving paths produce: the answer plus which cache
+/// layers were hit. For a safe pair the flags are conjunctions over both
+/// legs (`plan_cached`/`result_cached`) or a disjunction
+/// (`result_refreshed`) — a pair is only "cached" when *both* halves
+/// were.
+#[derive(Clone, Debug)]
+pub struct CachedAnyOutput {
+    /// The safe-pair answer.
+    pub answer: AnyAnswer,
+    /// Were all compilation stages skipped via the plan cache?
+    pub plan_cached: bool,
+    /// Was all evaluation skipped via the result cache (verbatim or
+    /// refreshed)?
+    pub result_cached: bool,
+    /// Was at least one stale cached leg delta-refreshed rather than
+    /// recomputed?
+    pub result_refreshed: bool,
+}
+
+/// Relativize every quantifier of `f` to the guard predicate and leave
+/// everything else structurally intact: `∃y G` becomes
+/// `∃y (guard(y) ∧ rel(G))` and `∀y G` becomes
+/// `¬∃y (guard(y) ∧ ¬rel(G))`.
+fn relativize(f: &Formula, guard: Symbol) -> Formula {
+    match f {
+        Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+        Formula::Not(g) => Formula::not(relativize(g, guard)),
+        Formula::And(fs) => Formula::and(fs.iter().map(|g| relativize(g, guard)).collect()),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|g| relativize(g, guard)).collect()),
+        Formula::Exists(y, g) => Formula::exists(
+            *y,
+            Formula::and2(guard_atom(guard, *y), relativize(g, guard)),
+        ),
+        Formula::Forall(y, g) => Formula::not(Formula::exists(
+            *y,
+            Formula::and2(guard_atom(guard, *y), Formula::not(relativize(g, guard))),
+        )),
+    }
+}
+
+fn guard_atom(guard: Symbol, v: Var) -> Formula {
+    Formula::atom(guard, vec![Term::Var(v)])
+}
+
+/// The full relativized query: a guard atom for every free variable
+/// conjoined with the relativized body. Every free and quantified
+/// variable then carries a positive guard atom, so the result is
+/// evaluable (Def. 5.2) by construction and compiles through the
+/// ordinary pipeline.
+fn relativized_query(f: &Formula, guard: Symbol) -> Formula {
+    let mut conj: Vec<Formula> = free_vars(f)
+        .into_iter()
+        .map(|v| guard_atom(guard, v))
+        .collect();
+    conj.push(relativize(f, guard));
+    Formula::and(conj)
+}
+
+/// `q` fresh star constants, distinct from every active-domain value and
+/// every query constant. The reserved `#` prefix keeps them out of any
+/// parseable query text; collisions with programmatically inserted facts
+/// are skipped over.
+fn star_values(db: &Database, query: &Formula, q: usize) -> Vec<Value> {
+    let consts: BTreeSet<Value> = query.constants().into_iter().collect();
+    let adom = db.active_domain();
+    let mut out = Vec::with_capacity(q);
+    let mut i = 0usize;
+    while out.len() < q {
+        let v = Value::str(&format!("#*{i}"));
+        i += 1;
+        if adom.contains(&v) || consts.contains(&v) {
+            continue;
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// The guard table contents for one leg: active domain ∪ query constants
+/// ∪ stars, with the `#default` element when everything is empty
+/// (first-order semantics needs a nonempty domain) — byte-compatible
+/// with [`crate::dom_baseline::augment_with_dom`]'s `Dom#` when `stars`
+/// is empty.
+fn guard_relation(db: &Database, query: &Formula, stars: &[Value]) -> Relation {
+    let mut b = RelationBuilder::with_capacity(1, db.active_domain().len() + stars.len());
+    for &v in db.active_domain() {
+        b.push_row(&[v]);
+    }
+    for c in query.constants() {
+        b.push_row(&[c]);
+    }
+    for &s in stars {
+        b.push_row(&[s]);
+    }
+    if b.is_empty() {
+        b.push_row(&[Value::str("#default")]);
+    }
+    b.finish()
+}
+
+/// A copy of `db` with the leg's predicates declared and its guard table
+/// installed.
+fn augment_for_leg(db: &Database, leg: &Formula, guard: Symbol, stars: &[Value]) -> Database {
+    let mut out = db.clone();
+    for (p, arity) in leg.predicates() {
+        out.declare(p, arity);
+    }
+    out.insert_relation(guard, guard_relation(db, leg, stars));
+    out
+}
+
+/// What serving one leg yields: the compiled plan, the leg's answer and
+/// evaluation stats, then the three serving-path flags in cache order —
+/// plan hit, result hit (verbatim), result refreshed (IVM).
+type ServedLeg = (Arc<Compiled>, Relation, EvalStats, bool, bool, bool);
+
+/// Serve one leg of the pair through the cache, mirroring the ordinary
+/// cached serving path: plan lookup (salted key under the original query
+/// text) → result lookup → guard-delta-extended IVM refresh → full
+/// evaluation. Results and views are stamped with the *base* database
+/// version; the augmented database is only built on an evaluation miss.
+#[allow(clippy::too_many_arguments)]
+fn serve_leg(
+    text: &str,
+    salt: u64,
+    db: &Database,
+    leg_f: &Formula,
+    guard: Symbol,
+    stars: &[Value],
+    opts: &CompileOptions,
+    budget: &Budget,
+    cache: &impl PlanStore,
+) -> Result<ServedLeg, PipelineError> {
+    let db_version = db.version();
+    let opts_key = opts.cache_key() ^ salt;
+    let stats_epoch = if opts.optimize { db.stats_epoch() } else { 0 };
+    let mut aug: Option<Database> = None;
+    let (compiled, plan_hash, plan_cached) = match cache.lookup_plan(text, opts_key, stats_epoch) {
+        Some((compiled, hash)) => (compiled, hash, true),
+        None => {
+            let a = aug.get_or_insert_with(|| augment_for_leg(db, leg_f, guard, stars));
+            let compiled = compile_for(leg_f, opts.clone(), a).map_err(PipelineError::from)?;
+            let hash = rc_relalg::plan_hash(&compiled.expr);
+            (
+                cache.insert_plan(text, opts_key, stats_epoch, compiled, hash),
+                hash,
+                false,
+            )
+        }
+    };
+    let mut stats = EvalStats::default();
+    if let Some(relation) = cache.lookup_result(plan_hash, db_version) {
+        stats.budget_checks += 1;
+        budget
+            .checkpoint(Stage::Eval)
+            .and_then(|()| budget.charge_tuples(Stage::Eval, relation.len() as u64))
+            .map_err(PipelineError::Budget)?;
+        return Ok((compiled, relation, stats, plan_cached, true, false));
+    }
+    if let Some(view) = cache.view_snapshot(plan_hash) {
+        if view.base_version() != db_version {
+            if let Some(mut chain) = db.delta_chain(view.base_version(), db_version) {
+                // The guard table lives only inside the view, so the
+                // base delta chain says nothing about it. Recover the
+                // old contents from the view's materialized scan, build
+                // the new contents from the current database, and splice
+                // the set difference into the chain. A guard that is
+                // scanned but not recoverable (the optimizer rewrote the
+                // full-table scan away) forces a full re-evaluation.
+                let guard_ok = if view.preds().contains(&guard) {
+                    match view.scan_contents(guard) {
+                        Some(old) => {
+                            let new = guard_relation(db, leg_f, stars);
+                            chain.insert_table(
+                                guard,
+                                TableDelta {
+                                    plus: new.minus(old),
+                                    minus: old.minus(&new),
+                                },
+                            );
+                            true
+                        }
+                        None => false,
+                    }
+                } else {
+                    true
+                };
+                let full_cost = || Estimator::new(db).cost(&compiled.expr);
+                if guard_ok && worth_refreshing(&view, &chain, full_cost) {
+                    match refresh(
+                        &view,
+                        &chain,
+                        db_version,
+                        &mut stats,
+                        budget,
+                        &mut Tracer::off(),
+                    ) {
+                        Ok((refreshed_view, relation)) => {
+                            stats.budget_checks += 1;
+                            budget
+                                .checkpoint(Stage::Eval)
+                                .and_then(|()| {
+                                    budget.charge_tuples(Stage::Eval, relation.len() as u64)
+                                })
+                                .map_err(PipelineError::Budget)?;
+                            cache.install_refreshed(plan_hash, refreshed_view, relation.clone());
+                            return Ok((compiled, relation, stats, plan_cached, true, true));
+                        }
+                        Err(RefreshError::Budget(b)) => return Err(PipelineError::Budget(b)),
+                        Err(RefreshError::Unsupported(_)) => {
+                            stats = EvalStats::default();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let a = aug.get_or_insert_with(|| augment_for_leg(db, leg_f, guard, stars));
+    let (relation, view) =
+        compiled.run_maintained(a, db_version, &mut stats, budget, &mut Tracer::off())?;
+    cache.insert_result(plan_hash, db_version, relation.clone());
+    cache.register_view(plan_hash, view);
+    Ok((compiled, relation, stats, plan_cached, false, false))
+}
+
+/// Package a fast-path (recognized-class) pipeline answer as an
+/// [`AnyAnswer`]: recognized ⇒ domain independent ⇒ the finite answer is
+/// the whole answer.
+fn fast_answer(
+    columns: Vec<Var>,
+    class: SafetyClass,
+    relation: Relation,
+    stats: EvalStats,
+) -> AnyAnswer {
+    let n = columns.len();
+    AnyAnswer {
+        columns,
+        class,
+        safe_pair: false,
+        finite: relation,
+        maybe_infinite: false,
+        per_variable: vec![false; n],
+        stats,
+    }
+}
+
+/// Scan the inf leg's answer for star witnesses: the overall flag and
+/// the per-column mask.
+fn star_mask(inf: &Relation, stars: &[Value], ncols: usize) -> (bool, Vec<bool>) {
+    let star_set: BTreeSet<Value> = stars.iter().copied().collect();
+    let mut per_variable = vec![false; ncols];
+    let mut maybe_infinite = false;
+    for row in inf.iter() {
+        for (j, v) in row.iter().enumerate() {
+            if star_set.contains(v) {
+                per_variable[j] = true;
+                maybe_infinite = true;
+            }
+        }
+    }
+    (maybe_infinite, per_variable)
+}
+
+/// The shared serving path behind the cached entry points.
+fn compile_and_eval_any_in(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+    cache: &impl PlanStore,
+) -> Result<CachedAnyOutput, PipelineError> {
+    let f = rc_formula::parse(text).map_err(PipelineError::Parse)?;
+    let class = classify(&f);
+    if class != SafetyClass::NotRecognized {
+        let out = compile_and_eval_in(text, db, opts, cache)?;
+        return Ok(CachedAnyOutput {
+            answer: fast_answer(out.compiled.columns.clone(), class, out.relation, out.stats),
+            plan_cached: out.plan_cached,
+            result_cached: out.result_cached,
+            result_refreshed: out.result_refreshed,
+        });
+    }
+    let rect = if is_rectified(&f) { f } else { rectified(&f) };
+    let q = free_vars(&rect).len() + bound_vars(&rect).len();
+    let stars = star_values(db, &rect, q);
+    let fin_f = relativized_query(&rect, dom_pred());
+    let inf_f = relativized_query(&rect, dom_plus_pred());
+    let budget = opts.budget.clone();
+    let (fin_c, fin_rel, fin_stats, fin_pc, fin_rc, fin_rr) = serve_leg(
+        text,
+        FIN_SALT,
+        db,
+        &fin_f,
+        dom_pred(),
+        &[],
+        &opts,
+        &budget,
+        cache,
+    )?;
+    let (_, inf_rel, inf_stats, inf_pc, inf_rc, inf_rr) = serve_leg(
+        text,
+        INF_SALT,
+        db,
+        &inf_f,
+        dom_plus_pred(),
+        &stars,
+        &opts,
+        &budget,
+        cache,
+    )?;
+    let columns = fin_c.columns.clone();
+    let (maybe_infinite, per_variable) = star_mask(&inf_rel, &stars, columns.len());
+    let mut stats = fin_stats;
+    stats.merge(inf_stats);
+    Ok(CachedAnyOutput {
+        answer: AnyAnswer {
+            columns,
+            class,
+            safe_pair: true,
+            finite: fin_rel,
+            maybe_infinite,
+            per_variable,
+            stats,
+        },
+        plan_cached: fin_pc && inf_pc,
+        result_cached: fin_rc && inf_rc,
+        result_refreshed: fin_rr || inf_rr,
+    })
+}
+
+/// Evaluate an arbitrary relational calculus query: recognized formulas
+/// go through the ordinary pipeline, everything else through the
+/// safe-pair construction (see the module docs for the contract).
+///
+/// ```
+/// use rc_safety::anyrc::compile_and_eval_any;
+/// use rc_safety::pipeline::CompileOptions;
+/// use rc_relalg::Database;
+///
+/// let db = Database::from_facts("P(1)\nP(2)\nQ(2)\nQ(3)").unwrap();
+/// // `¬P(x)` is rejected by every recognizer, but has a perfectly good
+/// // active-domain answer — and an infinite unrestricted-domain one.
+/// let out = compile_and_eval_any("!P(x)", &db, CompileOptions::default()).unwrap();
+/// assert_eq!(out.finite.len(), 1); // {3}
+/// assert!(out.maybe_infinite);
+/// ```
+pub fn compile_and_eval_any(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+) -> Result<AnyAnswer, PipelineError> {
+    let mut cache = PlanCache::new();
+    Ok(compile_and_eval_any_cached(text, db, opts, &mut cache)?.answer)
+}
+
+/// [`compile_and_eval_any`] through a cross-run [`PlanCache`]: both legs
+/// of the pair (or the fast-path plan) are cached and delta-maintained
+/// exactly like ordinary queries, under the original query text.
+pub fn compile_and_eval_any_cached(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+    cache: &mut PlanCache<Compiled>,
+) -> Result<CachedAnyOutput, PipelineError> {
+    compile_and_eval_any_in(text, db, opts, &Exclusive(RefCell::new(cache)))
+}
+
+/// [`compile_and_eval_any_cached`] against a concurrently shared cache —
+/// the entry point the query server uses for the `any` wire verb.
+pub fn compile_and_eval_any_shared(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+    cache: &SharedPlanCache<Compiled>,
+) -> Result<CachedAnyOutput, PipelineError> {
+    compile_and_eval_any_in(text, db, opts, cache)
+}
+
+/// Append the leg tag to every stage span of one leg's trace.
+fn tag_spans(spans: &mut [StageSpan], tag: &str) {
+    for s in spans.iter_mut() {
+        if s.detail.is_empty() {
+            s.detail = format!("anyrc={tag}");
+        } else {
+            s.detail = format!("{} anyrc={tag}", s.detail);
+        }
+    }
+}
+
+/// One uncached, traced leg: compile with per-stage spans, evaluate with
+/// an operator tracer, and tag every span with `anyrc=fin|inf`.
+fn traced_leg(
+    leg_f: &Formula,
+    aug: &Database,
+    opts: CompileOptions,
+    budget: &Budget,
+    tag: &str,
+) -> (
+    Result<(Compiled, Relation, EvalStats), PipelineError>,
+    PipelineTrace,
+) {
+    let mut st = StageTracer::on();
+    let compiled = match compile_traced_for(leg_f, opts, Some(aug), &mut st) {
+        Ok(c) => c,
+        Err(e) => {
+            let mut trace = st.into_trace(None);
+            tag_spans(&mut trace.stages, tag);
+            return (Err(e.into()), trace);
+        }
+    };
+    st.begin(Stage::Eval, compiled.expr.node_count() as u64);
+    let mut stats = EvalStats::default();
+    let mut tracer = Tracer::on();
+    match compiled.run_traced(aug, &mut stats, budget, &mut tracer) {
+        Ok(relation) => {
+            st.end(
+                relation.len() as u64,
+                format!("tuples_produced={}", stats.tuples_produced),
+            );
+            let mut trace = st.into_trace(tracer.finish());
+            tag_spans(&mut trace.stages, tag);
+            (Ok((compiled, relation, stats)), trace)
+        }
+        Err(e) => {
+            let mut trace = st.into_trace(tracer.finish());
+            tag_spans(&mut trace.stages, tag);
+            (Err(e.into()), trace)
+        }
+    }
+}
+
+/// [`compile_and_eval_any`] with full observability: the returned trace
+/// concatenates the parse span with both legs' stage spans, each tagged
+/// `anyrc=fin` or `anyrc=inf` in its detail; the operator tree is the
+/// fin leg's (the one producing [`AnyAnswer::finite`]). Fast-path
+/// (recognized) queries return the ordinary
+/// [`compile_and_eval_traced`] trace unchanged.
+pub fn compile_and_eval_any_traced(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+) -> (Result<AnyAnswer, PipelineError>, PipelineTrace) {
+    let mut st = StageTracer::on();
+    st.begin(Stage::Parse, text.len() as u64);
+    let f = match rc_formula::parse(text) {
+        Ok(f) => f,
+        Err(e) => return (Err(PipelineError::Parse(e)), st.into_trace(None)),
+    };
+    st.end(f.node_count() as u64, String::new());
+    let class = classify(&f);
+    if class != SafetyClass::NotRecognized {
+        let (res, trace) = compile_and_eval_traced(text, db, opts);
+        return (
+            res.map(|out: QueryOutput| {
+                fast_answer(out.compiled.columns.clone(), class, out.relation, out.stats)
+            }),
+            trace,
+        );
+    }
+    let parse_spans: Vec<StageSpan> = st.stages().to_vec();
+    let rect = if is_rectified(&f) { f } else { rectified(&f) };
+    let q = free_vars(&rect).len() + bound_vars(&rect).len();
+    let stars = star_values(db, &rect, q);
+    let fin_f = relativized_query(&rect, dom_pred());
+    let inf_f = relativized_query(&rect, dom_plus_pred());
+    let budget = opts.budget.clone();
+    let fin_aug = augment_for_leg(db, &fin_f, dom_pred(), &[]);
+    let (fin_res, fin_trace) = traced_leg(&fin_f, &fin_aug, opts.clone(), &budget, "fin");
+    let mut stages = parse_spans;
+    stages.extend(fin_trace.stages);
+    let (fin_c, fin_rel, fin_stats) = match fin_res {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                Err(e),
+                PipelineTrace {
+                    stages,
+                    root: fin_trace.root,
+                },
+            )
+        }
+    };
+    let inf_aug = augment_for_leg(db, &inf_f, dom_plus_pred(), &stars);
+    let (inf_res, inf_trace) = traced_leg(&inf_f, &inf_aug, opts, &budget, "inf");
+    stages.extend(inf_trace.stages);
+    let trace = PipelineTrace {
+        stages,
+        root: fin_trace.root,
+    };
+    let (_, inf_rel, inf_stats) = match inf_res {
+        Ok(v) => v,
+        Err(e) => return (Err(e), trace),
+    };
+    let columns = fin_c.columns;
+    let (maybe_infinite, per_variable) = star_mask(&inf_rel, &stars, columns.len());
+    let mut stats = fin_stats;
+    stats.merge(inf_stats);
+    (
+        Ok(AnyAnswer {
+            columns,
+            class,
+            safe_pair: true,
+            finite: fin_rel,
+            maybe_infinite,
+            per_variable,
+            stats,
+        }),
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom_baseline::eval_brute_force;
+    use rc_formula::parse;
+
+    fn db() -> Database {
+        Database::from_facts("P(1)\nP(2)\nQ(2)\nQ(3)\nR(1, 2)\nR(3, 1)").unwrap()
+    }
+
+    fn any(text: &str, db: &Database) -> AnyAnswer {
+        compile_and_eval_any(text, db, CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn negation_matches_oracle_and_flags_infinite() {
+        let out = any("!P(x)", &db());
+        assert_eq!(out.class, SafetyClass::NotRecognized);
+        assert!(out.safe_pair);
+        assert_eq!(
+            out.finite,
+            eval_brute_force(&parse("!P(x)").unwrap(), &db())
+        );
+        assert!(out.maybe_infinite);
+        assert_eq!(out.per_variable, vec![true]);
+    }
+
+    #[test]
+    fn cross_disjunction_flags_both_columns() {
+        let out = any("P(x) | Q(y)", &db());
+        assert!(out.safe_pair);
+        assert_eq!(
+            out.finite,
+            eval_brute_force(&parse("P(x) | Q(y)").unwrap(), &db())
+        );
+        assert!(out.maybe_infinite);
+        assert_eq!(out.per_variable, vec![true, true]);
+    }
+
+    #[test]
+    fn recognized_query_takes_fast_path() {
+        let out = any("P(x) & !Q(x)", &db());
+        assert_eq!(out.class, SafetyClass::Allowed);
+        assert!(!out.safe_pair);
+        assert!(!out.maybe_infinite);
+        assert_eq!(
+            out.finite,
+            eval_brute_force(&parse("P(x) & !Q(x)").unwrap(), &db())
+        );
+    }
+
+    #[test]
+    fn closed_formula_is_never_infinite() {
+        // Domain dependent truth value, but a 0-ary answer is finite.
+        let out = any("forall y. P(y)", &db());
+        assert!(out.safe_pair);
+        assert!(!out.maybe_infinite);
+        assert_eq!(out.per_variable, Vec::<bool>::new());
+        assert_eq!(
+            out.finite,
+            eval_brute_force(&parse("forall y. P(y)").unwrap(), &db())
+        );
+    }
+
+    #[test]
+    fn finite_on_empty_database() {
+        let empty = Database::new();
+        let out = any("!P(x)", &empty);
+        // Active domain is {#default}; P is empty, so ¬P holds of it.
+        assert_eq!(out.finite.len(), 1);
+        assert!(out.maybe_infinite);
+    }
+
+    #[test]
+    fn guarded_but_unrecognized_formula_stays_finite() {
+        // Example 6.3's G: domain independent but outside every class.
+        let text = "forall x. exists y. ((R(y, z) & Q(x)) | (R(y, z) & !P(x)))";
+        let out = any(text, &db());
+        assert_eq!(out.class, SafetyClass::NotRecognized);
+        assert!(out.safe_pair);
+        assert!(!out.maybe_infinite, "DI formula must have no stars");
+        assert_eq!(out.finite, eval_brute_force(&parse(text).unwrap(), &db()));
+    }
+
+    #[test]
+    fn cached_pair_serves_and_refreshes() {
+        let mut database = db();
+        let mut cache = PlanCache::new();
+        let text = "P(x) | Q(y)";
+        let cold =
+            compile_and_eval_any_cached(text, &database, CompileOptions::default(), &mut cache)
+                .unwrap();
+        assert!(!cold.plan_cached && !cold.result_cached);
+        let warm =
+            compile_and_eval_any_cached(text, &database, CompileOptions::default(), &mut cache)
+                .unwrap();
+        assert!(warm.plan_cached && warm.result_cached && !warm.result_refreshed);
+        assert_eq!(cold.answer.finite, warm.answer.finite);
+        assert_eq!(cold.answer.per_variable, warm.answer.per_variable);
+        // Mutate: the guard tables change with the active domain, so the
+        // refresh path must splice computed guard deltas into the chain.
+        database.apply_delta("P(7)").unwrap();
+        let fresh = compile_and_eval_any(text, &database, CompileOptions::default()).unwrap();
+        let served =
+            compile_and_eval_any_cached(text, &database, CompileOptions::default(), &mut cache)
+                .unwrap();
+        assert_eq!(served.answer.finite, fresh.finite);
+        assert_eq!(served.answer.per_variable, fresh.per_variable);
+    }
+
+    #[test]
+    fn traced_pair_tags_both_legs() {
+        let (res, trace) = compile_and_eval_any_traced("!P(x)", &db(), CompileOptions::default());
+        let out = res.unwrap();
+        assert!(out.maybe_infinite);
+        let rendered = trace.deterministic();
+        assert!(rendered.contains("anyrc=fin"), "{rendered}");
+        assert!(rendered.contains("anyrc=inf"), "{rendered}");
+        assert!(trace.root.is_some());
+    }
+}

@@ -44,6 +44,12 @@ pub fn con_not(x: Var, f: &Formula) -> bool {
     con_polar(x, f, false)
 }
 
+/// `gen(x, f)` under an explicit polarity — crate-internal hook for the
+/// violation-blaming walk in [`crate::classes`].
+pub(crate) fn gen_polarity(x: Var, f: &Formula, positive: bool) -> bool {
+    gen_polar(x, f, positive)
+}
+
 /// `gen(x, f)` when `positive`, else `gen(x, ¬f)`.
 fn gen_polar(x: Var, f: &Formula, positive: bool) -> bool {
     match f {

@@ -107,7 +107,7 @@ pub fn genify_reported(
     for x in free_vars(&f) {
         if !gen(x, &f) {
             return Err(GenifyError::NotEvaluable(
-                SafetyViolation::FreeVarNotGenerated(x),
+                crate::classes::free_var_violation(x, &f),
             ));
         }
     }
@@ -163,9 +163,12 @@ fn go(
             }
             match con_generator_with(*x, a, choice) {
                 // Step 1b: not evaluable.
-                None => Err(GenifyError::NotEvaluable(SafetyViolation::ExistsViolation(
-                    *x,
-                ))),
+                None => Err(GenifyError::NotEvaluable(
+                    SafetyViolation::ExistsViolation {
+                        var: *x,
+                        subformula: f.clone(),
+                    },
+                )),
                 // Step 1c: vacuous quantifier.
                 Some(ConGen::Bottom) => go(a, fresh, choice, budget, report),
                 // Step 1d: split into generated part and remainder.
@@ -175,9 +178,12 @@ fn go(
                     if is_free(*x, &r) {
                         // Lemma 8.2(2) fails ⇒ the input was not evaluable
                         // after all (a deeper subformula is at fault).
-                        return Err(GenifyError::NotEvaluable(SafetyViolation::ExistsViolation(
-                            *x,
-                        )));
+                        return Err(GenifyError::NotEvaluable(
+                            SafetyViolation::ExistsViolation {
+                                var: *x,
+                                subformula: f.clone(),
+                            },
+                        ));
                     }
                     // The remainder duplicates pieces of A: its quantified
                     // variables get new names (footnote to Alg. 8.1).

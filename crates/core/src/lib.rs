@@ -54,6 +54,7 @@
 
 #![deny(missing_docs)]
 
+pub mod anyrc;
 pub mod classes;
 pub mod corpus;
 pub mod dom_baseline;
@@ -70,6 +71,10 @@ pub mod pipeline;
 pub mod ranf;
 pub mod translate;
 
+pub use anyrc::{
+    compile_and_eval_any, compile_and_eval_any_cached, compile_and_eval_any_shared,
+    compile_and_eval_any_traced, AnyAnswer, CachedAnyOutput,
+};
 pub use classes::{check_allowed, check_evaluable, is_allowed, is_evaluable};
 pub use eqreduce::{equality_reduce, is_wide_sense_evaluable};
 pub use gencon::{con, con_not, gen, gen_not};

@@ -18,7 +18,7 @@ use crate::translate::{translate_reported, TranslateError};
 use rc_formula::ast::Formula;
 use rc_formula::parser::ParseError;
 use rc_formula::term::Var;
-use rc_formula::vars::{free_vars, rectified};
+use rc_formula::vars::{free_vars, is_rectified, rectified};
 use rc_relalg::govern::{Budget, BudgetExceeded, Stage};
 use rc_relalg::{
     eval_shared, eval_traced, materialize, refresh, worth_refreshing, Database, Estimator,
@@ -56,7 +56,24 @@ impl fmt::Display for SafetyClass {
 }
 
 /// Classify a formula into the paper's hierarchy.
+///
+/// The class checks (Defs. 5.2/5.3 via `gen`/`con`) assume a *rectified*
+/// formula — distinct bound variables, none shadowing a free one — so the
+/// input is rectified here first (classes are invariant under renaming of
+/// bound variables, and the rest of the pipeline compiles the rectified
+/// form anyway). On raw shadowed input the checks are conservative, never
+/// unsound: `gen` refuses to cross a binder that rebinds the queried
+/// variable, so an unrectified formula could only be *downgraded* (e.g.
+/// `Q(x) ∨ ¬∃x true` reporting `NotRecognized` for what is plainly
+/// `Q(x)`), never accepted into a class it does not belong to.
 pub fn classify(f: &Formula) -> SafetyClass {
+    let renamed;
+    let f = if is_rectified(f) {
+        f
+    } else {
+        renamed = rectified(f);
+        &renamed
+    };
     if is_allowed(f) {
         SafetyClass::Allowed
     } else if check_evaluable(f).is_ok() {
@@ -764,7 +781,7 @@ pub trait PlanStore {
 
 /// Adapter giving an exclusively borrowed [`PlanCache`] the [`PlanStore`]
 /// shape (interior mutability is safe: the borrow is exclusive).
-struct Exclusive<'a>(RefCell<&'a mut PlanCache<Compiled>>);
+pub(crate) struct Exclusive<'a>(pub(crate) RefCell<&'a mut PlanCache<Compiled>>);
 
 impl PlanStore for Exclusive<'_> {
     fn lookup_plan(
@@ -854,7 +871,7 @@ impl PlanStore for SharedPlanCache<Compiled> {
     }
 }
 
-fn compile_and_eval_in(
+pub(crate) fn compile_and_eval_in(
     text: &str,
     db: &Database,
     opts: CompileOptions,
@@ -1054,6 +1071,33 @@ mod tests {
         .unwrap();
         assert_eq!(ans2.len(), 1);
         assert!(ans2.contains(&[Value::str("acme")]));
+    }
+
+    #[test]
+    fn classify_rectifies_shadowed_input() {
+        use crate::classes::check_evaluable;
+        use rc_formula::vars::is_rectified;
+        // `Q(x) ∨ ¬∃x true`: x is free in the first disjunct and rebound
+        // in the second. The raw gen check refuses to cross the shadowing
+        // binder, so checking the unrectified formula directly reports a
+        // violation — even though the formula is plainly equivalent to
+        // `Q(x) ∨ ¬true ≡ Q(x)` and evaluable. `classify` must rectify
+        // first (this used to report NotRecognized).
+        let raw = parse("Q(x) | !(exists x. true)").unwrap();
+        assert!(!is_rectified(&raw));
+        assert!(check_evaluable(&raw).is_err(), "raw check is conservative");
+        assert_eq!(classify(&raw), SafetyClass::Evaluable);
+        // Classification is invariant under rectification across shadowed
+        // shapes (the conservative direction: raw never upgrades).
+        for s in [
+            "Q(x) | !(exists x. true)",
+            "P(x) & exists x. Q(x)",
+            "exists x. (P(x) & exists x. Q(x))",
+            "Q(x) & forall x. !(P(x) & !Q(x))",
+        ] {
+            let f = parse(s).unwrap();
+            assert_eq!(classify(&f), classify(&rectified(&f)), "on {s}");
+        }
     }
 
     #[test]

@@ -108,7 +108,44 @@ fn is_ident_start(c: char) -> bool {
 }
 
 fn is_ident_continue(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
+    c.is_alphanumeric() || c == '_' || is_combining_mark(c)
+}
+
+/// Combining marks (Unicode `Mn`-style ranges): accepted as identifier
+/// *continuation* so NFD-decomposed identifiers like `é` (`e` + U+0301)
+/// lex as one token instead of erroring mid-identifier. No normalization
+/// is applied — NFC and NFD spellings are distinct identifiers, but each
+/// round-trips display↔parse unchanged.
+fn is_combining_mark(c: char) -> bool {
+    matches!(
+        c,
+        '\u{0300}'..='\u{036F}'     // Combining Diacritical Marks
+        | '\u{1AB0}'..='\u{1AFF}'   // … Extended
+        | '\u{1DC0}'..='\u{1DFF}'   // … Supplement
+        | '\u{20D0}'..='\u{20FF}'   // … for Symbols
+        | '\u{FE20}'..='\u{FE2F}' // Combining Half Marks
+    )
+}
+
+/// Does an identifier starting with `c` denote a *predicate*?
+///
+/// Uppercase says predicate, as before — but Unicode has a third cased
+/// category the old `is_uppercase()` test missed: titlecase letters
+/// (`Lt`, e.g. `Dž`), which are neither upper- nor lowercase yet clearly
+/// "capitalized". They are detected here as cased-but-not-lowercase via
+/// their lowercase mapping, so `Dž`-initial identifiers are predicates.
+/// Caseless scripts (CJK, kana, …) have no capitalization signal at all
+/// and deterministically lex as variables, like `_`-initial names.
+fn is_pred_start(c: char) -> bool {
+    if c.is_uppercase() {
+        return true;
+    }
+    if c.is_lowercase() {
+        return false;
+    }
+    // Titlecase iff the lowercase mapping is a different string.
+    let mut low = c.to_lowercase();
+    low.next() != Some(c) || low.next().is_some()
 }
 
 /// Tokenize `input`.
@@ -266,7 +303,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     "not" => Tok::Not,
                     "true" => Tok::True,
                     "false" => Tok::False,
-                    _ if s.chars().next().unwrap().is_uppercase() => Tok::Pred(s),
+                    _ if is_pred_start(s.chars().next().unwrap()) => Tok::Pred(s),
                     _ => Tok::Var(s),
                 };
                 push(&mut out, tok);
@@ -357,6 +394,42 @@ mod tests {
                 Tok::RParen,
             ]
         );
+    }
+
+    #[test]
+    fn lex_unicode_identifiers_deterministically() {
+        // Titlecase (Lt) initials are predicates, like uppercase ones.
+        assert_eq!(
+            toks("Ǆungla(x)"),
+            vec![
+                Tok::Pred("Ǆungla".into()),
+                Tok::LParen,
+                Tok::Var("x".into()),
+                Tok::RParen,
+            ]
+        );
+        assert!(matches!(toks("ǅungla(x)")[0], Tok::Pred(_)));
+        // Caseless scripts carry no capitalization signal: variables.
+        assert_eq!(toks("数")[0], Tok::Var("数".into()));
+        assert_eq!(toks("データ")[0], Tok::Var("データ".into()));
+        // Cased non-ASCII behaves like ASCII.
+        assert_eq!(toks("Ärt")[0], Tok::Pred("Ärt".into()));
+        assert_eq!(toks("ärt")[0], Tok::Var("ärt".into()));
+    }
+
+    #[test]
+    fn lex_combining_marks_stay_in_identifier() {
+        // NFD é = 'e' + U+0301: one token, not an "unexpected character"
+        // error after the base letter.
+        let nfd = "e\u{301}tat";
+        assert_eq!(toks(nfd), vec![Tok::Var(nfd.into())]);
+        let nfd_pred = "E\u{301}tat";
+        assert_eq!(toks(nfd_pred), vec![Tok::Pred(nfd_pred.into())]);
+        // NFC and NFD spellings are distinct identifiers (no
+        // normalization), but both lex cleanly.
+        assert_eq!(toks("état"), vec![Tok::Var("état".into())]);
+        // A combining mark cannot *start* an identifier.
+        assert!(lex("\u{301}x").is_err());
     }
 
     #[test]

@@ -307,6 +307,50 @@ impl MaintainedView {
     pub fn preds(&self) -> &[Symbol] {
         &self.preds
     }
+
+    /// The materialized contents of a *full-table* scan of `pred` — a
+    /// `Scan` node whose pattern binds every column to a distinct
+    /// variable, so its cached value is the base table verbatim (modulo
+    /// column naming). `None` when the plan contains no such scan, or
+    /// its value is missing.
+    ///
+    /// This exists for callers that serve plans over *derived* tables
+    /// the database does not store (e.g. active-domain guard relations):
+    /// to hand [`refresh`] a delta for such a table they must first
+    /// recover the old contents the view's values reflect.
+    pub fn scan_contents(&self, pred: Symbol) -> Option<&Relation> {
+        fn walk<'a>(
+            view: &'a MaintainedView,
+            node: &'a Arc<RaExpr>,
+            pred: Symbol,
+            seen: &mut FxHashSet<usize>,
+        ) -> Option<&'a Relation> {
+            let key = Arc::as_ptr(node) as usize;
+            if !seen.insert(key) {
+                return None;
+            }
+            match &**node {
+                RaExpr::Scan {
+                    pred: p, pattern, ..
+                } => {
+                    if *p == pred && node.cols().len() == pattern.len() {
+                        view.vals.get(&key)
+                    } else {
+                        None
+                    }
+                }
+                RaExpr::Single { .. } | RaExpr::Unit | RaExpr::Empty { .. } => None,
+                RaExpr::Join(l, r) | RaExpr::Union(l, r) | RaExpr::Diff(l, r) => {
+                    walk(view, l, pred, seen).or_else(|| walk(view, r, pred, seen))
+                }
+                RaExpr::Project { input, .. }
+                | RaExpr::Select { input, .. }
+                | RaExpr::Duplicate { input, .. } => walk(view, input, pred, seen),
+            }
+        }
+        let mut seen = FxHashSet::default();
+        walk(self, &self.root, pred, &mut seen)
+    }
 }
 
 /// Why a refresh walk stopped.

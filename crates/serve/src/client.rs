@@ -119,6 +119,13 @@ impl Client {
         self.request(&Request::analyze(text))
     }
 
+    /// Safe-pair evaluation of an arbitrary formula; the response
+    /// carries the active-domain answer plus the `any_infinite` /
+    /// `any_infinite_vars` headers.
+    pub fn any(&mut self, text: &str) -> Result<Response, ClientError> {
+        self.request(&Request::any(text))
+    }
+
     /// Load fact text server-side; returns the new database version on
     /// success.
     pub fn mutate(&mut self, facts: &str) -> Result<Response, ClientError> {

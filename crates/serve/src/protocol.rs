@@ -164,6 +164,11 @@ pub enum Verb {
     /// Compile and evaluate with tracing on; the response carries the
     /// deterministic trace JSON (the wire form of `explain analyze`).
     Analyze,
+    /// Evaluate an *arbitrary* formula via safe-pair translation
+    /// ([`rc_safety::anyrc`]): the response carries the finite
+    /// (active-domain) answer plus the `any_infinite` /
+    /// `any_infinite_vars` headers.
+    Any,
     /// Load the body as fact text into the shared database (a new
     /// version; running queries keep their snapshots).
     Mutate,
@@ -178,6 +183,7 @@ impl Verb {
         match self {
             Verb::Query => "query",
             Verb::Analyze => "analyze",
+            Verb::Any => "any",
             Verb::Mutate => "mutate",
             Verb::Ping => "ping",
             Verb::Stats => "stats",
@@ -188,6 +194,7 @@ impl Verb {
         Some(match tok {
             "query" => Verb::Query,
             "analyze" => Verb::Analyze,
+            "any" => Verb::Any,
             "mutate" => Verb::Mutate,
             "ping" => Verb::Ping,
             "stats" => Verb::Stats,
@@ -256,6 +263,15 @@ impl Request {
     pub fn analyze(text: impl Into<String>) -> Request {
         Request {
             verb: Verb::Analyze,
+            ..Request::query(text)
+        }
+    }
+
+    /// An `any` request (safe-pair evaluation of an arbitrary formula)
+    /// with default options.
+    pub fn any(text: impl Into<String>) -> Request {
+        Request {
+            verb: Verb::Any,
             ..Request::query(text)
         }
     }
@@ -486,6 +502,14 @@ pub struct QueryOk {
     pub relation: Relation,
     /// Deterministic trace JSON (`analyze` only).
     pub trace_json: Option<String>,
+    /// Safe-pair infiniteness flag (`any` only): does the answer under
+    /// an infinite domain contain tuples outside the active domain?
+    /// `None` on ordinary query/analyze responses, so their encodings
+    /// are unchanged.
+    pub any_infinite: Option<bool>,
+    /// Safe-pair per-column infiniteness mask (`any` only), parallel to
+    /// `columns`.
+    pub any_infinite_vars: Option<Vec<bool>>,
 }
 
 /// A structured error response; `kind` names the failure class and the
@@ -661,6 +685,20 @@ impl Response {
                 let _ = writeln!(out, "max_intermediate {}", ok.stats.max_intermediate);
                 let _ = writeln!(out, "budget_checks {}", ok.stats.budget_checks);
                 let _ = writeln!(out, "memo_hits {}", ok.stats.memo_hits);
+                if let Some(inf) = ok.any_infinite {
+                    let _ = writeln!(out, "any_infinite {}", u8::from(inf));
+                }
+                if let Some(mask) = &ok.any_infinite_vars {
+                    let bits = if mask.is_empty() {
+                        "-".to_string()
+                    } else {
+                        mask.iter()
+                            .map(|&b| if b { "1" } else { "0" })
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    };
+                    let _ = writeln!(out, "any_infinite_vars {bits}");
+                }
                 let cols = if ok.columns.is_empty() {
                     "-".to_string()
                 } else {
@@ -840,6 +878,14 @@ fn parse_query_ok(headers: &[(&str, &str)], body: &str) -> Option<Response> {
     };
     let trace: String = lines.collect::<Vec<_>>().join("\n");
     let trace_json = if trace.is_empty() { None } else { Some(trace) };
+    let any_infinite = header_str(headers, "any_infinite").map(|v| v != "0");
+    let any_infinite_vars = header_str(headers, "any_infinite_vars").map(|raw| {
+        if raw == "-" {
+            Vec::new()
+        } else {
+            raw.split(',').map(|b| b == "1").collect()
+        }
+    });
     Some(Response::Query(QueryOk {
         version,
         plan_cached,
@@ -849,6 +895,8 @@ fn parse_query_ok(headers: &[(&str, &str)], body: &str) -> Option<Response> {
         columns,
         relation,
         trace_json,
+        any_infinite,
+        any_infinite_vars,
     }))
 }
 
@@ -966,8 +1014,59 @@ mod tests {
             columns: vec!["x".to_string(), "y".to_string()],
             relation: Relation::from_rows(2, [tuple([1i64, 2]), tuple([3i64, 4])]),
             trace_json: Some("{\"stages\":[],\"eval\":null}".to_string()),
+            any_infinite: None,
+            any_infinite_vars: None,
         });
         assert_eq!(Response::parse(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn any_response_roundtrips_infiniteness_headers() {
+        for (inf, mask) in [
+            (true, vec![true, false]),
+            (false, vec![false, false]),
+            (false, Vec::new()),
+        ] {
+            let resp = Response::Query(QueryOk {
+                version: 3,
+                plan_cached: false,
+                result_cached: false,
+                result_refreshed: false,
+                stats: WireStats::default(),
+                columns: mask
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| format!("v{i}"))
+                    .collect(),
+                relation: if mask.is_empty() {
+                    Relation::unit()
+                } else {
+                    Relation::from_rows(mask.len(), [tuple([1i64, 2])])
+                },
+                trace_json: None,
+                any_infinite: Some(inf),
+                any_infinite_vars: Some(mask),
+            });
+            assert_eq!(Response::parse(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn plain_query_encoding_has_no_any_headers() {
+        let resp = Response::Query(QueryOk {
+            version: 1,
+            plan_cached: false,
+            result_cached: false,
+            result_refreshed: false,
+            stats: WireStats::default(),
+            columns: Vec::new(),
+            relation: Relation::unit(),
+            trace_json: None,
+            any_infinite: None,
+            any_infinite_vars: None,
+        });
+        let text = String::from_utf8(resp.encode()).unwrap();
+        assert!(!text.contains("any_infinite"));
     }
 
     #[test]
@@ -982,6 +1081,8 @@ mod tests {
                 columns: Vec::new(),
                 relation: rel,
                 trace_json: None,
+                any_infinite: None,
+                any_infinite_vars: None,
             });
             assert_eq!(Response::parse(&resp.encode()).unwrap(), resp);
         }

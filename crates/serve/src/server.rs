@@ -37,6 +37,7 @@ use crate::protocol::{
     WireLimits, WireStats, MAX_REQUEST_FRAME,
 };
 use rc_relalg::{Budget, Database, FaultInjector, SharedPlanCache};
+use rc_safety::anyrc::compile_and_eval_any_shared;
 use rc_safety::pipeline::{
     compile_and_eval_shared, compile_and_eval_traced, CompileOptions, Compiled,
 };
@@ -313,7 +314,7 @@ fn dispatch(state: &Arc<Shared>, req: &Request) -> Response {
         Verb::Ping => Response::Pong,
         Verb::Stats => stats_response(state),
         Verb::Mutate => mutate(state, &req.body),
-        Verb::Query | Verb::Analyze => {
+        Verb::Query | Verb::Analyze | Verb::Any => {
             // Admission first: the permit covers compile + eval, and its
             // Drop releases the slot on *every* exit path below.
             let _permit = match state.admission.admit(req.priority) {
@@ -393,9 +394,31 @@ fn serve_query(
                 columns: out.compiled.columns.iter().map(|v| v.to_string()).collect(),
                 relation: out.relation,
                 trace_json: None,
+                any_infinite: None,
+                any_infinite_vars: None,
             }),
             Err(e) => Response::Error(WireError::from_pipeline(&e)),
         },
+        Verb::Any => {
+            // Safe-pair serving ([`rc_safety::anyrc`]): both legs go
+            // through the same shared cache, keyed under the request body
+            // with salted option keys.
+            match compile_and_eval_any_shared(&req.body, snapshot, opts, &state.cache) {
+                Ok(out) => Response::Query(QueryOk {
+                    version: snapshot.version(),
+                    plan_cached: out.plan_cached,
+                    result_cached: out.result_cached,
+                    result_refreshed: out.result_refreshed,
+                    stats: WireStats::from(&out.answer.stats),
+                    columns: out.answer.columns.iter().map(|v| v.to_string()).collect(),
+                    relation: out.answer.finite,
+                    trace_json: None,
+                    any_infinite: Some(out.answer.maybe_infinite),
+                    any_infinite_vars: Some(out.answer.per_variable),
+                }),
+                Err(e) => Response::Error(WireError::from_pipeline(&e)),
+            }
+        }
         Verb::Analyze => {
             // Traced serving: same entry point as local `explain analyze`,
             // including the statistics feedback harvest (the snapshot
@@ -413,11 +436,13 @@ fn serve_query(
                     columns: out.compiled.columns.iter().map(|v| v.to_string()).collect(),
                     relation: out.relation,
                     trace_json: Some(trace.to_json_deterministic()),
+                    any_infinite: None,
+                    any_infinite_vars: None,
                 }),
                 Err(e) => Response::Error(WireError::from_pipeline(&e)),
             }
         }
-        _ => unreachable!("serve_query only handles query/analyze"),
+        _ => unreachable!("serve_query only handles query/analyze/any"),
     }
 }
 

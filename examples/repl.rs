@@ -31,6 +31,9 @@
 //! * `<formula>` — compile and evaluate (served through the plan/result
 //!   cache: repeating a query skips compilation, and — until the database
 //!   changes — evaluation too)
+//! * `query any <formula>` — evaluate *any* formula, recognized-safe or
+//!   not, via the safe-pair translation: prints the active-domain answer
+//!   and warns when the full answer may be infinite (naming the columns)
 //! * `quit`
 //!
 //! ## Client mode
@@ -42,17 +45,23 @@
 //! Instead of an in-process database, serve every command over one
 //! `rc_serve` connection (see `crates/serve`): `fact` becomes a mutation,
 //! `stats` asks the server, `explain analyze` requests a traced
-//! evaluation, and plain formulas are served through the server's shared
-//! plan cache. Budget and partition commands translate to per-request
+//! evaluation, `query any` sends the safe-pair `any` verb (the response
+//! carries the infiniteness flags), and plain formulas are served through
+//! the server's shared plan cache. Budget and partition commands translate to per-request
 //! wire limits. Start a server with `cargo run -p rc-serve --bin rc_serve`.
 
+use rcsafe::formula::vars::rectified;
 use rcsafe::relalg::trace::{render_analyze, render_plan};
 use rcsafe::relalg::EvalStats;
+use rcsafe::safety::check_evaluable;
 use rcsafe::safety::pipeline::{
     compile_and_eval, compile_and_eval_cached, compile_and_eval_traced, CompileOptions, Compiled,
     PipelineError, QueryOutput,
 };
-use rcsafe::{classify, parse, Budget, Database, PlanCache, Relation, SafetyClass};
+use rcsafe::{
+    classify, compile_and_eval_any_cached, parse, Budget, Database, PlanCache, Relation,
+    SafetyClass,
+};
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
@@ -165,7 +174,9 @@ fn client_main(addr: &str) {
     };
     let mut limits = Limits::default();
     println!("rcsafe console — connected to {addr}");
-    println!("Commands: fact, stats, budget, partitions, explain analyze, <formula>, quit.\n");
+    println!(
+        "Commands: fact, stats, budget, partitions, explain analyze, query any, <formula>, quit.\n"
+    );
 
     let stdin = io::stdin();
     let mut out = io::stdout();
@@ -229,6 +240,11 @@ fn client_main(addr: &str) {
                 limits: wire_limits,
                 ..Request::analyze(text)
             }
+        } else if let Some(text) = line.strip_prefix("query any ") {
+            Request {
+                limits: wire_limits,
+                ..Request::any(text)
+            }
         } else {
             Request {
                 verb: Verb::Query,
@@ -271,6 +287,22 @@ fn client_main(addr: &str) {
                 );
                 if let Some(trace) = &ok.trace_json {
                     println!("  trace:    {trace}");
+                }
+                if ok.any_infinite == Some(true) {
+                    let starred = ok
+                        .any_infinite_vars
+                        .as_deref()
+                        .unwrap_or(&[])
+                        .iter()
+                        .zip(&ok.columns)
+                        .filter(|(inf, _)| **inf)
+                        .map(|(_, c)| c.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    println!(
+                        "  warning: the full answer may be infinite — the active-domain \
+                         answer below is complete only within the database ({starred})"
+                    );
                 }
                 if ok.columns.is_empty() {
                     println!("  {}", ok.relation.as_bool().unwrap_or(false));
@@ -346,6 +378,9 @@ fn main() {
                 println!("  stats              show planner statistics (rows, distincts, epoch)");
                 println!("  stats clear        drop table stats and observed cardinalities");
                 println!("  <formula>          evaluate a query");
+                println!("  query any <formula>");
+                println!("                     evaluate any formula (safe-pair translation):");
+                println!("                     active-domain answer + may-be-infinite warning");
                 println!("  quit               leave");
                 continue;
             }
@@ -437,6 +472,59 @@ fn main() {
             }
             continue;
         }
+        if let Some(text) = line.strip_prefix("query any ") {
+            let opts = CompileOptions {
+                budget: limits.arm(),
+                ..CompileOptions::default()
+            };
+            match compile_and_eval_any_cached(text, &db, opts, &mut cache) {
+                Ok(out) => {
+                    match (out.plan_cached, out.result_cached, out.result_refreshed) {
+                        (_, true, true) => {
+                            println!("  result refreshed from cached view (delta applied)")
+                        }
+                        (_, true, false) => {
+                            println!("  result served from cache (database unchanged)")
+                        }
+                        (true, false, _) => println!("  plan served from cache"),
+                        (false, false, _) => {}
+                    }
+                    let a = &out.answer;
+                    if a.safe_pair {
+                        println!("  not recognized safe: evaluated via safe-pair translation");
+                    }
+                    if a.maybe_infinite {
+                        let starred = a
+                            .columns
+                            .iter()
+                            .zip(&a.per_variable)
+                            .filter(|(_, inf)| **inf)
+                            .map(|(v, _)| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        println!(
+                            "  warning: the full answer may be infinite — the active-domain \
+                             answer below is complete only within the database ({starred})"
+                        );
+                    }
+                    if a.columns.is_empty() {
+                        println!("  {}", a.finite.as_bool().unwrap_or(false));
+                    } else {
+                        let cols = a
+                            .columns
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        println!("  ({cols}) ∈ {}", a.finite);
+                    }
+                }
+                Err(PipelineError::Parse(e)) => println!("  parse error: {e}"),
+                Err(PipelineError::Budget(b)) => println!("  budget exceeded: {b}"),
+                Err(e) => println!("  error: {e}"),
+            }
+            continue;
+        }
         #[derive(PartialEq)]
         enum Mode {
             Plain,
@@ -450,10 +538,17 @@ fn main() {
         } else {
             (Mode::Plain, line)
         };
-        // Pre-classify for a friendlier rejection than the raw error.
+        // Pre-classify for a friendlier rejection than the raw error,
+        // pointing at the innermost violating subformula when we can.
         if let Ok(f) = parse(text) {
             if classify(&f) == SafetyClass::NotRecognized {
-                println!("  rejected: not in a recognized safe class (Defs. 5.2/5.3/A.1)");
+                match check_evaluable(&rectified(&f)) {
+                    Err(v) => println!("  rejected: {v}"),
+                    Ok(()) => {
+                        println!("  rejected: not in a recognized safe class (Defs. 5.2/5.3/A.1)")
+                    }
+                }
+                println!("  try: query any {text}");
                 continue;
             }
         }

@@ -34,6 +34,12 @@ cargo test -q --test fault_injection
 echo "==> IVM differential suite (delta refresh must equal full re-evaluation)"
 cargo test -q --test prop_ivm
 
+echo "==> safe-pair differential suite (arbitrary formulas vs both active-domain oracles)"
+cargo test -q --test prop_anyrc
+
+echo "==> unicode lexing property suite"
+cargo test -q --test prop_unicode
+
 echo "==> example smoke tests"
 cargo run -q --example quickstart > /dev/null
 cargo run -q --example suppliers_parts > /dev/null
@@ -52,6 +58,9 @@ OPT_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 
 echo "==> IVM gate (every trickle re-serve refreshes; median speedup over full re-eval >= 10x)"
 IVM_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
+
+echo "==> any gate (every corpus formula — rejected included — serves via the safe pair, byte-identical to the oracle, flags surviving the wire)"
+ANY_GATE=1 cargo run -q --release -p rc-bench --bin bench_eval
 
 echo "==> serve gate (100 concurrent clients complete, zero errors, p99 bounded; 5x throughput at >= 8 cores)"
 SERVE_GATE=1 cargo run -q --release -p rc-bench --bin bench_serve

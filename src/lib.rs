@@ -36,6 +36,10 @@ pub use rc_relalg::{
     Budget, CacheStats, CancelHandle, Database, FaultInjector, PipelineTrace, PlanCache, RaExpr,
     Relation, SharedPlanCache, TraceSink, Tracer,
 };
+pub use rc_safety::anyrc::{
+    compile_and_eval_any, compile_and_eval_any_cached, compile_and_eval_any_shared,
+    compile_and_eval_any_traced, AnyAnswer, CachedAnyOutput,
+};
 pub use rc_safety::pipeline::{
     classify, compile, compile_and_eval, compile_and_eval_cached, compile_and_eval_shared,
     compile_and_eval_traced, query, CachedQueryOutput, Compiled, PipelineError, QueryOutput,

@@ -19,7 +19,9 @@ use rc_serve::{
     Client, QueryOk, Request, Response, Server, ServerConfig, WireError, WireLimits, WireStats,
 };
 use rcsafe::relalg::govern::Resource;
+use rcsafe::safety::anyrc::compile_and_eval_any_cached;
 use rcsafe::safety::corpus::{corpus, formula_of, PaperFormula};
+use rcsafe::safety::dom_baseline::eval_brute_force;
 use rcsafe::safety::pipeline::{
     compile_and_eval_cached, compile_and_eval_traced, CompileOptions, Compiled,
 };
@@ -73,6 +75,33 @@ fn expected_query(
             columns: out.compiled.columns.iter().map(|v| v.to_string()).collect(),
             relation: out.relation,
             trace_json: None,
+            any_infinite: None,
+            any_infinite_vars: None,
+        }),
+        Err(e) => Response::Error(WireError::from_pipeline(&e)),
+    }
+}
+
+/// The response the server *must* produce for an `any` verb, assembled
+/// from the in-process cached safe-pair serving path.
+fn expected_any(
+    text: &str,
+    db: &Database,
+    opts: CompileOptions,
+    cache: &mut PlanCache<Compiled>,
+) -> Response {
+    match compile_and_eval_any_cached(text, db, opts, cache) {
+        Ok(out) => Response::Query(QueryOk {
+            version: db.version(),
+            plan_cached: out.plan_cached,
+            result_cached: out.result_cached,
+            result_refreshed: out.result_refreshed,
+            stats: WireStats::from(&out.answer.stats),
+            columns: out.answer.columns.iter().map(|v| v.to_string()).collect(),
+            relation: out.answer.finite,
+            trace_json: None,
+            any_infinite: Some(out.answer.maybe_infinite),
+            any_infinite_vars: Some(out.answer.per_variable),
         }),
         Err(e) => Response::Error(WireError::from_pipeline(&e)),
     }
@@ -147,6 +176,8 @@ fn served_analyze_responses_match_in_process_traced_runs() {
                 columns: out.compiled.columns.iter().map(|v| v.to_string()).collect(),
                 relation: out.relation,
                 trace_json: Some(trace.to_json_deterministic()),
+                any_infinite: None,
+                any_infinite_vars: None,
             }),
             Err(e) => Response::Error(WireError::from_pipeline(&e)),
         };
@@ -170,6 +201,82 @@ fn served_analyze_responses_match_in_process_traced_runs() {
         }
     }
     assert!(compared >= 10, "corpus must exercise traced serving");
+}
+
+/// The `any` verb differential: every corpus formula — including every
+/// classifier-rejected one — is served via safe-pair translation,
+/// byte-identical to in-process cached serving, with the finite part
+/// equal to the brute-force active-domain oracle and the infiniteness
+/// flag surviving the wire round-trip.
+#[test]
+fn served_any_responses_are_byte_identical_and_match_the_oracle() {
+    let mut served = 0;
+    let mut rejected_served = 0;
+    let mut flagged_infinite = 0;
+    for entry in corpus() {
+        for seed in [0u64, 3] {
+            let db = db_for(&entry, seed);
+            let (_server, mut client) = start(&db);
+            let mut cache: PlanCache<Compiled> = PlanCache::new();
+            for round in ["cold", "warm"] {
+                let expected = expected_any(entry.text, &db, CompileOptions::default(), &mut cache);
+                let got = client
+                    .any(entry.text)
+                    .unwrap_or_else(|e| panic!("{}: transport failure: {e}", entry.id));
+                assert_eq!(
+                    got.encode(),
+                    expected.encode(),
+                    "{} (seed {seed}, {round}): any wire bytes diverge from in-process serving",
+                    entry.id
+                );
+                let ok = match got {
+                    Response::Query(ok) => ok,
+                    other => panic!(
+                        "{}: any must always serve an answer, got {other:?}",
+                        entry.id
+                    ),
+                };
+                assert!(
+                    ok.any_infinite.is_some() && ok.any_infinite_vars.is_some(),
+                    "{}: any responses must carry the infiniteness headers",
+                    entry.id
+                );
+                // The finite part is the active-domain answer, exactly.
+                let f = formula_of(&entry);
+                assert_eq!(
+                    ok.relation,
+                    eval_brute_force(&f, &db),
+                    "{} (seed {seed}): served finite part diverges from the oracle",
+                    entry.id
+                );
+                // Known-DI entries can never be infinite, on any database.
+                if entry.domain_independent {
+                    assert_eq!(
+                        ok.any_infinite,
+                        Some(false),
+                        "{} is domain independent; no stars allowed",
+                        entry.id
+                    );
+                }
+                served += 1;
+                if !entry.evaluable && !entry.wide_sense {
+                    rejected_served += 1;
+                }
+                if ok.any_infinite == Some(true) {
+                    flagged_infinite += 1;
+                }
+            }
+        }
+    }
+    assert!(served >= 100, "the whole corpus must serve (got {served})");
+    assert!(
+        rejected_served >= 40,
+        "every classifier-rejected entry must serve via the safe pair (got {rejected_served})"
+    );
+    assert!(
+        flagged_infinite > 0,
+        "some rejected entries on nonempty databases must flag infiniteness"
+    );
 }
 
 /// Budget trips must survive serialization byte-for-byte, and the client

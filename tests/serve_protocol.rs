@@ -288,6 +288,10 @@ proptest! {
             trace_json: rng
                 .gen_bool(0.5)
                 .then(|| format!("{{\"stages\":[],\"seed\":{seed}}}")),
+            any_infinite: rng.gen_bool(0.5).then(|| rng.gen_bool(0.5)),
+            any_infinite_vars: rng
+                .gen_bool(0.5)
+                .then(|| (0..arity).map(|_| rng.gen_bool(0.5)).collect()),
         });
         let parsed = Response::parse(&resp.encode());
         prop_assert_eq!(parsed.as_ref().ok(), Some(&resp));
