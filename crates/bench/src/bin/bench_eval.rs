@@ -41,6 +41,15 @@
 //! plan, with a result-equality assert, the chosen join order, and the
 //! root estimation error landing in the JSON.
 //!
+//! A **rewrite** family exercises the equality-saturation layer
+//! ([`rc_relalg::saturate_governed()`]): union/difference shapes with a
+//! large shared leg, written in the distributed form. The one-pass cost
+//! planner reorders joins but never factors across a union, so it keeps
+//! the duplicated big leg; saturation discovers the factored plan. Each
+//! query is timed as the cost-optimized plan against the saturated plan,
+//! with a result-equality assert, both Estimator prices, and the
+//! saturation report's rule-application count landing in the JSON.
+//!
 //! With `TRACE_GATE=1` the binary instead runs a fast CI gate: paired
 //! tracing-off overhead only, exiting nonzero when the median reaches 1%
 //! (and leaving `BENCH_eval.json` untouched). With `CACHE_GATE=1` it runs
@@ -63,6 +72,14 @@
 //! corpus formula must be served by `compile_and_eval_any` byte-identical
 //! to the brute-force active-domain oracle — in process *and* over the
 //! `any` wire verb, with the infiniteness flags surviving the round trip.
+//! With `EGRAPH_GATE=1` it runs the equality-saturation acceptance gate:
+//! every corpus formula must serve bit-identical answers (and
+//! infiniteness flags) under `planner=cost` and `planner=saturate`, the
+//! Estimator must price the saturated plan at or below the cost plan on
+//! every multi_join / standard-matrix / rewrite workload, the rewrite
+//! family's median measured speedup must reach 1.2x, and a paired
+//! re-check must show saturation regressing no multi_join or standard
+//! workload by 5% or more.
 //!
 //! An **any_query** family rides along in the default run: cold and warm
 //! safe-pair serving latency for classifier-rejected formulas (both legs
@@ -85,11 +102,11 @@ use rc_formula::{Term, Value, Var};
 use rc_relalg::trace::json_str;
 use rc_relalg::{
     eval, eval_baseline, eval_governed, eval_shared, eval_traced, optimize, partition_count,
-    simplify, Budget, Database, Estimator, EvalStats, FaultInjector, OpSpan, PlanCache, RaExpr,
-    Relation, RelationBuilder, Tracer,
+    saturate_governed, simplify, Budget, Database, Estimator, EvalStats, FaultInjector, OpSpan,
+    PlanCache, RaExpr, Relation, RelationBuilder, SelPred, Tracer,
 };
 use rc_safety::anyrc::compile_and_eval_any_cached;
-use rc_safety::pipeline::{compile_and_eval_cached, CompileOptions, Compiled};
+use rc_safety::pipeline::{compile_and_eval_cached, CompileOptions, Compiled, PlannerMode};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -684,6 +701,342 @@ fn run_opt_gate() {
     }
 }
 
+/// Shared-leg fixture for the rewrite family. `FA`/`FB` are small probe
+/// relations and `FC` is a large shared join leg; `GA`/`GB`/`GC` replay
+/// the same skew for the same-schema difference shapes. The cost planner
+/// reorders joins but never factors across a union, so it evaluates the
+/// big leg once per branch; the factored plan saturation finds touches
+/// `FC`/`GC` once.
+fn rewrite_db() -> Database {
+    let mut db = Database::new();
+    // FA/FB: 500 rows each with disjoint x-ranges, each hitting a sparse
+    // disjoint slice of FC's unique keys (stride 100, shifts 0/1) so the
+    // joins are selective: probing FC's 50k rows dominates, the outputs
+    // stay small, and factoring — which halves the FC probes — shows up
+    // as wall time instead of drowning in output materialization.
+    let small = |off: i64, shift: i64| -> Relation {
+        let mut b = RelationBuilder::with_capacity(2, 500);
+        for i in 0..500i64 {
+            b.push_row(&[Value::int(off + i), Value::int(100 * i + shift)]);
+        }
+        b.finish()
+    };
+    db.insert_relation("FA", small(0, 0));
+    db.insert_relation("FB", small(10_000, 1));
+    {
+        let mut b = RelationBuilder::with_capacity(2, 50_000);
+        for i in 0..50_000i64 {
+            b.push_row(&[Value::int(i), Value::int(2 * i)]);
+        }
+        db.insert_relation("FC", b.finish());
+    }
+    // GA/GB: 2k rows each; GC: 50k rows. The distributed difference
+    // builds GC's probe set once per branch, the factored one once.
+    let g = |off: i64, n: i64| -> Relation {
+        let mut b = RelationBuilder::with_capacity(2, n as usize);
+        for i in 0..n {
+            b.push_row(&[Value::int(off + i), Value::int(i % 7)]);
+        }
+        b.finish()
+    };
+    db.insert_relation("GA", g(0, 2_000));
+    db.insert_relation("GB", g(1_000, 2_000));
+    db.insert_relation("GC", g(500, 50_000));
+    db
+}
+
+/// The rewrite-family queries: algebra shapes whose best plan needs an
+/// *equivalence* the one-pass cost planner never explores — factoring a
+/// shared leg out of a union of joins or differences. All are written in
+/// the distributed (pessimal) form; discovering the factored form takes
+/// the `union-factor` / `diff-distribute` rules, with `join-commute`
+/// aligning the flipped branch and `select-push-*` feeding the selected
+/// variant.
+fn rewrite_workloads() -> Vec<(&'static str, RaExpr)> {
+    let fa = || RaExpr::scan("FA", vec![Term::var("x"), Term::var("y")]);
+    let fb = || RaExpr::scan("FB", vec![Term::var("x"), Term::var("y")]);
+    let fc = || RaExpr::scan("FC", vec![Term::var("y"), Term::var("z")]);
+    let ga = || RaExpr::scan("GA", vec![Term::var("x"), Term::var("y")]);
+    let gb = || RaExpr::scan("GB", vec![Term::var("x"), Term::var("y")]);
+    let gc = || RaExpr::scan("GC", vec![Term::var("x"), Term::var("y")]);
+    vec![
+        (
+            "factor_union",
+            RaExpr::union(RaExpr::join(fa(), fc()), RaExpr::join(fb(), fc())),
+        ),
+        (
+            "factor_union_commuted",
+            RaExpr::union(RaExpr::join(fc(), fa()), RaExpr::join(fb(), fc())),
+        ),
+        (
+            "factor_diff",
+            RaExpr::union(RaExpr::diff(ga(), gc()), RaExpr::diff(gb(), gc())),
+        ),
+        (
+            "factor_select",
+            RaExpr::select(
+                RaExpr::union(RaExpr::join(fa(), fc()), RaExpr::join(fb(), fc())),
+                SelPred::NeqConst(Var::new("z"), Value::int(7)),
+            ),
+        ),
+    ]
+}
+
+struct RewriteRecord {
+    name: &'static str,
+    cost_ns: u128,
+    saturated_ns: u128,
+    speedup: f64,
+    cost_est: f64,
+    saturated_est: f64,
+    rules_applied: usize,
+    improved: bool,
+}
+
+/// One rewrite workload: the cost-optimized plan against the
+/// equality-saturated plan, paired sampling, with a result-equality
+/// assert and the saturation report's rule-application count.
+fn bench_rewrite(
+    samples: usize,
+    name: &'static str,
+    expr: &RaExpr,
+    db: &Database,
+) -> RewriteRecord {
+    let cost_plan = optimize(expr, db);
+    let (sat_plan, report) =
+        saturate_governed(expr, db, Budget::unlimited()).expect("unlimited budget never trips");
+    let want = eval(&cost_plan, db).expect("cost plan evaluates");
+    let got = eval(&sat_plan, db).expect("saturated plan evaluates");
+    assert_eq!(want, got, "{name}: saturated plan changed the answer");
+    let (cost_ns, saturated_ns, ratio) = time_paired(
+        samples,
+        || {
+            black_box(eval(black_box(&cost_plan), black_box(db)).unwrap());
+        },
+        || {
+            black_box(eval(black_box(&sat_plan), black_box(db)).unwrap());
+        },
+    );
+    let est = Estimator::new(db);
+    RewriteRecord {
+        name,
+        cost_ns,
+        saturated_ns,
+        speedup: 1.0 / ratio,
+        cost_est: est.cost(&cost_plan),
+        saturated_est: est.cost(&sat_plan),
+        rules_applied: report.total_applied(),
+        improved: report.improved,
+    }
+}
+
+fn rewrite_json(r: &RewriteRecord) -> String {
+    format!(
+        concat!(
+            "    {{\"workload\": \"{}\", \"cost_ns\": {}, \"saturated_ns\": {}, ",
+            "\"speedup\": {:.2}, \"cost_est\": {:.0}, \"saturated_est\": {:.0}, ",
+            "\"rules_applied\": {}, \"improved\": {}}}"
+        ),
+        r.name,
+        r.cost_ns,
+        r.saturated_ns,
+        r.speedup,
+        r.cost_est,
+        r.saturated_est,
+        r.rules_applied,
+        r.improved
+    )
+}
+
+/// `EGRAPH_GATE=1` mode: the acceptance gate for the equality-saturation
+/// planner. Four legs, all required:
+///
+/// 1. **corpus bit-identity** — every corpus formula (recognized or
+///    classifier-rejected, over declared-empty and seeded random
+///    databases) serves byte-identical relations and infiniteness flags
+///    under `planner=cost` and `planner=saturate`;
+/// 2. **never costlier** — the [`Estimator`] prices the saturated plan at
+///    or below the cost planner's plan on every multi_join,
+///    standard-matrix, and rewrite workload (the extraction guard's
+///    contract, re-checked from outside the planner);
+/// 3. **measured win** — the rewrite family's median wall-clock speedup
+///    over the cost plan reaches 1.2x;
+/// 4. **no regression** — a paired re-check shows the saturated plan
+///    losing to the cost plan by 5% or more on no multi_join or
+///    standard-matrix workload (identical plans are skipped — timing the
+///    same plan twice only measures machine noise).
+///
+/// Exits nonzero on failure; never touches `BENCH_eval.json`.
+fn run_egraph_gate() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rc_safety::corpus::{corpus, formula_of};
+
+    // Leg 1: corpus bit-identity across planner modes. The `any` entry
+    // point serves every corpus formula (safe-pair legs inherit the
+    // planner), so one loop covers recognized and rejected shapes alike.
+    let saturate_opts = || CompileOptions {
+        planner: PlannerMode::Saturate,
+        ..CompileOptions::default()
+    };
+    let mut served = 0u32;
+    for entry in corpus() {
+        let f = formula_of(&entry);
+        let schema = rc_formula::Schema::infer(&f).expect("corpus schema");
+        let mut domain: Vec<Value> = (1..=4).map(Value::int).collect();
+        for c in f.constants() {
+            if !domain.contains(&c) {
+                domain.push(c);
+            }
+        }
+        for seed in [0u64, 3] {
+            let db = if seed == 0 {
+                let mut d = Database::new();
+                for (p, ar) in schema.predicates() {
+                    d.declare(p, ar);
+                }
+                d
+            } else {
+                Database::random(&schema, &domain, 6, &mut StdRng::seed_from_u64(seed))
+            };
+            let mut cost_cache: PlanCache<Compiled> = PlanCache::new();
+            let mut sat_cache: PlanCache<Compiled> = PlanCache::new();
+            let cost = compile_and_eval_any_cached(
+                entry.text,
+                &db,
+                CompileOptions::default(),
+                &mut cost_cache,
+            );
+            let sat = compile_and_eval_any_cached(entry.text, &db, saturate_opts(), &mut sat_cache);
+            let (cost, sat) = match (cost, sat) {
+                (Ok(c), Ok(s)) => (c, s),
+                (c, s) => {
+                    eprintln!(
+                        "EGRAPH GATE FAILED: {} (seed {seed}) planner modes disagree on \
+                         servability: cost {:?} vs saturate {:?}",
+                        entry.id,
+                        c.is_ok(),
+                        s.is_ok()
+                    );
+                    std::process::exit(1);
+                }
+            };
+            if cost.answer.finite != sat.answer.finite
+                || cost.answer.maybe_infinite != sat.answer.maybe_infinite
+                || cost.answer.per_variable != sat.answer.per_variable
+            {
+                eprintln!(
+                    "EGRAPH GATE FAILED: {} (seed {seed}) saturated serving diverges from \
+                     the cost planner (relation or infiniteness flags)",
+                    entry.id
+                );
+                std::process::exit(1);
+            }
+            served += 1;
+        }
+    }
+    println!("egraph gate: {served} corpus serves bit-identical across planner modes");
+
+    // Leg 2: the saturated plan is never priced above the cost plan.
+    type Family = (&'static str, Database, Vec<(&'static str, RaExpr)>);
+    let families: Vec<Family> = vec![
+        ("multi_join", multi_join_db(), multi_join_workloads()),
+        ("standard", db_for(10_000), workloads()),
+        ("rewrite", rewrite_db(), rewrite_workloads()),
+    ];
+    for (family, db, exprs) in &families {
+        let est = Estimator::new(db);
+        let mut ratios: Vec<f64> = Vec::new();
+        for (name, expr) in exprs {
+            let cost_plan = optimize(expr, db);
+            let (sat_plan, _) = saturate_governed(expr, db, Budget::unlimited())
+                .expect("unlimited budget never trips");
+            let (c, s) = (est.cost(&cost_plan), est.cost(&sat_plan));
+            if s > c {
+                eprintln!(
+                    "EGRAPH GATE FAILED: {family}/{name}: saturated plan priced at {s:.0} \
+                     above the cost plan's {c:.0}"
+                );
+                std::process::exit(1);
+            }
+            ratios.push(s / c.max(1.0));
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ratios[ratios.len() / 2];
+        println!(
+            "egraph gate: {family}: saturated/cost estimator price median {median:.2} \
+             (gate <= 1.0 on every workload)"
+        );
+    }
+
+    // Leg 3: the rewrite family must show a measured median speedup.
+    let samples = 7;
+    let rw_db = rewrite_db();
+    let mut speedups: Vec<f64> = Vec::new();
+    for (name, expr) in rewrite_workloads() {
+        let r = bench_rewrite(samples, name, &expr, &rw_db);
+        println!(
+            "rewrite {name}: cost {:.3} ms, saturated {:.3} ms, {:.2}x, \
+             {} rule application(s), improved {}",
+            r.cost_ns as f64 / 1e6,
+            r.saturated_ns as f64 / 1e6,
+            r.speedup,
+            r.rules_applied,
+            r.improved
+        );
+        speedups.push(r.speedup);
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = speedups[speedups.len() / 2];
+    println!("median rewrite speedup: {median:.2}x (gate >= 1.2x)");
+    if median < 1.2 {
+        eprintln!("EGRAPH GATE FAILED: median rewrite speedup {median:.2}x < 1.2x");
+        std::process::exit(1);
+    }
+
+    // Leg 4: saturation must not regress plans the cost planner already
+    // gets right.
+    let mut worst: f64 = 0.0;
+    for (family, db, exprs) in &families[..2] {
+        for (name, expr) in exprs {
+            let cost_plan = optimize(expr, db);
+            let (sat_plan, _) = saturate_governed(expr, db, Budget::unlimited())
+                .expect("unlimited budget never trips");
+            // When extraction returns the seed plan verbatim there is
+            // nothing to regress — timing the same plan twice only
+            // measures machine noise, which would flake the gate.
+            if sat_plan == cost_plan {
+                println!("egraph regression check {family}/{name}: plan unchanged");
+                continue;
+            }
+            assert_eq!(
+                eval(&cost_plan, db).unwrap(),
+                eval(&sat_plan, db).unwrap(),
+                "{family}/{name}: saturated plan changed the answer"
+            );
+            let (_, _, ratio) = time_paired(
+                15,
+                || {
+                    black_box(eval(black_box(&cost_plan), black_box(db)).unwrap());
+                },
+                || {
+                    black_box(eval(black_box(&sat_plan), black_box(db)).unwrap());
+                },
+            );
+            let pct = (ratio - 1.0) * 100.0;
+            println!("egraph regression check {family}/{name}: {pct:+.2}%");
+            worst = worst.max(pct);
+        }
+    }
+    println!("worst saturation regression: {worst:+.2}% (gate < 5%)");
+    if worst >= 5.0 {
+        eprintln!(
+            "EGRAPH GATE FAILED: saturation regresses an existing workload by {worst:.2}% >= 5%"
+        );
+        std::process::exit(1);
+    }
+}
+
 /// The repeated-query texts served through the full cached pipeline.
 fn repeated_queries() -> Vec<(&'static str, &'static str)> {
     vec![
@@ -1114,6 +1467,10 @@ fn main() {
         run_any_gate();
         return;
     }
+    if std::env::var("EGRAPH_GATE").as_deref() == Ok("1") {
+        run_egraph_gate();
+        return;
+    }
     let sizes = [2_000usize, 10_000, 50_000];
     // Overheads in the low percent range need more repetitions than the
     // headline speedups do for the median to settle.
@@ -1380,6 +1737,40 @@ fn main() {
     mj_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_mj_speedup = mj_speedups[mj_speedups.len() / 2];
 
+    // Rewrite family: cost-optimized plan vs equality-saturated plan on
+    // shared-leg factoring shapes.
+    let rw_db = rewrite_db();
+    let rw_samples = 7;
+    let mut rw_records: Vec<String> = Vec::new();
+    let mut rw_speedups: Vec<f64> = Vec::new();
+    let mut rw_table = Table::new(&[
+        "workload",
+        "cost ms",
+        "saturated ms",
+        "speedup",
+        "cost est",
+        "saturated est",
+        "rules",
+        "improved",
+    ]);
+    for (name, expr) in rewrite_workloads() {
+        let r = bench_rewrite(rw_samples, name, &expr, &rw_db);
+        rw_speedups.push(r.speedup);
+        rw_table.row(vec![
+            r.name.to_string(),
+            format!("{:.3}", r.cost_ns as f64 / 1e6),
+            format!("{:.3}", r.saturated_ns as f64 / 1e6),
+            format!("{:.2}x", r.speedup),
+            format!("{:.0}", r.cost_est),
+            format!("{:.0}", r.saturated_est),
+            r.rules_applied.to_string(),
+            r.improved.to_string(),
+        ]);
+        rw_records.push(rewrite_json(&r));
+    }
+    rw_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_rw_speedup = rw_speedups[rw_speedups.len() / 2];
+
     // Update-trickle family: full re-evaluation vs delta refresh after
     // one-row mutations to a warm standing query.
     let trickle_n = 10_000;
@@ -1485,6 +1876,9 @@ fn main() {
     println!("\n=== multi_join family: heuristic plan vs cost-based planner ===\n");
     println!("{}", mj_table.render());
     println!("median multi_join speedup: {median_mj_speedup:.2}x (target >= 2x)");
+    println!("\n=== rewrite family: cost-based plan vs equality-saturated plan ===\n");
+    println!("{}", rw_table.render());
+    println!("median rewrite speedup: {median_rw_speedup:.2}x (target >= 1.2x)");
     println!("\n=== update_trickle family: full re-evaluation vs delta refresh ===\n");
     println!("{}", trickle_table.render());
     println!("median update-trickle speedup: {median_trickle_speedup:.1}x (target >= 10x)");
@@ -1499,12 +1893,13 @@ fn main() {
     println!("median tracing-off overhead across workloads: {median_trace_off:+.2}% (target < 1%)");
 
     let json = format!(
-        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"multi_join_speedup_target\": 2.0,\n  \"median_multi_join_speedup\": {median_mj_speedup:.2},\n  \"update_trickle_speedup_target\": 10.0,\n  \"median_update_trickle_speedup\": {median_trickle_speedup:.2},\n  \"median_any_query_warm_speedup\": {median_any_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ],\n  \"multi_join_results\": [\n{}\n  ],\n  \"update_trickle_results\": [\n{}\n  ],\n  \"any_query_results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"E-ENGINE\",\n  \"command\": \"cargo run --release -p rc-bench --bin bench_eval\",\n  \"samples\": {samples},\n  \"time_unit\": \"ns (median per evaluation)\",\n  \"governance_overhead_target_pct\": 2.0,\n  \"median_governance_overhead_pct\": {median_overhead:.2},\n  \"trace_off_overhead_target_pct\": 1.0,\n  \"median_trace_off_overhead_pct\": {median_trace_off:.2},\n  \"repeated_query_speedup_target\": 5.0,\n  \"median_repeated_query_speedup\": {median_cache_speedup:.2},\n  \"partition_speedup_target\": 2.0,\n  \"partition_speedup_gate_min_cores\": 8,\n  \"cores\": {cores},\n  \"median_partition_speedup\": {median_par_speedup:.2},\n  \"multi_join_speedup_target\": 2.0,\n  \"median_multi_join_speedup\": {median_mj_speedup:.2},\n  \"rewrite_speedup_target\": 1.2,\n  \"median_rewrite_speedup\": {median_rw_speedup:.2},\n  \"update_trickle_speedup_target\": 10.0,\n  \"median_update_trickle_speedup\": {median_trickle_speedup:.2},\n  \"median_any_query_warm_speedup\": {median_any_speedup:.2},\n  \"results\": [\n{}\n  ],\n  \"repeated_query_results\": [\n{}\n  ],\n  \"shared_subtree_results\": [\n{}\n  ],\n  \"partition_results\": [\n{}\n  ],\n  \"multi_join_results\": [\n{}\n  ],\n  \"rewrite_results\": [\n{}\n  ],\n  \"update_trickle_results\": [\n{}\n  ],\n  \"any_query_results\": [\n{}\n  ]\n}}\n",
         records.join(",\n"),
         cache_records.join(",\n"),
         shared_records.join(",\n"),
         par_records.join(",\n"),
         mj_records.join(",\n"),
+        rw_records.join(",\n"),
         trickle_records.join(",\n"),
         any_records.join(",\n")
     );

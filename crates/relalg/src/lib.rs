@@ -34,6 +34,10 @@
 //! * [`optimize::simplify`] — semantics-preserving cleanup — and
 //!   [`optimize::optimize`], the cost-based pass on top of it
 //!   (join reordering, cost-gated projection placement);
+//! * [`egraph`] — equality saturation over plans: e-classes with
+//!   union-find merging, a documented registry of soundness-proven
+//!   rewrites (`docs/REWRITES.md`), budget-bounded saturation, and
+//!   cost-based extraction that is never costlier than the input;
 //! * display impls that mimic the paper's `π/σ/⋈/∪/diff` notation;
 //! * [`io`] — fact-text and TSV import/export.
 
@@ -43,6 +47,7 @@ pub mod baseline;
 pub mod cache;
 pub mod database;
 pub mod display;
+pub mod egraph;
 pub mod eval;
 pub mod expr;
 pub mod govern;
@@ -57,6 +62,7 @@ pub mod trace;
 pub use baseline::eval_baseline;
 pub use cache::{CacheStats, PlanCache, SharedPlanCache, CACHE_SHARDS};
 pub use database::Database;
+pub use egraph::{rules, saturate, saturate_governed, RewriteRule, SaturationReport};
 pub use eval::{
     eval, eval_governed, eval_shared, eval_traced, eval_with_stats, EvalError, EvalStats,
 };

@@ -273,6 +273,23 @@ fn push_select(input: &RaExpr, pred: SelPred) -> Option<RaExpr> {
 /// plan hash is stable. Each cost-gated change strictly lowers estimated
 /// cost and each simplifier change shrinks the plan, so the loop
 /// terminates; the iteration cap is a safety net, not a tuning knob.
+///
+/// ```
+/// use rc_formula::Term;
+/// use rc_relalg::{eval, optimize, Database, Estimator, RaExpr};
+///
+/// let db = Database::from_facts("P(1)\nP(2)\nQ(2, 5)").unwrap();
+/// let plan = RaExpr::join(
+///     RaExpr::scan("P", vec![Term::var("x")]),
+///     RaExpr::scan("Q", vec![Term::var("x"), Term::var("y")]),
+/// );
+/// let planned = optimize(&plan, &db);
+/// // Same rows, same column order, never estimated costlier.
+/// assert_eq!(eval(&planned, &db).unwrap(), eval(&plan, &db).unwrap());
+/// assert_eq!(planned.cols(), plan.cols());
+/// let est = Estimator::new(&db);
+/// assert!(est.cost(&planned) <= est.cost(&plan));
+/// ```
 pub fn optimize(e: &RaExpr, db: &Database) -> RaExpr {
     let est = Estimator::new(db);
     let mut cur = simplify(e);

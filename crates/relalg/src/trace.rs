@@ -865,23 +865,32 @@ pub fn estimate_cost(expr: &RaExpr, db: &Database) -> u64 {
 
 /// Render a plan tree annotated with estimated cardinalities — the
 /// `explain` view (no evaluation required).
+///
+/// Estimates are recomputed on the tree passed in, with one
+/// [`Estimator`](crate::stats::Estimator) shared across every node: each
+/// node's `(est, cost)` pair comes from one
+/// [`cost_and_estimate`](crate::stats::Estimator::cost_and_estimate) walk,
+/// so the printed cost is always the cost of the printed estimate — the
+/// two can never come from different rewrite rounds of the plan.
 pub fn render_plan(expr: &RaExpr, db: &Database) -> String {
+    let est = crate::stats::Estimator::new(db);
     let mut out = String::new();
-    plan_into(expr, db, 0, &mut out);
+    plan_into(expr, &est, 0, &mut out);
     out
 }
 
-fn plan_into(expr: &RaExpr, db: &Database, depth: usize, out: &mut String) {
+fn plan_into(expr: &RaExpr, est: &crate::stats::Estimator, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
+    let (cost, card) = est.cost_and_estimate(expr);
     let _ = writeln!(
         out,
         "{pad}{}  (est {}, cost {})",
         op_label(expr),
-        estimate_rows(expr, db),
-        estimate_cost(expr, db)
+        card.rows.round() as u64,
+        cost.round() as u64
     );
     for c in expr.children() {
-        plan_into(c, db, depth + 1, out);
+        plan_into(c, est, depth + 1, out);
     }
 }
 
@@ -890,20 +899,21 @@ fn plan_into(expr: &RaExpr, db: &Database, depth: usize, out: &mut String) {
 /// expression with its operator span tree — the `explain analyze` view.
 /// Span-less nodes (unreached after a mid-plan trip) render with `actual=-`.
 pub fn render_analyze(expr: &RaExpr, db: &Database, span: Option<&OpSpan>) -> String {
+    let estimator = crate::stats::Estimator::new(db);
     let mut out = String::new();
-    analyze_into(expr, db, span, 0, &mut out);
+    analyze_into(expr, &estimator, span, 0, &mut out);
     out
 }
 
 fn analyze_into(
     expr: &RaExpr,
-    db: &Database,
+    estimator: &crate::stats::Estimator,
     span: Option<&OpSpan>,
     depth: usize,
     out: &mut String,
 ) {
     let pad = "  ".repeat(depth);
-    let est = estimate_rows(expr, db);
+    let est = estimator.rows(expr);
     match span {
         Some(s) => {
             let _ = writeln!(
@@ -928,7 +938,7 @@ fn analyze_into(
     }
     let spans = span.map(|s| s.children.as_slice()).unwrap_or(&[]);
     for (i, c) in expr.children().into_iter().enumerate() {
-        analyze_into(c, db, spans.get(i), depth + 1, out);
+        analyze_into(c, estimator, spans.get(i), depth + 1, out);
     }
 }
 

@@ -42,8 +42,8 @@ pub use rc_safety::anyrc::{
 };
 pub use rc_safety::pipeline::{
     classify, compile, compile_and_eval, compile_and_eval_cached, compile_and_eval_shared,
-    compile_and_eval_traced, query, CachedQueryOutput, Compiled, PipelineError, QueryOutput,
-    SafetyClass,
+    compile_and_eval_traced, query, CachedQueryOutput, Compiled, PipelineError, PlannerMode,
+    QueryOutput, SafetyClass,
 };
 pub use rc_safety::{
     equality_reduce, genify, is_allowed, is_evaluable, is_ranf, is_wide_sense_evaluable, ranf,
